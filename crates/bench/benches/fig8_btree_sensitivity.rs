@@ -1,0 +1,80 @@
+//! Figures 8 & 9 — B+ tree sensitivity to concurrent modifications.
+//!
+//! Mixes `X-Y-Z` with uniform read/remove keys and **split-heavy** insert
+//! keys targeted at the last leaf of each NMP partition (maximum node
+//! splits), plus the *50-25-25 fully uniform* workload whose inserts are
+//! spread over all leaves and incur no splits (§5.2). In-order host cores.
+//!
+//! Fig. 8 reports throughput normalized to *host-only* at 100-0-0;
+//! Fig. 9 reports memory reads per operation for the same runs.
+//!
+//! Paper shape targets: hybrid-blocking stays within ~10% of its read-only
+//! throughput and ≈93.5% of host-only at 50-25-25; host-only *gains* a few
+//! percent with split-heavy inserts (targeted leaves stay cached) and loses
+//! ~6% on fully-uniform; hybrid-nonblocking4 ≈ 1.5× host-only everywhere.
+
+use hybrids_bench::{run_btree, save_records, sensitivity, Record, Scale, Variant};
+use workloads::{InsertDist, Mix};
+
+fn main() {
+    let scale = Scale::from_env().in_order();
+    let variants = [Variant::HostOnly, Variant::HybridBtBlocking, Variant::HybridBtNonblocking(4)];
+    let mut records = Vec::new();
+    let mut results: Vec<(String, String, f64, f64)> = Vec::new();
+    println!("fig8/fig9: B+ tree sensitivity (scale = {}, in-order hosts)", scale.name);
+    println!("{:<22} {:>18} {:>12} {:>14}", "variant", "workload", "Mops/s", "mem reads/op");
+    let mut workloads_list: Vec<(String, Mix, InsertDist)> = Mix::sensitivity_suite()
+        .into_iter()
+        .map(|m| (m.label(), m, InsertDist::PartitionTail))
+        .collect();
+    workloads_list.push((
+        "50-25-25-uniform".into(),
+        Mix::read_insert_remove(50, 25, 25),
+        InsertDist::UniformGap,
+    ));
+    for (label, mix, dist) in &workloads_list {
+        for v in variants {
+            let wl = sensitivity(&scale, *mix, *dist);
+            let r = run_btree(&scale, v, wl);
+            println!(
+                "{:<22} {:>18} {:>12.4} {:>14.2}",
+                v.label(),
+                label,
+                r.mops,
+                r.dram_reads_per_op
+            );
+            results.push((v.label(), label.clone(), r.mops, r.dram_reads_per_op));
+            records.push(Record::new("fig8", &scale, &v, label, &r));
+        }
+    }
+    let get = |v: &str, m: &str| {
+        results.iter().find(|(a, b, _, _)| a == v && b == m).map(|(_, _, x, _)| *x).unwrap()
+    };
+    let base = get("host-only", "100-0-0");
+    println!("\nfig8: normalized throughput (host-only @ 100-0-0 = 1.00):");
+    for (v, m, x, _) in &results {
+        println!("  {v:<22} {m:>18}  {:.3}", x / base);
+    }
+    println!("\nfig9: memory reads per operation:");
+    for (v, m, _, d) in &results {
+        println!("  {v:<22} {m:>18}  {d:.2}");
+    }
+    println!("\nheadline shapes:");
+    println!(
+        "  hybrid-blocking @50-25-25 vs own read-only: {:.1}% (paper ~90%)",
+        get("hybrid-blocking", "50-25-25") / get("hybrid-blocking", "100-0-0") * 100.0
+    );
+    println!(
+        "  hybrid-blocking / host-only @50-25-25:      {:.2}x (paper ~0.935x)",
+        get("hybrid-blocking", "50-25-25") / get("host-only", "50-25-25")
+    );
+    println!(
+        "  hybrid-nonblocking4 / host-only @50-25-25:  {:.2}x (paper ~1.46x)",
+        get("hybrid-nonblocking4", "50-25-25") / get("host-only", "50-25-25")
+    );
+    println!(
+        "  hybrid-nonblocking4 / host-only @50-25-25-uniform: {:.2}x (paper ~1.60x)",
+        get("hybrid-nonblocking4", "50-25-25-uniform") / get("host-only", "50-25-25-uniform")
+    );
+    save_records("fig8_fig9", &records);
+}

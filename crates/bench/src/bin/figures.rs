@@ -1,0 +1,52 @@
+//! Run the figure/table harnesses from one binary:
+//!
+//! ```text
+//! cargo run --release -p hybrids-bench --bin figures -- [--scale ci|scaled|paper] [fig5 fig6 fig7 fig8 table2 fig4 | all]
+//! ```
+//!
+//! Each experiment is the same code `cargo bench` runs (the bench targets
+//! in `crates/bench/benches/`); this binary just makes targeted, scaled
+//! runs convenient.
+
+use std::process::Command;
+
+fn main() {
+    let mut scale = None;
+    let mut figs: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--scale" => scale = args.next(),
+            other => figs.push(other.to_string()),
+        }
+    }
+    if figs.is_empty() || figs.iter().any(|f| f == "all") {
+        figs = ["fig4", "fig5", "fig6", "fig7", "fig8", "table2", "ablations", "ycsbe"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+    }
+    let bench_name = |f: &str| match f {
+        "fig4" => "fig4_blocking_trace",
+        "fig5" => "fig5_skiplist_baseline",
+        "fig6" => "fig6_btree_baseline",
+        "fig7" => "fig7_skiplist_sensitivity",
+        "fig8" | "fig9" => "fig8_btree_sensitivity",
+        "table2" => "table2_offload_delays",
+        "ablations" => "ablations",
+        "ycsbe" | "ycsb_e" => "ycsb_e_scans",
+        other => panic!(
+            "unknown experiment '{other}' (fig4/fig5/fig6/fig7/fig8/fig9/table2/ablations/ycsbe)"
+        ),
+    };
+    for f in &figs {
+        let mut cmd = Command::new(std::env::var("CARGO").unwrap_or_else(|_| "cargo".into()));
+        cmd.args(["bench", "-p", "hybrids-bench", "--bench", bench_name(f)]);
+        if let Some(s) = &scale {
+            cmd.env("HYBRIDS_SCALE", s);
+        }
+        eprintln!("== running {f} ==");
+        let status = cmd.status().expect("failed to spawn cargo bench");
+        assert!(status.success(), "experiment {f} failed");
+    }
+}

@@ -1,0 +1,535 @@
+//! Host-only B+ tree baseline (§5.1): the whole tree lives in host memory
+//! and, like the host-managed portion of the hybrid B+ tree, uses sequence
+//! locks for concurrency.
+//!
+//! Readers traverse optimistically (Listing 4) and validate leaf seqnums;
+//! writers lock the affected path bottom-up with even→odd CAS on each
+//! node's seqnum, splitting full nodes as needed, and unlock with a second
+//! increment. Deletions are "free-at-empty": a leaf that empties stays
+//! linked (relaxed minimum-occupancy invariant).
+
+use std::sync::Arc;
+
+use nmp_sim::{Addr, Machine, Simulation, ThreadCtx};
+use workloads::{Key, Op, Value};
+
+use crate::api::{Issued, OpResult, PollOutcome, SimIndex};
+
+use super::node::{self, INNER_MAX, LEAF_MAX};
+use super::traverse::descend;
+use super::build;
+
+/// Host-only seqlock B+ tree.
+pub struct HostBTree {
+    machine: Arc<Machine>,
+    root_word: Addr,
+}
+
+fn max_slots(level: u32) -> u32 {
+    if level == 0 {
+        LEAF_MAX
+    } else {
+        INNER_MAX
+    }
+}
+
+impl HostBTree {
+    /// Bulk-build over ascending `pairs` with the given fill factor.
+    pub fn new(machine: Arc<Machine>, pairs: &[(Key, Value)], fill: f64) -> Arc<Self> {
+        let (root, _height) = build::bulk_build(&machine, machine.host_arena(), pairs, fill);
+        let root_word = machine.host_arena().alloc(8);
+        machine.ram().write_u32(root_word, root);
+        Arc::new(HostBTree { machine, root_word })
+    }
+
+    pub fn machine(&self) -> &Arc<Machine> {
+        &self.machine
+    }
+
+    pub fn root(&self) -> Addr {
+        self.machine.ram().read_u32(self.root_word)
+    }
+
+    pub fn height(&self) -> u32 {
+        node::raw_meta(self.machine.ram(), self.root()).level + 1
+    }
+
+    fn read_op(&self, ctx: &mut ThreadCtx, key: Key) -> OpResult {
+        loop {
+            let d = descend(ctx, self.root_word, key, 0);
+            let (leaf, seq) = d.bottom();
+            let m = node::read_meta(ctx, leaf);
+            let r = node::leaf_find(ctx, leaf, m.slotuse.min(LEAF_MAX), key)
+                .map(|i| node::read_payload(ctx, leaf, i));
+            if node::read_seq(ctx, leaf) == seq {
+                return match r {
+                    Some(v) => OpResult::ok(v),
+                    None => OpResult::fail(),
+                };
+            }
+        }
+    }
+
+    fn update_op(&self, ctx: &mut ThreadCtx, key: Key, value: Value) -> OpResult {
+        loop {
+            let d = descend(ctx, self.root_word, key, 0);
+            let (leaf, seq) = d.bottom();
+            if !node::try_lock_seq(ctx, leaf, seq) {
+                continue;
+            }
+            let m = node::read_meta(ctx, leaf);
+            let found = node::leaf_find(ctx, leaf, m.slotuse, key);
+            if let Some(i) = found {
+                node::write_payload(ctx, leaf, i, value);
+            }
+            node::unlock_seq(ctx, leaf);
+            return if found.is_some() { OpResult::ok(0) } else { OpResult::fail() };
+        }
+    }
+
+    fn remove_op(&self, ctx: &mut ThreadCtx, key: Key) -> OpResult {
+        loop {
+            let d = descend(ctx, self.root_word, key, 0);
+            let (leaf, seq) = d.bottom();
+            if !node::try_lock_seq(ctx, leaf, seq) {
+                continue;
+            }
+            let m = node::read_meta(ctx, leaf);
+            let found = node::leaf_find(ctx, leaf, m.slotuse, key);
+            if let Some(i) = found {
+                node::leaf_remove_at(ctx, leaf, i);
+            }
+            node::unlock_seq(ctx, leaf);
+            return if found.is_some() { OpResult::ok(0) } else { OpResult::fail() };
+        }
+    }
+
+    /// Range scan (extension; YCSB-E): walk the leaf chain from the leaf
+    /// containing `key`, validating each leaf's seqlock and re-descending
+    /// from the continuation key when a leaf changes mid-read.
+    fn scan_op(&self, ctx: &mut ThreadCtx, key: Key, len: u16) -> OpResult {
+        let mut remaining = len as u32;
+        let mut count = 0u32;
+        let mut from = key;
+        'restart: while remaining > 0 {
+            let d = descend(ctx, self.root_word, from, 0);
+            let (mut leaf, _) = d.bottom();
+            loop {
+                let seq = node::read_seq(ctx, leaf);
+                if seq % 2 != 0 {
+                    ctx.idle(8);
+                    continue 'restart;
+                }
+                let m = node::read_meta(ctx, leaf);
+                let mut read_here = 0u32;
+                for i in 0..m.slotuse.min(node::LEAF_MAX) {
+                    ctx.step();
+                    if node::read_key(ctx, leaf, i) >= from {
+                        let _ = node::read_payload(ctx, leaf, i);
+                        read_here += 1;
+                        if read_here == remaining {
+                            break;
+                        }
+                    }
+                }
+                let next = ctx.read_u32(leaf + 120);
+                if node::read_seq(ctx, leaf) != seq {
+                    continue 'restart; // leaf changed under us
+                }
+                count += read_here;
+                remaining -= read_here;
+                if remaining == 0 || next == nmp_sim::NULL {
+                    break 'restart;
+                }
+                from = 0; // subsequent leaves are read in full
+                leaf = next;
+            }
+        }
+        OpResult { ok: count > 0, value: count }
+    }
+
+    fn insert_op(&self, ctx: &mut ThreadCtx, key: Key, value: Value) -> OpResult {
+        'retry: loop {
+            let d = descend(ctx, self.root_word, key, 0);
+            // Lock the path bottom-up until the first non-full node
+            // (which absorbs the insert without further splits).
+            let mut locked: Vec<Addr> = Vec::new();
+            let mut full_path = true;
+            for lvl in 0..=d.root_level {
+                let (n, s) = d.at(lvl);
+                if !node::try_lock_seq(ctx, n, s) {
+                    for &l in locked.iter().rev() {
+                        node::unlock_seq(ctx, l);
+                    }
+                    continue 'retry;
+                }
+                locked.push(n);
+                if node::read_meta(ctx, n).slotuse < max_slots(lvl) {
+                    full_path = false;
+                    break;
+                }
+            }
+            // Duplicate check under the leaf lock.
+            let leaf = locked[0];
+            let lm = node::read_meta(ctx, leaf);
+            if node::leaf_find(ctx, leaf, lm.slotuse, key).is_some() {
+                for &l in locked.iter().rev() {
+                    node::unlock_seq(ctx, l);
+                }
+                return OpResult::fail();
+            }
+            let top_of_path = *locked.last().unwrap();
+            let carry = apply_insert(
+                ctx,
+                self.machine.host_arena(),
+                &mut locked,
+                0,
+                InsertSeed::Leaf(key, value),
+            );
+            if let Some((div, right)) = carry {
+                debug_assert!(full_path, "split escaped a non-full absorber");
+                // Root split: grow the tree by one level.
+                let old_root = top_of_path;
+                let nr = node::alloc_node(self.machine.host_arena());
+                node::init_node(ctx, nr, d.root_level + 1, 1);
+                node::write_key(ctx, nr, 0, div);
+                node::write_payload(ctx, nr, 0, old_root);
+                node::write_payload(ctx, nr, 1, right);
+                ctx.write_u32(self.root_word, nr);
+            }
+            for &l in locked.iter().rev() {
+                node::unlock_seq(ctx, l);
+            }
+            return OpResult::ok(0);
+        }
+    }
+
+    // ---- untimed inspection ----
+
+    pub fn collect(&self) -> Vec<(Key, Value)> {
+        build::check_and_collect(&self.machine, self.root(), 0, 0)
+    }
+
+    pub fn check_invariants(&self) {
+        let ram = self.machine.ram();
+        let root = self.root();
+        let _ = build::check_and_collect(&self.machine, root, 0, 0);
+        // All seqlocks released at quiescence.
+        let mut stack = vec![root];
+        while let Some(n) = stack.pop() {
+            assert_eq!(node::raw_seq(ram, n) % 2, 0, "node {n:#x} left locked");
+            let m = node::raw_meta(ram, n);
+            assert!(!m.locked);
+            if !m.is_leaf() {
+                for i in 0..=m.slotuse {
+                    stack.push(node::raw_payload(ram, n, i));
+                }
+            }
+        }
+    }
+}
+
+/// What an insert carries into the bottom of a locked path.
+pub(super) enum InsertSeed {
+    /// A key/value pair entering at a leaf (level 0).
+    Leaf(Key, Value),
+    /// A dividing key plus right-child pointer entering at an inner level
+    /// (the hybrid tree's host side receives this from RESUME_INSERT).
+    Child(Key, Addr),
+}
+
+/// Apply an insert along a locked path. `locked[i]` is the node at level
+/// `base_level + i`; every node except possibly the last is full. Splits
+/// full nodes bottom-up; returns `Some((dividing_key, new_right))` if even
+/// the topmost locked node split (the caller then grows the tree or, on
+/// the NMP side, reports the split to the host). Newly split-off nodes
+/// replicate the seq word of their original (footnote 3) and are appended
+/// to `locked` so the caller's unlock pass covers them.
+pub(super) fn apply_insert(
+    ctx: &mut ThreadCtx,
+    arena: &nmp_sim::Arena,
+    locked: &mut Vec<Addr>,
+    base_level: u32,
+    seed: InsertSeed,
+) -> Option<(Key, Addr)> {
+    let path_len = locked.len();
+    let mut carry: Option<(Key, Addr)> = match seed {
+        InsertSeed::Leaf(k, v) => {
+            debug_assert_eq!(base_level, 0, "leaf seed must enter at level 0");
+            // Sentinel: handled by the lvl == 0 branch below.
+            let _ = (k, v);
+            None
+        }
+        InsertSeed::Child(k, c) => Some((k, c)),
+    };
+    let leaf_seed = match seed {
+        InsertSeed::Leaf(k, v) => Some((k, v)),
+        InsertSeed::Child(..) => None,
+    };
+    let mut rights: Vec<Addr> = Vec::new();
+    for i in 0..path_len {
+        let n = locked[i];
+        let lvl = base_level + i as u32;
+        let m = node::read_meta(ctx, n);
+        let is_leaf_step = lvl == 0 && leaf_seed.is_some();
+        if m.slotuse < max_slots(lvl) {
+            if is_leaf_step {
+                let (k, v) = leaf_seed.unwrap();
+                node::leaf_insert(ctx, n, k, v);
+            } else {
+                let (ck, cc) = carry.take().expect("inner level reached without carry");
+                node::inner_insert(ctx, n, ck, cc);
+            }
+            break;
+        }
+        let (div, right) = if lvl == 0 {
+            node::split_leaf(ctx, arena, n)
+        } else {
+            node::split_inner(ctx, arena, n)
+        };
+        rights.push(right);
+        if is_leaf_step {
+            let (k, v) = leaf_seed.unwrap();
+            if k <= div {
+                node::leaf_insert(ctx, n, k, v);
+            } else {
+                node::leaf_insert(ctx, right, k, v);
+            }
+        } else {
+            let (ck, cc) = carry.take().expect("carry missing at inner split");
+            if ck <= div {
+                node::inner_insert(ctx, n, ck, cc);
+            } else {
+                node::inner_insert(ctx, right, ck, cc);
+            }
+        }
+        carry = Some((div, right));
+    }
+    locked.extend(rights);
+    carry
+}
+
+impl SimIndex for HostBTree {
+    type Pending = OpResult;
+
+    fn execute(&self, ctx: &mut ThreadCtx, op: Op) -> OpResult {
+        match op {
+            Op::Read(k) => self.read_op(ctx, k),
+            Op::Insert(k, v) => self.insert_op(ctx, k, v),
+            Op::Remove(k) => self.remove_op(ctx, k),
+            Op::Update(k, v) => self.update_op(ctx, k, v),
+            Op::Scan(k, len) => self.scan_op(ctx, k, len),
+        }
+    }
+
+    fn issue(&self, ctx: &mut ThreadCtx, _lane: usize, op: Op) -> Issued<OpResult> {
+        // No NMP portion: the operation completes synchronously.
+        Issued::Done(self.execute(ctx, op))
+    }
+
+    fn poll(&self, _ctx: &mut ThreadCtx, pending: &mut OpResult) -> PollOutcome {
+        PollOutcome::Done(*pending)
+    }
+
+    fn spawn_services(self: &Arc<Self>, _sim: &mut Simulation) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nmp_sim::{Config, ThreadKind};
+    use std::collections::BTreeMap;
+
+    fn setup(n: u32, fill: f64) -> (Arc<Machine>, Arc<HostBTree>) {
+        let m = Machine::new(Config::tiny());
+        let pairs: Vec<(Key, Value)> = (1..=n).map(|k| (k * 8, k)).collect();
+        let t = HostBTree::new(Arc::clone(&m), &pairs, fill);
+        (m, t)
+    }
+
+    fn run_hosts(
+        m: &Arc<Machine>,
+        t: &Arc<HostBTree>,
+        threads: usize,
+        f: impl Fn(&mut ThreadCtx, &HostBTree, usize) + Send + Sync + 'static,
+    ) {
+        let mut sim = m.simulation();
+        let f = Arc::new(f);
+        for core in 0..threads {
+            let t = Arc::clone(t);
+            let f = Arc::clone(&f);
+            sim.spawn(format!("h{core}"), ThreadKind::Host { core }, move |ctx| {
+                f(ctx, &t, core)
+            });
+        }
+        sim.run();
+    }
+
+    #[test]
+    fn point_ops_roundtrip() {
+        let (m, t) = setup(500, 0.5);
+        run_hosts(&m, &t, 1, |ctx, t, _| {
+            assert_eq!(t.execute(ctx, Op::Read(400)), OpResult::ok(50));
+            assert!(!t.execute(ctx, Op::Read(401)).ok);
+            assert!(t.execute(ctx, Op::Insert(401, 9)).ok);
+            assert!(!t.execute(ctx, Op::Insert(401, 10)).ok, "duplicate");
+            assert_eq!(t.execute(ctx, Op::Read(401)), OpResult::ok(9));
+            assert!(t.execute(ctx, Op::Update(401, 11)).ok);
+            assert_eq!(t.execute(ctx, Op::Read(401)), OpResult::ok(11));
+            assert!(t.execute(ctx, Op::Remove(401)).ok);
+            assert!(!t.execute(ctx, Op::Remove(401)).ok);
+        });
+        t.check_invariants();
+    }
+
+    #[test]
+    fn inserts_cause_splits_and_stay_sorted() {
+        let (m, t) = setup(100, 1.0); // full leaves: every insert splits
+        run_hosts(&m, &t, 1, |ctx, t, _| {
+            for k in 1..=100u32 {
+                assert!(t.execute(ctx, Op::Insert(k * 8 + 1, k)).ok);
+            }
+        });
+        t.check_invariants();
+        assert_eq!(t.collect().len(), 200);
+    }
+
+    #[test]
+    fn root_split_grows_tree() {
+        let m = Machine::new(Config::tiny());
+        let pairs: Vec<(Key, Value)> = (1..=LEAF_MAX).map(|k| (k * 8, k)).collect();
+        let t = HostBTree::new(Arc::clone(&m), &pairs, 1.0);
+        assert_eq!(t.height(), 1, "starts as a single full leaf");
+        run_hosts(&m, &t, 1, |ctx, t, _| {
+            assert!(t.execute(ctx, Op::Insert(3, 3)).ok);
+        });
+        assert_eq!(t.height(), 2);
+        t.check_invariants();
+        assert_eq!(t.collect().len(), LEAF_MAX as usize + 1);
+    }
+
+    #[test]
+    fn sequential_inserts_grow_many_levels() {
+        let m = Machine::new(Config::tiny());
+        let t = HostBTree::new(Arc::clone(&m), &[(8, 1)], 1.0);
+        run_hosts(&m, &t, 1, |ctx, t, _| {
+            for k in 2..=600u32 {
+                assert!(t.execute(ctx, Op::Insert(k * 8, k)).ok, "insert {k}");
+            }
+        });
+        t.check_invariants();
+        assert!(t.height() >= 3, "height {}", t.height());
+        assert_eq!(t.collect().len(), 600);
+    }
+
+    #[test]
+    fn empty_leaf_stays_linked_free_at_empty() {
+        let (m, t) = setup(100, 0.5);
+        run_hosts(&m, &t, 1, |ctx, t, _| {
+            // Remove all keys of the first leaf (7 keys at fill 0.5).
+            for k in 1..=7u32 {
+                assert!(t.execute(ctx, Op::Remove(k * 8)).ok);
+            }
+            // Tree still works.
+            assert!(t.execute(ctx, Op::Read(64)).ok);
+            assert!(t.execute(ctx, Op::Insert(9, 1)).ok);
+            assert_eq!(t.execute(ctx, Op::Read(9)), OpResult::ok(1));
+        });
+        t.check_invariants();
+    }
+
+    #[test]
+    fn concurrent_disjoint_ops_match_model() {
+        let (m, t) = setup(400, 0.5);
+        run_hosts(&m, &t, 4, |ctx, t, core| {
+            for k in 1..=400u32 {
+                if k as usize % 4 != core {
+                    continue;
+                }
+                match k % 4 {
+                    0 => assert!(t.execute(ctx, Op::Remove(k * 8)).ok),
+                    1 => assert!(t.execute(ctx, Op::Update(k * 8, k + 1)).ok),
+                    2 => assert!(t.execute(ctx, Op::Insert(k * 8 + 1, k)).ok),
+                    _ => assert!(t.execute(ctx, Op::Read(k * 8)).ok),
+                }
+            }
+        });
+        t.check_invariants();
+        let mut model = BTreeMap::new();
+        for k in 1..=400u32 {
+            match k % 4 {
+                0 => {}
+                1 => {
+                    model.insert(k * 8, k + 1);
+                }
+                2 => {
+                    model.insert(k * 8, k);
+                    model.insert(k * 8 + 1, k);
+                }
+                _ => {
+                    model.insert(k * 8, k);
+                }
+            }
+        }
+        let got: BTreeMap<_, _> = t.collect().into_iter().collect();
+        assert_eq!(got, model);
+    }
+
+    #[test]
+    fn concurrent_same_key_insert_single_winner() {
+        let (m, t) = setup(50, 0.5);
+        let wins = Arc::new(std::sync::atomic::AtomicUsize::new(0));
+        let mut sim = m.simulation();
+        for core in 0..4usize {
+            let t = Arc::clone(&t);
+            let wins = Arc::clone(&wins);
+            sim.spawn(format!("h{core}"), ThreadKind::Host { core }, move |ctx| {
+                if t.execute(ctx, Op::Insert(99, core as u32)).ok {
+                    wins.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                }
+            });
+        }
+        sim.run();
+        assert_eq!(wins.load(std::sync::atomic::Ordering::Relaxed), 1);
+        t.check_invariants();
+    }
+
+    #[test]
+    fn concurrent_split_contention_on_one_leaf() {
+        // All threads hammer the same key neighborhood to force competing
+        // path locks and splits.
+        let (m, t) = setup(20, 1.0);
+        run_hosts(&m, &t, 4, |ctx, t, core| {
+            for i in 0..25u32 {
+                let key = 161 + core as u32 + 4 * i; // distinct keys, same region
+                assert!(t.execute(ctx, Op::Insert(key, core as u32)).ok);
+            }
+        });
+        t.check_invariants();
+        assert_eq!(t.collect().len(), 120);
+    }
+
+    #[test]
+    fn deterministic_replay() {
+        let world = || {
+            let (m, t) = setup(200, 0.5);
+            let mut sim = m.simulation();
+            for core in 0..3usize {
+                let t = Arc::clone(&t);
+                sim.spawn(format!("h{core}"), ThreadKind::Host { core }, move |ctx| {
+                    for i in 0..40u32 {
+                        let key = ((i * 17 + core as u32 * 29) % 250 + 1) * 8;
+                        match i % 3 {
+                            0 => drop(t.execute(ctx, Op::Insert(key + 1, i))),
+                            1 => drop(t.execute(ctx, Op::Remove(key))),
+                            _ => drop(t.execute(ctx, Op::Read(key))),
+                        }
+                    }
+                });
+            }
+            let out = sim.run();
+            (out.makespan(), t.collect())
+        };
+        assert_eq!(world(), world());
+    }
+}

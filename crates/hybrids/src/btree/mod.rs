@@ -1,0 +1,11 @@
+//! B+ tree family: the host-only seqlock baseline and the hybrid B+ tree
+//! of §3.4.
+
+pub mod build;
+pub mod host_only;
+pub mod hybrid;
+pub mod node;
+pub mod traverse;
+
+pub use host_only::HostBTree;
+pub use hybrid::HybridBTree;

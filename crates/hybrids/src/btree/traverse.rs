@@ -1,0 +1,249 @@
+//! Shared host-side OCC traversal (Listing 4, lines 4–22).
+//!
+//! The traversal records every node on the path together with the sequence
+//! number observed at access time. Before descending into a child, it waits
+//! for the child's write (odd seqnum) to complete, then re-validates the
+//! current node; if the current node changed, it moves back *up* the path
+//! to the lowest unmodified ancestor (restarting from the root if even the
+//! root changed).
+//!
+//! The traversal stops at `stop_level`. For the host-only B+ tree
+//! `stop_level == 0` (the leaf is the last path entry). For the hybrid
+//! B+ tree `stop_level` is the last host-side level and the picked child is
+//! the begin-NMP-traversal node: its pointer is read and the parent is
+//! re-validated, but no seqnum is read from it (it lives in NMP memory).
+
+use nmp_sim::{Addr, ThreadCtx};
+use workloads::Key;
+
+use super::node;
+
+/// A recorded traversal: `path[level]` = `(node, observed even seqnum)` for
+/// `stop_level <= level <= root_level`.
+pub struct Descent {
+    pub path: Vec<(Addr, u32)>,
+    pub root_level: u32,
+    pub stop_level: u32,
+    /// For hybrid traversals (`stop_level > 0`): the NMP child picked at
+    /// the stop-level node, and its slot index.
+    pub picked: Option<(u32, Addr)>,
+    /// Largest key that can live under the picked child (0 = unbounded):
+    /// the tightest dividing key above it on the path. Range scans use it
+    /// as the continuation point into the next subtree.
+    pub picked_hi: Key,
+}
+
+impl Descent {
+    pub fn at(&self, level: u32) -> (Addr, u32) {
+        self.path[(level - self.stop_level) as usize]
+    }
+
+    pub fn bottom(&self) -> (Addr, u32) {
+        self.path[0]
+    }
+}
+
+/// Wait until `node`'s seqnum is even (no writer in its critical section)
+/// and return it, giving up after `patience` runs out.
+fn wait_even(ctx: &mut ThreadCtx, node: Addr, patience: &mut u32) -> Option<u32> {
+    loop {
+        let s = node::read_seq(ctx, node);
+        if s % 2 == 0 {
+            return Some(s);
+        }
+        if *patience == 0 {
+            return None;
+        }
+        *patience -= 1;
+        ctx.idle(8);
+    }
+}
+
+/// Perform the Listing 4 traversal for `key`, stopping at `stop_level`.
+/// Blocks (in simulated time) while writers hold seqlocks on the path.
+pub fn descend(ctx: &mut ThreadCtx, root_word: Addr, key: Key, stop_level: u32) -> Descent {
+    loop {
+        if let Some(d) = try_descend(ctx, root_word, key, stop_level, u32::MAX) {
+            return d;
+        }
+    }
+}
+
+/// Bounded variant of [`descend`] for non-blocking operation pipelines:
+/// gives up (returns `None`) once `patience` lock-waits have been spent, so
+/// a host thread can go service its other in-flight lanes instead of
+/// spinning on a seqlock that one of those very lanes holds.
+pub fn try_descend(
+    ctx: &mut ThreadCtx,
+    root_word: Addr,
+    key: Key,
+    stop_level: u32,
+    mut patience: u32,
+) -> Option<Descent> {
+    'root: loop {
+        let root = ctx.read_u32(root_word) as Addr;
+        let rseq = wait_even(ctx, root, &mut patience)?;
+        let rmeta = node::read_meta(ctx, root);
+        if rmeta.level < stop_level {
+            // Stale root pointer read across a root split; retry.
+            if patience == 0 {
+                return None;
+            }
+            patience -= 1;
+            ctx.idle(8);
+            continue 'root;
+        }
+        let levels = (rmeta.level - stop_level + 1) as usize;
+        let mut path: Vec<(Addr, u32)> = vec![(0, 0); levels];
+        let mut his: Vec<Key> = vec![0; levels]; // inherited upper bounds
+        path[levels - 1] = (root, rseq);
+        let mut level = rmeta.level;
+        loop {
+            let (curr, cseq) = path[(level - stop_level) as usize];
+            let inherited_hi = his[(level - stop_level) as usize];
+            let meta = node::read_meta(ctx, curr);
+            let idx = node::find_child_idx(ctx, curr, meta.slotuse.min(node::INNER_MAX), key);
+            // Tightest bound for the chosen child: its dividing key, or the
+            // bound inherited from ancestors for the rightmost child.
+            let child_hi = if idx < meta.slotuse.min(node::INNER_MAX) {
+                node::read_key(ctx, curr, idx)
+            } else {
+                inherited_hi
+            };
+            if level == stop_level {
+                if stop_level == 0 {
+                    // curr is the leaf; nothing to pick.
+                    return Some(Descent {
+                        path,
+                        root_level: rmeta.level,
+                        stop_level,
+                        picked: None,
+                        picked_hi: inherited_hi,
+                    });
+                }
+                // Hybrid boundary: read the NMP child pointer, then
+                // re-validate the parent.
+                let child = node::read_payload(ctx, curr, idx) as Addr;
+                if node::read_seq(ctx, curr) == cseq {
+                    return Some(Descent {
+                        path,
+                        root_level: rmeta.level,
+                        stop_level,
+                        picked: Some((idx, child)),
+                        picked_hi: child_hi,
+                    });
+                }
+            } else {
+                let child = node::read_payload(ctx, curr, idx) as Addr;
+                let chseq = wait_even(ctx, child, &mut patience)?;
+                if node::read_seq(ctx, curr) == cseq {
+                    level -= 1;
+                    path[(level - stop_level) as usize] = (child, chseq);
+                    his[(level - stop_level) as usize] = child_hi;
+                    continue;
+                }
+            }
+            // Current node was modified: move back up the path to the
+            // lowest unchanged ancestor (Listing 4, lines 19-22).
+            loop {
+                level += 1;
+                if level > rmeta.level {
+                    continue 'root;
+                }
+                let (anc, aseq) = path[(level - stop_level) as usize];
+                if node::read_seq(ctx, anc) == aseq {
+                    break;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::btree::build;
+    use nmp_sim::{Config, Machine, ThreadKind};
+    use std::sync::Arc;
+
+    fn with_tree(
+        n: u32,
+        f: impl FnOnce(&mut ThreadCtx, Addr /*root_word*/, u32 /*height*/) + Send + 'static,
+    ) {
+        let m = Machine::new(Config::tiny());
+        let pairs: Vec<(u32, u32)> = (1..=n).map(|k| (k * 8, k)).collect();
+        let (root, height) = build::bulk_build(&m, m.host_arena(), &pairs, 0.5);
+        let root_word = m.host_arena().alloc(8);
+        m.ram().write_u32(root_word, root);
+        let mut sim = m.simulation();
+        sim.spawn("h0", ThreadKind::Host { core: 0 }, move |ctx| f(ctx, root_word, height));
+        sim.run();
+        let _ = Arc::clone(&m);
+    }
+
+    #[test]
+    fn descend_reaches_correct_leaf() {
+        with_tree(500, |ctx, root_word, height| {
+            assert!(height >= 3);
+            for probe in [8u32, 400, 2000, 4000] {
+                let d = descend(ctx, root_word, probe, 0);
+                let (leaf, _) = d.bottom();
+                let m = node::read_meta(ctx, leaf);
+                assert!(m.is_leaf());
+                assert!(node::leaf_find(ctx, leaf, m.slotuse, probe).is_some(), "key {probe}");
+            }
+        });
+    }
+
+    #[test]
+    fn descend_stop_level_one_returns_pick() {
+        with_tree(500, |ctx, root_word, _| {
+            let d = descend(ctx, root_word, 808, 1);
+            let (n, _) = d.bottom();
+            let m = node::read_meta(ctx, n);
+            assert_eq!(m.level, 1);
+            let (idx, child) = d.picked.unwrap();
+            assert!(idx <= m.slotuse);
+            let cm = node::read_meta(ctx, child);
+            assert!(cm.is_leaf());
+            assert!(node::leaf_find(ctx, child, cm.slotuse, 808).is_some());
+        });
+    }
+
+    #[test]
+    fn descend_waits_for_writer_to_finish() {
+        // Lock the root (odd seq), spawn a reader; reader must block until
+        // a second thread unlocks.
+        let m = Machine::new(Config::tiny());
+        let pairs: Vec<(u32, u32)> = (1..=200u32).map(|k| (k * 8, k)).collect();
+        let (root, _h) = build::bulk_build(&m, m.host_arena(), &pairs, 0.5);
+        let root_word = m.host_arena().alloc(8);
+        m.ram().write_u32(root_word, root);
+        node::raw_set_seq(m.ram(), root, 1); // writer in progress
+        let mut sim = m.simulation();
+        sim.spawn("reader", ThreadKind::Host { core: 0 }, move |ctx| {
+            let t0 = ctx.now();
+            let d = descend(ctx, root_word, 80, 0);
+            assert!(ctx.now() - t0 > 400, "reader must have waited");
+            assert_eq!(node::read_seq(ctx, d.at(d.root_level).0), 2);
+        });
+        sim.spawn("unlocker", ThreadKind::Host { core: 1 }, move |ctx| {
+            ctx.advance(500);
+            node::write_seq(ctx, root, 2);
+        });
+        sim.run();
+    }
+
+    #[test]
+    fn path_levels_consistent() {
+        with_tree(500, |ctx, root_word, height| {
+            let d = descend(ctx, root_word, 1000, 0);
+            assert_eq!(d.path.len() as u32, height);
+            for lvl in 0..height {
+                let (n, s) = d.at(lvl);
+                assert_eq!(node::read_meta(ctx, n).level, lvl);
+                assert_eq!(s % 2, 0);
+            }
+        });
+    }
+}

@@ -1,0 +1,393 @@
+//! Workload driver: runs a [`WorkloadSpec`] against a [`SimIndex`] inside
+//! the simulator and reports the paper's metrics (operation throughput,
+//! DRAM reads per operation).
+//!
+//! The driver spawns one logical host thread per workload thread plus the
+//! structure's NMP service daemons, executes a warm-up phase, resets the
+//! memory-system counters at a barrier, and measures the timed phase.
+//! With `inflight == 1` every NMP call blocks (§3.3/3.4); with
+//! `inflight > 1` each host thread keeps up to that many non-blocking NMP
+//! calls outstanding (§3.5, e.g. *hybrid-nonblocking4*).
+
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use nmp_sim::{Machine, StatsSnapshot, ThreadCtx, ThreadKind};
+use serde::Serialize;
+use workloads::{KeySpace, Op, WorkloadSpec};
+
+use crate::api::{Issued, PollOutcome, SimIndex};
+
+/// One experiment's execution parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct RunSpec {
+    /// Measured workload (threads, ops/thread, mix, distributions, seed).
+    pub workload: WorkloadSpec,
+    /// Per-thread warm-up operations executed before the measured window
+    /// (drawn from the same distribution under a derived seed).
+    pub warmup_per_thread: u32,
+    /// Maximum in-flight NMP calls per host thread (1 = blocking).
+    pub inflight: usize,
+    /// Cache lines of *application* data each host thread touches around
+    /// every index operation (0 = pure index microbenchmark). In the
+    /// paper's full-system OLTP setting, transactions read row data and
+    /// run driver code between index operations, polluting the host
+    /// caches; this knob models that traffic. The touched lines come from
+    /// a private 2 MiB per-thread region and are excluded from the
+    /// reported DRAM-reads-per-op metric.
+    pub app_footprint_lines: u32,
+}
+
+impl RunSpec {
+    pub fn new(workload: WorkloadSpec, warmup_per_thread: u32, inflight: usize) -> Self {
+        RunSpec { workload, warmup_per_thread, inflight, app_footprint_lines: 0 }
+    }
+
+    pub fn with_footprint(mut self, lines: u32) -> Self {
+        self.app_footprint_lines = lines;
+        self
+    }
+}
+
+/// Per-thread application-data region touched by the footprint model.
+const FOOTPRINT_REGION_BYTES: u32 = 2 * 1024 * 1024;
+
+/// Measured results of one run.
+#[derive(Debug, Clone, Serialize)]
+pub struct RunResult {
+    pub threads: u32,
+    pub measured_ops: u64,
+    /// Operations whose success bit was set.
+    pub succeeded_ops: u64,
+    /// Simulated cycles of the measured window (max end − min start).
+    pub cycles: u64,
+    /// Throughput in million operations per second of simulated time.
+    pub mops: f64,
+    /// DRAM read bursts per operation (the Fig. 5b/6b/9 metric).
+    pub dram_reads_per_op: f64,
+    /// ... split by who issued them.
+    pub host_dram_reads_per_op: f64,
+    pub nmp_dram_reads_per_op: f64,
+    /// MMIO transactions per operation (offload traffic).
+    pub mmio_per_op: f64,
+    /// Modeled energy per operation (nJ).
+    pub energy_nj_per_op: f64,
+    /// Full counter snapshot of the measured window.
+    pub stats: StatsSnapshot,
+}
+
+struct Shared {
+    arrived: AtomicU32,
+    released: AtomicU32,
+    starts: Vec<AtomicU64>,
+    ends: Vec<AtomicU64>,
+    succeeded: AtomicU64,
+}
+
+/// Run `spec` against `index` on `machine`. The structure must already be
+/// populated with the key space's initial keys.
+pub fn run_index<S: SimIndex>(
+    machine: &Arc<Machine>,
+    index: &Arc<S>,
+    ks: &KeySpace,
+    spec: &RunSpec,
+) -> RunResult {
+    let threads = spec.workload.threads;
+    assert!(threads as usize <= machine.config().host_cores, "more threads than host cores");
+    assert!(spec.inflight >= 1 && spec.inflight <= index.max_inflight());
+
+    let warmup_spec = WorkloadSpec {
+        seed: workloads::mix64(spec.workload.seed ^ 0x57A2_4D11),
+        ops_per_thread: spec.warmup_per_thread,
+        ..spec.workload
+    };
+    let warmup_streams = warmup_spec.generate(ks);
+    let measured_streams = spec.workload.generate(ks);
+
+    let shared = Arc::new(Shared {
+        arrived: AtomicU32::new(0),
+        released: AtomicU32::new(0),
+        starts: (0..threads).map(|_| AtomicU64::new(0)).collect(),
+        ends: (0..threads).map(|_| AtomicU64::new(0)).collect(),
+        succeeded: AtomicU64::new(0),
+    });
+
+    let mut sim = machine.simulation();
+    index.spawn_services(&mut sim);
+    for t in 0..threads as usize {
+        let index = Arc::clone(index);
+        let machine = Arc::clone(machine);
+        let shared = Arc::clone(&shared);
+        let warm = warmup_streams[t].clone();
+        let meas = measured_streams[t].clone();
+        let inflight = spec.inflight;
+        let footprint = (spec.app_footprint_lines > 0).then(|| {
+            // Cap the per-thread region so small test machines still fit.
+            let budget = machine.host_arena().remaining_bytes() / (2 * threads);
+            let region = FOOTPRINT_REGION_BYTES.min(budget / 128 * 128).max(4096);
+            Footprint {
+                base: machine.host_arena().alloc_aligned(region, 128),
+                region_bytes: region,
+                lines: spec.app_footprint_lines,
+                rng: workloads::Rng::new(spec.workload.seed ^ (t as u64) ^ 0xF007),
+            }
+        });
+        sim.spawn(format!("host-{t}"), ThreadKind::Host { core: t }, move |ctx| {
+            let mut footprint = footprint;
+            run_stream(ctx, &*index, &warm, inflight, footprint.as_mut());
+            // Barrier: wait for everyone's warm-up to finish, then the last
+            // arriver resets the counters (cache state stays warm).
+            let n = shared.arrived.fetch_add(1, Ordering::Relaxed) + 1;
+            if n == threads {
+                machine.mem().reset_stats();
+                shared.released.store(1, Ordering::Release);
+            } else {
+                while shared.released.load(Ordering::Acquire) == 0 {
+                    ctx.idle(16);
+                }
+            }
+            shared.starts[t].store(ctx.now(), Ordering::Relaxed);
+            let ok = run_stream(ctx, &*index, &meas, inflight, footprint.as_mut());
+            shared.ends[t].store(ctx.now(), Ordering::Relaxed);
+            shared.succeeded.fetch_add(ok, Ordering::Relaxed);
+        });
+    }
+    sim.run();
+
+    let start = shared.starts.iter().map(|a| a.load(Ordering::Relaxed)).min().unwrap_or(0);
+    let end = shared.ends.iter().map(|a| a.load(Ordering::Relaxed)).max().unwrap_or(0);
+    let cycles = end.saturating_sub(start).max(1);
+    let measured_ops = threads as u64 * spec.workload.ops_per_thread as u64;
+    let stats = machine.mem().snapshot();
+    let ghz = machine.config().clock_ghz;
+    // Footprint lines come from a region far larger than the caches, so
+    // virtually every touch is a DRAM read; exclude them from the index's
+    // per-op metric.
+    let fp = spec.app_footprint_lines as f64;
+    RunResult {
+        threads,
+        measured_ops,
+        succeeded_ops: shared.succeeded.load(Ordering::Relaxed),
+        cycles,
+        mops: measured_ops as f64 / cycles as f64 * ghz * 1e3,
+        dram_reads_per_op: (stats.dram_reads() as f64 / measured_ops as f64 - fp).max(0.0),
+        host_dram_reads_per_op: (stats.host_dram_reads() as f64 / measured_ops as f64 - fp)
+            .max(0.0),
+        nmp_dram_reads_per_op: stats.nmp_dram_reads() as f64 / measured_ops as f64,
+        mmio_per_op: (stats.mmio_reads + stats.mmio_writes) as f64 / measured_ops as f64,
+        energy_nj_per_op: stats.energy_nj() / measured_ops as f64,
+        stats,
+    }
+}
+
+/// Application-data pollution source (see [`RunSpec::app_footprint_lines`]).
+struct Footprint {
+    base: nmp_sim::Addr,
+    region_bytes: u32,
+    lines: u32,
+    rng: workloads::Rng,
+}
+
+impl Footprint {
+    /// Touch `lines` random cache lines of this thread's application data.
+    fn touch(&mut self, ctx: &mut ThreadCtx) {
+        let region_lines = (self.region_bytes / 128) as u64;
+        for _ in 0..self.lines {
+            let line = self.rng.below(region_lines) as u32;
+            let _ = ctx.read_u64(self.base + line * 128);
+        }
+    }
+}
+
+/// Execute a stream of operations; returns how many reported success.
+/// `inflight == 1` uses blocking calls; otherwise a lane-based pipeline of
+/// non-blocking NMP calls (Fig. 4b).
+fn run_stream<S: SimIndex>(
+    ctx: &mut ThreadCtx,
+    index: &S,
+    ops: &[Op],
+    inflight: usize,
+    mut footprint: Option<&mut Footprint>,
+) -> u64 {
+    let mut ok = 0u64;
+    if inflight <= 1 {
+        for &op in ops {
+            let r = index.execute(ctx, op);
+            ok += r.ok as u64;
+            if let Some(f) = footprint.as_deref_mut() {
+                f.touch(ctx);
+            }
+        }
+        return ok;
+    }
+    let mut lanes: Vec<Option<S::Pending>> = (0..inflight).map(|_| None).collect();
+    let mut next = 0usize;
+    let mut done = 0usize;
+    while done < ops.len() {
+        let mut progressed = false;
+        for lane in 0..inflight {
+            match lanes[lane].take() {
+                None if next < ops.len() => {
+                    let op = ops[next];
+                    next += 1;
+                    progressed = true;
+                    match index.issue(ctx, lane, op) {
+                        Issued::Done(r) => {
+                            done += 1;
+                            ok += r.ok as u64;
+                            if let Some(f) = footprint.as_deref_mut() {
+                                f.touch(ctx);
+                            }
+                        }
+                        Issued::Pending(p) => lanes[lane] = Some(p),
+                    }
+                }
+                None => {}
+                Some(mut p) => match index.poll(ctx, &mut p) {
+                    PollOutcome::Done(r) => {
+                        done += 1;
+                        ok += r.ok as u64;
+                        progressed = true;
+                        if let Some(f) = footprint.as_deref_mut() {
+                            f.touch(ctx);
+                        }
+                    }
+                    PollOutcome::Pending => lanes[lane] = Some(p),
+                },
+            }
+        }
+        if !progressed {
+            ctx.idle(16);
+        }
+    }
+    ok
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::btree::HostBTree;
+    use crate::skiplist::{HybridSkipList, NmpSkipList};
+    use nmp_sim::Config;
+    use workloads::{InsertDist, KeyDist, Mix};
+
+    fn ks() -> KeySpace {
+        KeySpace::new(512, 2, 128)
+    }
+
+    fn wl(threads: u32, ops: u32, mix: Mix) -> WorkloadSpec {
+        WorkloadSpec {
+            seed: 99,
+            threads,
+            ops_per_thread: ops,
+            mix,
+            read_dist: KeyDist::Uniform,
+            insert_dist: InsertDist::UniformGap,
+        }
+    }
+
+    #[test]
+    fn driver_measures_host_btree() {
+        let m = Machine::new(Config::tiny());
+        let ks = ks();
+        let pairs: Vec<(u32, u32)> =
+            (0..ks.total_initial()).map(|i| (ks.initial_key(i), i)).collect();
+        let t = HostBTree::new(Arc::clone(&m), &pairs, 0.5);
+        let r = run_index(
+            &m,
+            &t,
+            &ks,
+            &RunSpec { workload: wl(2, 50, Mix::ycsb_c()), warmup_per_thread: 10, inflight: 1, app_footprint_lines: 0 },
+        );
+        assert_eq!(r.measured_ops, 100);
+        assert_eq!(r.succeeded_ops, 100, "all reads hit initial keys");
+        assert!(r.cycles > 0);
+        assert!(r.mops > 0.0);
+    }
+
+    #[test]
+    fn driver_blocking_vs_nonblocking_hybrid_skiplist() {
+        let m = Machine::new(Config::tiny());
+        let ks = ks();
+        let sl = HybridSkipList::new(Arc::clone(&m), ks, 10, 4, 7, 4);
+        sl.populate((0..ks.total_initial()).map(|i| (ks.initial_key(i), i)));
+        let spec = |inflight| RunSpec {
+            workload: wl(4, 40, Mix::ycsb_c()),
+            warmup_per_thread: 10,
+            inflight, app_footprint_lines: 0 };
+        let blocking = run_index(&m, &sl, &ks, &spec(1));
+        // Fresh machine for a fair second run.
+        let m2 = Machine::new(Config::tiny());
+        let sl2 = HybridSkipList::new(Arc::clone(&m2), ks, 10, 4, 7, 4);
+        sl2.populate((0..ks.total_initial()).map(|i| (ks.initial_key(i), i)));
+        let nonblocking = run_index(&m2, &sl2, &ks, &spec(4));
+        assert!(
+            nonblocking.mops > blocking.mops,
+            "non-blocking ({:.3}) should beat blocking ({:.3})",
+            nonblocking.mops,
+            blocking.mops
+        );
+        sl.check_invariants();
+        sl2.check_invariants();
+    }
+
+    #[test]
+    fn driver_mixed_workload_counts_successes() {
+        let m = Machine::new(Config::tiny());
+        let ks = ks();
+        let sl = NmpSkipList::new(Arc::clone(&m), ks, 8, 3, 2);
+        sl.populate((0..ks.total_initial()).map(|i| (ks.initial_key(i), i)));
+        let r = run_index(
+            &m,
+            &sl,
+            &ks,
+            &RunSpec {
+                workload: wl(2, 100, Mix::read_insert_remove(50, 25, 25)),
+                warmup_per_thread: 5,
+                inflight: 1, app_footprint_lines: 0 },
+        );
+        assert_eq!(r.measured_ops, 200);
+        assert!(r.succeeded_ops > 0 && r.succeeded_ops <= 200);
+        sl.check_invariants();
+    }
+
+    #[test]
+    fn driver_deterministic() {
+        let go = || {
+            let m = Machine::new(Config::tiny());
+            let ks = ks();
+            let sl = NmpSkipList::new(Arc::clone(&m), ks, 8, 3, 1);
+            sl.populate((0..ks.total_initial()).map(|i| (ks.initial_key(i), i)));
+            let r = run_index(
+                &m,
+                &sl,
+                &ks,
+                &RunSpec {
+                    workload: wl(3, 30, Mix::read_insert_remove(70, 15, 15)),
+                    warmup_per_thread: 5,
+                    inflight: 1, app_footprint_lines: 0 },
+            );
+            (r.cycles, r.succeeded_ops, r.stats.dram_reads())
+        };
+        assert_eq!(go(), go());
+    }
+
+    #[test]
+    fn warmup_reduces_measured_dram_reads() {
+        let ks = ks();
+        let run_with = |warmup: u32| {
+            let m = Machine::new(Config::tiny());
+            let pairs: Vec<(u32, u32)> =
+                (0..ks.total_initial()).map(|i| (ks.initial_key(i), i)).collect();
+            let t = HostBTree::new(Arc::clone(&m), &pairs, 0.5);
+            run_index(
+                &m,
+                &t,
+                &ks,
+                &RunSpec { workload: wl(1, 60, Mix::ycsb_c()), warmup_per_thread: warmup, inflight: 1, app_footprint_lines: 0 },
+            )
+            .dram_reads_per_op
+        };
+        assert!(run_with(200) < run_with(0), "warm caches -> fewer measured DRAM reads");
+    }
+}

@@ -1,0 +1,464 @@
+//! Publication list and flat-combining offload protocol (§3.2).
+//!
+//! Each NMP core owns a scratchpad that is memory-mapped into the host
+//! address space. A fixed array of 64-byte slots lives there: slot
+//! `core * max_inflight + lane` belongs to host thread `core`'s lane
+//! `lane`. To offload an operation, the host writes the request words, then
+//! the control word with the valid bit set — each an MMIO write — and polls
+//! the control word until the NMP core clears the valid bit. The NMP core
+//! (the *combiner*) repeatedly scans all slots of its partition, executing
+//! every posted operation one at a time.
+//!
+//! Slot layout (8 words):
+//!
+//! ```text
+//! w0  ctrl: VALID | RETRY | RET_OK | LOCK_PATH | opcode<<8
+//! w1  key (lo) | value (hi)
+//! w2  begin-NMP-traversal ptr (lo) | host node ptr (hi)
+//! w3  aux: parent seqnum (B+ tree) or node height (skiplist)
+//! w4  result: value (lo) | new NMP node ptr (hi)
+//! w5  result: split key (lo) | new child ptr (hi)
+//! w6, w7  reserved
+//! ```
+
+use std::sync::Arc;
+
+use nmp_sim::{Addr, Machine, Simulation, ThreadCtx, ThreadKind, NULL};
+use workloads::{Key, Value};
+
+/// Slot size in bytes (one NMP-buffer block would be 2 slots; slots are
+/// scratchpad-resident so only MMIO pricing applies).
+pub const SLOT_BYTES: u32 = 64;
+
+/// Operation codes (3 bits in the paper; we use a byte).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum OpCode {
+    Read = 0,
+    Update = 1,
+    Insert = 2,
+    Remove = 3,
+    /// B+ tree: complete an insert whose host-side path is now locked.
+    ResumeInsert = 4,
+    /// B+ tree: abandon a LOCK_PATH insert (host failed to lock its path).
+    UnlockPath = 5,
+    /// Range scan within the partition (extension; YCSB-E).
+    Scan = 6,
+}
+
+impl OpCode {
+    fn from_bits(b: u64) -> OpCode {
+        match b & 0x7 {
+            0 => OpCode::Read,
+            1 => OpCode::Update,
+            2 => OpCode::Insert,
+            3 => OpCode::Remove,
+            4 => OpCode::ResumeInsert,
+            5 => OpCode::UnlockPath,
+            _ => OpCode::Scan,
+        }
+    }
+}
+
+const CTRL_VALID: u64 = 1 << 0;
+const CTRL_RETRY: u64 = 1 << 1;
+const CTRL_RET_OK: u64 = 1 << 2;
+const CTRL_LOCK_PATH: u64 = 1 << 3;
+
+/// An offloaded operation request, as written by the host thread.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Request {
+    pub op: OpCode,
+    pub key: Key,
+    pub value: Value,
+    /// Begin-NMP-traversal node (§3.2 item 3); NULL = partition sentinel.
+    pub begin: Addr,
+    /// Host-side counterpart node, if any (hybrid skiplist tall inserts).
+    pub host_ptr: Addr,
+    /// Parent sequence number (hybrid B+ tree) or node height (skiplist).
+    pub aux: u32,
+}
+
+impl Request {
+    pub fn new(op: OpCode, key: Key, value: Value) -> Self {
+        Request { op, key, value, begin: NULL, host_ptr: NULL, aux: 0 }
+    }
+}
+
+/// The NMP core's reply, as written back into the slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Response {
+    /// Begin-NMP-traversal node was stale; host must retry from scratch.
+    pub retry: bool,
+    /// Success/failure bit.
+    pub ok: bool,
+    /// B+ tree: host must lock its path and send RESUME_INSERT.
+    pub lock_path: bool,
+    /// Associated value (reads) or host pointer of the target (updates).
+    pub value: u32,
+    /// Node created in the NMP partition (inserts).
+    pub new_ptr: Addr,
+    /// B+ tree RESUME_INSERT: dividing key pushed up to the host.
+    pub split_key: u32,
+    /// B+ tree RESUME_INSERT: new child (split-off NMP node).
+    pub new_child: Addr,
+}
+
+impl Response {
+    pub fn retry() -> Self {
+        Response { retry: true, ..Default::default() }
+    }
+
+    pub fn ok_value(value: u32) -> Self {
+        Response { ok: true, value, ..Default::default() }
+    }
+
+    pub fn fail() -> Self {
+        Response::default()
+    }
+
+    pub fn lock_path() -> Self {
+        Response { lock_path: true, ..Default::default() }
+    }
+}
+
+/// The publication lists of every NMP partition for one structure.
+pub struct PubLists {
+    machine: Arc<Machine>,
+    slots_per_part: usize,
+    max_inflight: usize,
+}
+
+impl PubLists {
+    /// Provision `host_cores * max_inflight` slots in each partition's
+    /// scratchpad.
+    pub fn new(machine: Arc<Machine>, max_inflight: usize) -> Self {
+        let cores = machine.config().host_cores;
+        let slots = cores * max_inflight;
+        let need = slots as u32 * SLOT_BYTES;
+        assert!(
+            need <= machine.config().scratchpad_bytes,
+            "publication list ({need} B) exceeds scratchpad"
+        );
+        // Zero all slots (valid bits clear).
+        for p in 0..machine.partitions() {
+            for s in 0..slots {
+                let a = machine.map().spad_base(p) + s as u32 * SLOT_BYTES;
+                for w in 0..8 {
+                    machine.ram().write_u64(a + w * 8, 0);
+                }
+            }
+        }
+        PubLists { machine, slots_per_part: slots, max_inflight }
+    }
+
+    pub fn max_inflight(&self) -> usize {
+        self.max_inflight
+    }
+
+    pub fn slots_per_part(&self) -> usize {
+        self.slots_per_part
+    }
+
+    /// Slot index owned by host `core`'s lane `lane`.
+    pub fn slot_of(&self, core: usize, lane: usize) -> usize {
+        assert!(lane < self.max_inflight, "lane {lane} out of range");
+        core * self.max_inflight + lane
+    }
+
+    fn slot_addr(&self, part: usize, slot: usize) -> Addr {
+        debug_assert!(slot < self.slots_per_part);
+        self.machine.map().spad_base(part) + slot as u32 * SLOT_BYTES
+    }
+
+    // ---- host side (MMIO) ----
+
+    /// Post a request into `slot` of partition `part`: three MMIO data
+    /// writes followed by the control-word write that publishes it.
+    pub fn post(&self, ctx: &mut ThreadCtx, part: usize, slot: usize, req: &Request) {
+        debug_assert!(matches!(ctx.kind(), ThreadKind::Host { .. }));
+        let a = self.slot_addr(part, slot);
+        ctx.mmio_write_u64(a + 8, (req.key as u64) | ((req.value as u64) << 32));
+        ctx.mmio_write_u64(a + 16, (req.begin as u64) | ((req.host_ptr as u64) << 32));
+        ctx.mmio_write_u64(a + 24, req.aux as u64);
+        ctx.mmio_write_u64(a, CTRL_VALID | ((req.op as u64) << 8));
+    }
+
+    /// One poll: if the NMP core has cleared the valid bit, read the
+    /// response words and return them.
+    pub fn try_response(&self, ctx: &mut ThreadCtx, part: usize, slot: usize) -> Option<Response> {
+        let a = self.slot_addr(part, slot);
+        let ctrl = ctx.mmio_read_u64(a);
+        if ctrl & CTRL_VALID != 0 {
+            return None;
+        }
+        let mut resp = Response {
+            retry: ctrl & CTRL_RETRY != 0,
+            ok: ctrl & CTRL_RET_OK != 0,
+            lock_path: ctrl & CTRL_LOCK_PATH != 0,
+            ..Default::default()
+        };
+        if resp.retry || resp.lock_path {
+            return Some(resp);
+        }
+        let w4 = ctx.mmio_read_u64(a + 32);
+        resp.value = w4 as u32;
+        resp.new_ptr = (w4 >> 32) as Addr;
+        let w5 = ctx.mmio_read_u64(a + 40);
+        resp.split_key = w5 as u32;
+        resp.new_child = (w5 >> 32) as Addr;
+        Some(resp)
+    }
+
+    /// Blocking wait: poll until the response arrives, idling the host
+    /// thread by the configured poll interval between polls.
+    pub fn wait_response(&self, ctx: &mut ThreadCtx, part: usize, slot: usize) -> Response {
+        let interval = self.machine.config().host_poll_interval_cycles;
+        loop {
+            if let Some(r) = self.try_response(ctx, part, slot) {
+                return r;
+            }
+            ctx.idle(interval);
+        }
+    }
+
+    // ---- NMP side (scratchpad-local) ----
+
+    /// Scan one slot; if a valid request is published, read and return it.
+    pub fn scan(&self, ctx: &mut ThreadCtx, part: usize, slot: usize) -> Option<Request> {
+        debug_assert!(matches!(ctx.kind(), ThreadKind::Nmp { .. }));
+        let a = self.slot_addr(part, slot);
+        let ctrl = ctx.read_u64(a);
+        if ctrl & CTRL_VALID == 0 {
+            return None;
+        }
+        let w1 = ctx.read_u64(a + 8);
+        let w2 = ctx.read_u64(a + 16);
+        let w3 = ctx.read_u64(a + 24);
+        Some(Request {
+            op: OpCode::from_bits(ctrl >> 8),
+            key: w1 as u32,
+            value: (w1 >> 32) as u32,
+            begin: w2 as Addr,
+            host_ptr: (w2 >> 32) as Addr,
+            aux: w3 as u32,
+        })
+    }
+
+    /// Write the response words, then clear the valid bit (publishing the
+    /// completion to the polling host thread).
+    pub fn complete(&self, ctx: &mut ThreadCtx, part: usize, slot: usize, resp: &Response) {
+        let a = self.slot_addr(part, slot);
+        if !(resp.retry || resp.lock_path) {
+            ctx.write_u64(a + 32, (resp.value as u64) | ((resp.new_ptr as u64) << 32));
+            ctx.write_u64(a + 40, (resp.split_key as u64) | ((resp.new_child as u64) << 32));
+        }
+        let mut ctrl = 0u64;
+        if resp.retry {
+            ctrl |= CTRL_RETRY;
+        }
+        if resp.ok {
+            ctrl |= CTRL_RET_OK;
+        }
+        if resp.lock_path {
+            ctrl |= CTRL_LOCK_PATH;
+        }
+        ctx.write_u64(a, ctrl);
+    }
+}
+
+/// An NMP-side operation executor: applies one published request to the
+/// partition's portion of the data structure.
+pub trait NmpExec: Send + Sync + 'static {
+    /// Cross-request state the combiner keeps per slot (e.g. the locked
+    /// path of a B+ tree insert awaiting RESUME_INSERT).
+    type SlotState: Default + Send;
+
+    fn exec(
+        &self,
+        ctx: &mut ThreadCtx,
+        part: usize,
+        req: &Request,
+        state: &mut Self::SlotState,
+    ) -> Response;
+}
+
+/// Spawn one flat-combining daemon per partition: each scans its
+/// publication list, executing posted requests one at a time (§3.2).
+pub fn spawn_combiners<E: NmpExec>(sim: &mut Simulation, lists: Arc<PubLists>, exec: Arc<E>) {
+    let parts = lists.machine.partitions();
+    let idle = lists.machine.config().nmp_idle_poll_cycles;
+    for part in 0..parts {
+        let lists = Arc::clone(&lists);
+        let exec = Arc::clone(&exec);
+        sim.spawn_daemon(format!("nmp-{part}"), ThreadKind::Nmp { part }, move |ctx| {
+            let mut states: Vec<E::SlotState> = Vec::new();
+            states.resize_with(lists.slots_per_part(), Default::default);
+            loop {
+                let mut progress = false;
+                for slot in 0..lists.slots_per_part() {
+                    if let Some(req) = lists.scan(ctx, part, slot) {
+                        let resp = exec.exec(ctx, part, &req, &mut states[slot]);
+                        lists.complete(ctx, part, slot, &resp);
+                        progress = true;
+                    }
+                    ctx.step();
+                }
+                if !progress {
+                    if ctx.stop_requested() {
+                        return;
+                    }
+                    ctx.idle(idle);
+                }
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nmp_sim::Config;
+    use std::sync::atomic::{AtomicU32, Ordering};
+
+    fn machine() -> Arc<Machine> {
+        Machine::new(Config::tiny())
+    }
+
+    #[test]
+    fn slot_indexing_disjoint() {
+        let l = PubLists::new(machine(), 4);
+        let mut seen = std::collections::HashSet::new();
+        for core in 0..4 {
+            for lane in 0..4 {
+                assert!(seen.insert(l.slot_of(core, lane)));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds scratchpad")]
+    fn oversized_publist_rejected() {
+        let _ = PubLists::new(machine(), 64);
+    }
+
+    /// Echo executor: replies with ok and value = key + 1.
+    struct Echo;
+    impl NmpExec for Echo {
+        type SlotState = ();
+        fn exec(
+            &self,
+            _ctx: &mut ThreadCtx,
+            _part: usize,
+            req: &Request,
+            _s: &mut (),
+        ) -> Response {
+            Response::ok_value(req.key + 1)
+        }
+    }
+
+    #[test]
+    fn round_trip_through_combiner() {
+        let m = machine();
+        let lists = Arc::new(PubLists::new(Arc::clone(&m), 1));
+        let mut sim = m.simulation();
+        spawn_combiners(&mut sim, Arc::clone(&lists), Arc::new(Echo));
+        let results = Arc::new(AtomicU32::new(0));
+        for core in 0..2 {
+            let lists = Arc::clone(&lists);
+            let results = Arc::clone(&results);
+            sim.spawn(format!("h{core}"), ThreadKind::Host { core }, move |ctx| {
+                let slot = lists.slot_of(core, 0);
+                let part = core % 2;
+                let req = Request::new(OpCode::Read, 100 + core as u32, 0);
+                lists.post(ctx, part, slot, &req);
+                let resp = lists.wait_response(ctx, part, slot);
+                assert!(resp.ok);
+                assert_eq!(resp.value, 101 + core as u32);
+                results.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        sim.run();
+        assert_eq!(results.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn many_ops_per_slot_sequential() {
+        let m = machine();
+        let lists = Arc::new(PubLists::new(Arc::clone(&m), 1));
+        let mut sim = m.simulation();
+        spawn_combiners(&mut sim, Arc::clone(&lists), Arc::new(Echo));
+        let lists2 = Arc::clone(&lists);
+        sim.spawn("h0", ThreadKind::Host { core: 0 }, move |ctx| {
+            for i in 0..50u32 {
+                let slot = lists2.slot_of(0, 0);
+                lists2.post(ctx, 1, slot, &Request::new(OpCode::Update, i, i));
+                let resp = lists2.wait_response(ctx, 1, slot);
+                assert_eq!(resp.value, i + 1);
+            }
+        });
+        sim.run();
+    }
+
+    #[test]
+    fn retry_response_skips_result_words() {
+        struct AlwaysRetry;
+        impl NmpExec for AlwaysRetry {
+            type SlotState = ();
+            fn exec(&self, _: &mut ThreadCtx, _: usize, _: &Request, _: &mut ()) -> Response {
+                Response::retry()
+            }
+        }
+        let m = machine();
+        let lists = Arc::new(PubLists::new(Arc::clone(&m), 1));
+        let mut sim = m.simulation();
+        spawn_combiners(&mut sim, Arc::clone(&lists), Arc::new(AlwaysRetry));
+        let lists2 = Arc::clone(&lists);
+        sim.spawn("h0", ThreadKind::Host { core: 0 }, move |ctx| {
+            lists2.post(ctx, 0, 0, &Request::new(OpCode::Insert, 5, 6));
+            let resp = lists2.wait_response(ctx, 0, 0);
+            assert!(resp.retry);
+            assert!(!resp.ok);
+        });
+        sim.run();
+    }
+
+    #[test]
+    fn request_fields_roundtrip() {
+        let m = machine();
+        let lists = Arc::new(PubLists::new(Arc::clone(&m), 2));
+        struct Check;
+        impl NmpExec for Check {
+            type SlotState = ();
+            fn exec(&self, _: &mut ThreadCtx, _: usize, req: &Request, _: &mut ()) -> Response {
+                assert_eq!(req.op, OpCode::Insert);
+                assert_eq!(req.key, 0xAABB);
+                assert_eq!(req.value, 0xCCDD);
+                assert_eq!(req.begin, 0x1000);
+                assert_eq!(req.host_ptr, 0x2000);
+                assert_eq!(req.aux, 17);
+                Response { ok: true, new_ptr: 0x3000, split_key: 9, new_child: 0x4000, ..Default::default() }
+            }
+        }
+        let mut sim = m.simulation();
+        spawn_combiners(&mut sim, Arc::clone(&lists), Arc::new(Check));
+        let l2 = Arc::clone(&lists);
+        sim.spawn("h0", ThreadKind::Host { core: 0 }, move |ctx| {
+            let req = Request {
+                op: OpCode::Insert,
+                key: 0xAABB,
+                value: 0xCCDD,
+                begin: 0x1000,
+                host_ptr: 0x2000,
+                aux: 17,
+            };
+            l2.post(ctx, 1, 3, &req);
+            let resp = l2.wait_response(ctx, 1, 3);
+            assert!(resp.ok);
+            assert_eq!(resp.new_ptr, 0x3000);
+            assert_eq!(resp.split_key, 9);
+            assert_eq!(resp.new_child, 0x4000);
+        });
+        sim.run();
+    }
+}

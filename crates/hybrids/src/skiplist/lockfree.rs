@@ -1,0 +1,614 @@
+//! Lock-free skiplist (Fraser / Herlihy–Lev–Shavit), running on simulated
+//! host memory.
+//!
+//! This is both the paper's non-NMP baseline (*lock-free* in Fig. 5) and
+//! the host-managed portion of the hybrid skiplist (§3.3). Deletion marks
+//! live in the low bit of each next pointer; `find` physically snips marked
+//! nodes while traversing; `read` is a wait-free traversal that skips
+//! marked nodes without helping.
+//!
+//! Unlinked nodes are never reclaimed (no safe memory reclamation is
+//! modeled — the paper does not address reclamation either), which also
+//! guarantees that stale pointers remain readable for staleness checks.
+
+use std::sync::Arc;
+
+use nmp_sim::{Addr, Machine, ThreadCtx, NULL};
+use workloads::{Key, Value};
+
+use super::node;
+
+/// Traversal result: predecessors and successors at every level, plus the
+/// node holding the target key if present (Listing 1's `find`).
+pub struct LfFind {
+    pub preds: Vec<Addr>,
+    pub succs: Vec<Addr>,
+    pub found: Option<Addr>,
+}
+
+/// Physical node layout of a lock-free skiplist.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeLayout {
+    /// Variable-height nodes, one per 128-byte cache block, block-aligned —
+    /// the cache-conscious layout the hybrid design uses for its
+    /// host-managed portion.
+    CacheAligned,
+    /// Conventional layout: every node carries a full-height next-pointer
+    /// array and is allocated at word (8-byte) alignment, as in standard
+    /// lock-free skiplist implementations (Fraser '04 / Herlihy-Lev-Shavit)
+    /// — the *lock-free* baseline the paper benchmarks against. Nodes
+    /// straddle cache blocks and occupy more of them.
+    Packed,
+}
+
+/// A lock-free skiplist whose nodes live in the host arena.
+pub struct LockFreeSkipList {
+    machine: Arc<Machine>,
+    head: Addr,
+    levels: u32,
+    seed: u64,
+    layout: NodeLayout,
+}
+
+impl LockFreeSkipList {
+    /// Create an empty list with `levels` levels and the cache-aligned
+    /// layout. `seed` drives the deterministic per-key height distribution.
+    pub fn new(machine: Arc<Machine>, levels: u32, seed: u64) -> Self {
+        Self::with_layout(machine, levels, seed, NodeLayout::CacheAligned)
+    }
+
+    /// Create an empty list with an explicit node layout.
+    pub fn with_layout(
+        machine: Arc<Machine>,
+        levels: u32,
+        seed: u64,
+        layout: NodeLayout,
+    ) -> Self {
+        assert!(levels >= 1 && levels <= 255);
+        let head = node::alloc_node(machine.host_arena(), levels);
+        node::raw_init(machine.ram(), head, 0, 0, levels, levels, NULL);
+        LockFreeSkipList { machine, head, levels, seed, layout }
+    }
+
+    /// Bytes one node of `height` occupies under this list's layout.
+    fn alloc_bytes(&self, height: u32) -> u32 {
+        match self.layout {
+            NodeLayout::CacheAligned => node::node_bytes(height),
+            // Full-height array regardless of the node's height.
+            NodeLayout::Packed => node::HDR_BYTES + 8 * self.levels,
+        }
+    }
+
+    fn alloc(&self, height: u32) -> Addr {
+        match self.layout {
+            NodeLayout::CacheAligned => node::alloc_node(self.machine.host_arena(), height),
+            NodeLayout::Packed => self.machine.host_arena().alloc(self.alloc_bytes(height)),
+        }
+    }
+
+    fn dealloc(&self, n: Addr, height: u32) {
+        match self.layout {
+            NodeLayout::CacheAligned => node::free_node(self.machine.host_arena(), n, height),
+            NodeLayout::Packed => {
+                self.machine.host_arena().free(n, self.alloc_bytes(height), 8)
+            }
+        }
+    }
+
+    pub fn head(&self) -> Addr {
+        self.head
+    }
+
+    pub fn levels(&self) -> u32 {
+        self.levels
+    }
+
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    pub fn machine(&self) -> &Arc<Machine> {
+        &self.machine
+    }
+
+    /// Height the structure will use for `key` (deterministic).
+    pub fn height_of(&self, key: Key) -> u32 {
+        node::height_for_key(key, self.seed, self.levels)
+    }
+
+    /// Untimed bulk population from ascending `(key, value)` pairs, for the
+    /// initialization phase. Node heights use the same distribution as
+    /// timed inserts.
+    pub fn populate(&self, pairs: impl IntoIterator<Item = (Key, Value)>) {
+        let ram = self.machine.ram();
+        let arena = self.machine.host_arena();
+        let mut last = vec![self.head; self.levels as usize];
+        let mut prev_key = 0;
+        for (key, value) in pairs {
+            assert!(key > prev_key, "populate requires ascending unique keys");
+            prev_key = key;
+            let h = self.height_of(key);
+            let n = match self.layout {
+                NodeLayout::CacheAligned => node::alloc_node(arena, h),
+                NodeLayout::Packed => arena.alloc(self.alloc_bytes(h)),
+            };
+            node::raw_init(ram, n, key, value, h, h, NULL);
+            for l in 0..h {
+                node::raw_set_next(ram, last[l as usize], l, n, false);
+                last[l as usize] = n;
+            }
+        }
+    }
+
+    /// Lock-free `find`: locates `key`, snipping out marked (logically
+    /// deleted) nodes along the way.
+    pub fn find(&self, ctx: &mut ThreadCtx, key: Key) -> LfFind {
+        'retry: loop {
+            let n = self.levels as usize;
+            let mut preds = vec![self.head; n];
+            let mut succs = vec![NULL; n];
+            let mut pred = self.head;
+            for l in (0..self.levels).rev() {
+                let (mut curr, _) = node::read_next(ctx, pred, l);
+                loop {
+                    if curr == NULL {
+                        break;
+                    }
+                    let (mut succ, mut marked) = node::read_next(ctx, curr, l);
+                    while marked {
+                        // curr is logically deleted: snip it.
+                        if !node::cas_next(ctx, pred, l, (curr, false), (succ, false)) {
+                            continue 'retry;
+                        }
+                        curr = succ;
+                        if curr == NULL {
+                            break;
+                        }
+                        let (s, m) = node::read_next(ctx, curr, l);
+                        succ = s;
+                        marked = m;
+                    }
+                    if curr == NULL {
+                        break;
+                    }
+                    let hdr = node::read_header(ctx, curr);
+                    ctx.step();
+                    if hdr.key < key {
+                        pred = curr;
+                        curr = succ;
+                    } else {
+                        break;
+                    }
+                }
+                preds[l as usize] = pred;
+                succs[l as usize] = curr;
+            }
+            let found = match succs[0] {
+                NULL => None,
+                c => {
+                    let hdr = node::read_header(ctx, c);
+                    (hdr.key == key).then_some(c)
+                }
+            };
+            return LfFind { preds, succs, found };
+        }
+    }
+
+    /// Insert `key -> value`; `false` on duplicate.
+    pub fn insert(&self, ctx: &mut ThreadCtx, key: Key, value: Value) -> bool {
+        let height = self.height_of(key);
+        let n = self.alloc(height);
+        node::init_node(ctx, n, key, value, height, height, NULL);
+        if self.link_node(ctx, n, height, key) {
+            true
+        } else {
+            self.dealloc(n, height);
+            false
+        }
+    }
+
+    /// Link a pre-initialized node (its header/cross words already written)
+    /// carrying `stored` levels, under `key`. Returns `false` if the key is
+    /// already present (node is left unlinked; caller may free it).
+    ///
+    /// Used directly by the hybrid skiplist to link the host-side
+    /// counterpart of a tall node after the NMP side committed (Listing 1,
+    /// lines 26–28).
+    pub fn link_node(&self, ctx: &mut ThreadCtx, n: Addr, stored: u32, key: Key) -> bool {
+        debug_assert!(stored >= 1 && stored <= self.levels);
+        loop {
+            let f = self.find(ctx, key);
+            if f.found.is_some() {
+                return false;
+            }
+            // Node is unreachable: plain-write its next pointers.
+            for l in 0..stored {
+                node::write_next(ctx, n, l, f.succs[l as usize], false);
+            }
+            if !node::cas_next(ctx, f.preds[0], 0, (f.succs[0], false), (n, false)) {
+                continue; // bottom-level race: retry from find
+            }
+            // Linearized. Link upper levels.
+            for l in 1..stored {
+                loop {
+                    let (cur, marked) = node::read_next(ctx, n, l);
+                    if marked {
+                        return true; // concurrently removed; stop linking
+                    }
+                    let f2 = self.find(ctx, key);
+                    if f2.found != Some(n) {
+                        return true; // removed and snipped
+                    }
+                    if cur != f2.succs[l as usize]
+                        && !node::cas_next(ctx, n, l, (cur, false), (f2.succs[l as usize], false))
+                    {
+                        continue; // next pointer changed under us (mark?)
+                    }
+                    if node::cas_next(ctx, f2.preds[l as usize], l, (f2.succs[l as usize], false), (n, false))
+                    {
+                        break;
+                    }
+                }
+            }
+            return true;
+        }
+    }
+
+    /// Remove `key`; `false` if absent or lost to a concurrent remover.
+    pub fn remove(&self, ctx: &mut ThreadCtx, key: Key) -> bool {
+        let f = self.find(ctx, key);
+        let Some(n) = f.found else {
+            return false;
+        };
+        let stored = ((ctx.read_u64(n + 16) >> 32) & 0xFF) as u32;
+        // Mark top-down (upper levels best-effort, bottom level decides).
+        for l in (1..stored).rev() {
+            loop {
+                let (succ, marked) = node::read_next(ctx, n, l);
+                if marked || node::cas_next(ctx, n, l, (succ, false), (succ, true)) {
+                    break;
+                }
+            }
+        }
+        loop {
+            let (succ, marked) = node::read_next(ctx, n, 0);
+            if marked {
+                return false; // another remover linearized first
+            }
+            if node::cas_next(ctx, n, 0, (succ, false), (succ, true)) {
+                let _ = self.find(ctx, key); // physically snip
+                return true;
+            }
+        }
+    }
+
+    /// Wait-free read that also returns the bottom-level predecessor —
+    /// the node whose `nmp_ptr` becomes the begin-NMP-traversal shortcut in
+    /// the hybrid skiplist (Listing 1, line 15).
+    pub fn read_with_pred(&self, ctx: &mut ThreadCtx, key: Key) -> (Addr, Option<(Addr, Value)>) {
+        let mut pred = self.head;
+        let mut candidate = NULL;
+        for l in (0..self.levels).rev() {
+            let (mut curr, _) = node::read_next(ctx, pred, l);
+            loop {
+                if curr == NULL {
+                    break;
+                }
+                let (succ, marked) = node::read_next(ctx, curr, l);
+                if marked {
+                    curr = succ; // skip deleted node without helping
+                    continue;
+                }
+                let hdr = node::read_header(ctx, curr);
+                ctx.step();
+                if hdr.key < key {
+                    pred = curr;
+                    curr = succ;
+                } else {
+                    if l == 0 && hdr.key == key {
+                        candidate = curr;
+                    }
+                    break;
+                }
+            }
+        }
+        if candidate == NULL {
+            return (pred, None);
+        }
+        let v = node::read_value(ctx, candidate);
+        (pred, Some((candidate, v)))
+    }
+
+    /// Wait-free read: returns `(node, value)` if `key` is present and not
+    /// logically deleted.
+    pub fn read(&self, ctx: &mut ThreadCtx, key: Key) -> Option<(Addr, Value)> {
+        self.read_with_pred(ctx, key).1
+    }
+
+    /// Range scan: read up to `len` live pairs with keys `>= key`, walking
+    /// the bottom level and skipping logically deleted nodes. Not a
+    /// snapshot: concurrent modifications may or may not be observed.
+    pub fn scan(&self, ctx: &mut ThreadCtx, key: Key, len: u32) -> u32 {
+        let (pred, _) = self.read_with_pred(ctx, key);
+        let (mut cur, _) = node::read_next(ctx, pred, 0);
+        let mut count = 0;
+        while cur != NULL && count < len {
+            let (succ, marked) = node::read_next(ctx, cur, 0);
+            if !marked {
+                let hdr = node::read_header(ctx, cur);
+                ctx.step();
+                if hdr.key >= key {
+                    let _ = node::read_value(ctx, cur);
+                    count += 1;
+                }
+            }
+            cur = succ;
+        }
+        count
+    }
+
+    /// Update the value of an existing key; `false` if absent.
+    pub fn update(&self, ctx: &mut ThreadCtx, key: Key, value: Value) -> bool {
+        match self.read(ctx, key) {
+            Some((n, _)) => {
+                node::write_value(ctx, n, value);
+                true
+            }
+            None => false,
+        }
+    }
+
+    // ---- untimed inspection (tests / invariants) ----
+
+    /// All live (unmarked) `(key, value)` pairs in order.
+    pub fn collect(&self) -> Vec<(Key, Value)> {
+        let ram = self.machine.ram();
+        let mut out = Vec::new();
+        let (mut cur, _) = node::raw_next(ram, self.head, 0);
+        while cur != NULL {
+            let (succ, marked) = node::raw_next(ram, cur, 0);
+            if !marked {
+                out.push((node::raw_header(ram, cur).key, node::raw_value(ram, cur)));
+            }
+            cur = succ;
+        }
+        out
+    }
+
+    /// Check the skiplist property (every level-`l` list is a sorted
+    /// subsequence of level `l-1`, over unmarked nodes). Panics on
+    /// violation; call after quiescence.
+    pub fn check_invariants(&self) {
+        let ram = self.machine.ram();
+        let level_keys = |l: u32| -> Vec<Key> {
+            let mut keys = Vec::new();
+            let (mut cur, _) = node::raw_next(ram, self.head, l);
+            while cur != NULL {
+                let (succ, marked) = node::raw_next(ram, cur, l);
+                if !marked {
+                    keys.push(node::raw_header(ram, cur).key);
+                }
+                cur = succ;
+            }
+            keys
+        };
+        let mut below = level_keys(0);
+        assert!(below.windows(2).all(|w| w[0] < w[1]), "level 0 not sorted/unique");
+        for l in 1..self.levels {
+            let this = level_keys(l);
+            assert!(this.windows(2).all(|w| w[0] < w[1]), "level {l} not sorted/unique");
+            let below_set: std::collections::HashSet<_> = below.iter().copied().collect();
+            for k in &this {
+                assert!(below_set.contains(k), "key {k} at level {l} missing from level {}", l - 1);
+            }
+            below = this;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nmp_sim::{Config, ThreadKind};
+    use std::collections::BTreeMap;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn setup(levels: u32) -> (Arc<Machine>, Arc<LockFreeSkipList>) {
+        let m = Machine::new(Config::tiny());
+        let sl = Arc::new(LockFreeSkipList::new(Arc::clone(&m), levels, 42));
+        (m, sl)
+    }
+
+    fn run_single(sl: &Arc<LockFreeSkipList>, f: impl FnOnce(&mut ThreadCtx, &LockFreeSkipList) + Send + 'static) {
+        let mut sim = sl.machine().simulation();
+        let sl2 = Arc::clone(sl);
+        sim.spawn("h0", ThreadKind::Host { core: 0 }, move |ctx| f(ctx, &sl2));
+        sim.run();
+    }
+
+    #[test]
+    fn insert_read_remove_roundtrip() {
+        let (_m, sl) = setup(8);
+        run_single(&sl, |ctx, sl| {
+            assert!(sl.insert(ctx, 10, 100));
+            assert!(sl.insert(ctx, 20, 200));
+            assert!(!sl.insert(ctx, 10, 999), "duplicate");
+            assert_eq!(sl.read(ctx, 10).map(|p| p.1), Some(100));
+            assert_eq!(sl.read(ctx, 15), None);
+            assert!(sl.remove(ctx, 10));
+            assert!(!sl.remove(ctx, 10));
+            assert_eq!(sl.read(ctx, 10), None);
+            assert_eq!(sl.read(ctx, 20).map(|p| p.1), Some(200));
+        });
+        sl.check_invariants();
+        assert_eq!(sl.collect(), vec![(20, 200)]);
+    }
+
+    #[test]
+    fn update_changes_value() {
+        let (_m, sl) = setup(8);
+        run_single(&sl, |ctx, sl| {
+            assert!(sl.insert(ctx, 5, 1));
+            assert!(sl.update(ctx, 5, 2));
+            assert_eq!(sl.read(ctx, 5).map(|p| p.1), Some(2));
+            assert!(!sl.update(ctx, 6, 9));
+        });
+    }
+
+    #[test]
+    fn populate_matches_inserts() {
+        let (_m, sl) = setup(10);
+        sl.populate((1..=100u32).map(|k| (k * 8, k)));
+        sl.check_invariants();
+        assert_eq!(sl.collect().len(), 100);
+        run_single(&sl, |ctx, sl| {
+            assert_eq!(sl.read(ctx, 400).map(|p| p.1), Some(50));
+            assert!(sl.insert(ctx, 401, 9));
+            assert!(!sl.insert(ctx, 400, 9));
+            assert!(sl.remove(ctx, 408));
+        });
+        sl.check_invariants();
+    }
+
+    #[test]
+    fn concurrent_disjoint_inserts_all_present() {
+        let (m, sl) = setup(10);
+        let mut sim = m.simulation();
+        for core in 0..4usize {
+            let sl = Arc::clone(&sl);
+            sim.spawn(format!("h{core}"), ThreadKind::Host { core }, move |ctx| {
+                for i in 0..50u32 {
+                    let key = (i * 4 + core as u32 + 1) * 8;
+                    assert!(sl.insert(ctx, key, key));
+                }
+            });
+        }
+        sim.run();
+        sl.check_invariants();
+        assert_eq!(sl.collect().len(), 200);
+    }
+
+    #[test]
+    fn concurrent_same_key_insert_exactly_one_wins() {
+        let (m, sl) = setup(8);
+        let wins = Arc::new(AtomicUsize::new(0));
+        let mut sim = m.simulation();
+        for core in 0..4usize {
+            let sl = Arc::clone(&sl);
+            let wins = Arc::clone(&wins);
+            sim.spawn(format!("h{core}"), ThreadKind::Host { core }, move |ctx| {
+                if sl.insert(ctx, 64, core as u32) {
+                    wins.fetch_add(1, Ordering::Relaxed);
+                }
+            });
+        }
+        sim.run();
+        assert_eq!(wins.load(Ordering::Relaxed), 1);
+        assert_eq!(sl.collect().len(), 1);
+    }
+
+    #[test]
+    fn concurrent_remove_exactly_one_wins() {
+        let (m, sl) = setup(8);
+        sl.populate([(64, 1)]);
+        let wins = Arc::new(AtomicUsize::new(0));
+        let mut sim = m.simulation();
+        for core in 0..4usize {
+            let sl = Arc::clone(&sl);
+            let wins = Arc::clone(&wins);
+            sim.spawn(format!("h{core}"), ThreadKind::Host { core }, move |ctx| {
+                if sl.remove(ctx, 64) {
+                    wins.fetch_add(1, Ordering::Relaxed);
+                }
+            });
+        }
+        sim.run();
+        assert_eq!(wins.load(Ordering::Relaxed), 1);
+        assert!(sl.collect().is_empty());
+        sl.check_invariants();
+    }
+
+    #[test]
+    fn concurrent_mixed_ops_match_sequential_model_on_disjoint_keys() {
+        let (m, sl) = setup(10);
+        sl.populate((1..=128u32).map(|k| (k * 8, 0)));
+        let mut sim = m.simulation();
+        for core in 0..4usize {
+            let sl = Arc::clone(&sl);
+            sim.spawn(format!("h{core}"), ThreadKind::Host { core }, move |ctx| {
+                // Each thread owns keys  k*8 with k % 4 == core.
+                for k in 1..=128u32 {
+                    if k as usize % 4 != core {
+                        continue;
+                    }
+                    let key = k * 8;
+                    if k % 3 == 0 {
+                        assert!(sl.remove(ctx, key));
+                    } else {
+                        assert!(sl.update(ctx, key, k));
+                    }
+                }
+            });
+        }
+        sim.run();
+        sl.check_invariants();
+        let mut model = BTreeMap::new();
+        for k in 1..=128u32 {
+            if k % 3 != 0 {
+                model.insert(k * 8, k);
+            }
+        }
+        let got: BTreeMap<_, _> = sl.collect().into_iter().collect();
+        assert_eq!(got, model);
+    }
+
+    #[test]
+    fn read_skips_marked_nodes() {
+        let (_m, sl) = setup(8);
+        sl.populate([(8, 1), (16, 2), (24, 3)]);
+        // Manually mark node 16 as deleted (simulate a half-done remove).
+        run_single(&sl, |ctx, sl| {
+            let f = sl.find(ctx, 16);
+            let n = f.found.unwrap();
+            let (succ, _) = node::read_next(ctx, n, 0);
+            assert!(node::cas_next(ctx, n, 0, (succ, false), (succ, true)));
+            assert_eq!(sl.read(ctx, 16), None, "marked node invisible to reads");
+            assert_eq!(sl.read(ctx, 24).map(|p| p.1), Some(3));
+            // find() snips it.
+            let f2 = sl.find(ctx, 16);
+            assert!(f2.found.is_none());
+        });
+        sl.check_invariants();
+    }
+
+    #[test]
+    fn deterministic_concurrent_execution() {
+        let final_state = || {
+            let (m, sl) = setup(8);
+            sl.populate((1..=64u32).map(|k| (k * 8, 0)));
+            let mut sim = m.simulation();
+            for core in 0..4usize {
+                let sl = Arc::clone(&sl);
+                sim.spawn(format!("h{core}"), ThreadKind::Host { core }, move |ctx| {
+                    for i in 0..40u32 {
+                        let key = ((i * 13 + core as u32 * 7) % 80 + 1) * 8;
+                        match i % 3 {
+                            0 => {
+                                sl.insert(ctx, key, i);
+                            }
+                            1 => {
+                                sl.remove(ctx, key);
+                            }
+                            _ => {
+                                sl.read(ctx, key);
+                            }
+                        }
+                    }
+                });
+            }
+            let out = sim.run();
+            (out.makespan(), sl.collect())
+        };
+        assert_eq!(final_state(), final_state());
+    }
+}

@@ -1,0 +1,12 @@
+//! Skiplist family: lock-free baseline, NMP-based flat-combining baseline,
+//! and the hybrid skiplist of §3.3.
+
+pub mod hybrid;
+pub mod lockfree;
+pub mod nmp_based;
+pub mod node;
+pub mod seq;
+
+pub use hybrid::HybridSkipList;
+pub use lockfree::LockFreeSkipList;
+pub use nmp_based::NmpSkipList;

@@ -1,0 +1,458 @@
+//! NMP-based flat-combining skiplist — the prior-work baseline
+//! (Liu et al. SPAA '17 [44], Choe et al. SPAA '19 [16]).
+//!
+//! The entire skiplist lives in NMP memory, range-partitioned across the
+//! NMP vaults. Host threads do **no** traversal at all: they post each
+//! operation to the target partition's publication list and the partition's
+//! NMP core (the combiner) executes it against its partition-local,
+//! single-threaded skiplist. All traversals start at the partition
+//! sentinel — the begin-NMP-traversal shortcut of the hybrid design does
+//! not exist here.
+
+use std::sync::Arc;
+
+use nmp_sim::{Addr, Machine, Simulation, ThreadCtx, NULL};
+use workloads::{Key, KeySpace, Op, Value};
+
+use crate::api::{host_core, Issued, OpResult, PollOutcome, SimIndex};
+use crate::publist::{spawn_combiners, NmpExec, OpCode, PubLists, Request, Response};
+
+use super::{node, seq};
+
+/// Shared NMP-side executor for skiplist portions (used by both the
+/// NMP-based baseline and the NMP-managed portion of the hybrid skiplist).
+pub struct SkiplistExec {
+    machine: Arc<Machine>,
+    heads: Vec<Addr>,
+    levels: u32,
+}
+
+impl SkiplistExec {
+    pub fn new(machine: Arc<Machine>, heads: Vec<Addr>, levels: u32) -> Self {
+        SkiplistExec { machine, heads, levels }
+    }
+}
+
+impl NmpExec for SkiplistExec {
+    type SlotState = ();
+
+    fn exec(&self, ctx: &mut ThreadCtx, part: usize, req: &Request, _s: &mut ()) -> Response {
+        // Resolve the traversal start: the begin-NMP-traversal node if the
+        // host supplied one (and it is still alive), else the sentinel.
+        let start = if req.begin != NULL {
+            let hdr = node::read_header(ctx, req.begin);
+            if hdr.deleted {
+                // Stale shortcut: removed by an operation processed earlier
+                // in this combiner (Listing 2, lines 7-10).
+                return Response::retry();
+            }
+            req.begin
+        } else {
+            self.heads[part]
+        };
+        match req.op {
+            OpCode::Read => match seq::read(ctx, start, self.levels, req.key) {
+                Some(v) => Response::ok_value(v),
+                None => Response::fail(),
+            },
+            OpCode::Update => {
+                match seq::update(ctx, start, self.levels, req.key, req.value) {
+                    // Return the host-side counterpart so the host can
+                    // propagate the new value (§3.3).
+                    Some(host_ptr) => Response { ok: true, value: host_ptr, ..Default::default() },
+                    None => Response::fail(),
+                }
+            }
+            OpCode::Insert => {
+                let arena = self.machine.part_arena(part);
+                match seq::insert(
+                    ctx,
+                    arena,
+                    start,
+                    self.levels,
+                    req.key,
+                    req.value,
+                    req.aux, // full height
+                    req.host_ptr,
+                ) {
+                    Some(n) => Response { ok: true, new_ptr: n, ..Default::default() },
+                    None => Response::fail(), // duplicate
+                }
+            }
+            OpCode::Remove => {
+                if seq::remove(ctx, start, self.levels, req.key) {
+                    Response { ok: true, ..Default::default() }
+                } else {
+                    Response::fail()
+                }
+            }
+            OpCode::Scan => {
+                // req.aux = remaining length; the level-0 chain is
+                // partition-local, so the walk stops at the boundary.
+                let count = seq::scan(ctx, start, self.levels, req.key, req.aux);
+                Response { ok: true, value: count, ..Default::default() }
+            }
+            op => panic!("skiplist executor received B+ tree opcode {op:?}"),
+        }
+    }
+}
+
+/// Publication-list location of an in-flight non-blocking call.
+pub struct NmpPending {
+    part: usize,
+    slot: usize,
+}
+
+/// The NMP-based skiplist baseline.
+pub struct NmpSkipList {
+    machine: Arc<Machine>,
+    lists: Arc<PubLists>,
+    exec: Arc<SkiplistExec>,
+    heads: Vec<Addr>,
+    levels: u32,
+    ks: KeySpace,
+    seed: u64,
+}
+
+impl NmpSkipList {
+    /// `levels` is the per-partition level count (≈ log2(N / partitions)).
+    pub fn new(
+        machine: Arc<Machine>,
+        ks: KeySpace,
+        levels: u32,
+        seed: u64,
+        max_inflight: usize,
+    ) -> Arc<Self> {
+        assert_eq!(machine.partitions() as u32, ks.parts, "partition counts must agree");
+        let heads: Vec<Addr> = (0..machine.partitions())
+            .map(|p| seq::make_sentinel(machine.part_arena(p), machine.ram(), levels))
+            .collect();
+        let lists = Arc::new(PubLists::new(Arc::clone(&machine), max_inflight));
+        let exec = Arc::new(SkiplistExec::new(Arc::clone(&machine), heads.clone(), levels));
+        Arc::new(NmpSkipList { machine, lists, exec, heads, levels, ks, seed })
+    }
+
+    pub fn levels(&self) -> u32 {
+        self.levels
+    }
+
+    /// Untimed bulk population from ascending `(key, value)` pairs.
+    pub fn populate(&self, pairs: impl IntoIterator<Item = (Key, Value)>) {
+        let ram = self.machine.ram();
+        let mut last: Vec<Vec<Addr>> =
+            self.heads.iter().map(|&h| vec![h; self.levels as usize]).collect();
+        for (key, value) in pairs {
+            let part = self.ks.partition_of(key) as usize;
+            let h = node::height_for_key(key, self.seed, self.levels);
+            let n = node::alloc_node(self.machine.part_arena(part), h);
+            node::raw_init(ram, n, key, value, h, h, NULL);
+            for l in 0..h {
+                node::raw_set_next(ram, last[part][l as usize], l, n, false);
+                last[part][l as usize] = n;
+            }
+        }
+    }
+
+    fn request_for(&self, op: Op) -> (usize, Request) {
+        let part = self.ks.partition_of(op.key()) as usize;
+        let req = match op {
+            Op::Read(k) => Request::new(OpCode::Read, k, 0),
+            Op::Update(k, v) => Request::new(OpCode::Update, k, v),
+            Op::Remove(k) => Request::new(OpCode::Remove, k, 0),
+            Op::Insert(k, v) => {
+                let mut r = Request::new(OpCode::Insert, k, v);
+                r.aux = node::height_for_key(k, self.seed, self.levels);
+                r
+            }
+            Op::Scan(..) => unreachable!("scans are driven by scan_op"),
+        };
+        (part, req)
+    }
+
+    /// Multi-partition range scan: offload partition-local scans left to
+    /// right until `len` pairs were read or the key space is exhausted.
+    fn scan_op(&self, ctx: &mut ThreadCtx, slot: usize, key: Key, len: u16) -> OpResult {
+        let mut remaining = len as u32;
+        let mut count = 0u32;
+        let mut part = self.ks.partition_of(key) as usize;
+        let mut from = key;
+        while remaining > 0 {
+            let mut req = Request::new(OpCode::Scan, from, 0);
+            req.aux = remaining;
+            self.lists.post(ctx, part, slot, &req);
+            let resp = self.lists.wait_response(ctx, part, slot);
+            count += resp.value;
+            remaining = remaining.saturating_sub(resp.value);
+            part += 1;
+            if part >= self.ks.parts as usize {
+                break;
+            }
+            from = self.ks.part_base(part as u32);
+        }
+        OpResult { ok: count > 0, value: count }
+    }
+
+    fn to_result(op: Op, resp: &Response) -> OpResult {
+        match op {
+            Op::Read(_) => OpResult { ok: resp.ok, value: resp.value },
+            _ => OpResult { ok: resp.ok, value: 0 },
+        }
+    }
+
+    /// Live `(key, value)` pairs across all partitions, in key order.
+    pub fn collect(&self) -> Vec<(Key, Value)> {
+        let ram = self.machine.ram();
+        let mut out = Vec::new();
+        for &head in &self.heads {
+            let (mut cur, _) = node::raw_next(ram, head, 0);
+            while cur != NULL {
+                let hdr = node::raw_header(ram, cur);
+                if !hdr.deleted {
+                    out.push((hdr.key, node::raw_value(ram, cur)));
+                }
+                let (nxt, _) = node::raw_next(ram, cur, 0);
+                cur = nxt;
+            }
+        }
+        out
+    }
+
+    /// Per-partition skiplist property check (call at quiescence).
+    pub fn check_invariants(&self) {
+        let ram = self.machine.ram();
+        for (p, &head) in self.heads.iter().enumerate() {
+            let level_keys = |l: u32| {
+                let mut keys = Vec::new();
+                let (mut cur, _) = node::raw_next(ram, head, l);
+                while cur != NULL {
+                    keys.push(node::raw_header(ram, cur).key);
+                    let (nxt, _) = node::raw_next(ram, cur, l);
+                    cur = nxt;
+                }
+                keys
+            };
+            let mut below = level_keys(0);
+            assert!(below.windows(2).all(|w| w[0] < w[1]), "partition {p} level 0 unsorted");
+            for k in &below {
+                assert_eq!(self.ks.partition_of(*k) as usize, p, "key {k} in wrong partition");
+            }
+            for l in 1..self.levels {
+                let this = level_keys(l);
+                let set: std::collections::HashSet<_> = below.iter().copied().collect();
+                for k in &this {
+                    assert!(set.contains(k), "partition {p}: level {l} key {k} not below");
+                }
+                below = this;
+            }
+        }
+    }
+}
+
+impl SimIndex for NmpSkipList {
+    type Pending = (Op, NmpPending);
+
+    fn execute(&self, ctx: &mut ThreadCtx, op: Op) -> OpResult {
+        let core = host_core(ctx);
+        let slot = self.lists.slot_of(core, 0);
+        if let Op::Scan(k, len) = op {
+            return self.scan_op(ctx, slot, k, len);
+        }
+        loop {
+            let (part, req) = self.request_for(op);
+            self.lists.post(ctx, part, slot, &req);
+            let resp = self.lists.wait_response(ctx, part, slot);
+            if resp.retry {
+                continue;
+            }
+            return Self::to_result(op, &resp);
+        }
+    }
+
+    fn issue(&self, ctx: &mut ThreadCtx, lane: usize, op: Op) -> Issued<Self::Pending> {
+        let core = host_core(ctx);
+        let slot = self.lists.slot_of(core, lane);
+        if let Op::Scan(k, len) = op {
+            // Scans are long, multi-offload operations; run them to
+            // completion rather than pipelining.
+            return Issued::Done(self.scan_op(ctx, slot, k, len));
+        }
+        let (part, req) = self.request_for(op);
+        self.lists.post(ctx, part, slot, &req);
+        Issued::Pending((op, NmpPending { part, slot }))
+    }
+
+    fn poll(&self, ctx: &mut ThreadCtx, pending: &mut Self::Pending) -> PollOutcome {
+        let (op, p) = (pending.0, &pending.1);
+        match self.lists.try_response(ctx, p.part, p.slot) {
+            None => PollOutcome::Pending,
+            Some(resp) if resp.retry => {
+                let (part, req) = self.request_for(op);
+                debug_assert_eq!(part, p.part);
+                self.lists.post(ctx, part, p.slot, &req);
+                PollOutcome::Pending
+            }
+            Some(resp) => PollOutcome::Done(Self::to_result(op, &resp)),
+        }
+    }
+
+    fn spawn_services(self: &Arc<Self>, sim: &mut Simulation) {
+        spawn_combiners(sim, Arc::clone(&self.lists), Arc::clone(&self.exec));
+    }
+
+    fn max_inflight(&self) -> usize {
+        self.lists.max_inflight()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nmp_sim::{Config, ThreadKind};
+    use std::collections::BTreeMap;
+
+    fn setup() -> (Arc<Machine>, Arc<NmpSkipList>, KeySpace) {
+        let m = Machine::new(Config::tiny());
+        let ks = KeySpace::new(256, 2, 64);
+        let sl = NmpSkipList::new(Arc::clone(&m), ks, 7, 42, 2);
+        (m, sl, ks)
+    }
+
+    fn run_hosts(
+        m: &Arc<Machine>,
+        sl: &Arc<NmpSkipList>,
+        threads: usize,
+        f: impl Fn(&mut ThreadCtx, &NmpSkipList, usize) + Send + Sync + 'static,
+    ) {
+        let mut sim = m.simulation();
+        sl.spawn_services(&mut sim);
+        let f = Arc::new(f);
+        for core in 0..threads {
+            let sl = Arc::clone(sl);
+            let f = Arc::clone(&f);
+            sim.spawn(format!("h{core}"), ThreadKind::Host { core }, move |ctx| {
+                f(ctx, &sl, core)
+            });
+        }
+        sim.run();
+    }
+
+    #[test]
+    fn blocking_ops_roundtrip() {
+        let (m, sl, ks) = setup();
+        sl.populate((0..ks.total_initial()).map(|i| (ks.initial_key(i), i)));
+        run_hosts(&m, &sl, 1, |ctx, sl, _| {
+            let k0 = 8; // first initial key
+            assert_eq!(sl.execute(ctx, Op::Read(k0)), OpResult::ok(0));
+            assert!(sl.execute(ctx, Op::Insert(k0 + 1, 7)).ok);
+            assert!(!sl.execute(ctx, Op::Insert(k0 + 1, 8)).ok, "duplicate");
+            assert_eq!(sl.execute(ctx, Op::Read(k0 + 1)), OpResult::ok(7));
+            assert!(sl.execute(ctx, Op::Update(k0 + 1, 9)).ok);
+            assert_eq!(sl.execute(ctx, Op::Read(k0 + 1)), OpResult::ok(9));
+            assert!(sl.execute(ctx, Op::Remove(k0 + 1)).ok);
+            assert!(!sl.execute(ctx, Op::Read(k0 + 1)).ok);
+        });
+        sl.check_invariants();
+    }
+
+    #[test]
+    fn keys_route_to_correct_partition() {
+        let (m, sl, ks) = setup();
+        let hi_key = ks.initial_key(ks.total_initial() - 1); // partition 1
+        let lo_key = ks.initial_key(0); // partition 0
+        run_hosts(&m, &sl, 1, move |ctx, sl, _| {
+            assert!(sl.execute(ctx, Op::Insert(lo_key, 1)).ok);
+            assert!(sl.execute(ctx, Op::Insert(hi_key, 2)).ok);
+        });
+        let ram = m.ram();
+        for (p, key) in [(0usize, lo_key), (1, hi_key)] {
+            let (n, _) = node::raw_next(ram, sl.heads[p], 0);
+            assert_ne!(n, NULL);
+            assert_eq!(node::raw_header(ram, n).key, key);
+        }
+    }
+
+    #[test]
+    fn concurrent_disjoint_threads_match_model() {
+        let (m, sl, ks) = setup();
+        sl.populate((0..ks.total_initial()).map(|i| (ks.initial_key(i), 0)));
+        run_hosts(&m, &sl, 4, move |ctx, sl, core| {
+            for i in 0..ks.total_initial() {
+                if i as usize % 4 != core {
+                    continue;
+                }
+                let key = ks.initial_key(i);
+                if i % 3 == 0 {
+                    assert!(sl.execute(ctx, Op::Remove(key)).ok);
+                } else {
+                    assert!(sl.execute(ctx, Op::Update(key, i)).ok);
+                }
+            }
+        });
+        sl.check_invariants();
+        let mut model = BTreeMap::new();
+        for i in 0..ks.total_initial() {
+            if i % 3 != 0 {
+                model.insert(ks.initial_key(i), i);
+            }
+        }
+        let got: BTreeMap<_, _> = sl.collect().into_iter().collect();
+        assert_eq!(got, model);
+    }
+
+    #[test]
+    fn nonblocking_pipeline_completes() {
+        let (m, sl, ks) = setup();
+        run_hosts(&m, &sl, 2, move |ctx, sl, core| {
+            let keys: Vec<Key> =
+                (0..20u32).map(|i| ks.initial_key(i * 2 + core as u32)).collect();
+            let mut pending = Vec::new();
+            for chunk in keys.chunks(2) {
+                for (lane, &k) in chunk.iter().enumerate() {
+                    match sl.issue(ctx, lane, Op::Insert(k, k)) {
+                        Issued::Pending(p) => pending.push(p),
+                        Issued::Done(_) => {}
+                    }
+                }
+                for mut p in pending.drain(..) {
+                    loop {
+                        match sl.poll(ctx, &mut p) {
+                            PollOutcome::Done(r) => {
+                                assert!(r.ok);
+                                break;
+                            }
+                            PollOutcome::Pending => ctx.idle(40),
+                        }
+                    }
+                }
+            }
+        });
+        sl.check_invariants();
+        assert_eq!(sl.collect().len(), 40);
+    }
+
+    #[test]
+    fn deterministic_replay() {
+        let world = || {
+            let (m, sl, ks) = setup();
+            sl.populate((0..ks.total_initial()).map(|i| (ks.initial_key(i), 0)));
+            let mut sim = m.simulation();
+            sl.spawn_services(&mut sim);
+            for core in 0..3usize {
+                let sl = Arc::clone(&sl);
+                sim.spawn(format!("h{core}"), ThreadKind::Host { core }, move |ctx| {
+                    for i in 0..30u32 {
+                        let key = ks.initial_key((i * 7 + core as u32 * 13) % ks.total_initial());
+                        match i % 3 {
+                            0 => drop(sl.execute(ctx, Op::Remove(key))),
+                            1 => drop(sl.execute(ctx, Op::Insert(key, i))),
+                            _ => drop(sl.execute(ctx, Op::Read(key))),
+                        }
+                    }
+                });
+            }
+            let out = sim.run();
+            (out.makespan(), sl.collect())
+        };
+        assert_eq!(world(), world());
+    }
+}

@@ -1,0 +1,217 @@
+//! Set-associative, write-back, write-allocate LRU cache model.
+//!
+//! A [`Cache`] tracks tags only (data lives in the simulated RAM); the
+//! hierarchy logic in [`crate::mem`] composes per-core L1 caches with a
+//! shared L2 and routes misses to the DRAM vaults.
+
+use crate::config::CacheConfig;
+use crate::stats::CacheStats;
+
+#[derive(Debug, Clone, Copy)]
+struct Line {
+    tag: u32,
+    dirty: bool,
+}
+
+/// Result of a cache access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Access {
+    Hit,
+    /// Line was not present; it has been allocated. If allocation evicted a
+    /// dirty line, `writeback` holds that line's block base address.
+    Miss { writeback: Option<u32> },
+}
+
+/// One cache (an L1 instance or the shared L2).
+#[derive(Debug)]
+pub struct Cache {
+    /// Lines per set, most-recently-used first.
+    sets: Vec<Vec<Line>>,
+    ways: usize,
+    block_bits: u32,
+    set_bits: u32,
+    pub latency: u64,
+    pub stats: CacheStats,
+}
+
+impl Cache {
+    pub fn new(cfg: &CacheConfig) -> Self {
+        let sets = cfg.sets();
+        Cache {
+            sets: (0..sets).map(|_| Vec::with_capacity(cfg.ways as usize)).collect(),
+            ways: cfg.ways as usize,
+            block_bits: cfg.block_bytes.trailing_zeros(),
+            set_bits: sets.trailing_zeros(),
+            latency: cfg.latency_cycles,
+            stats: CacheStats::default(),
+        }
+    }
+
+    #[inline]
+    fn split(&self, addr: u32) -> (usize, u32) {
+        let block = addr >> self.block_bits;
+        let set = (block & ((1 << self.set_bits) - 1)) as usize;
+        let tag = block >> self.set_bits;
+        (set, tag)
+    }
+
+    /// Base address of the block containing `addr`.
+    #[inline]
+    pub fn block_base(&self, addr: u32) -> u32 {
+        addr & !((1u32 << self.block_bits) - 1)
+    }
+
+    /// Access `addr`; on a miss the line is allocated (write-allocate).
+    /// Writes mark the line dirty (write-back).
+    pub fn access(&mut self, addr: u32, is_write: bool) -> Access {
+        let (set, tag) = self.split(addr);
+        let set_bits = self.set_bits;
+        let block_bits = self.block_bits;
+        let line_addr = |tag: u32| ((tag << set_bits) | set as u32) << block_bits;
+        let lines = &mut self.sets[set];
+        if let Some(pos) = lines.iter().position(|l| l.tag == tag) {
+            let mut line = lines.remove(pos);
+            line.dirty |= is_write;
+            lines.insert(0, line);
+            self.stats.hits += 1;
+            return Access::Hit;
+        }
+        self.stats.misses += 1;
+        let mut writeback = None;
+        if lines.len() == self.ways {
+            let victim = lines.pop().expect("full set has a victim");
+            if victim.dirty {
+                self.stats.writebacks += 1;
+                writeback = Some(line_addr(victim.tag));
+            }
+        }
+        lines.insert(0, Line { tag, dirty: is_write });
+        Access::Miss { writeback }
+    }
+
+    /// True if the block containing `addr` is present (no LRU update, no
+    /// counter update).
+    pub fn probe(&self, addr: u32) -> bool {
+        let (set, tag) = self.split(addr);
+        self.sets[set].iter().any(|l| l.tag == tag)
+    }
+
+    /// Remove the block containing `addr` if present; returns whether the
+    /// removed line was dirty. Used for coherence invalidations.
+    pub fn invalidate(&mut self, addr: u32) -> Option<bool> {
+        let (set, tag) = self.split(addr);
+        let lines = &mut self.sets[set];
+        let pos = lines.iter().position(|l| l.tag == tag)?;
+        let line = lines.remove(pos);
+        self.stats.invalidations += 1;
+        Some(line.dirty)
+    }
+
+    /// Number of resident lines (for tests / occupancy reporting).
+    pub fn occupancy(&self) -> usize {
+        self.sets.iter().map(|s| s.len()).sum()
+    }
+
+    /// Total line capacity.
+    pub fn capacity(&self) -> usize {
+        self.sets.len() * self.ways
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Cache {
+        // 2 ways x 4 sets x 64B blocks = 512B
+        Cache::new(&CacheConfig { size_bytes: 512, ways: 2, block_bytes: 64, latency_cycles: 2 })
+    }
+
+    #[test]
+    fn miss_then_hit() {
+        let mut c = small();
+        assert_eq!(c.access(0x100, false), Access::Miss { writeback: None });
+        assert_eq!(c.access(0x100, false), Access::Hit);
+        assert_eq!(c.access(0x13f, false), Access::Hit, "same block");
+        assert_eq!(c.stats.hits, 2);
+        assert_eq!(c.stats.misses, 1);
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let mut c = small();
+        // set index = (addr>>6) & 3. Addresses 0x000, 0x100, 0x200 all map to set 0.
+        c.access(0x000, false);
+        c.access(0x100, false);
+        c.access(0x000, false); // refresh 0x000
+        c.access(0x200, false); // evicts 0x100
+        assert!(c.probe(0x000));
+        assert!(!c.probe(0x100));
+        assert!(c.probe(0x200));
+    }
+
+    #[test]
+    fn dirty_eviction_reports_writeback() {
+        let mut c = small();
+        c.access(0x000, true);
+        c.access(0x100, false);
+        let r = c.access(0x200, false); // evicts dirty 0x000
+        assert_eq!(r, Access::Miss { writeback: Some(0x000) });
+        assert_eq!(c.stats.writebacks, 1);
+    }
+
+    #[test]
+    fn clean_eviction_no_writeback() {
+        let mut c = small();
+        c.access(0x000, false);
+        c.access(0x100, false);
+        assert_eq!(c.access(0x200, false), Access::Miss { writeback: None });
+    }
+
+    #[test]
+    fn write_hit_marks_dirty() {
+        let mut c = small();
+        c.access(0x000, false);
+        c.access(0x000, true); // dirty now
+        c.access(0x100, false);
+        let r = c.access(0x200, false);
+        assert_eq!(r, Access::Miss { writeback: Some(0x000) });
+    }
+
+    #[test]
+    fn invalidate_removes_and_reports_dirtiness() {
+        let mut c = small();
+        c.access(0x000, true);
+        assert_eq!(c.invalidate(0x000), Some(true));
+        assert_eq!(c.invalidate(0x000), None);
+        assert!(!c.probe(0x000));
+        assert_eq!(c.stats.invalidations, 1);
+    }
+
+    #[test]
+    fn block_base_masks_offset() {
+        let c = small();
+        assert_eq!(c.block_base(0x13f), 0x100);
+        assert_eq!(c.block_base(0x140), 0x140);
+    }
+
+    #[test]
+    fn writeback_address_reconstruction() {
+        let mut c = small();
+        // Address with non-zero set bits: set = (0x1c0>>6)&3 = 3.
+        c.access(0x1c0, true);
+        c.access(0x3c0, false);
+        let r = c.access(0x5c0, false);
+        assert_eq!(r, Access::Miss { writeback: Some(0x1c0) });
+    }
+
+    #[test]
+    fn occupancy_tracks_capacity() {
+        let mut c = small();
+        assert_eq!(c.capacity(), 8);
+        for i in 0..16 {
+            c.access(i * 64, false);
+        }
+        assert_eq!(c.occupancy(), 8, "never exceeds capacity");
+    }
+}

@@ -1,0 +1,673 @@
+//! Deterministic discrete-event engine with logical threads.
+//!
+//! Each logical thread (a host hardware thread or an NMP core) runs real
+//! Rust code on its own OS thread, but **exactly one logical thread executes
+//! at a time**: the engine always resumes the runnable thread with the
+//! smallest `(local clock, spawn id)`. Every timed memory operation is a
+//! yield point, so threads interleave at memory-access granularity — the
+//! granularity at which concurrent data-structure races actually occur —
+//! and, because all latencies are deterministic functions of simulator
+//! state, an entire simulation is bit-for-bit reproducible.
+//!
+//! Memory operations take effect at their *completion* time: the issuing
+//! thread charges the latency, sleeps, and applies the data-plane effect
+//! when it is next scheduled (at which point it is again the minimum-clock
+//! thread, so effects are applied in global simulated-time order — a
+//! sequentially-consistent execution).
+
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::{self, Thread};
+
+use parking_lot::Mutex;
+
+use crate::config::Config;
+use crate::mem::{Addr, MemorySystem};
+
+const ST_INIT: u32 = 0;
+const ST_GO: u32 = 1;
+const ST_YIELD: u32 = 2;
+const ST_DONE: u32 = 3;
+
+/// What kind of processor a logical thread models; decides how its memory
+/// accesses are routed and priced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ThreadKind {
+    /// A host hardware thread pinned to `core` (owns that core's L1).
+    Host { core: usize },
+    /// The NMP core coupled to partition `part`.
+    Nmp { part: usize },
+}
+
+struct ThreadShared {
+    name: String,
+    kind: ThreadKind,
+    daemon: bool,
+    state: AtomicU32,
+    clock: AtomicU64,
+    handle: Mutex<Option<Thread>>,
+    panicked: AtomicBool,
+}
+
+struct EngineShared {
+    engine_thread: Mutex<Option<Thread>>,
+    stop: AtomicBool,
+}
+
+fn spin_wait<F: Fn() -> bool>(cond: F) {
+    let mut spins = 0u32;
+    while !cond() {
+        spins += 1;
+        if spins < 128 {
+            std::hint::spin_loop();
+        } else {
+            thread::park();
+        }
+    }
+}
+
+fn unpark(slot: &Mutex<Option<Thread>>) {
+    if let Some(t) = slot.lock().as_ref() {
+        t.unpark();
+    }
+}
+
+/// Execution context handed to each logical thread's closure. All timed
+/// memory operations go through here.
+pub struct ThreadCtx {
+    kind: ThreadKind,
+    id: usize,
+    ts: Arc<ThreadShared>,
+    eng: Arc<EngineShared>,
+    mem: Arc<MemorySystem>,
+    clock: u64,
+    pending: u64,
+    cpu_step: u64,
+}
+
+impl ThreadCtx {
+    /// Current simulated time of this thread in cycles (including any
+    /// accrued-but-uncommitted compute time).
+    pub fn now(&self) -> u64 {
+        self.clock + self.pending
+    }
+
+    pub fn kind(&self) -> ThreadKind {
+        self.kind
+    }
+
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    pub fn mem(&self) -> &MemorySystem {
+        &self.mem
+    }
+
+    /// Accrue `cycles` of local compute time. Cheap (no scheduler
+    /// round-trip); committed at the next timed operation.
+    pub fn advance(&mut self, cycles: u64) {
+        self.pending += cycles;
+    }
+
+    /// Accrue one configured CPU step (e.g. a key comparison).
+    pub fn step(&mut self) {
+        self.pending += self.cpu_step;
+    }
+
+    /// Commit accrued time plus `extra_lat` and hand control back to the
+    /// scheduler; returns when this thread is next due to run.
+    fn sleep(&mut self, extra_lat: u64) {
+        debug_assert!(extra_lat >= 1, "timed ops must advance time");
+        self.clock += self.pending + extra_lat;
+        self.pending = 0;
+        self.ts.clock.store(self.clock, Ordering::Release);
+        self.ts.state.store(ST_YIELD, Ordering::Release);
+        unpark(&self.eng.engine_thread);
+        let ts = Arc::clone(&self.ts);
+        spin_wait(move || ts.state.load(Ordering::Acquire) == ST_GO);
+    }
+
+    /// Yield a full poll interval (used by spin/poll loops so they always
+    /// make simulated-time progress).
+    pub fn idle(&mut self, cycles: u64) {
+        self.sleep(cycles.max(1));
+    }
+
+    /// True once every non-daemon thread has finished; daemon loops (NMP
+    /// cores) should exit promptly when they observe this.
+    pub fn stop_requested(&self) -> bool {
+        self.eng.stop.load(Ordering::Acquire)
+    }
+
+    fn route(&mut self, addr: Addr, is_write: bool) -> u64 {
+        let now = self.now();
+        match self.kind {
+            ThreadKind::Host { core } => self.mem.host_access(core, now, addr, is_write),
+            ThreadKind::Nmp { part } => self.mem.nmp_access(part, now, addr, is_write),
+        }
+    }
+
+    /// Timed 64-bit load.
+    pub fn read_u64(&mut self, addr: Addr) -> u64 {
+        let lat = self.route(addr, false);
+        self.sleep(lat);
+        self.mem.ram().read_u64(addr)
+    }
+
+    /// Timed 64-bit store.
+    pub fn write_u64(&mut self, addr: Addr, value: u64) {
+        let lat = self.route(addr, true);
+        self.sleep(lat);
+        self.mem.ram().write_u64(addr, value);
+    }
+
+    /// Timed 32-bit load.
+    pub fn read_u32(&mut self, addr: Addr) -> u32 {
+        let lat = self.route(addr, false);
+        self.sleep(lat);
+        self.mem.ram().read_u32(addr)
+    }
+
+    /// Timed 32-bit store.
+    pub fn write_u32(&mut self, addr: Addr, value: u32) {
+        let lat = self.route(addr, true);
+        self.sleep(lat);
+        self.mem.ram().write_u32(addr, value);
+    }
+
+    /// Timed atomic compare-and-swap on a 64-bit word. Returns `Ok(())` on
+    /// success, `Err(actual)` on mismatch. Applied instantaneously at the
+    /// operation's completion time.
+    pub fn cas_u64(&mut self, addr: Addr, expect: u64, new: u64) -> Result<(), u64> {
+        let lat = self.route(addr, true);
+        self.sleep(lat);
+        let cur = self.mem.ram().read_u64(addr);
+        if cur == expect {
+            self.mem.ram().write_u64(addr, new);
+            Ok(())
+        } else {
+            Err(cur)
+        }
+    }
+
+    /// Timed atomic compare-and-swap on a 32-bit word.
+    pub fn cas_u32(&mut self, addr: Addr, expect: u32, new: u32) -> Result<(), u32> {
+        let lat = self.route(addr, true);
+        self.sleep(lat);
+        let cur = self.mem.ram().read_u32(addr);
+        if cur == expect {
+            self.mem.ram().write_u32(addr, new);
+            Ok(())
+        } else {
+            Err(cur)
+        }
+    }
+
+    /// Timed host MMIO load from a scratchpad word (host threads only).
+    pub fn mmio_read_u64(&mut self, addr: Addr) -> u64 {
+        assert!(matches!(self.kind, ThreadKind::Host { .. }), "MMIO is a host-side path");
+        let lat = self.mem.mmio_access(self.now(), addr, false);
+        self.sleep(lat);
+        self.mem.ram().read_u64(addr)
+    }
+
+    /// Timed host MMIO store to a scratchpad word (host threads only).
+    pub fn mmio_write_u64(&mut self, addr: Addr, value: u64) {
+        assert!(matches!(self.kind, ThreadKind::Host { .. }), "MMIO is a host-side path");
+        let lat = self.mem.mmio_access(self.now(), addr, true);
+        self.sleep(lat);
+        self.mem.ram().write_u64(addr, value);
+    }
+}
+
+type ThreadFn = Box<dyn FnOnce(&mut ThreadCtx) + Send + 'static>;
+
+/// Outcome of a completed simulation.
+#[derive(Debug, Clone)]
+pub struct SimOutcome {
+    /// Final clock of each logical thread, in spawn order.
+    pub clocks: Vec<u64>,
+    /// Thread names, in spawn order.
+    pub names: Vec<String>,
+    /// Whether each thread was a daemon.
+    pub daemons: Vec<bool>,
+}
+
+impl SimOutcome {
+    /// Largest final clock among non-daemon threads: the makespan of the
+    /// measured work.
+    pub fn makespan(&self) -> u64 {
+        self.clocks
+            .iter()
+            .zip(&self.daemons)
+            .filter(|(_, d)| !**d)
+            .map(|(c, _)| *c)
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+/// A configured simulation: a memory system plus logical threads to run.
+pub struct Simulation {
+    mem: Arc<MemorySystem>,
+    eng: Arc<EngineShared>,
+    threads: Vec<Arc<ThreadShared>>,
+    bodies: Vec<ThreadFn>,
+    cpu_step: u64,
+}
+
+impl Simulation {
+    pub fn new(cfg: Config) -> Self {
+        let cpu_step = cfg.cpu_step_cycles;
+        Simulation {
+            mem: Arc::new(MemorySystem::new(cfg)),
+            eng: Arc::new(EngineShared {
+                engine_thread: Mutex::new(None),
+                stop: AtomicBool::new(false),
+            }),
+            threads: Vec::new(),
+            bodies: Vec::new(),
+            cpu_step,
+        }
+    }
+
+    /// Build a simulation around an existing memory system (lets callers
+    /// pre-populate structures through the untimed data plane first).
+    pub fn with_memory(mem: Arc<MemorySystem>) -> Self {
+        let cpu_step = mem.config().cpu_step_cycles;
+        Simulation {
+            mem,
+            eng: Arc::new(EngineShared {
+                engine_thread: Mutex::new(None),
+                stop: AtomicBool::new(false),
+            }),
+            threads: Vec::new(),
+            bodies: Vec::new(),
+            cpu_step,
+        }
+    }
+
+    pub fn mem(&self) -> Arc<MemorySystem> {
+        Arc::clone(&self.mem)
+    }
+
+    /// Add a logical thread. The simulation ends when all non-daemon
+    /// threads return.
+    pub fn spawn(
+        &mut self,
+        name: impl Into<String>,
+        kind: ThreadKind,
+        f: impl FnOnce(&mut ThreadCtx) + Send + 'static,
+    ) {
+        self.spawn_inner(name.into(), kind, false, Box::new(f));
+    }
+
+    /// Add a daemon thread (an NMP core service loop): it must poll
+    /// [`ThreadCtx::stop_requested`] and return promptly once it is set.
+    pub fn spawn_daemon(
+        &mut self,
+        name: impl Into<String>,
+        kind: ThreadKind,
+        f: impl FnOnce(&mut ThreadCtx) + Send + 'static,
+    ) {
+        self.spawn_inner(name.into(), kind, true, Box::new(f));
+    }
+
+    fn spawn_inner(&mut self, name: String, kind: ThreadKind, daemon: bool, f: ThreadFn) {
+        if let ThreadKind::Host { core } = kind {
+            assert!(core < self.mem.config().host_cores, "core {core} out of range");
+        }
+        if let ThreadKind::Nmp { part } = kind {
+            assert!(part < self.mem.config().nmp_partitions(), "partition {part} out of range");
+        }
+        self.threads.push(Arc::new(ThreadShared {
+            name,
+            kind,
+            daemon,
+            state: AtomicU32::new(ST_INIT),
+            clock: AtomicU64::new(0),
+            handle: Mutex::new(None),
+            panicked: AtomicBool::new(false),
+        }));
+        self.bodies.push(f);
+    }
+
+    /// Run to completion on the calling thread; returns per-thread clocks.
+    /// Propagates the first panic raised inside any logical thread.
+    pub fn run(self) -> SimOutcome {
+        let Simulation { mem, eng, threads, bodies, cpu_step } = self;
+        assert!(!threads.is_empty(), "no threads spawned");
+        *eng.engine_thread.lock() = Some(thread::current());
+
+        let mut joins = Vec::with_capacity(bodies.len());
+        for (id, (ts, body)) in threads.iter().cloned().zip(bodies).enumerate() {
+            let eng2 = Arc::clone(&eng);
+            let mem2 = Arc::clone(&mem);
+            joins.push(
+                thread::Builder::new()
+                    .name(format!("sim-{}", ts.name))
+                    .spawn(move || {
+                        *ts.handle.lock() = Some(thread::current());
+                        // Announce readiness and wait for the first GO.
+                        ts.state.store(ST_YIELD, Ordering::Release);
+                        unpark(&eng2.engine_thread);
+                        {
+                            let ts2 = Arc::clone(&ts);
+                            spin_wait(move || ts2.state.load(Ordering::Acquire) == ST_GO);
+                        }
+                        let mut ctx = ThreadCtx {
+                            kind: ts.kind,
+                            id,
+                            ts: Arc::clone(&ts),
+                            eng: Arc::clone(&eng2),
+                            mem: mem2,
+                            clock: ts.clock.load(Ordering::Acquire),
+                            pending: 0,
+                            cpu_step,
+                        };
+                        let result = panic::catch_unwind(AssertUnwindSafe(|| body(&mut ctx)));
+                        ctx.ts.clock.store(ctx.clock + ctx.pending, Ordering::Release);
+                        if result.is_err() {
+                            ts.panicked.store(true, Ordering::Release);
+                        }
+                        ts.state.store(ST_DONE, Ordering::Release);
+                        unpark(&eng2.engine_thread);
+                        if let Err(p) = result {
+                            // Keep the payload for the engine to surface.
+                            drop(p);
+                        }
+                    })
+                    .expect("spawn sim thread"),
+            );
+        }
+
+        // Wait for all workers to announce readiness.
+        for ts in &threads {
+            let ts2 = Arc::clone(ts);
+            spin_wait(move || ts2.state.load(Ordering::Acquire) != ST_INIT);
+        }
+
+        let mut schedules_after_stop = 0u64;
+        loop {
+            let mut best: Option<(u64, usize)> = None;
+            let mut all_workers_done = true;
+            let mut live_panic = false;
+            for (i, ts) in threads.iter().enumerate() {
+                match ts.state.load(Ordering::Acquire) {
+                    ST_YIELD => {
+                        all_workers_done = false;
+                        let c = ts.clock.load(Ordering::Acquire);
+                        if best.map_or(true, |(bc, bi)| (c, i) < (bc, bi)) {
+                            best = Some((c, i));
+                        }
+                    }
+                    ST_DONE => {
+                        if ts.panicked.load(Ordering::Acquire) {
+                            live_panic = true;
+                        }
+                    }
+                    _ => all_workers_done = false,
+                }
+            }
+            if live_panic {
+                // Release everything so remaining threads can be joined.
+                eng.stop.store(true, Ordering::Release);
+            }
+            let non_daemons_done = threads
+                .iter()
+                .filter(|t| !t.daemon)
+                .all(|t| t.state.load(Ordering::Acquire) == ST_DONE);
+            if non_daemons_done {
+                eng.stop.store(true, Ordering::Release);
+            }
+            if all_workers_done {
+                break;
+            }
+            let Some((_, i)) = best else {
+                // Threads exist that are neither YIELD nor DONE: still
+                // starting up; give them a moment.
+                thread::yield_now();
+                continue;
+            };
+            if eng.stop.load(Ordering::Acquire) {
+                schedules_after_stop += 1;
+                assert!(
+                    schedules_after_stop < 1_000_000,
+                    "daemon threads are not honoring stop_requested()"
+                );
+            }
+            let ts = &threads[i];
+            ts.state.store(ST_GO, Ordering::Release);
+            unpark(&ts.handle);
+            let ts2 = Arc::clone(ts);
+            spin_wait(move || ts2.state.load(Ordering::Acquire) != ST_GO);
+        }
+
+        for j in joins {
+            let _ = j.join();
+        }
+        if threads.iter().any(|t| t.panicked.load(Ordering::Acquire)) {
+            let who: Vec<&str> = threads
+                .iter()
+                .filter(|t| t.panicked.load(Ordering::Acquire))
+                .map(|t| t.name.as_str())
+                .collect();
+            panic!("simulated thread(s) panicked: {who:?}");
+        }
+        SimOutcome {
+            clocks: threads.iter().map(|t| t.clock.load(Ordering::Acquire)).collect(),
+            names: threads.iter().map(|t| t.name.clone()).collect(),
+            daemons: threads.iter().map(|t| t.daemon).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    fn tiny_sim() -> Simulation {
+        Simulation::new(Config::tiny())
+    }
+
+    #[test]
+    fn single_thread_reads_what_it_wrote() {
+        let mut sim = tiny_sim();
+        let base = sim.mem().map().host_base;
+        sim.spawn("t0", ThreadKind::Host { core: 0 }, move |ctx| {
+            ctx.write_u64(base, 42);
+            assert_eq!(ctx.read_u64(base), 42);
+        });
+        let out = sim.run();
+        assert!(out.makespan() > 0);
+    }
+
+    #[test]
+    fn clock_advances_by_latency() {
+        let mut sim = tiny_sim();
+        let base = sim.mem().map().host_base;
+        let seen = Arc::new(AtomicU64::new(0));
+        let seen2 = Arc::clone(&seen);
+        sim.spawn("t0", ThreadKind::Host { core: 0 }, move |ctx| {
+            let t0 = ctx.now();
+            let _ = ctx.read_u64(base); // cold: L1+L2+DRAM
+            seen2.store(ctx.now() - t0, Ordering::Relaxed);
+        });
+        sim.run();
+        let lat = seen.load(Ordering::Relaxed);
+        assert!(lat > 22, "cold read should cost more than L1+L2 ({lat})");
+    }
+
+    #[test]
+    fn min_clock_scheduling_orders_effects() {
+        // Thread A writes at t=10 (after a cheap advance); thread B writes
+        // at t=1000. Final value must be B's.
+        let mut sim = tiny_sim();
+        let base = sim.mem().map().host_base;
+        sim.spawn("a", ThreadKind::Host { core: 0 }, move |ctx| {
+            ctx.advance(10);
+            ctx.write_u64(base, 1);
+        });
+        sim.spawn("b", ThreadKind::Host { core: 1 }, move |ctx| {
+            ctx.advance(1000);
+            ctx.write_u64(base, 2);
+        });
+        let mem = sim.mem();
+        sim.run();
+        assert_eq!(mem.ram().read_u64(base), 2);
+    }
+
+    #[test]
+    fn cas_succeeds_once_across_threads() {
+        let mut sim = tiny_sim();
+        let base = sim.mem().map().host_base;
+        let wins = Arc::new(AtomicUsize::new(0));
+        for core in 0..4 {
+            let wins = Arc::clone(&wins);
+            sim.spawn(format!("t{core}"), ThreadKind::Host { core }, move |ctx| {
+                if ctx.cas_u64(base, 0, core as u64 + 1).is_ok() {
+                    wins.fetch_add(1, Ordering::Relaxed);
+                }
+            });
+        }
+        sim.run();
+        assert_eq!(wins.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn deterministic_makespan() {
+        let run = || {
+            let mut sim = tiny_sim();
+            let base = sim.mem().map().host_base;
+            for core in 0..4 {
+                sim.spawn(format!("t{core}"), ThreadKind::Host { core }, move |ctx| {
+                    for i in 0..50u32 {
+                        let a = base + ((i * 7919 + core as u32 * 104729) % 1024) * 8;
+                        if i % 3 == 0 {
+                            ctx.write_u64(a, i as u64);
+                        } else {
+                            let _ = ctx.read_u64(a);
+                        }
+                        ctx.step();
+                    }
+                });
+            }
+            sim.run().makespan()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn daemon_exits_on_stop() {
+        let mut sim = tiny_sim();
+        let polls = Arc::new(AtomicUsize::new(0));
+        let polls2 = Arc::clone(&polls);
+        sim.spawn_daemon("nmp0", ThreadKind::Nmp { part: 0 }, move |ctx| {
+            while !ctx.stop_requested() {
+                polls2.fetch_add(1, Ordering::Relaxed);
+                ctx.idle(16);
+            }
+        });
+        let base = sim.mem().map().host_base;
+        sim.spawn("host", ThreadKind::Host { core: 0 }, move |ctx| {
+            for i in 0..20 {
+                let _ = ctx.read_u64(base + i * 8);
+            }
+        });
+        let out = sim.run();
+        assert!(polls.load(Ordering::Relaxed) > 0);
+        assert!(out.makespan() > 0);
+    }
+
+    #[test]
+    fn makespan_ignores_daemons() {
+        let mut sim = tiny_sim();
+        sim.spawn_daemon("nmp0", ThreadKind::Nmp { part: 0 }, |ctx| {
+            while !ctx.stop_requested() {
+                ctx.idle(1000);
+            }
+        });
+        let base = sim.mem().map().host_base;
+        sim.spawn("host", ThreadKind::Host { core: 0 }, move |ctx| {
+            let _ = ctx.read_u64(base);
+        });
+        let out = sim.run();
+        // daemon clock may be far past host's; makespan must track host.
+        let host_clock = out.clocks[1];
+        assert_eq!(out.makespan(), host_clock);
+    }
+
+    #[test]
+    #[should_panic(expected = "simulated thread(s) panicked")]
+    fn worker_panic_propagates() {
+        let mut sim = tiny_sim();
+        sim.spawn("bad", ThreadKind::Host { core: 0 }, |_ctx| {
+            panic!("boom");
+        });
+        sim.spawn("good", ThreadKind::Host { core: 1 }, |ctx| {
+            ctx.idle(5);
+        });
+        sim.run();
+    }
+
+    #[test]
+    fn nmp_thread_accesses_its_partition() {
+        let mut sim = tiny_sim();
+        let part0 = sim.mem().map().part_base(0);
+        sim.spawn("nmp0", ThreadKind::Nmp { part: 0 }, move |ctx| {
+            ctx.write_u64(part0, 7);
+            assert_eq!(ctx.read_u64(part0), 7);
+        });
+        sim.run();
+    }
+
+    #[test]
+    fn mmio_visible_between_host_and_nmp() {
+        let mut sim = tiny_sim();
+        let spad = sim.mem().map().spad_base(0);
+        sim.spawn_daemon("nmp0", ThreadKind::Nmp { part: 0 }, move |ctx| {
+            loop {
+                let v = ctx.read_u64(spad);
+                if v == 1 {
+                    ctx.write_u64(spad + 8, 99);
+                    break;
+                }
+                if ctx.stop_requested() {
+                    return;
+                }
+                ctx.idle(16);
+            }
+            while !ctx.stop_requested() {
+                ctx.idle(16);
+            }
+        });
+        sim.spawn("host", ThreadKind::Host { core: 0 }, move |ctx| {
+            ctx.mmio_write_u64(spad, 1);
+            loop {
+                if ctx.mmio_read_u64(spad + 8) == 99 {
+                    break;
+                }
+                ctx.idle(40);
+            }
+        });
+        sim.run();
+    }
+
+    #[test]
+    fn advance_is_lazy_but_counted() {
+        let mut sim = tiny_sim();
+        let base = sim.mem().map().host_base;
+        let end = Arc::new(AtomicU64::new(0));
+        let end2 = Arc::clone(&end);
+        sim.spawn("t", ThreadKind::Host { core: 0 }, move |ctx| {
+            ctx.advance(500);
+            let _ = ctx.read_u64(base);
+            end2.store(ctx.now(), Ordering::Relaxed);
+        });
+        sim.run();
+        assert!(end.load(Ordering::Relaxed) >= 500);
+    }
+}

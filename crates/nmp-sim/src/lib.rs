@@ -1,0 +1,53 @@
+//! # nmp-sim — a deterministic near-memory-processing architecture simulator
+//!
+//! This crate is the evaluation substrate for the HybriDS reproduction: a
+//! cycle-approximate model of the machine in Table 1 of *HybriDS:
+//! Cache-Conscious Concurrent Data Structures for Near-Memory Processing
+//! Architectures* (SPAA '22):
+//!
+//! * 8 host cores with private L1 caches and a shared L2 (the LLC),
+//! * an HMC-style memory device with 16 vaults (8 host main-memory vaults,
+//!   8 NMP vaults) and per-bank open-row DRAM timing,
+//! * one in-order, cache-less NMP core per NMP vault, equipped with a single
+//!   node-size register buffer and a scratchpad that is memory-mapped into
+//!   the host address space (the publication-list channel),
+//! * a deterministic discrete-event engine that interleaves logical host /
+//!   NMP threads at memory-access granularity.
+//!
+//! See `DESIGN.md` at the repository root for the fidelity argument and the
+//! list of deliberate simplifications relative to gem5/SMCSim.
+//!
+//! ## Quick tour
+//!
+//! ```
+//! use nmp_sim::{Config, Machine, ThreadKind};
+//!
+//! let machine = Machine::new(Config::tiny());
+//! let addr = machine.host_arena().alloc(8);
+//! machine.ram().write_u64(addr, 1); // untimed population
+//!
+//! let mut sim = machine.simulation();
+//! sim.spawn("host-0", ThreadKind::Host { core: 0 }, move |ctx| {
+//!     let v = ctx.read_u64(addr); // timed: caches + DRAM model
+//!     ctx.write_u64(addr, v + 1);
+//! });
+//! let outcome = sim.run();
+//! assert_eq!(machine.ram().read_u64(addr), 2);
+//! assert!(outcome.makespan() > 0);
+//! ```
+
+pub mod alloc;
+pub mod cache;
+pub mod config;
+pub mod dram;
+pub mod engine;
+pub mod machine;
+pub mod mem;
+pub mod stats;
+
+pub use alloc::Arena;
+pub use config::{CacheConfig, Config};
+pub use engine::{SimOutcome, Simulation, ThreadCtx, ThreadKind};
+pub use machine::Machine;
+pub use mem::{Addr, MemMap, MemorySystem, Region, SimRam, NULL};
+pub use stats::{CacheStats, StatsSnapshot, VaultStats};

@@ -1,0 +1,112 @@
+//! A [`Machine`] bundles the simulated memory system with per-region
+//! allocators — the substrate that data structures are built on.
+
+use std::sync::Arc;
+
+use crate::alloc::Arena;
+use crate::config::Config;
+use crate::engine::Simulation;
+use crate::mem::{MemMap, MemorySystem, SimRam};
+
+/// The simulated machine: memory system + allocators for every region.
+pub struct Machine {
+    mem: Arc<MemorySystem>,
+    host_arena: Arena,
+    part_arenas: Vec<Arena>,
+}
+
+impl Machine {
+    pub fn new(cfg: Config) -> Arc<Self> {
+        let mem = Arc::new(MemorySystem::new(cfg));
+        Arc::new(Self::from_memory(mem))
+    }
+
+    fn from_memory(mem: Arc<MemorySystem>) -> Machine {
+        let map = *mem.map();
+        let host_arena = Arena::new("host-heap", map.host_base, map.host_size);
+        let part_arenas = (0..map.parts)
+            .map(|p| Arena::new("nmp-partition", map.part_base(p), map.part_size))
+            .collect();
+        Machine { mem, host_arena, part_arenas }
+    }
+
+    pub fn mem(&self) -> &Arc<MemorySystem> {
+        &self.mem
+    }
+
+    pub fn ram(&self) -> &SimRam {
+        self.mem.ram()
+    }
+
+    pub fn map(&self) -> &MemMap {
+        self.mem.map()
+    }
+
+    pub fn config(&self) -> &Config {
+        self.mem.config()
+    }
+
+    /// Allocator for host main memory.
+    pub fn host_arena(&self) -> &Arena {
+        &self.host_arena
+    }
+
+    /// Allocator for NMP partition `p`.
+    pub fn part_arena(&self, p: usize) -> &Arena {
+        &self.part_arenas[p]
+    }
+
+    pub fn partitions(&self) -> usize {
+        self.part_arenas.len()
+    }
+
+    /// Start building a simulation over this machine's memory.
+    pub fn simulation(self: &Arc<Self>) -> Simulation {
+        Simulation::with_memory(Arc::clone(&self.mem))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::ThreadKind;
+    use crate::mem::Region;
+
+    #[test]
+    fn arenas_allocate_in_their_regions() {
+        let m = Machine::new(Config::tiny());
+        let h = m.host_arena().alloc(64);
+        let p0 = m.part_arena(0).alloc(64);
+        let p1 = m.part_arena(1).alloc(64);
+        assert_eq!(m.map().region_of(h), Region::Host);
+        assert_eq!(m.map().region_of(p0), Region::Part(0));
+        assert_eq!(m.map().region_of(p1), Region::Part(1));
+    }
+
+    #[test]
+    fn simulation_shares_machine_memory() {
+        let m = Machine::new(Config::tiny());
+        let addr = m.host_arena().alloc(8);
+        m.ram().write_u64(addr, 123); // untimed population
+        let mut sim = m.simulation();
+        sim.spawn("t", ThreadKind::Host { core: 0 }, move |ctx| {
+            assert_eq!(ctx.read_u64(addr), 123);
+        });
+        sim.run();
+    }
+
+    #[test]
+    fn two_simulations_can_reuse_one_machine() {
+        let m = Machine::new(Config::tiny());
+        let addr = m.host_arena().alloc(8);
+        for round in 1..=2u64 {
+            let mut sim = m.simulation();
+            sim.spawn("t", ThreadKind::Host { core: 0 }, move |ctx| {
+                let v = ctx.read_u64(addr);
+                ctx.write_u64(addr, v + round);
+            });
+            sim.run();
+        }
+        assert_eq!(m.ram().read_u64(addr), 3);
+    }
+}

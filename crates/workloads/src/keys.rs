@@ -1,0 +1,215 @@
+//! Key-space layout shared by workloads and data structures.
+//!
+//! Keys and values are 4 bytes, as in the paper (§3.2). The key universe is
+//! split into `parts` equal ranges — one per NMP partition (§3.3 "nodes in
+//! the NMP-managed portion are distributed across NMP partitions based on
+//! predefined, equal-size ranges of keys").
+//!
+//! Initial keys are laid out on a stride-8 grid inside each partition, with
+//! a configurable *headroom* of free key slots at the top of each partition.
+//! The grid leaves gaps for uniformly-spread insertions; the headroom hosts
+//! the paper's split-heavy B+ tree insertion pattern ("insert keys were
+//! chosen so that insertions would happen at the last leaf node of each NMP
+//! partition", §5.2).
+
+use serde::{Deserialize, Serialize};
+
+use crate::rng::Rng;
+
+/// 4-byte key, as in the paper.
+pub type Key = u32;
+/// 4-byte associated value.
+pub type Value = u32;
+
+/// Grid spacing of initial keys (power of two; leaves 7 free slots between
+/// neighbors for gap insertions).
+pub const KEY_STRIDE: u32 = 8;
+
+/// Deterministic layout of initial keys over a partitioned key universe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct KeySpace {
+    /// Number of NMP partitions (equal key ranges).
+    pub parts: u32,
+    /// Initial keys per partition.
+    pub per_part: u32,
+    /// Free key slots reserved above the populated span of each partition.
+    pub headroom: u32,
+}
+
+impl KeySpace {
+    /// Layout `total_initial` keys over `parts` partitions with `headroom`
+    /// insertable tail slots per partition. `total_initial` must divide
+    /// evenly (pad your N to a multiple of `parts`).
+    pub fn new(total_initial: u32, parts: u32, headroom: u32) -> Self {
+        assert!(parts > 0 && total_initial % parts == 0, "initial keys must split evenly");
+        let per_part = total_initial / parts;
+        let ks = KeySpace { parts, per_part, headroom };
+        assert!(
+            (ks.part_range() as u64) * parts as u64 <= u32::MAX as u64,
+            "key universe exceeds 32-bit keys"
+        );
+        ks
+    }
+
+    /// Width of one partition's key range.
+    pub fn part_range(&self) -> u32 {
+        KEY_STRIDE * (self.per_part + 1) + self.headroom
+    }
+
+    /// Exclusive upper bound of the key universe.
+    pub fn keyspace(&self) -> u32 {
+        self.part_range() * self.parts
+    }
+
+    /// Total number of initial keys.
+    pub fn total_initial(&self) -> u32 {
+        self.per_part * self.parts
+    }
+
+    /// Which partition a key belongs to.
+    pub fn partition_of(&self, key: Key) -> u32 {
+        debug_assert!(key < self.keyspace());
+        key / self.part_range()
+    }
+
+    /// First key value of partition `p`'s range.
+    pub fn part_base(&self, p: u32) -> Key {
+        p * self.part_range()
+    }
+
+    /// The `i`-th initial key (global index in `[0, total_initial)`),
+    /// in ascending key order.
+    pub fn initial_key(&self, i: u32) -> Key {
+        debug_assert!(i < self.total_initial());
+        let p = i / self.per_part;
+        let j = i % self.per_part;
+        self.part_base(p) + KEY_STRIDE * (j + 1)
+    }
+
+    /// All initial keys, ascending.
+    pub fn initial_keys(&self) -> Vec<Key> {
+        (0..self.total_initial()).map(|i| self.initial_key(i)).collect()
+    }
+
+    /// Largest populated key of partition `p`.
+    pub fn populated_top(&self, p: u32) -> Key {
+        self.part_base(p) + KEY_STRIDE * self.per_part
+    }
+
+    /// The `c`-th tail key of partition `p`: strictly above every populated
+    /// key of the partition, strictly below the next partition. Successive
+    /// `c` produce incrementing keys, so inserts land in the partition's
+    /// last leaf (maximum node splits).
+    pub fn tail_key(&self, p: u32, c: u32) -> Key {
+        assert!(
+            c < self.headroom + KEY_STRIDE - 1,
+            "tail headroom exhausted in partition {p} (c={c}); raise KeySpace headroom"
+        );
+        self.populated_top(p) + 1 + c
+    }
+
+    /// A uniformly random key that lies in a gap of the initial grid
+    /// (suitable as a "fully uniform" insertion: lands in a uniformly random
+    /// leaf, so it almost never causes a node split).
+    pub fn gap_key(&self, rng: &mut Rng) -> Key {
+        let i = rng.below(self.total_initial() as u64) as u32;
+        let off = 1 + rng.below((KEY_STRIDE - 1) as u64) as u32;
+        self.initial_key(i) + off
+    }
+
+    /// A uniformly random *initial* key (read/remove target).
+    pub fn uniform_initial(&self, rng: &mut Rng) -> Key {
+        self.initial_key(rng.below(self.total_initial() as u64) as u32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ks() -> KeySpace {
+        KeySpace::new(64, 4, 100)
+    }
+
+    #[test]
+    fn initial_keys_sorted_unique_in_bounds() {
+        let k = ks();
+        let keys = k.initial_keys();
+        assert_eq!(keys.len(), 64);
+        for w in keys.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+        assert!(*keys.last().unwrap() < k.keyspace());
+        assert!(keys[0] > 0, "key 0 reserved");
+    }
+
+    #[test]
+    fn partition_of_initial_keys_matches_layout() {
+        let k = ks();
+        for i in 0..k.total_initial() {
+            let key = k.initial_key(i);
+            assert_eq!(k.partition_of(key), i / k.per_part);
+        }
+    }
+
+    #[test]
+    fn tail_keys_stay_inside_partition_and_above_population() {
+        let k = ks();
+        for p in 0..4 {
+            for c in 0..50 {
+                let t = k.tail_key(p, c);
+                assert_eq!(k.partition_of(t), p);
+                assert!(t > k.populated_top(p));
+            }
+        }
+    }
+
+    #[test]
+    fn tail_keys_increment() {
+        let k = ks();
+        assert_eq!(k.tail_key(1, 1), k.tail_key(1, 0) + 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "headroom exhausted")]
+    fn tail_overflow_detected() {
+        let k = ks();
+        let _ = k.tail_key(0, k.headroom + KEY_STRIDE);
+    }
+
+    #[test]
+    fn gap_keys_never_collide_with_initial() {
+        let k = ks();
+        let initial: std::collections::HashSet<Key> = k.initial_keys().into_iter().collect();
+        let mut rng = Rng::new(11);
+        for _ in 0..1000 {
+            let g = k.gap_key(&mut rng);
+            assert!(!initial.contains(&g));
+            assert!(g < k.keyspace());
+        }
+    }
+
+    #[test]
+    fn uniform_initial_hits_all_partitions() {
+        let k = ks();
+        let mut rng = Rng::new(12);
+        let mut seen = [false; 4];
+        for _ in 0..1000 {
+            seen[k.partition_of(k.uniform_initial(&mut rng)) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    #[should_panic(expected = "split evenly")]
+    fn uneven_split_rejected() {
+        let _ = KeySpace::new(63, 4, 10);
+    }
+
+    #[test]
+    fn paper_scale_fits_u32() {
+        // 2^22 keys over 8 partitions with generous headroom.
+        let k = KeySpace::new(1 << 22, 8, 1 << 16);
+        assert!(k.keyspace() > 1 << 22);
+    }
+}

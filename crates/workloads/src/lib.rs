@@ -1,0 +1,26 @@
+//! # workloads — deterministic YCSB-style workload generation
+//!
+//! Key universes, zipfian/uniform key distributions, and operation-mix
+//! stream generation for the HybriDS (SPAA '22) reproduction. Everything is
+//! a pure function of a `u64` seed: no global state, no `rand` dependency,
+//! bit-stable across runs and platforms.
+//!
+//! ```
+//! use workloads::{KeySpace, WorkloadSpec};
+//!
+//! let ks = KeySpace::new(1024, 4, 128);        // 1024 keys, 4 partitions
+//! let spec = WorkloadSpec::ycsb_c(42, 8, 100); // seed 42, 8 threads
+//! let streams = spec.generate(&ks);
+//! assert_eq!(streams.len(), 8);
+//! assert_eq!(streams[0].len(), 100);
+//! ```
+
+pub mod keys;
+pub mod ops;
+pub mod rng;
+pub mod zipf;
+
+pub use keys::{Key, KeySpace, Value, KEY_STRIDE};
+pub use ops::{InsertDist, KeyDist, Mix, Op, WorkloadSpec};
+pub use rng::{fnv64, mix64, splitmix64, Rng};
+pub use zipf::{ScrambledZipfian, Zipfian, YCSB_THETA};

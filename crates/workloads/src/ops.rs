@@ -1,0 +1,341 @@
+//! Operation mixes and per-thread operation stream generation.
+//!
+//! The paper's workloads are:
+//! * **YCSB-C** (§5.1): 100% reads, zipfian key distribution;
+//! * **sensitivity mixes** (§5.2): `X-Y-Z` read-insert-remove ratios with
+//!   uniform key distribution, where B+ tree insert keys are either
+//!   *split-heavy* (targeted at the last leaf of each NMP partition) or
+//!   *fully uniform* (spread over all leaves, incurring no splits).
+
+use serde::{Deserialize, Serialize};
+
+use crate::keys::{Key, KeySpace, Value};
+use crate::rng::Rng;
+use crate::zipf::ScrambledZipfian;
+
+/// A single data-structure operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Op {
+    Read(Key),
+    Insert(Key, Value),
+    Remove(Key),
+    Update(Key, Value),
+    /// Range scan: read up to the given number of consecutive key/value
+    /// pairs starting at the first key `>=` the given key (YCSB-E style;
+    /// an extension beyond the paper's point-operation evaluation).
+    Scan(Key, u16),
+}
+
+impl Op {
+    pub fn key(&self) -> Key {
+        match *self {
+            Op::Read(k)
+            | Op::Insert(k, _)
+            | Op::Remove(k)
+            | Op::Update(k, _)
+            | Op::Scan(k, _) => k,
+        }
+    }
+}
+
+/// Read / insert / remove / update / scan percentages (must sum to 100).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Mix {
+    pub read: u8,
+    pub insert: u8,
+    pub remove: u8,
+    pub update: u8,
+    pub scan: u8,
+}
+
+impl Mix {
+    pub const fn new(read: u8, insert: u8, remove: u8, update: u8) -> Self {
+        let m = Mix { read, insert, remove, update, scan: 0 };
+        assert!(read as u32 + insert as u32 + remove as u32 + update as u32 == 100);
+        m
+    }
+
+    pub const fn with_scans(read: u8, insert: u8, remove: u8, update: u8, scan: u8) -> Self {
+        let m = Mix { read, insert, remove, update, scan };
+        assert!(
+            read as u32 + insert as u32 + remove as u32 + update as u32 + scan as u32 == 100
+        );
+        m
+    }
+
+    /// YCSB core workload C: read-only.
+    pub const fn ycsb_c() -> Self {
+        Mix::new(100, 0, 0, 0)
+    }
+
+    /// YCSB core workload E: short range scans with occasional inserts.
+    pub const fn ycsb_e() -> Self {
+        Mix::with_scans(0, 5, 0, 0, 95)
+    }
+
+    /// The paper's `X-Y-Z` read-insert-remove notation.
+    pub const fn read_insert_remove(read: u8, insert: u8, remove: u8) -> Self {
+        Mix::new(read, insert, remove, 0)
+    }
+
+    /// The four mixes of Figures 7–9.
+    pub fn sensitivity_suite() -> Vec<Mix> {
+        vec![Mix::read_insert_remove(100, 0, 0), Mix::read_insert_remove(90, 5, 5), Mix::read_insert_remove(70, 15, 15), Mix::read_insert_remove(50, 25, 25)]
+    }
+
+    /// Paper-style label, e.g. `50-25-25`.
+    pub fn label(&self) -> String {
+        let mut s = format!("{}-{}-{}", self.read, self.insert, self.remove);
+        if self.update != 0 {
+            s.push_str(&format!("-u{}", self.update));
+        }
+        if self.scan != 0 {
+            s.push_str(&format!("-s{}", self.scan));
+        }
+        s
+    }
+}
+
+/// Distribution of read/update target keys.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum KeyDist {
+    /// YCSB scrambled-zipfian over the initial keys (θ = 0.99).
+    Zipfian,
+    /// Scrambled zipfian with skew θ = `theta_x100 / 100` (skew studies).
+    ZipfianTheta { theta_x100: u32 },
+    /// Uniform over the initial keys.
+    Uniform,
+}
+
+/// Placement of insert keys.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum InsertDist {
+    /// Uniformly random grid-gap keys: lands in a uniformly random leaf
+    /// (the "fully uniform" workload; no B+ tree node splits).
+    UniformGap,
+    /// Incrementing keys at the tail of each partition, rotating across
+    /// partitions: maximum node splits, evenly spread over NMP partitions.
+    PartitionTail,
+}
+
+/// Everything needed to deterministically generate an experiment's
+/// operation streams.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadSpec {
+    pub seed: u64,
+    pub threads: u32,
+    pub ops_per_thread: u32,
+    pub mix: Mix,
+    pub read_dist: KeyDist,
+    pub insert_dist: InsertDist,
+}
+
+impl WorkloadSpec {
+    /// YCSB-C at a given seed.
+    pub fn ycsb_c(seed: u64, threads: u32, ops_per_thread: u32) -> Self {
+        WorkloadSpec {
+            seed,
+            threads,
+            ops_per_thread,
+            mix: Mix::ycsb_c(),
+            read_dist: KeyDist::Zipfian,
+            insert_dist: InsertDist::UniformGap,
+        }
+    }
+
+    /// Generate one operation stream per thread. Split-heavy insert lanes
+    /// are disjoint per thread, so no two threads ever insert the same key.
+    pub fn generate(&self, ks: &KeySpace) -> Vec<Vec<Op>> {
+        let zipf = match self.read_dist {
+            KeyDist::ZipfianTheta { theta_x100 } => ScrambledZipfian::with_theta(
+                ks.total_initial() as u64,
+                theta_x100 as f64 / 100.0,
+            ),
+            _ => ScrambledZipfian::ycsb(ks.total_initial() as u64),
+        };
+        let root = Rng::new(self.seed);
+        let lane = ks.headroom / self.threads.max(1);
+        (0..self.threads)
+            .map(|t| {
+                let mut rng = root.fork(t as u64);
+                let mut tail_counters = vec![0u32; ks.parts as usize];
+                let mut next_part = t % ks.parts; // rotate starting offset per thread
+                let mut ops = Vec::with_capacity(self.ops_per_thread as usize);
+                for _ in 0..self.ops_per_thread {
+                    let roll = rng.below(100) as u8;
+                    let op = if roll < self.mix.read {
+                        Op::Read(self.read_key(ks, &zipf, &mut rng))
+                    } else if roll < self.mix.read + self.mix.insert {
+                        let key = match self.insert_dist {
+                            InsertDist::UniformGap => ks.gap_key(&mut rng),
+                            InsertDist::PartitionTail => {
+                                let p = next_part;
+                                next_part = (next_part + 1) % ks.parts;
+                                let c = tail_counters[p as usize];
+                                assert!(
+                                    c < lane,
+                                    "per-thread tail lane exhausted; raise KeySpace headroom"
+                                );
+                                tail_counters[p as usize] += 1;
+                                ks.tail_key(p, t * lane + c)
+                            }
+                        };
+                        Op::Insert(key, nonzero_value(&mut rng))
+                    } else if roll < self.mix.read + self.mix.insert + self.mix.remove {
+                        Op::Remove(ks.uniform_initial(&mut rng))
+                    } else if roll
+                        < self.mix.read + self.mix.insert + self.mix.remove + self.mix.update
+                    {
+                        Op::Update(self.read_key(ks, &zipf, &mut rng), nonzero_value(&mut rng))
+                    } else {
+                        // YCSB-E scan lengths: uniform 1..=100.
+                        let len = 1 + rng.below(100) as u16;
+                        Op::Scan(self.read_key(ks, &zipf, &mut rng), len)
+                    };
+                    ops.push(op);
+                }
+                ops
+            })
+            .collect()
+    }
+
+    fn read_key(&self, ks: &KeySpace, zipf: &ScrambledZipfian, rng: &mut Rng) -> Key {
+        match self.read_dist {
+            KeyDist::Zipfian | KeyDist::ZipfianTheta { .. } => {
+                ks.initial_key(zipf.next_index(rng) as u32)
+            }
+            KeyDist::Uniform => ks.uniform_initial(rng),
+        }
+    }
+}
+
+fn nonzero_value(rng: &mut Rng) -> Value {
+    rng.next_u32() | 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ks() -> KeySpace {
+        KeySpace::new(1024, 4, 400)
+    }
+
+    #[test]
+    fn mix_labels() {
+        assert_eq!(Mix::read_insert_remove(50, 25, 25).label(), "50-25-25");
+        assert_eq!(Mix::ycsb_c().label(), "100-0-0");
+    }
+
+    #[test]
+    #[should_panic]
+    fn mix_must_sum_to_100() {
+        let _ = Mix::new(50, 10, 10, 10);
+    }
+
+    #[test]
+    fn ycsb_c_is_all_reads() {
+        let spec = WorkloadSpec::ycsb_c(1, 2, 500);
+        for stream in spec.generate(&ks()) {
+            assert_eq!(stream.len(), 500);
+            assert!(stream.iter().all(|op| matches!(op, Op::Read(_))));
+        }
+    }
+
+    #[test]
+    fn mix_ratios_approximately_honored() {
+        let spec = WorkloadSpec {
+            seed: 2,
+            threads: 1,
+            ops_per_thread: 20_000,
+            mix: Mix::read_insert_remove(50, 25, 25),
+            read_dist: KeyDist::Uniform,
+            insert_dist: InsertDist::UniformGap,
+        };
+        let ops = &spec.generate(&ks())[0];
+        let reads = ops.iter().filter(|o| matches!(o, Op::Read(_))).count();
+        let inserts = ops.iter().filter(|o| matches!(o, Op::Insert(..))).count();
+        let removes = ops.iter().filter(|o| matches!(o, Op::Remove(_))).count();
+        assert!((9_000..11_000).contains(&reads), "reads={reads}");
+        assert!((4_000..6_000).contains(&inserts), "inserts={inserts}");
+        assert!((4_000..6_000).contains(&removes), "removes={removes}");
+    }
+
+    #[test]
+    fn deterministic_across_calls() {
+        let spec = WorkloadSpec::ycsb_c(7, 4, 200);
+        assert_eq!(spec.generate(&ks()), spec.generate(&ks()));
+    }
+
+    #[test]
+    fn threads_get_distinct_streams() {
+        let spec = WorkloadSpec::ycsb_c(7, 2, 200);
+        let streams = spec.generate(&ks());
+        assert_ne!(streams[0], streams[1]);
+    }
+
+    #[test]
+    fn partition_tail_inserts_disjoint_across_threads_and_rotating() {
+        let k = ks();
+        let spec = WorkloadSpec {
+            seed: 3,
+            threads: 4,
+            ops_per_thread: 400,
+            mix: Mix::read_insert_remove(0, 100, 0),
+            read_dist: KeyDist::Uniform,
+            insert_dist: InsertDist::PartitionTail,
+        };
+        let streams = spec.generate(&k);
+        let mut all = std::collections::HashSet::new();
+        let mut parts_hit = [0u32; 4];
+        for s in &streams {
+            for op in s {
+                let Op::Insert(key, _) = op else { panic!() };
+                assert!(all.insert(*key), "duplicate split-heavy insert key {key}");
+                parts_hit[k.partition_of(*key) as usize] += 1;
+            }
+        }
+        // Inserts evenly rotated across partitions.
+        assert!(parts_hit.iter().all(|&c| c == 400));
+    }
+
+    #[test]
+    fn split_heavy_keys_increase_within_thread_and_partition() {
+        let k = ks();
+        let spec = WorkloadSpec {
+            seed: 4,
+            threads: 1,
+            ops_per_thread: 100,
+            mix: Mix::read_insert_remove(0, 100, 0),
+            read_dist: KeyDist::Uniform,
+            insert_dist: InsertDist::PartitionTail,
+        };
+        let stream = &spec.generate(&k)[0];
+        let mut last = [0u32; 4];
+        for op in stream {
+            let Op::Insert(key, _) = op else { panic!() };
+            let p = k.partition_of(*key) as usize;
+            assert!(*key > last[p], "keys must increase within a partition");
+            last[p] = *key;
+        }
+    }
+
+    #[test]
+    fn zipfian_reads_skew_toward_hot_keys() {
+        let k = KeySpace::new(4096, 4, 64);
+        let spec = WorkloadSpec::ycsb_c(5, 1, 50_000);
+        let ops = &spec.generate(&k)[0];
+        let mut counts = std::collections::HashMap::new();
+        for op in ops {
+            *counts.entry(op.key()).or_insert(0u32) += 1;
+        }
+        let max = counts.values().max().copied().unwrap();
+        assert!(max > 50_000 / 4096 * 20, "hottest key count = {max}");
+    }
+
+    #[test]
+    fn sensitivity_suite_matches_paper() {
+        let labels: Vec<String> = Mix::sensitivity_suite().iter().map(|m| m.label()).collect();
+        assert_eq!(labels, ["100-0-0", "90-5-5", "70-15-15", "50-25-25"]);
+    }
+}

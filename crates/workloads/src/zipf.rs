@@ -1,0 +1,204 @@
+//! Zipfian request distribution, following the YCSB generator
+//! (Gray et al.'s "Quickly generating billion-record synthetic databases"
+//! rejection-free method) with the standard YCSB constant θ = 0.99.
+//!
+//! [`Zipfian`] returns *ranks* in `[0, n)` where rank 0 is the most popular.
+//! [`ScrambledZipfian`] hashes ranks so the popular items are spread across
+//! the key space — this is what YCSB-C applies to its key universe.
+
+use crate::rng::{fnv64, Rng};
+
+/// YCSB default skew.
+pub const YCSB_THETA: f64 = 0.99;
+
+/// Zipfian rank generator over `n` items.
+#[derive(Debug, Clone)]
+pub struct Zipfian {
+    n: u64,
+    theta: f64,
+    alpha: f64,
+    zeta_n: f64,
+    eta: f64,
+    zeta2: f64,
+}
+
+fn zeta(n: u64, theta: f64) -> f64 {
+    let mut sum = 0.0;
+    for i in 1..=n {
+        sum += 1.0 / (i as f64).powf(theta);
+    }
+    sum
+}
+
+impl Zipfian {
+    pub fn new(n: u64, theta: f64) -> Self {
+        assert!(n >= 1);
+        assert!((0.0..1.0).contains(&theta), "theta must be in [0,1)");
+        let zeta_n = zeta(n, theta);
+        let zeta2 = zeta(2, theta);
+        let alpha = 1.0 / (1.0 - theta);
+        let eta = (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta2 / zeta_n);
+        Zipfian { n, theta, alpha, zeta_n, eta, zeta2 }
+    }
+
+    pub fn ycsb(n: u64) -> Self {
+        Self::new(n, YCSB_THETA)
+    }
+
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// Draw a rank in `[0, n)`; rank 0 is hottest.
+    pub fn next_rank(&self, rng: &mut Rng) -> u64 {
+        let u = rng.unit_f64();
+        let uz = u * self.zeta_n;
+        if uz < 1.0 {
+            return 0;
+        }
+        if uz < 1.0 + 0.5f64.powf(self.theta) {
+            return 1;
+        }
+        let rank = (self.n as f64 * (self.eta * u - self.eta + 1.0).powf(self.alpha)) as u64;
+        rank.min(self.n - 1)
+    }
+
+    /// Theoretical probability of rank `i` (for tests).
+    pub fn prob(&self, rank: u64) -> f64 {
+        1.0 / ((rank + 1) as f64).powf(self.theta) / self.zeta_n
+    }
+
+    /// The ζ(2,θ) constant (exposed for tests).
+    pub fn zeta2(&self) -> f64 {
+        self.zeta2
+    }
+}
+
+/// Zipfian ranks scrambled over `[0, n)` by an FNV hash, as in YCSB's
+/// `ScrambledZipfianGenerator`: item popularity is zipfian but popular items
+/// sit at hashed (spread-out) positions.
+#[derive(Debug, Clone)]
+pub struct ScrambledZipfian {
+    inner: Zipfian,
+}
+
+impl ScrambledZipfian {
+    pub fn ycsb(n: u64) -> Self {
+        ScrambledZipfian { inner: Zipfian::ycsb(n) }
+    }
+
+    /// Scrambled zipfian with an explicit skew parameter (θ = 0 uniform …
+    /// θ → 1 extremely skewed). Used for skew-sensitivity studies (§7's
+    /// "highly skewed workloads" observation).
+    pub fn with_theta(n: u64, theta: f64) -> Self {
+        ScrambledZipfian { inner: Zipfian::new(n, theta) }
+    }
+
+    /// Draw a scrambled item index in `[0, n)`.
+    pub fn next_index(&self, rng: &mut Rng) -> u64 {
+        let rank = self.inner.next_rank(rng);
+        fnv64(rank) % self.inner.n
+    }
+
+    pub fn n(&self) -> u64 {
+        self.inner.n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranks_in_range() {
+        let z = Zipfian::ycsb(1000);
+        let mut r = Rng::new(1);
+        for _ in 0..50_000 {
+            assert!(z.next_rank(&mut r) < 1000);
+        }
+    }
+
+    #[test]
+    fn rank0_frequency_matches_theory() {
+        let z = Zipfian::ycsb(1000);
+        let mut r = Rng::new(2);
+        let n = 200_000;
+        let hits = (0..n).filter(|_| z.next_rank(&mut r) == 0).count();
+        let expect = z.prob(0) * n as f64;
+        let got = hits as f64;
+        assert!(
+            (got - expect).abs() < expect * 0.1,
+            "rank0: got {got}, expected ~{expect}"
+        );
+    }
+
+    #[test]
+    fn skew_orders_popularity() {
+        let z = Zipfian::ycsb(100);
+        let mut r = Rng::new(3);
+        let mut counts = [0u32; 100];
+        for _ in 0..200_000 {
+            counts[z.next_rank(&mut r) as usize] += 1;
+        }
+        assert!(counts[0] > counts[10]);
+        assert!(counts[10] > counts[90]);
+    }
+
+    #[test]
+    fn theta_zero_is_uniformish() {
+        let z = Zipfian::new(10, 0.0);
+        let mut r = Rng::new(4);
+        let mut counts = [0u32; 10];
+        for _ in 0..100_000 {
+            counts[z.next_rank(&mut r) as usize] += 1;
+        }
+        for c in counts {
+            assert!((8_000..12_000).contains(&c), "bucket {c}");
+        }
+    }
+
+    #[test]
+    fn scrambled_spreads_hot_items() {
+        let z = ScrambledZipfian::ycsb(1 << 16);
+        let mut r = Rng::new(5);
+        let mut seen_high = false;
+        let mut seen_low = false;
+        for _ in 0..10_000 {
+            let idx = z.next_index(&mut r);
+            if idx > (1 << 15) {
+                seen_high = true;
+            }
+            if idx < (1 << 15) {
+                seen_low = true;
+            }
+        }
+        assert!(seen_high && seen_low, "hot items should land across the space");
+    }
+
+    #[test]
+    fn scrambled_still_skewed() {
+        // The single hottest scrambled index should appear far more often
+        // than the uniform expectation.
+        let n = 1 << 12;
+        let z = ScrambledZipfian::ycsb(n);
+        let mut r = Rng::new(6);
+        let mut counts = vec![0u32; n as usize];
+        let draws = 100_000;
+        for _ in 0..draws {
+            counts[z.next_index(&mut r) as usize] += 1;
+        }
+        let max = *counts.iter().max().unwrap();
+        let uniform = draws / n as u32;
+        assert!(max > uniform * 20, "max={max}, uniform={uniform}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let z = ScrambledZipfian::ycsb(1 << 20);
+        let mut a = Rng::new(77);
+        let mut b = Rng::new(77);
+        for _ in 0..1000 {
+            assert_eq!(z.next_index(&mut a), z.next_index(&mut b));
+        }
+    }
+}

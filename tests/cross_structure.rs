@@ -1,0 +1,229 @@
+//! Integration: every index structure implements the same semantics.
+//!
+//! A single simulated host thread applies one operation sequence to all
+//! five structures; per-operation results and final contents must agree
+//! with a `BTreeMap` oracle — and therefore with each other.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use hybrids_repro::prelude::*;
+use parking_lot::Mutex;
+use workloads::Rng;
+
+const N: u32 = 512;
+const PARTS: u32 = 2;
+
+fn keyspace() -> KeySpace {
+    KeySpace::new(N, PARTS, 256)
+}
+
+fn op_sequence(seed: u64, len: usize, ks: &KeySpace) -> Vec<Op> {
+    let mut rng = Rng::new(seed);
+    (0..len)
+        .map(|_| {
+            let existing = ks.initial_key(rng.below(N as u64) as u32);
+            match rng.below(5) {
+                0 => Op::Insert(existing + 1 + rng.below(6) as u32, rng.next_u32() | 1),
+                1 => Op::Insert(existing, rng.next_u32() | 1), // mostly duplicates
+                2 => Op::Remove(existing),
+                3 => Op::Update(existing, rng.next_u32() | 1),
+                _ => Op::Read(existing),
+            }
+        })
+        .collect()
+}
+
+fn oracle_apply(model: &mut BTreeMap<Key, Value>, op: Op) -> (bool, Value) {
+    match op {
+        Op::Read(k) => match model.get(&k) {
+            Some(&v) => (true, v),
+            None => (false, 0),
+        },
+        Op::Insert(k, v) => {
+            if model.contains_key(&k) {
+                (false, 0)
+            } else {
+                model.insert(k, v);
+                (true, 0)
+            }
+        }
+        Op::Remove(k) => (model.remove(&k).is_some(), 0),
+        Op::Update(k, v) => {
+            if let Some(slot) = model.get_mut(&k) {
+                *slot = v;
+                (true, 0)
+            } else {
+                (false, 0)
+            }
+        }
+        Op::Scan(k, len) => {
+            let n = model.range(k..).take(len as usize).count() as u32;
+            (n > 0, n)
+        }
+    }
+}
+
+/// Run `ops` against `index` on one host thread; return per-op results and
+/// the machine (for final inspection).
+fn drive<S: SimIndex>(
+    machine: &Arc<Machine>,
+    index: &Arc<S>,
+    ops: Vec<Op>,
+) -> Vec<(bool, Value)> {
+    let results = Arc::new(Mutex::new(Vec::new()));
+    let mut sim = machine.simulation();
+    index.spawn_services(&mut sim);
+    let index = Arc::clone(index);
+    let results2 = Arc::clone(&results);
+    sim.spawn("h0", ThreadKind::Host { core: 0 }, move |ctx| {
+        for &op in &ops {
+            let r = index.execute(ctx, op);
+            let value = if matches!(op, Op::Read(_)) { r.value } else { 0 };
+            results2.lock().push((r.ok, value));
+        }
+    });
+    sim.run();
+    let r = results.lock().clone();
+    r
+}
+
+fn check_against_oracle(name: &str, got: &[(bool, Value)], ops: &[Op], initial: &[(Key, Value)]) {
+    let mut model: BTreeMap<Key, Value> = initial.iter().copied().collect();
+    for (i, (&op, &(ok, value))) in ops.iter().zip(got).enumerate() {
+        let (eok, evalue) = oracle_apply(&mut model, op);
+        assert_eq!(
+            (ok, value),
+            (eok, if matches!(op, Op::Read(_)) { evalue } else { 0 }),
+            "{name}: op {i} ({op:?}) diverged from oracle"
+        );
+    }
+}
+
+fn final_model(ops: &[Op], initial: &[(Key, Value)]) -> BTreeMap<Key, Value> {
+    let mut model: BTreeMap<Key, Value> = initial.iter().copied().collect();
+    for &op in ops {
+        let _ = oracle_apply(&mut model, op);
+    }
+    model
+}
+
+#[test]
+fn all_structures_agree_with_oracle() {
+    let ks = keyspace();
+    let initial: Vec<(Key, Value)> =
+        (0..ks.total_initial()).map(|i| (ks.initial_key(i), i + 1)).collect();
+    let ops = op_sequence(31337, 400, &ks);
+    let expect = final_model(&ops, &initial);
+
+    // Hybrid skiplist.
+    {
+        let m = Machine::new(Config::tiny());
+        let sl = HybridSkipList::new(Arc::clone(&m), ks, 11, 5, 99, 1);
+        sl.populate(initial.clone());
+        let got = drive(&m, &sl, ops.clone());
+        check_against_oracle("hybrid-skiplist", &got, &ops, &initial);
+        sl.check_invariants();
+        assert_eq!(sl.collect().into_iter().collect::<BTreeMap<_, _>>(), expect);
+    }
+    // NMP-based skiplist.
+    {
+        let m = Machine::new(Config::tiny());
+        let sl = NmpSkipList::new(Arc::clone(&m), ks, 9, 99, 1);
+        sl.populate(initial.clone());
+        let got = drive(&m, &sl, ops.clone());
+        check_against_oracle("nmp-skiplist", &got, &ops, &initial);
+        sl.check_invariants();
+        assert_eq!(sl.collect().into_iter().collect::<BTreeMap<_, _>>(), expect);
+    }
+    // Lock-free skiplist (both layouts).
+    for layout in [
+        hybrids::skiplist::lockfree::NodeLayout::CacheAligned,
+        hybrids::skiplist::lockfree::NodeLayout::Packed,
+    ] {
+        let m = Machine::new(Config::tiny());
+        let sl = Arc::new(hybrids::skiplist::LockFreeSkipList::with_layout(
+            Arc::clone(&m),
+            11,
+            99,
+            layout,
+        ));
+        sl.populate(initial.clone());
+        let results = Arc::new(Mutex::new(Vec::new()));
+        let mut sim = m.simulation();
+        let sl2 = Arc::clone(&sl);
+        let ops2 = ops.clone();
+        let results2 = Arc::clone(&results);
+        sim.spawn("h0", ThreadKind::Host { core: 0 }, move |ctx| {
+            for &op in &ops2 {
+                let r = match op {
+                    Op::Read(k) => match sl2.read(ctx, k) {
+                        Some((_, v)) => (true, v),
+                        None => (false, 0),
+                    },
+                    Op::Insert(k, v) => (sl2.insert(ctx, k, v), 0),
+                    Op::Remove(k) => (sl2.remove(ctx, k), 0),
+                    Op::Update(k, v) => (sl2.update(ctx, k, v), 0),
+                    Op::Scan(k, len) => {
+                        let n = sl2.scan(ctx, k, len as u32);
+                        (n > 0, 0)
+                    }
+                };
+                results2.lock().push(r);
+            }
+        });
+        sim.run();
+        check_against_oracle(&format!("lock-free {layout:?}"), &results.lock(), &ops, &initial);
+        sl.check_invariants();
+        assert_eq!(sl.collect().into_iter().collect::<BTreeMap<_, _>>(), expect);
+    }
+    // Host-only B+ tree.
+    {
+        let m = Machine::new(Config::tiny());
+        let t = HostBTree::new(Arc::clone(&m), &initial, 0.6);
+        let got = drive(&m, &t, ops.clone());
+        check_against_oracle("host-btree", &got, &ops, &initial);
+        t.check_invariants();
+        assert_eq!(t.collect().into_iter().collect::<BTreeMap<_, _>>(), expect);
+    }
+    // Hybrid B+ tree.
+    {
+        let m = Machine::new(Config::tiny());
+        let t = HybridBTree::with_budget(Arc::clone(&m), &initial, 0.6, 1, 4 * 1024);
+        let got = drive(&m, &t, ops.clone());
+        check_against_oracle("hybrid-btree", &got, &ops, &initial);
+        t.check_invariants();
+        assert_eq!(t.collect().into_iter().collect::<BTreeMap<_, _>>(), expect);
+    }
+}
+
+#[test]
+fn structures_agree_under_split_heavy_inserts() {
+    // Monotone tail inserts (max splits for the B+ trees).
+    let ks = keyspace();
+    let initial: Vec<(Key, Value)> =
+        (0..ks.total_initial()).map(|i| (ks.initial_key(i), 7)).collect();
+    let mut ops = Vec::new();
+    for c in 0..120u32 {
+        ops.push(Op::Insert(ks.tail_key(c % PARTS, c / PARTS), c));
+        if c % 3 == 0 {
+            ops.push(Op::Read(ks.tail_key(c % PARTS, c / PARTS)));
+        }
+    }
+    let expect = final_model(&ops, &initial);
+
+    let m = Machine::new(Config::tiny());
+    let bt = HybridBTree::with_budget(Arc::clone(&m), &initial, 1.0, 1, 4 * 1024);
+    let got = drive(&m, &bt, ops.clone());
+    check_against_oracle("hybrid-btree split-heavy", &got, &ops, &initial);
+    bt.check_invariants();
+    assert_eq!(bt.collect().into_iter().collect::<BTreeMap<_, _>>(), expect);
+
+    let m = Machine::new(Config::tiny());
+    let sl = HybridSkipList::new(Arc::clone(&m), ks, 11, 5, 99, 1);
+    sl.populate(initial.clone());
+    let got = drive(&m, &sl, ops.clone());
+    check_against_oracle("hybrid-skiplist split-heavy", &got, &ops, &initial);
+    sl.check_invariants();
+    assert_eq!(sl.collect().into_iter().collect::<BTreeMap<_, _>>(), expect);
+}

@@ -1,0 +1,167 @@
+//! Property tests: random operation sequences against a `BTreeMap` oracle,
+//! for each index structure (single simulated host thread, so the oracle
+//! order is exact).
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use hybrids_repro::prelude::*;
+use parking_lot::Mutex;
+use proptest::prelude::*;
+
+const N: u32 = 128;
+const PARTS: u32 = 2;
+
+fn keyspace() -> KeySpace {
+    KeySpace::new(N, PARTS, 64)
+}
+
+#[derive(Debug, Clone, Copy)]
+enum PropOp {
+    Read(u32),
+    InsertGap(u32, u8),
+    Remove(u32),
+    Update(u32, u32),
+    Scan(u32, u16),
+}
+
+fn prop_ops() -> impl Strategy<Value = Vec<PropOp>> {
+    let op = prop_oneof![
+        3 => (0..N).prop_map(PropOp::Read),
+        3 => ((0..N), (1..8u8)).prop_map(|(i, off)| PropOp::InsertGap(i, off)),
+        3 => (0..N).prop_map(PropOp::Remove),
+        3 => ((0..N), any::<u32>()).prop_map(|(i, v)| PropOp::Update(i, v | 1)),
+        1 => ((0..N), (1..40u16)).prop_map(|(i, len)| PropOp::Scan(i, len)),
+    ];
+    proptest::collection::vec(op, 1..80)
+}
+
+fn to_ops(ks: &KeySpace, seq: &[PropOp]) -> Vec<Op> {
+    seq.iter()
+        .map(|&p| match p {
+            PropOp::Read(i) => Op::Read(ks.initial_key(i)),
+            PropOp::InsertGap(i, off) => Op::Insert(ks.initial_key(i) + off as u32, 1),
+            PropOp::Remove(i) => Op::Remove(ks.initial_key(i)),
+            PropOp::Update(i, v) => Op::Update(ks.initial_key(i), v),
+            PropOp::Scan(i, len) => Op::Scan(ks.initial_key(i), len),
+        })
+        .collect()
+}
+
+fn oracle(ops: &[Op], initial: &[(Key, Value)]) -> (Vec<(bool, Value)>, BTreeMap<Key, Value>) {
+    let mut model: BTreeMap<Key, Value> = initial.iter().copied().collect();
+    let results = ops
+        .iter()
+        .map(|&op| match op {
+            Op::Read(k) => model.get(&k).map_or((false, 0), |&v| (true, v)),
+            Op::Insert(k, v) => {
+                if model.contains_key(&k) {
+                    (false, 0)
+                } else {
+                    model.insert(k, v);
+                    (true, 0)
+                }
+            }
+            Op::Remove(k) => (model.remove(&k).is_some(), 0),
+            Op::Update(k, v) => match model.get_mut(&k) {
+                Some(slot) => {
+                    *slot = v;
+                    (true, 0)
+                }
+                None => (false, 0),
+            },
+            Op::Scan(k, len) => {
+                let n = model.range(k..).take(len as usize).count() as u32;
+                (n > 0, n)
+            }
+        })
+        .collect();
+    (results, model)
+}
+
+fn drive<S: SimIndex>(machine: &Arc<Machine>, index: &Arc<S>, ops: Vec<Op>) -> Vec<(bool, Value)> {
+    let results = Arc::new(Mutex::new(Vec::new()));
+    let mut sim = machine.simulation();
+    index.spawn_services(&mut sim);
+    let index = Arc::clone(index);
+    let results2 = Arc::clone(&results);
+    sim.spawn("h0", ThreadKind::Host { core: 0 }, move |ctx| {
+        for &op in &ops {
+            let r = index.execute(ctx, op);
+            let v = match op {
+                Op::Read(_) | Op::Scan(..) => r.value,
+                _ => 0,
+            };
+            results2.lock().push((r.ok, v));
+        }
+    });
+    sim.run();
+    let out = results.lock().clone();
+    out
+}
+
+fn initial(ks: &KeySpace) -> Vec<(Key, Value)> {
+    (0..ks.total_initial()).filter(|i| i % 3 != 2).map(|i| (ks.initial_key(i), i + 1)).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+
+    #[test]
+    fn hybrid_skiplist_matches_oracle(seq in prop_ops()) {
+        let ks = keyspace();
+        let init = initial(&ks);
+        let ops = to_ops(&ks, &seq);
+        let (expect, model) = oracle(&ops, &init);
+        let m = Machine::new(Config::tiny());
+        let sl = HybridSkipList::new(Arc::clone(&m), ks, 9, 4, 5, 1);
+        sl.populate(init.clone());
+        let got = drive(&m, &sl, ops);
+        prop_assert_eq!(got, expect);
+        sl.check_invariants();
+        prop_assert_eq!(sl.collect().into_iter().collect::<BTreeMap<_, _>>(), model);
+    }
+
+    #[test]
+    fn hybrid_btree_matches_oracle(seq in prop_ops()) {
+        let ks = keyspace();
+        let init = initial(&ks);
+        let ops = to_ops(&ks, &seq);
+        let (expect, model) = oracle(&ops, &init);
+        let m = Machine::new(Config::tiny());
+        let t = HybridBTree::with_budget(Arc::clone(&m), &init, 1.0, 1, 1024);
+        let got = drive(&m, &t, ops);
+        prop_assert_eq!(got, expect);
+        t.check_invariants();
+        prop_assert_eq!(t.collect().into_iter().collect::<BTreeMap<_, _>>(), model);
+    }
+
+    #[test]
+    fn host_btree_matches_oracle(seq in prop_ops()) {
+        let ks = keyspace();
+        let init = initial(&ks);
+        let ops = to_ops(&ks, &seq);
+        let (expect, model) = oracle(&ops, &init);
+        let m = Machine::new(Config::tiny());
+        let t = HostBTree::new(Arc::clone(&m), &init, 1.0);
+        let got = drive(&m, &t, ops);
+        prop_assert_eq!(got, expect);
+        t.check_invariants();
+        prop_assert_eq!(t.collect().into_iter().collect::<BTreeMap<_, _>>(), model);
+    }
+
+    #[test]
+    fn nmp_skiplist_matches_oracle(seq in prop_ops()) {
+        let ks = keyspace();
+        let init = initial(&ks);
+        let ops = to_ops(&ks, &seq);
+        let (expect, model) = oracle(&ops, &init);
+        let m = Machine::new(Config::tiny());
+        let sl = NmpSkipList::new(Arc::clone(&m), ks, 7, 5, 1);
+        sl.populate(init.clone());
+        let got = drive(&m, &sl, ops);
+        prop_assert_eq!(got, expect);
+        sl.check_invariants();
+        prop_assert_eq!(sl.collect().into_iter().collect::<BTreeMap<_, _>>(), model);
+    }
+}

@@ -1,0 +1,239 @@
+//! Integration: range scans (YCSB-E extension) across all structures.
+//!
+//! Scans are not part of the paper's evaluation; they exercise the leaf /
+//! bottom-level chains, partition-hopping continuation, and the hybrid
+//! B+ tree's subtree-bound protocol.
+
+use std::sync::Arc;
+
+use hybrids_repro::prelude::*;
+use parking_lot::Mutex;
+
+const N: u32 = 512;
+const PARTS: u32 = 2;
+
+fn keyspace() -> KeySpace {
+    KeySpace::new(N, PARTS, 128)
+}
+
+fn scan_counts<S: SimIndex>(
+    machine: &Arc<Machine>,
+    index: &Arc<S>,
+    probes: Vec<(Key, u16)>,
+) -> Vec<u32> {
+    let out = Arc::new(Mutex::new(Vec::new()));
+    let mut sim = machine.simulation();
+    index.spawn_services(&mut sim);
+    let index = Arc::clone(index);
+    let out2 = Arc::clone(&out);
+    sim.spawn("h0", ThreadKind::Host { core: 0 }, move |ctx| {
+        for &(k, len) in &probes {
+            let r = index.execute(ctx, Op::Scan(k, len));
+            out2.lock().push(r.value);
+        }
+    });
+    sim.run();
+    let v = out.lock().clone();
+    v
+}
+
+/// Expected count for a scan over the initial key grid.
+fn expect(ks: &KeySpace, key: Key, len: u16) -> u32 {
+    let mut count = 0;
+    for i in 0..ks.total_initial() {
+        if ks.initial_key(i) >= key {
+            count += 1;
+            if count == len as u32 {
+                break;
+            }
+        }
+    }
+    count
+}
+
+fn probes(ks: &KeySpace) -> Vec<(Key, u16)> {
+    vec![
+        (ks.initial_key(0), 10),                        // start of key space
+        (ks.initial_key(100) + 1, 25),                  // mid, from a gap key
+        (ks.initial_key(N - 5), 100),                   // runs off the end
+        (ks.initial_key(N / PARTS - 3), 20),            // crosses the partition boundary
+        (ks.keyspace() - 1, 10),                        // past every key
+        (ks.initial_key(0), 400),                       // long scan over most of the space
+    ]
+}
+
+#[test]
+fn hybrid_skiplist_scans_match_expectation() {
+    let ks = keyspace();
+    let m = Machine::new(Config::tiny());
+    let sl = HybridSkipList::new(Arc::clone(&m), ks, 10, 4, 3, 1);
+    sl.populate((0..ks.total_initial()).map(|i| (ks.initial_key(i), i)));
+    let ps = probes(&ks);
+    let got = scan_counts(&m, &sl, ps.clone());
+    for ((k, len), g) in ps.into_iter().zip(got) {
+        assert_eq!(g, expect(&ks, k, len), "scan({k}, {len})");
+    }
+}
+
+#[test]
+fn nmp_skiplist_scans_match_expectation() {
+    let ks = keyspace();
+    let m = Machine::new(Config::tiny());
+    let sl = NmpSkipList::new(Arc::clone(&m), ks, 8, 3, 1);
+    sl.populate((0..ks.total_initial()).map(|i| (ks.initial_key(i), i)));
+    let ps = probes(&ks);
+    let got = scan_counts(&m, &sl, ps.clone());
+    for ((k, len), g) in ps.into_iter().zip(got) {
+        assert_eq!(g, expect(&ks, k, len), "scan({k}, {len})");
+    }
+}
+
+#[test]
+fn host_btree_scans_match_expectation() {
+    let ks = keyspace();
+    let m = Machine::new(Config::tiny());
+    let pairs: Vec<(Key, Value)> =
+        (0..ks.total_initial()).map(|i| (ks.initial_key(i), i)).collect();
+    let t = HostBTree::new(Arc::clone(&m), &pairs, 0.6);
+    let ps = probes(&ks);
+    let got = scan_counts(&m, &t, ps.clone());
+    for ((k, len), g) in ps.into_iter().zip(got) {
+        assert_eq!(g, expect(&ks, k, len), "scan({k}, {len})");
+    }
+}
+
+#[test]
+fn hybrid_btree_scans_match_expectation() {
+    let ks = keyspace();
+    let m = Machine::new(Config::tiny());
+    let pairs: Vec<(Key, Value)> =
+        (0..ks.total_initial()).map(|i| (ks.initial_key(i), i)).collect();
+    let t = HybridBTree::with_budget(Arc::clone(&m), &pairs, 0.6, 1, 2 * 1024);
+    let ps = probes(&ks);
+    let got = scan_counts(&m, &t, ps.clone());
+    for ((k, len), g) in ps.into_iter().zip(got) {
+        assert_eq!(g, expect(&ks, k, len), "scan({k}, {len})");
+    }
+}
+
+#[test]
+fn scans_observe_inserts_and_removes() {
+    let ks = keyspace();
+    let m = Machine::new(Config::tiny());
+    let sl = HybridSkipList::new(Arc::clone(&m), ks, 10, 4, 3, 1);
+    sl.populate((0..ks.total_initial()).map(|i| (ks.initial_key(i), i)));
+    let mut sim = m.simulation();
+    sl.spawn_services(&mut sim);
+    let sl2 = Arc::clone(&sl);
+    sim.spawn("h0", ThreadKind::Host { core: 0 }, move |ctx| {
+        // Scan a tail window small enough that the length cap (50) never
+        // truncates, so net changes are visible in the count.
+        let base = ks.initial_key(N - 20);
+        let before = sl2.execute(ctx, Op::Scan(base, 50)).value;
+        assert_eq!(before, 20);
+        assert!(sl2.execute(ctx, Op::Insert(base + 1, 1)).ok);
+        assert!(sl2.execute(ctx, Op::Insert(base + 2, 2)).ok);
+        assert!(sl2.execute(ctx, Op::Remove(ks.initial_key(N - 19))).ok);
+        let after = sl2.execute(ctx, Op::Scan(base, 50)).value;
+        assert_eq!(after, before + 1, "net +2 inserts -1 remove inside the range");
+    });
+    sim.run();
+    sl.check_invariants();
+}
+
+#[test]
+fn ycsb_e_mix_generates_scans() {
+    let spec = WorkloadSpec {
+        seed: 5,
+        threads: 1,
+        ops_per_thread: 500,
+        mix: Mix::ycsb_e(),
+        read_dist: KeyDist::Zipfian,
+        insert_dist: InsertDist::UniformGap,
+    };
+    let ops = &spec.generate(&keyspace())[0];
+    let scans = ops.iter().filter(|o| matches!(o, Op::Scan(..))).count();
+    assert!(scans > 400, "YCSB-E is 95% scans, got {scans}/500");
+    for op in ops {
+        if let Op::Scan(_, len) = op {
+            assert!((1..=100).contains(len));
+        }
+    }
+}
+
+#[test]
+fn ycsb_e_driver_run_on_hybrid_btree() {
+    let ks = keyspace();
+    let m = Machine::new(Config::tiny());
+    let pairs: Vec<(Key, Value)> =
+        (0..ks.total_initial()).map(|i| (ks.initial_key(i), i)).collect();
+    let t = HybridBTree::with_budget(Arc::clone(&m), &pairs, 0.6, 2, 2 * 1024);
+    let spec = hybrids::driver::RunSpec {
+        workload: WorkloadSpec {
+            seed: 6,
+            threads: 2,
+            ops_per_thread: 40,
+            mix: Mix::ycsb_e(),
+            read_dist: KeyDist::Uniform,
+            insert_dist: InsertDist::UniformGap,
+        },
+        warmup_per_thread: 5,
+        inflight: 2,
+        app_footprint_lines: 0,
+    };
+    let r = hybrids::driver::run_index(&m, &t, &ks, &spec);
+    assert_eq!(r.measured_ops, 80);
+    assert!(r.succeeded_ops > 0);
+    t.check_invariants();
+}
+
+#[test]
+fn pipelined_btree_scans_interleaved_with_parked_inserts() {
+    // Regression: a pipelined scan must not wedge on a host seqlock held by
+    // a parked LOCK_PATH insert in another lane of the same host thread.
+    let ks = keyspace();
+    let m = Machine::new(Config::tiny());
+    let pairs: Vec<(Key, Value)> =
+        (0..ks.total_initial()).map(|i| (ks.initial_key(i), i)).collect();
+    // Full leaves: every insert splits, maximizing LOCK_PATH traffic.
+    let t = HybridBTree::with_budget(Arc::clone(&m), &pairs, 1.0, 4, 2 * 1024);
+    let mut sim = m.simulation();
+    t.spawn_services(&mut sim);
+    for core in 0..2usize {
+        let t = Arc::clone(&t);
+        sim.spawn(format!("h{core}"), ThreadKind::Host { core }, move |ctx| {
+            let mut ops: Vec<Op> = Vec::new();
+            for i in 0..30u32 {
+                ops.push(Op::Insert(ks.tail_key(core as u32, i), i));
+                if i % 3 == 0 {
+                    ops.push(Op::Scan(ks.initial_key(i * 11 % N), 30));
+                }
+            }
+            let mut lanes: Vec<Option<_>> = (0..4).map(|_| None).collect();
+            let mut next = 0;
+            let mut done = 0;
+            while done < ops.len() {
+                for lane in 0..4usize {
+                    match lanes[lane].take() {
+                        None if next < ops.len() => {
+                            match t.issue(ctx, lane, ops[next]) {
+                                Issued::Done(_) => done += 1,
+                                Issued::Pending(p) => lanes[lane] = Some(p),
+                            }
+                            next += 1;
+                        }
+                        None => {}
+                        Some(mut p) => match t.poll(ctx, &mut p) {
+                            PollOutcome::Done(_) => done += 1,
+                            PollOutcome::Pending => lanes[lane] = Some(p),
+                        },
+                    }
+                }
+                ctx.idle(16);
+            }
+        });
+    }
+    sim.run();
+    t.check_invariants();
+    assert_eq!(t.collect().len(), ks.total_initial() as usize + 60);
+}
