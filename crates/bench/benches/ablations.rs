@@ -15,7 +15,9 @@
 use std::sync::Arc;
 
 use hybrids::driver::{run_index, RunSpec};
-use hybrids::skiplist::{hybrid::split_for, lockfree::NodeLayout, HybridSkipList, LockFreeSkipList};
+use hybrids::skiplist::{
+    hybrid::split_for, lockfree::NodeLayout, HybridSkipList, LockFreeSkipList,
+};
 use hybrids_bench::{initial_pairs, run_skiplist, ycsb_c, LockFreeIndex, Scale, Variant, SEED};
 use nmp_sim::Machine;
 use workloads::{InsertDist, KeyDist, WorkloadSpec};
@@ -37,7 +39,10 @@ fn zipf_workload(scale: &Scale, theta_x100: u32) -> WorkloadSpec {
 
 fn skew_sweep(scale: &Scale) {
     println!("\n== ablation 1: workload skew (paper §7's limitation) ==");
-    println!("{:<8} {:>18} {:>22} {:>8}", "theta", "lock-free Mops/s", "hybrid-nb4 Mops/s", "ratio");
+    println!(
+        "{:<8} {:>18} {:>22} {:>8}",
+        "theta", "lock-free Mops/s", "hybrid-nb4 Mops/s", "ratio"
+    );
     for theta in [0u32, 50, 90, 99] {
         let wl = zipf_workload(scale, theta);
         let lf = run_skiplist(scale, Variant::LockFree, wl);
@@ -88,20 +93,17 @@ fn split_sweep(scale: &Scale) {
 
 fn link_sweep(scale: &Scale) {
     println!("\n== ablation 3: off-chip host link latency ==");
-    println!("{:<12} {:>18} {:>22} {:>8}", "link (ns)", "lock-free Mops/s", "hybrid-nb4 Mops/s", "ratio");
+    println!(
+        "{:<12} {:>18} {:>22} {:>8}",
+        "link (ns)", "lock-free Mops/s", "hybrid-nb4 Mops/s", "ratio"
+    );
     for link_ns in [0.0, 8.0, 16.0, 32.0] {
         let mut s = scale.clone();
         s.cfg.host_link_ns = link_ns;
         let wl = ycsb_c(&s, s.cfg.host_cores as u32);
         let lf = run_skiplist(&s, Variant::LockFree, wl);
         let hy = run_skiplist(&s, Variant::HybridNonblocking(4), wl);
-        println!(
-            "{:<12} {:>18.4} {:>22.4} {:>8.2}",
-            link_ns,
-            lf.mops,
-            hy.mops,
-            hy.mops / lf.mops
-        );
+        println!("{:<12} {:>18.4} {:>22.4} {:>8.2}", link_ns, lf.mops, hy.mops, hy.mops / lf.mops);
     }
     println!("(the NMP advantage is precisely the traffic that skips this link)");
 }

@@ -41,8 +41,8 @@ fn trace(scale: &Scale, inflight: usize) -> (Vec<(u64, u64)>, u64) {
                 let mut next = 0;
                 let mut done = 0;
                 while done < ops.len() {
-                    for lane in 0..inflight {
-                        match lanes[lane].take() {
+                    for (lane, slot) in lanes.iter_mut().enumerate() {
+                        match slot.take() {
                             None if next < ops.len() => {
                                 let t0 = ctx.now();
                                 match sl.issue(ctx, lane, ops[next]) {
@@ -50,7 +50,7 @@ fn trace(scale: &Scale, inflight: usize) -> (Vec<(u64, u64)>, u64) {
                                         spans.lock().push((t0, ctx.now()));
                                         done += 1;
                                     }
-                                    Issued::Pending(p) => lanes[lane] = Some((t0, p)),
+                                    Issued::Pending(p) => *slot = Some((t0, p)),
                                 }
                                 next += 1;
                             }
@@ -60,7 +60,7 @@ fn trace(scale: &Scale, inflight: usize) -> (Vec<(u64, u64)>, u64) {
                                     spans.lock().push((t0, ctx.now()));
                                     done += 1;
                                 }
-                                PollOutcome::Pending => lanes[lane] = Some((t0, p)),
+                                PollOutcome::Pending => *slot = Some((t0, p)),
                             },
                         }
                     }

@@ -13,10 +13,8 @@ use hybrids_bench::{run_skiplist, save_records, ycsb_c, Record, Scale, Variant};
 
 fn main() {
     let scale = Scale::from_env();
-    let threads: Vec<u32> = [1u32, 2, 4, 8]
-        .into_iter()
-        .filter(|&t| t as usize <= scale.cfg.host_cores)
-        .collect();
+    let threads: Vec<u32> =
+        [1u32, 2, 4, 8].into_iter().filter(|&t| t as usize <= scale.cfg.host_cores).collect();
     let variants = [
         Variant::LockFree,
         Variant::NmpBased,
@@ -30,13 +28,7 @@ fn main() {
     for &t in &threads {
         for v in variants {
             let r = run_skiplist(&scale, v, ycsb_c(&scale, t));
-            println!(
-                "{:<22} {:>7} {:>12.4} {:>14.2}",
-                v.label(),
-                t,
-                r.mops,
-                r.dram_reads_per_op
-            );
+            println!("{:<22} {:>7} {:>12.4} {:>14.2}", v.label(), t, r.mops, r.dram_reads_per_op);
             records.push(Record::new("fig5", &scale, &v, "YCSB-C", &r));
         }
     }

@@ -12,10 +12,8 @@ use hybrids_bench::{run_btree, save_records, ycsb_c, Record, Scale, Variant};
 
 fn main() {
     let scale = Scale::from_env();
-    let threads: Vec<u32> = [1u32, 2, 4, 8]
-        .into_iter()
-        .filter(|&t| t as usize <= scale.cfg.host_cores)
-        .collect();
+    let threads: Vec<u32> =
+        [1u32, 2, 4, 8].into_iter().filter(|&t| t as usize <= scale.cfg.host_cores).collect();
     let variants = [Variant::HostOnly, Variant::HybridBtBlocking, Variant::HybridBtNonblocking(4)];
     let mut records = Vec::new();
     println!("fig6: B+ tree YCSB-C baseline (scale = {})", scale.name);
@@ -23,18 +21,13 @@ fn main() {
     for &t in &threads {
         for v in variants {
             let r = run_btree(&scale, v, ycsb_c(&scale, t));
-            println!(
-                "{:<22} {:>7} {:>12.4} {:>14.2}",
-                v.label(),
-                t,
-                r.mops,
-                r.dram_reads_per_op
-            );
+            println!("{:<22} {:>7} {:>12.4} {:>14.2}", v.label(), t, r.mops, r.dram_reads_per_op);
             records.push(Record::new("fig6", &scale, &v, "YCSB-C", &r));
         }
     }
     let last = *threads.last().unwrap();
-    let at = |label: &str| records.iter().find(|r| r.variant == label && r.threads == last).unwrap();
+    let at =
+        |label: &str| records.iter().find(|r| r.variant == label && r.threads == last).unwrap();
     let host = at("host-only");
     let hb = at("hybrid-blocking");
     let hn4 = at("hybrid-nonblocking4");

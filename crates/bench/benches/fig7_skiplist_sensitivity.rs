@@ -14,8 +14,7 @@ use workloads::{InsertDist, Mix};
 
 fn main() {
     let scale = Scale::from_env().in_order();
-    let variants =
-        [Variant::LockFree, Variant::HybridBlocking, Variant::HybridNonblocking(4)];
+    let variants = [Variant::LockFree, Variant::HybridBlocking, Variant::HybridNonblocking(4)];
     let mut records = Vec::new();
     let mut results: Vec<(String, String, f64)> = Vec::new();
     println!("fig7: skiplist sensitivity (scale = {}, in-order hosts)", scale.name);

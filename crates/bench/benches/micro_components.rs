@@ -1,99 +1,117 @@
-//! Criterion micro-benchmarks of the simulator substrate components:
-//! cache model, DRAM vault timing, zipfian generation, engine handshake,
-//! and end-to-end simulated operations. These measure *wall-clock* cost of
-//! the simulator itself (not simulated cycles) — they exist to keep the
-//! substrate fast enough that figure-scale experiments stay tractable.
+//! Micro-benchmarks of the simulator substrate components: cache model,
+//! DRAM vault timing, zipfian generation, engine handshake, and end-to-end
+//! simulated operations. These measure *wall-clock* cost of the simulator
+//! itself (not simulated cycles) — they exist to keep the substrate fast
+//! enough that figure-scale experiments stay tractable.
+//!
+//! Criterion is unavailable offline, so this is a plain `harness = false`
+//! binary with `std::time::Instant` timing loops (median of several
+//! batches, ns/iter).
 
+use std::hint::black_box;
 use std::sync::Arc;
+use std::time::Instant;
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use hybrids::api::SimIndex;
 use hybrids::skiplist::HybridSkipList;
 use hybrids_bench::{initial_pairs, SEED};
-use nmp_sim::{cache::Cache, dram::{DramTiming, Vault}, Config, Machine, ThreadKind};
-use std::hint::black_box;
+use nmp_sim::{
+    cache::Cache,
+    dram::{DramTiming, Vault},
+    Config, Machine, ThreadKind,
+};
 use workloads::{KeySpace, Op, Rng, ScrambledZipfian};
 
-fn bench_cache(c: &mut Criterion) {
+/// Time `iters` runs of `f` per batch, repeating `batches` times; report
+/// the median batch as ns/iter.
+fn bench(name: &str, batches: usize, iters: u64, mut f: impl FnMut()) {
+    let mut per_iter_ns: Vec<f64> = (0..batches)
+        .map(|_| {
+            let start = Instant::now();
+            for _ in 0..iters {
+                f();
+            }
+            start.elapsed().as_nanos() as f64 / iters as f64
+        })
+        .collect();
+    per_iter_ns.sort_by(|a, b| a.total_cmp(b));
+    println!("{name:<34} {:>12.1} ns/iter", per_iter_ns[per_iter_ns.len() / 2]);
+}
+
+fn bench_cache() {
     let cfg = Config::paper();
-    c.bench_function("cache_access_hit", |b| {
-        let mut cache = Cache::new(&cfg.l2);
-        cache.access(0x1000, false);
-        b.iter(|| black_box(cache.access(black_box(0x1000), false)));
+    let mut cache = Cache::new(&cfg.l2);
+    cache.access(0x1000, false);
+    bench("cache_access_hit", 7, 1_000_000, || {
+        black_box(cache.access(black_box(0x1000), false));
     });
-    c.bench_function("cache_access_miss_stream", |b| {
-        let mut cache = Cache::new(&cfg.l2);
-        let mut a = 0u32;
-        b.iter(|| {
-            a = a.wrapping_add(128);
-            black_box(cache.access(black_box(a % (64 << 20)), false))
-        });
+
+    let mut cache = Cache::new(&cfg.l2);
+    let mut a = 0u32;
+    bench("cache_access_miss_stream", 7, 1_000_000, || {
+        a = a.wrapping_add(128);
+        black_box(cache.access(black_box(a % (64 << 20)), false));
     });
 }
 
-fn bench_dram(c: &mut Criterion) {
+fn bench_dram() {
     let cfg = Config::paper();
     let t = DramTiming::from_config(&cfg);
-    c.bench_function("vault_access", |b| {
-        let mut v = Vault::new(&t);
-        let mut now = 0u64;
-        let mut a = 0u32;
-        b.iter(|| {
-            now += 100;
-            a = a.wrapping_add(4096 + 64);
-            black_box(v.access(now, a % (64 << 20), false, &t))
-        });
+    let mut v = Vault::new(&t);
+    let mut now = 0u64;
+    let mut a = 0u32;
+    bench("vault_access", 7, 1_000_000, || {
+        now += 100;
+        a = a.wrapping_add(4096 + 64);
+        black_box(v.access(now, a % (64 << 20), false, &t));
     });
 }
 
-fn bench_zipf(c: &mut Criterion) {
+fn bench_zipf() {
     let z = ScrambledZipfian::ycsb(1 << 22);
     let mut rng = Rng::new(7);
-    c.bench_function("scrambled_zipfian_next", |b| {
-        b.iter(|| black_box(z.next_index(&mut rng)))
+    bench("scrambled_zipfian_next", 7, 1_000_000, || {
+        black_box(z.next_index(&mut rng));
     });
 }
 
-fn bench_engine_handshake(c: &mut Criterion) {
+fn bench_engine_handshake() {
     // Cost of one simulated memory access = one engine handshake.
-    c.bench_function("sim_1000_reads", |b| {
-        b.iter(|| {
-            let machine = Machine::new(Config::tiny());
-            let base = machine.map().host_base;
-            let mut sim = machine.simulation();
-            sim.spawn("h0", ThreadKind::Host { core: 0 }, move |ctx| {
-                for i in 0..1000u32 {
-                    black_box(ctx.read_u64(base + (i % 256) * 8));
-                }
-            });
-            black_box(sim.run().makespan())
+    bench("sim_1000_reads", 5, 10, || {
+        let machine = Machine::new(Config::tiny());
+        let base = machine.map().host_base;
+        let mut sim = machine.simulation();
+        sim.spawn("h0", ThreadKind::Host { core: 0 }, move |ctx| {
+            for i in 0..1000u32 {
+                black_box(ctx.read_u64(base + (i % 256) * 8));
+            }
         });
+        black_box(sim.run().makespan());
     });
 }
 
-fn bench_hybrid_ops(c: &mut Criterion) {
+fn bench_hybrid_ops() {
     let machine = Machine::new(Config::tiny());
     let ks = KeySpace::new(4096, 2, 512);
     let sl = HybridSkipList::new(Arc::clone(&machine), ks, 12, 5, SEED, 1);
     sl.populate(initial_pairs(&ks));
-    c.bench_function("hybrid_skiplist_100_reads_sim", |b| {
-        b.iter(|| {
-            let mut sim = machine.simulation();
-            sl.spawn_services(&mut sim);
-            let sl2 = Arc::clone(&sl);
-            sim.spawn("h0", ThreadKind::Host { core: 0 }, move |ctx| {
-                for i in 0..100u32 {
-                    black_box(sl2.execute(ctx, Op::Read(ks.initial_key(i * 31 % 4096))));
-                }
-            });
-            black_box(sim.run().makespan())
+    bench("hybrid_skiplist_100_reads_sim", 5, 10, || {
+        let mut sim = machine.simulation();
+        sl.spawn_services(&mut sim);
+        let sl2 = Arc::clone(&sl);
+        sim.spawn("h0", ThreadKind::Host { core: 0 }, move |ctx| {
+            for i in 0..100u32 {
+                black_box(sl2.execute(ctx, Op::Read(ks.initial_key(i * 31 % 4096))));
+            }
         });
+        black_box(sim.run().makespan());
     });
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_cache, bench_dram, bench_zipf, bench_engine_handshake, bench_hybrid_ops
+fn main() {
+    bench_cache();
+    bench_dram();
+    bench_zipf();
+    bench_engine_handshake();
+    bench_hybrid_ops();
 }
-criterion_main!(benches);

@@ -38,8 +38,10 @@ fn main() {
     let finished = Arc::new(AtomicU64::new(0));
     let iterations = 50u32;
 
-    // Collected per-iteration samples (cycles).
-    let samples: Arc<parking_lot::Mutex<Vec<(u64, u64, u64, u64)>>> =
+    // Collected per-iteration samples (cycles):
+    // (request write, notice delay, response notice delay, round trip).
+    type Sample = (u64, u64, u64, u64);
+    let samples: Arc<parking_lot::Mutex<Vec<Sample>>> =
         Arc::new(parking_lot::Mutex::new(Vec::new()));
 
     let mut sim = machine.simulation();
@@ -63,10 +65,10 @@ fn main() {
                 let t_noticed = noticed.load(Ordering::Relaxed);
                 let t_finished = finished.load(Ordering::Relaxed);
                 samples.lock().push((
-                    t_posted - t_start,                   // request write (4 MMIO stores)
-                    t_noticed.saturating_sub(t_posted),   // until combiner picks it up
-                    t_done.saturating_sub(t_finished),    // completion -> host notices
-                    t_done - t_start,                     // full round trip
+                    t_posted - t_start,                 // request write (4 MMIO stores)
+                    t_noticed.saturating_sub(t_posted), // until combiner picks it up
+                    t_done.saturating_sub(t_finished),  // completion -> host notices
+                    t_done - t_start,                   // full round trip
                 ));
                 ctx.idle(200); // let the combiner go idle between iterations
             }

@@ -23,7 +23,9 @@ use std::sync::Arc;
 use hybrids::api::SimIndex;
 use hybrids::btree::{HostBTree, HybridBTree};
 use hybrids::driver::{run_index, RunResult, RunSpec};
-use hybrids::skiplist::{hybrid::split_for, lockfree::NodeLayout, HybridSkipList, LockFreeSkipList, NmpSkipList};
+use hybrids::skiplist::{
+    hybrid::split_for, lockfree::NodeLayout, HybridSkipList, LockFreeSkipList, NmpSkipList,
+};
 use nmp_sim::{Config, Machine};
 use serde::Serialize;
 use workloads::{InsertDist, Key, KeyDist, KeySpace, Mix, Op, Value, WorkloadSpec};
@@ -290,7 +292,9 @@ pub fn run_skiplist(scale: &Scale, variant: Variant, workload: WorkloadSpec) -> 
     let spec = RunSpec {
         workload,
         warmup_per_thread: scale.warmup_per_thread,
-        inflight: variant.inflight(), app_footprint_lines: 0 };
+        inflight: variant.inflight(),
+        app_footprint_lines: 0,
+    };
     match variant {
         Variant::LockFree => {
             let (total, _) = split_for(ks.total_initial() as u64, scale.cfg.l2.size_bytes as u64);
@@ -310,8 +314,7 @@ pub fn run_skiplist(scale: &Scale, variant: Variant, workload: WorkloadSpec) -> 
             // Whole structure in NMP: per-partition levels = log2(N/P).
             let per_part = (ks.total_initial() / ks.parts).max(2) as u64;
             let levels = 64 - (per_part - 1).leading_zeros();
-            let sl =
-                NmpSkipList::new(Arc::clone(&machine), ks, levels, SEED, spec.inflight.max(1));
+            let sl = NmpSkipList::new(Arc::clone(&machine), ks, levels, SEED, spec.inflight.max(1));
             sl.populate(pairs);
             run_index(&machine, &sl, &ks, &spec)
         }

@@ -15,9 +15,9 @@ use workloads::{Key, Op, Value};
 
 use crate::api::{Issued, OpResult, PollOutcome, SimIndex};
 
+use super::build;
 use super::node::{self, INNER_MAX, LEAF_MAX};
 use super::traverse::descend;
-use super::build;
 
 /// Host-only seqlock B+ tree.
 pub struct HostBTree {
@@ -58,9 +58,10 @@ impl HostBTree {
         loop {
             let d = descend(ctx, self.root_word, key, 0);
             let (leaf, seq) = d.bottom();
-            let m = node::read_meta(ctx, leaf);
-            let r = node::leaf_find(ctx, leaf, m.slotuse.min(LEAF_MAX), key)
-                .map(|i| node::read_payload(ctx, leaf, i));
+            // Speculative: the seqnum re-check below discards torn reads.
+            let m = node::read_meta_spec(ctx, leaf);
+            let r = node::leaf_find_spec(ctx, leaf, m.slotuse.min(LEAF_MAX), key)
+                .map(|i| node::read_payload_spec(ctx, leaf, i));
             if node::read_seq(ctx, leaf) == seq {
                 return match r {
                     Some(v) => OpResult::ok(v),
@@ -116,23 +117,24 @@ impl HostBTree {
             let (mut leaf, _) = d.bottom();
             loop {
                 let seq = node::read_seq(ctx, leaf);
-                if seq % 2 != 0 {
+                if !seq.is_multiple_of(2) {
                     ctx.idle(8);
                     continue 'restart;
                 }
-                let m = node::read_meta(ctx, leaf);
+                // Speculative: the seqnum re-check below discards torn reads.
+                let m = node::read_meta_spec(ctx, leaf);
                 let mut read_here = 0u32;
                 for i in 0..m.slotuse.min(node::LEAF_MAX) {
                     ctx.step();
-                    if node::read_key(ctx, leaf, i) >= from {
-                        let _ = node::read_payload(ctx, leaf, i);
+                    if node::read_key_spec(ctx, leaf, i) >= from {
+                        let _ = node::read_payload_spec(ctx, leaf, i);
                         read_here += 1;
                         if read_here == remaining {
                             break;
                         }
                     }
                 }
-                let next = ctx.read_u32(leaf + 120);
+                let next = ctx.read_u32_speculative(leaf + 120);
                 if node::read_seq(ctx, leaf) != seq {
                     continue 'restart; // leaf changed under us
                 }
@@ -195,7 +197,8 @@ impl HostBTree {
                 node::write_key(ctx, nr, 0, div);
                 node::write_payload(ctx, nr, 0, old_root);
                 node::write_payload(ctx, nr, 1, right);
-                ctx.write_u32(self.root_word, nr);
+                // Release: publishes the new root to optimistic descents.
+                ctx.write_u32_release(self.root_word, nr);
             }
             for &l in locked.iter().rev() {
                 node::unlock_seq(ctx, l);
@@ -267,8 +270,7 @@ pub(super) fn apply_insert(
         InsertSeed::Child(..) => None,
     };
     let mut rights: Vec<Addr> = Vec::new();
-    for i in 0..path_len {
-        let n = locked[i];
+    for (i, &n) in locked.iter().enumerate().take(path_len) {
         let lvl = base_level + i as u32;
         let m = node::read_meta(ctx, n);
         let is_leaf_step = lvl == 0 && leaf_seed.is_some();
@@ -358,9 +360,7 @@ mod tests {
         for core in 0..threads {
             let t = Arc::clone(t);
             let f = Arc::clone(&f);
-            sim.spawn(format!("h{core}"), ThreadKind::Host { core }, move |ctx| {
-                f(ctx, &t, core)
-            });
+            sim.spawn(format!("h{core}"), ThreadKind::Host { core }, move |ctx| f(ctx, &t, core));
         }
         sim.run();
     }

@@ -369,7 +369,12 @@ impl HybridBTree {
     /// Host traversal + offload (Listing 4 lines 4-24). Bounded: gives up
     /// after a few seqlock waits so a pipelined host thread never spins on
     /// a lock that one of its *own* in-flight operations holds.
-    fn try_offload(&self, ctx: &mut ThreadCtx, slot: usize, op: Op) -> Option<(usize, SavedDescent)> {
+    fn try_offload(
+        &self,
+        ctx: &mut ThreadCtx,
+        slot: usize,
+        op: Op,
+    ) -> Option<(usize, SavedDescent)> {
         const PATIENCE: u32 = 8;
         let key = op.key();
         let d = try_descend(ctx, self.root_word, key, self.last_host_level, PATIENCE)?;
@@ -430,7 +435,8 @@ impl HybridBTree {
             node::write_key(ctx, nr, 0, div);
             node::write_payload(ctx, nr, 0, top_of_path);
             node::write_payload(ctx, nr, 1, right);
-            ctx.write_u32(self.root_word, nr);
+            // Release: publishes the new root to optimistic descents.
+            ctx.write_u32_release(self.root_word, nr);
         }
         for &l in locked.iter().rev() {
             node::unlock_seq(ctx, l);
@@ -691,9 +697,7 @@ mod tests {
         for core in 0..threads {
             let t = Arc::clone(t);
             let f = Arc::clone(&f);
-            sim.spawn(format!("h{core}"), ThreadKind::Host { core }, move |ctx| {
-                f(ctx, &t, core)
-            });
+            sim.spawn(format!("h{core}"), ThreadKind::Host { core }, move |ctx| f(ctx, &t, core));
         }
         sim.run();
     }
@@ -816,8 +820,8 @@ mod tests {
             let mut done = 0u32;
             let total = 50u32;
             while done < total {
-                for lane in 0..2usize {
-                    match lanes[lane].take() {
+                for (lane, slot) in lanes.iter_mut().enumerate() {
+                    match slot.take() {
                         None if issued < total => {
                             let key = 4001 + core as u32 * 500 + issued;
                             issued += 1;
@@ -826,7 +830,7 @@ mod tests {
                                     assert!(r.ok);
                                     done += 1;
                                 }
-                                Issued::Pending(p) => lanes[lane] = Some(p),
+                                Issued::Pending(p) => *slot = Some(p),
                             }
                         }
                         None => {}
@@ -835,7 +839,7 @@ mod tests {
                                 assert!(r.ok);
                                 done += 1;
                             }
-                            PollOutcome::Pending => lanes[lane] = Some(p),
+                            PollOutcome::Pending => *slot = Some(p),
                         },
                     }
                 }

@@ -108,11 +108,15 @@ pub fn raw_set_payload(ram: &SimRam, node: Addr, i: u32, v: u32) {
 // ---- timed ----
 
 pub fn read_seq(ctx: &mut ThreadCtx, node: Addr) -> u32 {
-    ctx.read_u32(node)
+    // Acquire: the seqnum is the node's synchronization word — observing an
+    // even value must order the reader after the writer's release below.
+    ctx.read_u32_acquire(node)
 }
 
 pub fn write_seq(ctx: &mut ThreadCtx, node: Addr, seq: u32) {
-    ctx.write_u32(node, seq)
+    // Release: publishes the critical section's writes (or, when a split
+    // replicates a seqnum into a fresh node, publishes the new node).
+    ctx.write_u32_release(node, seq)
 }
 
 /// Try to lock a host node's sequence lock: even -> odd CAS.
@@ -123,9 +127,9 @@ pub fn try_lock_seq(ctx: &mut ThreadCtx, node: Addr, expect_even: u32) -> bool {
 
 /// Release a host node's sequence lock (odd -> even increment).
 pub fn unlock_seq(ctx: &mut ThreadCtx, node: Addr) {
-    let s = ctx.read_u32(node);
+    let s = read_seq(ctx, node);
     debug_assert_eq!(s % 2, 1, "unlock of an unlocked node");
-    ctx.write_u32(node, s + 1);
+    write_seq(ctx, node, s + 1);
 }
 
 pub fn read_meta(ctx: &mut ThreadCtx, node: Addr) -> Meta {
@@ -154,8 +158,31 @@ pub fn write_payload(ctx: &mut ThreadCtx, node: Addr, i: u32, v: u32) {
 
 /// Timed node initialization (writes a fresh node's header).
 pub fn init_node(ctx: &mut ThreadCtx, node: Addr, level: u32, slotuse: u32) {
-    ctx.write_u32(node, 0);
+    write_seq(ctx, node, 0);
     write_meta(ctx, node, Meta { level, slotuse, locked: false });
+}
+
+// ---- timed, speculative ----
+//
+// Optimistic read paths (seqlock-validated descents and leaf probes) read
+// node contents that a concurrent writer may be mutating; the seqnum
+// re-check discards any torn result. These `_spec` variants cost the same
+// simulated cycles as their plain counterparts but tell the race detector
+// the read is validated elsewhere and must not be reported.
+
+/// Speculative [`read_meta`] for seqlock-validated paths.
+pub fn read_meta_spec(ctx: &mut ThreadCtx, node: Addr) -> Meta {
+    Meta::unpack(ctx.read_u32_speculative(node + 4))
+}
+
+/// Speculative [`read_key`] for seqlock-validated paths.
+pub fn read_key_spec(ctx: &mut ThreadCtx, node: Addr, i: u32) -> Key {
+    ctx.read_u32_speculative(node + KEYS_OFF + 4 * i)
+}
+
+/// Speculative [`read_payload`] for seqlock-validated paths.
+pub fn read_payload_spec(ctx: &mut ThreadCtx, node: Addr, i: u32) -> u32 {
+    ctx.read_u32_speculative(node + PAYLOAD_OFF + 4 * i)
 }
 
 /// Index of the child to follow for `key` in an inner node
@@ -171,11 +198,37 @@ pub fn find_child_idx(ctx: &mut ThreadCtx, node: Addr, slotuse: u32, key: Key) -
     slotuse
 }
 
+/// Speculative [`find_child_idx`] for seqlock-validated descents.
+pub fn find_child_idx_spec(ctx: &mut ThreadCtx, node: Addr, slotuse: u32, key: Key) -> u32 {
+    for i in 0..slotuse {
+        ctx.step();
+        if key <= read_key_spec(ctx, node, i) {
+            return i;
+        }
+    }
+    slotuse
+}
+
 /// Position of `key` in a leaf, if present.
 pub fn leaf_find(ctx: &mut ThreadCtx, node: Addr, slotuse: u32, key: Key) -> Option<u32> {
     for i in 0..slotuse {
         ctx.step();
         let k = read_key(ctx, node, i);
+        if k == key {
+            return Some(i);
+        }
+        if k > key {
+            return None;
+        }
+    }
+    None
+}
+
+/// Speculative [`leaf_find`] for seqlock-validated probes.
+pub fn leaf_find_spec(ctx: &mut ThreadCtx, node: Addr, slotuse: u32, key: Key) -> Option<u32> {
+    for i in 0..slotuse {
+        ctx.step();
+        let k = read_key_spec(ctx, node, i);
         if k == key {
             return Some(i);
         }
@@ -263,8 +316,8 @@ pub fn split_leaf(ctx: &mut ThreadCtx, arena: &Arena, node: Addr) -> (Key, Addr)
     let right = alloc_node(arena);
     let keep = LEAF_MAX / 2;
     let moved = LEAF_MAX - keep;
-    let seq = ctx.read_u32(node);
-    ctx.write_u32(right, seq);
+    let seq = read_seq(ctx, node);
+    write_seq(ctx, right, seq);
     write_meta(ctx, right, Meta { level: 0, slotuse: moved, locked: m.locked });
     for i in 0..moved {
         let k = read_key(ctx, node, keep + i);
@@ -289,8 +342,8 @@ pub fn split_inner(ctx: &mut ThreadCtx, arena: &Arena, node: Addr) -> (Key, Addr
     let right = alloc_node(arena);
     let mid = INNER_MAX / 2;
     let moved = INNER_MAX - mid - 1;
-    let seq = ctx.read_u32(node);
-    ctx.write_u32(right, seq);
+    let seq = read_seq(ctx, node);
+    write_seq(ctx, right, seq);
     write_meta(ctx, right, Meta { level: m.level, slotuse: moved, locked: m.locked });
     for i in 0..moved {
         let k = read_key(ctx, node, mid + 1 + i);

@@ -48,7 +48,7 @@ impl Descent {
 fn wait_even(ctx: &mut ThreadCtx, node: Addr, patience: &mut u32) -> Option<u32> {
     loop {
         let s = node::read_seq(ctx, node);
-        if s % 2 == 0 {
+        if s.is_multiple_of(2) {
             return Some(s);
         }
         if *patience == 0 {
@@ -81,9 +81,10 @@ pub fn try_descend(
     mut patience: u32,
 ) -> Option<Descent> {
     'root: loop {
-        let root = ctx.read_u32(root_word) as Addr;
+        // Acquire: pairs with the release store a root split publishes with.
+        let root = ctx.read_u32_acquire(root_word) as Addr;
         let rseq = wait_even(ctx, root, &mut patience)?;
-        let rmeta = node::read_meta(ctx, root);
+        let rmeta = node::read_meta_spec(ctx, root);
         if rmeta.level < stop_level {
             // Stale root pointer read across a root split; retry.
             if patience == 0 {
@@ -101,12 +102,14 @@ pub fn try_descend(
         loop {
             let (curr, cseq) = path[(level - stop_level) as usize];
             let inherited_hi = his[(level - stop_level) as usize];
-            let meta = node::read_meta(ctx, curr);
-            let idx = node::find_child_idx(ctx, curr, meta.slotuse.min(node::INNER_MAX), key);
+            // Speculative reads: a writer may be mutating `curr`; the
+            // seqnum re-check before descending discards torn results.
+            let meta = node::read_meta_spec(ctx, curr);
+            let idx = node::find_child_idx_spec(ctx, curr, meta.slotuse.min(node::INNER_MAX), key);
             // Tightest bound for the chosen child: its dividing key, or the
             // bound inherited from ancestors for the rightmost child.
             let child_hi = if idx < meta.slotuse.min(node::INNER_MAX) {
-                node::read_key(ctx, curr, idx)
+                node::read_key_spec(ctx, curr, idx)
             } else {
                 inherited_hi
             };
@@ -123,7 +126,7 @@ pub fn try_descend(
                 }
                 // Hybrid boundary: read the NMP child pointer, then
                 // re-validate the parent.
-                let child = node::read_payload(ctx, curr, idx) as Addr;
+                let child = node::read_payload_spec(ctx, curr, idx) as Addr;
                 if node::read_seq(ctx, curr) == cseq {
                     return Some(Descent {
                         path,
@@ -134,7 +137,7 @@ pub fn try_descend(
                     });
                 }
             } else {
-                let child = node::read_payload(ctx, curr, idx) as Addr;
+                let child = node::read_payload_spec(ctx, curr, idx) as Addr;
                 let chseq = wait_even(ctx, child, &mut patience)?;
                 if node::read_seq(ctx, curr) == cseq {
                     level -= 1;

@@ -16,7 +16,41 @@ use nmp_sim::{Machine, StatsSnapshot, ThreadCtx, ThreadKind};
 use serde::Serialize;
 use workloads::{KeySpace, Op, WorkloadSpec};
 
-use crate::api::{Issued, PollOutcome, SimIndex};
+#[cfg(feature = "analysis")]
+use nmp_sim::analysis::{HistEvent, HistOp, HistoryRecorder};
+
+use crate::api::{Issued, OpResult, PollOutcome, SimIndex};
+
+/// Per-thread view of a history recorder: the recorder plus the recording
+/// thread's id. `None` disables recording (the normal benchmarking path).
+#[cfg(feature = "analysis")]
+pub type RecorderHandle<'a> = Option<(&'a HistoryRecorder, usize)>;
+/// Stub when the `analysis` feature is off; only `None` is constructible.
+#[cfg(not(feature = "analysis"))]
+pub type RecorderHandle<'a> = Option<&'a std::convert::Infallible>;
+
+#[cfg(feature = "analysis")]
+type RecorderArc = Option<Arc<HistoryRecorder>>;
+#[cfg(not(feature = "analysis"))]
+type RecorderArc = Option<Arc<std::convert::Infallible>>;
+
+/// Record one completed point operation. Scans are skipped: their
+/// multi-key footprint is outside the per-key linearizability model.
+#[cfg(feature = "analysis")]
+fn record_completion(rec: RecorderHandle<'_>, op: Op, r: OpResult, inv: u64, resp: u64) {
+    let Some((rec, thread)) = rec else { return };
+    let (hop, key, value) = match op {
+        Op::Read(k) => (HistOp::Read, k, r.value),
+        Op::Insert(k, v) => (HistOp::Insert, k, v),
+        Op::Remove(k) => (HistOp::Remove, k, 0),
+        Op::Update(k, v) => (HistOp::Update, k, v),
+        Op::Scan(..) => return,
+    };
+    rec.record(HistEvent { thread, op: hop, key, ok: r.ok, value, inv, resp });
+}
+
+#[cfg(not(feature = "analysis"))]
+fn record_completion(_rec: RecorderHandle<'_>, _op: Op, _r: OpResult, _inv: u64, _resp: u64) {}
 
 /// One experiment's execution parameters.
 #[derive(Debug, Clone, Copy)]
@@ -92,6 +126,31 @@ pub fn run_index<S: SimIndex>(
     ks: &KeySpace,
     spec: &RunSpec,
 ) -> RunResult {
+    run_index_inner(machine, index, ks, spec, None)
+}
+
+/// As [`run_index`], but every completed point operation (warm-up
+/// included; scans excluded) is recorded into `recorder`, ready for
+/// [`HistoryRecorder::check_linearizable`] against the structure's
+/// *pre-simulation* contents.
+#[cfg(feature = "analysis")]
+pub fn run_index_recorded<S: SimIndex>(
+    machine: &Arc<Machine>,
+    index: &Arc<S>,
+    ks: &KeySpace,
+    spec: &RunSpec,
+    recorder: &Arc<HistoryRecorder>,
+) -> RunResult {
+    run_index_inner(machine, index, ks, spec, Some(Arc::clone(recorder)))
+}
+
+fn run_index_inner<S: SimIndex>(
+    machine: &Arc<Machine>,
+    index: &Arc<S>,
+    ks: &KeySpace,
+    spec: &RunSpec,
+    recorder: RecorderArc,
+) -> RunResult {
     let threads = spec.workload.threads;
     assert!(threads as usize <= machine.config().host_cores, "more threads than host cores");
     assert!(spec.inflight >= 1 && spec.inflight <= index.max_inflight());
@@ -132,9 +191,14 @@ pub fn run_index<S: SimIndex>(
                 rng: workloads::Rng::new(spec.workload.seed ^ (t as u64) ^ 0xF007),
             }
         });
+        let recorder = recorder.clone();
         sim.spawn(format!("host-{t}"), ThreadKind::Host { core: t }, move |ctx| {
             let mut footprint = footprint;
-            run_stream(ctx, &*index, &warm, inflight, footprint.as_mut());
+            #[cfg(feature = "analysis")]
+            let rec: RecorderHandle<'_> = recorder.as_deref().map(|r| (r, t));
+            #[cfg(not(feature = "analysis"))]
+            let rec: RecorderHandle<'_> = recorder.as_deref();
+            run_stream(ctx, &*index, &warm, inflight, footprint.as_mut(), rec);
             // Barrier: wait for everyone's warm-up to finish, then the last
             // arriver resets the counters (cache state stays warm).
             let n = shared.arrived.fetch_add(1, Ordering::Relaxed) + 1;
@@ -147,7 +211,7 @@ pub fn run_index<S: SimIndex>(
                 }
             }
             shared.starts[t].store(ctx.now(), Ordering::Relaxed);
-            let ok = run_stream(ctx, &*index, &meas, inflight, footprint.as_mut());
+            let ok = run_stream(ctx, &*index, &meas, inflight, footprint.as_mut(), rec);
             shared.ends[t].store(ctx.now(), Ordering::Relaxed);
             shared.succeeded.fetch_add(ok, Ordering::Relaxed);
         });
@@ -208,11 +272,14 @@ fn run_stream<S: SimIndex>(
     ops: &[Op],
     inflight: usize,
     mut footprint: Option<&mut Footprint>,
+    rec: RecorderHandle<'_>,
 ) -> u64 {
     let mut ok = 0u64;
     if inflight <= 1 {
         for &op in ops {
+            let inv = ctx.now();
             let r = index.execute(ctx, op);
+            record_completion(rec, op, r, inv, ctx.now());
             ok += r.ok as u64;
             if let Some(f) = footprint.as_deref_mut() {
                 f.touch(ctx);
@@ -221,6 +288,8 @@ fn run_stream<S: SimIndex>(
         return ok;
     }
     let mut lanes: Vec<Option<S::Pending>> = (0..inflight).map(|_| None).collect();
+    // Invocation metadata per lane, kept for the completion record.
+    let mut issued: Vec<(Op, u64)> = vec![(Op::Read(0), 0); inflight];
     let mut next = 0usize;
     let mut done = 0usize;
     while done < ops.len() {
@@ -231,15 +300,20 @@ fn run_stream<S: SimIndex>(
                     let op = ops[next];
                     next += 1;
                     progressed = true;
+                    let inv = ctx.now();
                     match index.issue(ctx, lane, op) {
                         Issued::Done(r) => {
                             done += 1;
                             ok += r.ok as u64;
+                            record_completion(rec, op, r, inv, ctx.now());
                             if let Some(f) = footprint.as_deref_mut() {
                                 f.touch(ctx);
                             }
                         }
-                        Issued::Pending(p) => lanes[lane] = Some(p),
+                        Issued::Pending(p) => {
+                            lanes[lane] = Some(p);
+                            issued[lane] = (op, inv);
+                        }
                     }
                 }
                 None => {}
@@ -248,6 +322,8 @@ fn run_stream<S: SimIndex>(
                         done += 1;
                         ok += r.ok as u64;
                         progressed = true;
+                        let (op, inv) = issued[lane];
+                        record_completion(rec, op, r, inv, ctx.now());
                         if let Some(f) = footprint.as_deref_mut() {
                             f.touch(ctx);
                         }
@@ -297,7 +373,12 @@ mod tests {
             &m,
             &t,
             &ks,
-            &RunSpec { workload: wl(2, 50, Mix::ycsb_c()), warmup_per_thread: 10, inflight: 1, app_footprint_lines: 0 },
+            &RunSpec {
+                workload: wl(2, 50, Mix::ycsb_c()),
+                warmup_per_thread: 10,
+                inflight: 1,
+                app_footprint_lines: 0,
+            },
         );
         assert_eq!(r.measured_ops, 100);
         assert_eq!(r.succeeded_ops, 100, "all reads hit initial keys");
@@ -314,7 +395,9 @@ mod tests {
         let spec = |inflight| RunSpec {
             workload: wl(4, 40, Mix::ycsb_c()),
             warmup_per_thread: 10,
-            inflight, app_footprint_lines: 0 };
+            inflight,
+            app_footprint_lines: 0,
+        };
         let blocking = run_index(&m, &sl, &ks, &spec(1));
         // Fresh machine for a fair second run.
         let m2 = Machine::new(Config::tiny());
@@ -344,7 +427,9 @@ mod tests {
             &RunSpec {
                 workload: wl(2, 100, Mix::read_insert_remove(50, 25, 25)),
                 warmup_per_thread: 5,
-                inflight: 1, app_footprint_lines: 0 },
+                inflight: 1,
+                app_footprint_lines: 0,
+            },
         );
         assert_eq!(r.measured_ops, 200);
         assert!(r.succeeded_ops > 0 && r.succeeded_ops <= 200);
@@ -365,11 +450,42 @@ mod tests {
                 &RunSpec {
                     workload: wl(3, 30, Mix::read_insert_remove(70, 15, 15)),
                     warmup_per_thread: 5,
-                    inflight: 1, app_footprint_lines: 0 },
+                    inflight: 1,
+                    app_footprint_lines: 0,
+                },
             );
             (r.cycles, r.succeeded_ops, r.stats.dram_reads())
         };
         assert_eq!(go(), go());
+    }
+
+    #[cfg(feature = "analysis")]
+    #[test]
+    fn recorded_history_linearizes() {
+        let m = Machine::new(Config::tiny());
+        let ks = ks();
+        let sl = NmpSkipList::new(Arc::clone(&m), ks, 8, 3, 2);
+        let pairs: Vec<(u32, u32)> =
+            (0..ks.total_initial()).map(|i| (ks.initial_key(i), i)).collect();
+        sl.populate(pairs.iter().copied());
+        let initial: std::collections::HashMap<u32, u32> = pairs.into_iter().collect();
+        let rec = Arc::new(HistoryRecorder::new());
+        let r = run_index_recorded(
+            &m,
+            &sl,
+            &ks,
+            &RunSpec {
+                workload: wl(2, 60, Mix::read_insert_remove(40, 30, 30)),
+                warmup_per_thread: 10,
+                inflight: 1,
+                app_footprint_lines: 0,
+            },
+            &rec,
+        );
+        // Warm-up (2 * 10) + measured (2 * 60) point ops, no scans in the mix.
+        assert_eq!(rec.len() as u64, r.measured_ops + 20);
+        rec.check_linearizable(|k| initial.get(&k).copied()).expect("history must linearize");
+        sl.check_invariants();
     }
 
     #[test]
@@ -384,7 +500,12 @@ mod tests {
                 &m,
                 &t,
                 &ks,
-                &RunSpec { workload: wl(1, 60, Mix::ycsb_c()), warmup_per_thread: warmup, inflight: 1, app_footprint_lines: 0 },
+                &RunSpec {
+                    workload: wl(1, 60, Mix::ycsb_c()),
+                    warmup_per_thread: warmup,
+                    inflight: 1,
+                    app_footprint_lines: 0,
+                },
             )
             .dram_reads_per_op
         };

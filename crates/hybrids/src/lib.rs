@@ -47,4 +47,6 @@ pub mod publist;
 pub mod skiplist;
 
 pub use api::{Issued, OpResult, PollOutcome, SimIndex};
+#[cfg(feature = "analysis")]
+pub use driver::run_index_recorded;
 pub use driver::{run_index, RunResult, RunSpec};

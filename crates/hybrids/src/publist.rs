@@ -181,14 +181,16 @@ impl PubLists {
         ctx.mmio_write_u64(a + 8, (req.key as u64) | ((req.value as u64) << 32));
         ctx.mmio_write_u64(a + 16, (req.begin as u64) | ((req.host_ptr as u64) << 32));
         ctx.mmio_write_u64(a + 24, req.aux as u64);
-        ctx.mmio_write_u64(a, CTRL_VALID | ((req.op as u64) << 8));
+        // Release: publishes the data words above to the scanning NMP core.
+        ctx.mmio_write_u64_release(a, CTRL_VALID | ((req.op as u64) << 8));
     }
 
     /// One poll: if the NMP core has cleared the valid bit, read the
     /// response words and return them.
     pub fn try_response(&self, ctx: &mut ThreadCtx, part: usize, slot: usize) -> Option<Response> {
         let a = self.slot_addr(part, slot);
-        let ctrl = ctx.mmio_read_u64(a);
+        // Acquire: pairs with the NMP core's release in `complete`.
+        let ctrl = ctx.mmio_read_u64_acquire(a);
         if ctrl & CTRL_VALID != 0 {
             return None;
         }
@@ -228,7 +230,8 @@ impl PubLists {
     pub fn scan(&self, ctx: &mut ThreadCtx, part: usize, slot: usize) -> Option<Request> {
         debug_assert!(matches!(ctx.kind(), ThreadKind::Nmp { .. }));
         let a = self.slot_addr(part, slot);
-        let ctrl = ctx.read_u64(a);
+        // Acquire: pairs with the host's release in `post`.
+        let ctrl = ctx.read_u64_acquire(a);
         if ctrl & CTRL_VALID == 0 {
             return None;
         }
@@ -263,7 +266,8 @@ impl PubLists {
         if resp.lock_path {
             ctrl |= CTRL_LOCK_PATH;
         }
-        ctx.write_u64(a, ctrl);
+        // Release: publishes the response words to the polling host thread.
+        ctx.write_u64_release(a, ctrl);
     }
 }
 
@@ -296,9 +300,9 @@ pub fn spawn_combiners<E: NmpExec>(sim: &mut Simulation, lists: Arc<PubLists>, e
             states.resize_with(lists.slots_per_part(), Default::default);
             loop {
                 let mut progress = false;
-                for slot in 0..lists.slots_per_part() {
+                for (slot, state) in states.iter_mut().enumerate() {
                     if let Some(req) = lists.scan(ctx, part, slot) {
-                        let resp = exec.exec(ctx, part, &req, &mut states[slot]);
+                        let resp = exec.exec(ctx, part, &req, state);
                         lists.complete(ctx, part, slot, &resp);
                         progress = true;
                     }
@@ -346,13 +350,7 @@ mod tests {
     struct Echo;
     impl NmpExec for Echo {
         type SlotState = ();
-        fn exec(
-            &self,
-            _ctx: &mut ThreadCtx,
-            _part: usize,
-            req: &Request,
-            _s: &mut (),
-        ) -> Response {
+        fn exec(&self, _ctx: &mut ThreadCtx, _part: usize, req: &Request, _s: &mut ()) -> Response {
             Response::ok_value(req.key + 1)
         }
     }
@@ -437,7 +435,13 @@ mod tests {
                 assert_eq!(req.begin, 0x1000);
                 assert_eq!(req.host_ptr, 0x2000);
                 assert_eq!(req.aux, 17);
-                Response { ok: true, new_ptr: 0x3000, split_key: 9, new_child: 0x4000, ..Default::default() }
+                Response {
+                    ok: true,
+                    new_ptr: 0x3000,
+                    split_key: 9,
+                    new_child: 0x4000,
+                    ..Default::default()
+                }
             }
         }
         let mut sim = m.simulation();

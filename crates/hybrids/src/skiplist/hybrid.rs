@@ -75,8 +75,7 @@ impl HybridSkipList {
             .map(|p| seq::make_sentinel(machine.part_arena(p), machine.ram(), nmp_height))
             .collect();
         let lists = Arc::new(PubLists::new(Arc::clone(&machine), max_inflight));
-        let exec =
-            Arc::new(SkiplistExec::new(Arc::clone(&machine), nmp_heads.clone(), nmp_height));
+        let exec = Arc::new(SkiplistExec::new(Arc::clone(&machine), nmp_heads.clone(), nmp_height));
         Arc::new(HybridSkipList {
             machine,
             lists,
@@ -162,7 +161,12 @@ impl HybridSkipList {
     /// Host phase of an operation: traverse the host portion, apply any
     /// host-first effects, and either finish host-side or build the request
     /// to offload. Returns `Err(result)` when completed host-side.
-    fn host_phase(&self, ctx: &mut ThreadCtx, op: Op, host_node: &mut Addr) -> Result<(usize, Request), OpResult> {
+    fn host_phase(
+        &self,
+        ctx: &mut ThreadCtx,
+        op: Op,
+        host_node: &mut Addr,
+    ) -> Result<(usize, Request), OpResult> {
         match op {
             Op::Read(key) => {
                 let (pred0, found) = self.host.read_with_pred(ctx, key);
@@ -255,7 +259,13 @@ impl HybridSkipList {
     }
 
     /// Host-side completion after the NMP response (Listing 1, lines 20-29).
-    fn finish(&self, ctx: &mut ThreadCtx, op: Op, resp: &Response, host_node: &mut Addr) -> OpResult {
+    fn finish(
+        &self,
+        ctx: &mut ThreadCtx,
+        op: Op,
+        resp: &Response,
+        host_node: &mut Addr,
+    ) -> OpResult {
         match op {
             Op::Read(_) => OpResult { ok: resp.ok, value: resp.value },
             Op::Update(key, value) => {
@@ -450,9 +460,7 @@ mod tests {
         for core in 0..threads {
             let sl = Arc::clone(sl);
             let f = Arc::clone(&f);
-            sim.spawn(format!("h{core}"), ThreadKind::Host { core }, move |ctx| {
-                f(ctx, &sl, core)
-            });
+            sim.spawn(format!("h{core}"), ThreadKind::Host { core }, move |ctx| f(ctx, &sl, core));
         }
         sim.run();
     }
@@ -660,8 +668,8 @@ mod tests {
             let mut done = 0u32;
             let total = 40u32;
             while done < total {
-                for lane in 0..2usize {
-                    match lanes[lane].take() {
+                for (lane, slot) in lanes.iter_mut().enumerate() {
+                    match slot.take() {
                         None if issued < total => {
                             let i = issued * 2 + core as u32;
                             let key = ks.initial_key(i % ks.total_initial());
@@ -673,13 +681,13 @@ mod tests {
                             issued += 1;
                             match sl.issue(ctx, lane, op) {
                                 Issued::Done(_) => done += 1,
-                                Issued::Pending(p) => lanes[lane] = Some(p),
+                                Issued::Pending(p) => *slot = Some(p),
                             }
                         }
                         None => {}
                         Some(mut p) => match sl.poll(ctx, &mut p) {
                             PollOutcome::Done(_) => done += 1,
-                            PollOutcome::Pending => lanes[lane] = Some(p),
+                            PollOutcome::Pending => *slot = Some(p),
                         },
                     }
                 }

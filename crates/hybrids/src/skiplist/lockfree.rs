@@ -58,13 +58,8 @@ impl LockFreeSkipList {
     }
 
     /// Create an empty list with an explicit node layout.
-    pub fn with_layout(
-        machine: Arc<Machine>,
-        levels: u32,
-        seed: u64,
-        layout: NodeLayout,
-    ) -> Self {
-        assert!(levels >= 1 && levels <= 255);
+    pub fn with_layout(machine: Arc<Machine>, levels: u32, seed: u64, layout: NodeLayout) -> Self {
+        assert!((1..=255).contains(&levels));
         let head = node::alloc_node(machine.host_arena(), levels);
         node::raw_init(machine.ram(), head, 0, 0, levels, levels, NULL);
         LockFreeSkipList { machine, head, levels, seed, layout }
@@ -89,9 +84,7 @@ impl LockFreeSkipList {
     fn dealloc(&self, n: Addr, height: u32) {
         match self.layout {
             NodeLayout::CacheAligned => node::free_node(self.machine.host_arena(), n, height),
-            NodeLayout::Packed => {
-                self.machine.host_arena().free(n, self.alloc_bytes(height), 8)
-            }
+            NodeLayout::Packed => self.machine.host_arena().free(n, self.alloc_bytes(height), 8),
         }
     }
 
@@ -244,8 +237,13 @@ impl LockFreeSkipList {
                     {
                         continue; // next pointer changed under us (mark?)
                     }
-                    if node::cas_next(ctx, f2.preds[l as usize], l, (f2.succs[l as usize], false), (n, false))
-                    {
+                    if node::cas_next(
+                        ctx,
+                        f2.preds[l as usize],
+                        l,
+                        (f2.succs[l as usize], false),
+                        (n, false),
+                    ) {
                         break;
                     }
                 }
@@ -419,7 +417,10 @@ mod tests {
         (m, sl)
     }
 
-    fn run_single(sl: &Arc<LockFreeSkipList>, f: impl FnOnce(&mut ThreadCtx, &LockFreeSkipList) + Send + 'static) {
+    fn run_single(
+        sl: &Arc<LockFreeSkipList>,
+        f: impl FnOnce(&mut ThreadCtx, &LockFreeSkipList) + Send + 'static,
+    ) {
         let mut sim = sl.machine().simulation();
         let sl2 = Arc::clone(sl);
         sim.spawn("h0", ThreadKind::Host { core: 0 }, move |ctx| f(ctx, &sl2));

@@ -329,9 +329,7 @@ mod tests {
         for core in 0..threads {
             let sl = Arc::clone(sl);
             let f = Arc::clone(&f);
-            sim.spawn(format!("h{core}"), ThreadKind::Host { core }, move |ctx| {
-                f(ctx, &sl, core)
-            });
+            sim.spawn(format!("h{core}"), ThreadKind::Host { core }, move |ctx| f(ctx, &sl, core));
         }
         sim.run();
     }
@@ -403,8 +401,7 @@ mod tests {
     fn nonblocking_pipeline_completes() {
         let (m, sl, ks) = setup();
         run_hosts(&m, &sl, 2, move |ctx, sl, core| {
-            let keys: Vec<Key> =
-                (0..20u32).map(|i| ks.initial_key(i * 2 + core as u32)).collect();
+            let keys: Vec<Key> = (0..20u32).map(|i| ks.initial_key(i * 2 + core as u32)).collect();
             let mut pending = Vec::new();
             for chunk in keys.chunks(2) {
                 for (lane, &k) in chunk.iter().enumerate() {

@@ -100,7 +100,15 @@ pub fn height_for_key(key: Key, seed: u64, max: u32) -> u32 {
 
 // ---- untimed (population / invariant checking) ----
 
-pub fn raw_init(ram: &SimRam, node: Addr, key: Key, value: Value, height: u32, levels: u32, cross: Addr) {
+pub fn raw_init(
+    ram: &SimRam,
+    node: Addr,
+    key: Key,
+    value: Value,
+    height: u32,
+    levels: u32,
+    cross: Addr,
+) {
     ram.write_u64(node, pack_w0(key, height));
     ram.write_u64(node + 8, value as u64);
     ram.write_u64(node + 16, pack_w2(cross, levels));
@@ -155,7 +163,10 @@ pub fn read_value(ctx: &mut ThreadCtx, node: Addr) -> Value {
 }
 
 pub fn write_value(ctx: &mut ThreadCtx, node: Addr, value: Value) {
-    ctx.write_u64(node + 8, value as u64);
+    // Release: in-place updates publish the new value to unsynchronized
+    // concurrent readers (reads of the value word are plain and race-free
+    // because the word itself becomes a sync cell).
+    ctx.write_u64_release(node + 8, value as u64);
 }
 
 pub fn read_cross(ctx: &mut ThreadCtx, node: Addr) -> Addr {

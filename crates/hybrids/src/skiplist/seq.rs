@@ -52,7 +52,8 @@ pub fn find(ctx: &mut ThreadCtx, start: Addr, levels: u32, key: Key) -> SeqFound
         preds[l as usize] = curr;
     }
     let (cand, _) = node::read_next(ctx, curr, 0);
-    let found = if cand != NULL && node::read_header(ctx, cand).key == key { Some(cand) } else { None };
+    let found =
+        if cand != NULL && node::read_header(ctx, cand).key == key { Some(cand) } else { None };
     SeqFound { preds, found }
 }
 
@@ -112,7 +113,13 @@ pub fn read(ctx: &mut ThreadCtx, start: Addr, levels: u32, key: Key) -> Option<V
 
 /// Update the value of `key`; returns the node's host-side counterpart
 /// pointer (NULL if none) so the host can propagate the new value (§3.3).
-pub fn update(ctx: &mut ThreadCtx, start: Addr, levels: u32, key: Key, value: Value) -> Option<Addr> {
+pub fn update(
+    ctx: &mut ThreadCtx,
+    start: Addr,
+    levels: u32,
+    key: Key,
+    value: Value,
+) -> Option<Addr> {
     let n = find(ctx, start, levels, key).found?;
     node::write_value(ctx, n, value);
     Some(node::read_cross(ctx, n))

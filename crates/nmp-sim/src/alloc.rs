@@ -29,9 +29,16 @@ pub struct Arena {
     base: Addr,
     end: Addr,
     inner: Mutex<ArenaInner>,
+    /// When attached, [`Arena::free`] resets the race detector's per-cell
+    /// state for the freed block, so freelist reuse does not manufacture
+    /// false races between the block's old and new owners.
+    #[cfg(feature = "analysis")]
+    analysis: std::sync::OnceLock<std::sync::Arc<crate::analysis::Analysis>>,
 }
 
 impl Arena {
+    /// Build an arena covering `[base, base + size)`; `name` labels
+    /// out-of-memory panics.
     pub fn new(name: &'static str, base: Addr, size: u32) -> Self {
         assert_eq!(base % 8, 0, "arena base must be 8-aligned");
         Arena {
@@ -45,7 +52,16 @@ impl Arena {
                 peak_bytes: 0,
                 allocs: 0,
             }),
+            #[cfg(feature = "analysis")]
+            analysis: std::sync::OnceLock::new(),
         }
+    }
+
+    /// Hook the attached correctness checkers into this arena's `free`
+    /// path (first attach wins).
+    #[cfg(feature = "analysis")]
+    pub(crate) fn attach_analysis(&self, a: std::sync::Arc<crate::analysis::Analysis>) {
+        let _ = self.analysis.set(a);
     }
 
     /// Allocate `bytes` with 8-byte alignment.
@@ -69,7 +85,7 @@ impl Arena {
             }
         }
         let addr = g.next.div_ceil(align) * align;
-        let new_next = addr.checked_add(bytes).unwrap_or(u32::MAX);
+        let new_next = addr.saturating_add(bytes);
         assert!(
             new_next <= self.end,
             "simulated arena '{}' exhausted: capacity {} bytes, requested {} more \
@@ -92,6 +108,10 @@ impl Arena {
         let bytes = bytes.div_ceil(8) * 8;
         debug_assert!(addr >= self.base && addr + bytes <= self.end);
         debug_assert_eq!(addr % align, 0);
+        #[cfg(feature = "analysis")]
+        if let Some(a) = self.analysis.get() {
+            a.reset_range(addr, bytes);
+        }
         let mut g = self.inner.lock();
         g.live_bytes -= bytes as u64;
         g.free.entry((bytes, align)).or_default().push(addr);
@@ -117,10 +137,12 @@ impl Arena {
         self.end - self.inner.lock().next
     }
 
+    /// First address of the arena's range.
     pub fn base(&self) -> Addr {
         self.base
     }
 
+    /// One past the last address of the arena's range.
     pub fn end(&self) -> Addr {
         self.end
     }
@@ -193,40 +215,58 @@ mod tests {
 }
 
 #[cfg(test)]
-mod proptests {
+mod randomized_tests {
+    //! Seeded randomized tests (deterministic xorshift stand-in for the
+    //! property tests the crate had when proptest was available).
     use super::*;
-    use proptest::prelude::*;
 
-    proptest! {
-        /// Live allocations never overlap and stay in-bounds.
-        #[test]
-        fn allocations_disjoint(sizes in proptest::collection::vec(1u32..256, 1..64)) {
+    fn xorshift(state: &mut u64) -> u64 {
+        let mut x = *state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        *state = x;
+        x
+    }
+
+    /// Live allocations never overlap and stay in-bounds.
+    #[test]
+    fn allocations_disjoint() {
+        for seed in 1..=16u64 {
+            let mut rng = seed.wrapping_mul(0x9E3779B97F4A7C15);
             let a = Arena::new("p", 64, 1 << 20);
             let mut spans: Vec<(u32, u32)> = Vec::new();
-            for s in sizes {
+            let count = 1 + (xorshift(&mut rng) % 63) as usize;
+            for _ in 0..count {
+                let s = 1 + (xorshift(&mut rng) % 255) as u32;
                 let addr = a.alloc(s);
                 let len = s.div_ceil(8) * 8;
-                prop_assert!(addr >= 64 && addr + len <= a.end());
+                assert!(addr >= 64 && addr + len <= a.end());
                 for &(b, l) in &spans {
-                    prop_assert!(addr + len <= b || b + l <= addr, "overlap");
+                    assert!(addr + len <= b || b + l <= addr, "overlap at seed {seed}");
                 }
                 spans.push((addr, len));
             }
         }
+    }
 
-        /// Free + realloc of the same shape never hands out overlapping
-        /// blocks among live allocations.
-        #[test]
-        fn freelist_reuse_sound(ops in proptest::collection::vec(any::<bool>(), 1..200)) {
+    /// Free + realloc of the same shape never hands out overlapping
+    /// blocks among live allocations.
+    #[test]
+    fn freelist_reuse_sound() {
+        for seed in 1..=16u64 {
+            let mut rng = seed.wrapping_mul(0xD1B54A32D192ED03);
             let a = Arena::new("p", 64, 1 << 20);
             let mut live: Vec<u32> = Vec::new();
-            for free_one in ops {
+            let count = 1 + (xorshift(&mut rng) % 199) as usize;
+            for _ in 0..count {
+                let free_one = xorshift(&mut rng) & 1 == 1;
                 if free_one && !live.is_empty() {
                     let addr = live.swap_remove(live.len() / 2);
                     a.free(addr, 48, 8);
                 } else {
                     let addr = a.alloc(48);
-                    prop_assert!(!live.contains(&addr));
+                    assert!(!live.contains(&addr), "duplicate live block at seed {seed}");
                     live.push(addr);
                 }
             }

@@ -1,0 +1,316 @@
+//! Operation-history recording and linearizability checking.
+//!
+//! Drivers record every *completed* index operation — kind, key, result,
+//! and the simulated invocation/response timestamps — into a
+//! [`HistoryRecorder`]. [`HistoryRecorder::check_linearizable`] then
+//! verifies the concurrent history against a sequential map oracle: is
+//! there a total order of the operations, consistent with real time
+//! (an operation that responded before another was invoked must come
+//! first), under which every result matches what a sequential map would
+//! have returned?
+//!
+//! Because every recorded operation touches a single key and the map
+//! specification is independent per key, the history is linearizable iff
+//! each per-key subhistory is; the checker decomposes by key and runs the
+//! Wing & Gong backtracking search per key with memoization on
+//! (completed-set, map state). Range scans are *not* recorded — their
+//! footprint spans keys, which breaks the per-key decomposition — so scan
+//! consistency must be checked by other means.
+
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+
+use parking_lot::Mutex;
+
+/// The operation kinds the checker models (single-key map operations).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HistOp {
+    /// Lookup: `ok` means found, `value` the value read.
+    Read,
+    /// Insert-if-absent: `ok` means the key was absent and is now bound to
+    /// `value`.
+    Insert,
+    /// Remove: `ok` means the key was present.
+    Remove,
+    /// Update-if-present: `ok` means the key was present and is now bound
+    /// to `value`.
+    Update,
+}
+
+/// One completed operation.
+#[derive(Debug, Clone, Copy)]
+pub struct HistEvent {
+    /// Issuing logical thread id.
+    pub thread: usize,
+    /// Operation kind.
+    pub op: HistOp,
+    /// Key operated on.
+    pub key: u32,
+    /// Success bit as reported by the structure.
+    pub ok: bool,
+    /// Value read (reads) or written (inserts/updates).
+    pub value: u32,
+    /// Simulated invocation time.
+    pub inv: u64,
+    /// Simulated response time.
+    pub resp: u64,
+}
+
+/// A witness that the recorded history is not linearizable.
+#[derive(Debug, Clone)]
+pub struct LinearizabilityError {
+    /// The key whose subhistory admits no valid linearization.
+    pub key: u32,
+    /// That key's complete subhistory, sorted by invocation time.
+    pub events: Vec<HistEvent>,
+}
+
+impl fmt::Display for LinearizabilityError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "history for key {} is not linearizable ({} events):",
+            self.key,
+            self.events.len()
+        )?;
+        for e in &self.events {
+            writeln!(
+                f,
+                "  t{} {:?} -> ok={} value={} [{}..{}]",
+                e.thread, e.op, e.ok, e.value, e.inv, e.resp
+            )?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for LinearizabilityError {}
+
+/// Thread-safe collector of completed operations.
+#[derive(Default)]
+pub struct HistoryRecorder {
+    events: Mutex<Vec<HistEvent>>,
+}
+
+impl HistoryRecorder {
+    /// New, empty recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append one completed operation.
+    pub fn record(&self, ev: HistEvent) {
+        debug_assert!(ev.inv <= ev.resp, "response before invocation");
+        self.events.lock().push(ev);
+    }
+
+    /// Number of recorded operations.
+    pub fn len(&self) -> usize {
+        self.events.lock().len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.lock().is_empty()
+    }
+
+    /// A copy of all recorded events.
+    pub fn events(&self) -> Vec<HistEvent> {
+        self.events.lock().clone()
+    }
+
+    /// Check the recorded history against a sequential map oracle.
+    /// `initial` gives the pre-simulation binding of each key (the
+    /// structure's contents before the recorded operations started).
+    pub fn check_linearizable(
+        &self,
+        initial: impl Fn(u32) -> Option<u32>,
+    ) -> Result<(), LinearizabilityError> {
+        let mut by_key: HashMap<u32, Vec<HistEvent>> = HashMap::new();
+        for ev in self.events.lock().iter() {
+            by_key.entry(ev.key).or_default().push(*ev);
+        }
+        for (key, mut events) in by_key {
+            events.sort_by_key(|e| (e.inv, e.resp, e.thread));
+            if !linearize_key(&events, initial(key)) {
+                return Err(LinearizabilityError { key, events });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Apply `ev` to the sequential map state for its key; `None` means the
+/// observed result is impossible from this state.
+fn apply(ev: &HistEvent, state: Option<u32>) -> Option<Option<u32>> {
+    match (ev.op, ev.ok) {
+        (HistOp::Read, true) => (state == Some(ev.value)).then_some(state),
+        (HistOp::Read, false) => state.is_none().then_some(state),
+        (HistOp::Insert, true) => state.is_none().then_some(Some(ev.value)),
+        (HistOp::Insert, false) => state.is_some().then_some(state),
+        (HistOp::Remove, true) => state.is_some().then_some(None),
+        (HistOp::Remove, false) => state.is_none().then_some(state),
+        (HistOp::Update, true) => state.is_some().then_some(Some(ev.value)),
+        (HistOp::Update, false) => state.is_none().then_some(state),
+    }
+}
+
+/// Wing & Gong search over one key's subhistory: repeatedly pick a
+/// minimal pending operation (one invoked no later than every pending
+/// response) whose result is explainable from the current state.
+fn linearize_key(events: &[HistEvent], initial: Option<u32>) -> bool {
+    let n = events.len();
+    let mut done = vec![false; n];
+    let mut seen: HashSet<(Vec<u64>, Option<u32>)> = HashSet::new();
+    search(events, &mut done, 0, initial, &mut seen)
+}
+
+fn pack(done: &[bool]) -> Vec<u64> {
+    let mut words = vec![0u64; done.len().div_ceil(64)];
+    for (i, &d) in done.iter().enumerate() {
+        if d {
+            words[i / 64] |= 1 << (i % 64);
+        }
+    }
+    words
+}
+
+fn search(
+    events: &[HistEvent],
+    done: &mut [bool],
+    ndone: usize,
+    state: Option<u32>,
+    seen: &mut HashSet<(Vec<u64>, Option<u32>)>,
+) -> bool {
+    if ndone == events.len() {
+        return true;
+    }
+    let min_resp = events
+        .iter()
+        .zip(done.iter())
+        .filter(|(_, d)| !**d)
+        .map(|(e, _)| e.resp)
+        .min()
+        .expect("pending events exist");
+    for i in 0..events.len() {
+        if done[i] || events[i].inv > min_resp {
+            continue;
+        }
+        let Some(next) = apply(&events[i], state) else { continue };
+        done[i] = true;
+        if seen.insert((pack(done), next)) && search(events, done, ndone + 1, next, seen) {
+            return true;
+        }
+        done[i] = false;
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(
+        thread: usize,
+        op: HistOp,
+        key: u32,
+        ok: bool,
+        value: u32,
+        inv: u64,
+        resp: u64,
+    ) -> HistEvent {
+        HistEvent { thread, op, key, ok, value, inv, resp }
+    }
+
+    #[test]
+    fn sequential_history_linearizes() {
+        let h = HistoryRecorder::new();
+        h.record(ev(0, HistOp::Insert, 1, true, 10, 0, 5));
+        h.record(ev(0, HistOp::Read, 1, true, 10, 6, 9));
+        h.record(ev(0, HistOp::Remove, 1, true, 0, 10, 15));
+        h.record(ev(0, HistOp::Read, 1, false, 0, 16, 20));
+        assert!(h.check_linearizable(|_| None).is_ok());
+    }
+
+    #[test]
+    fn respects_initial_contents() {
+        let h = HistoryRecorder::new();
+        h.record(ev(0, HistOp::Read, 7, true, 42, 0, 5));
+        assert!(h.check_linearizable(|k| (k == 7).then_some(42)).is_ok());
+        assert!(h.check_linearizable(|_| None).is_err());
+    }
+
+    #[test]
+    fn overlapping_ops_may_reorder() {
+        // Read overlaps the insert: it may linearize before it (miss) even
+        // though its response comes later.
+        let h = HistoryRecorder::new();
+        h.record(ev(0, HistOp::Insert, 1, true, 10, 0, 100));
+        h.record(ev(1, HistOp::Read, 1, false, 0, 50, 120));
+        assert!(h.check_linearizable(|_| None).is_ok());
+    }
+
+    #[test]
+    fn non_overlapping_ops_must_not_reorder() {
+        // Read begins strictly after the insert responded, yet misses.
+        let h = HistoryRecorder::new();
+        h.record(ev(0, HistOp::Insert, 1, true, 10, 0, 20));
+        h.record(ev(1, HistOp::Read, 1, false, 0, 30, 40));
+        let err = h.check_linearizable(|_| None).unwrap_err();
+        assert_eq!(err.key, 1);
+        assert_eq!(err.events.len(), 2);
+    }
+
+    #[test]
+    fn stale_read_after_update_rejected() {
+        let h = HistoryRecorder::new();
+        h.record(ev(0, HistOp::Update, 3, true, 9, 0, 10));
+        h.record(ev(1, HistOp::Read, 3, true, 5, 20, 30)); // old value
+        assert!(h.check_linearizable(|k| (k == 3).then_some(5)).is_err());
+    }
+
+    #[test]
+    fn duplicate_insert_needs_a_winner() {
+        // Two overlapping inserts both claiming success is impossible.
+        let h = HistoryRecorder::new();
+        h.record(ev(0, HistOp::Insert, 1, true, 1, 0, 100));
+        h.record(ev(1, HistOp::Insert, 1, true, 2, 0, 100));
+        assert!(h.check_linearizable(|_| None).is_err());
+        // One success + one duplicate failure is fine.
+        let h2 = HistoryRecorder::new();
+        h2.record(ev(0, HistOp::Insert, 1, true, 1, 0, 100));
+        h2.record(ev(1, HistOp::Insert, 1, false, 2, 0, 100));
+        assert!(h2.check_linearizable(|_| None).is_ok());
+    }
+
+    #[test]
+    fn concurrent_update_read_any_order() {
+        let h = HistoryRecorder::new();
+        h.record(ev(0, HistOp::Update, 1, true, 8, 0, 100));
+        h.record(ev(1, HistOp::Read, 1, true, 3, 10, 90)); // old value: ok, overlaps
+        h.record(ev(2, HistOp::Read, 1, true, 8, 110, 120)); // new value after
+        assert!(h.check_linearizable(|k| (k == 1).then_some(3)).is_ok());
+    }
+
+    #[test]
+    fn keys_check_independently() {
+        let h = HistoryRecorder::new();
+        h.record(ev(0, HistOp::Insert, 1, true, 1, 0, 10));
+        h.record(ev(1, HistOp::Insert, 2, true, 2, 0, 10));
+        h.record(ev(0, HistOp::Read, 2, true, 2, 20, 30));
+        h.record(ev(1, HistOp::Read, 1, true, 1, 20, 30));
+        assert!(h.check_linearizable(|_| None).is_ok());
+    }
+
+    #[test]
+    fn deep_contended_history_terminates() {
+        // Many overlapping successful updates + consistent final reads:
+        // exercises the memoized search on a wide window.
+        let h = HistoryRecorder::new();
+        for t in 0..12usize {
+            h.record(ev(t, HistOp::Update, 1, true, t as u32, 0, 1000));
+        }
+        h.record(ev(12, HistOp::Read, 1, true, 11, 2000, 2100));
+        assert!(h.check_linearizable(|k| (k == 1).then_some(99)).is_ok());
+    }
+}

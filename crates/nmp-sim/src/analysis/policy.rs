@@ -1,0 +1,188 @@
+//! Region-policy lint: which processor may touch which [`Region`].
+//!
+//! The HybriDS machine model (§2 of the paper) partitions physical memory:
+//! host cores may only touch host main memory directly and reach
+//! scratchpads exclusively through MMIO; NMP core `p` may only touch its
+//! own partition and its own scratchpad. Without an attached
+//! [`super::Analysis`] the memory system enforces this by panicking; with
+//! one attached, violations are recorded here instead so negative fixtures
+//! (and future structure bugs) surface as a report, not an abort.
+
+use std::fmt;
+
+use crate::engine::ThreadKind;
+use crate::mem::{Addr, Region};
+
+/// At most this many distinct violations are stored (the total count keeps
+/// counting past the cap).
+pub const MAX_STORED_VIOLATIONS: usize = 64;
+
+/// Which architectural rule an access broke.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PolicyRule {
+    /// A host thread directly touched an NMP partition.
+    HostTouchedPartition,
+    /// A host thread touched a scratchpad without going through MMIO.
+    HostDirectScratchpad,
+    /// An NMP core touched a foreign partition, foreign scratchpad, or
+    /// host main memory.
+    NmpTouchedForeign,
+    /// An MMIO access targeted a non-scratchpad region.
+    MmioToNonScratchpad,
+}
+
+impl fmt::Display for PolicyRule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            PolicyRule::HostTouchedPartition => "host touched an NMP partition",
+            PolicyRule::HostDirectScratchpad => "host touched a scratchpad without MMIO",
+            PolicyRule::NmpTouchedForeign => "NMP core touched a foreign region",
+            PolicyRule::MmioToNonScratchpad => "MMIO to a non-scratchpad region",
+        })
+    }
+}
+
+/// One recorded region-policy violation.
+#[derive(Debug, Clone)]
+pub struct PolicyViolation {
+    /// Logical thread name.
+    pub thread: String,
+    /// Host core or NMP core identity of the thread.
+    pub thread_kind: ThreadKind,
+    /// The offending simulated address.
+    pub addr: Addr,
+    /// The region that address falls in.
+    pub region: Region,
+    /// Whether the access was a store.
+    pub is_write: bool,
+    /// Whether the access went through the MMIO path.
+    pub mmio: bool,
+    /// Which rule was broken.
+    pub rule: PolicyRule,
+    /// Source file of the access.
+    pub file: &'static str,
+    /// Source line of the access.
+    pub line: u32,
+    /// Source column of the access.
+    pub column: u32,
+    /// Simulated issue time of the access, in cycles.
+    pub at: u64,
+}
+
+impl fmt::Display for PolicyViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {}{} of {:#x} ({:?}) by '{}' ({:?}) at {}:{}:{} (cycle {})",
+            self.rule,
+            if self.mmio { "MMIO " } else { "" },
+            if self.is_write { "write" } else { "read" },
+            self.addr,
+            self.region,
+            self.thread,
+            self.thread_kind,
+            self.file,
+            self.line,
+            self.column,
+            self.at,
+        )
+    }
+}
+
+/// Classify an access against the region policy. `None` means allowed.
+pub fn classify(kind: ThreadKind, region: Region, mmio: bool) -> Option<PolicyRule> {
+    if mmio {
+        return match region {
+            Region::Spad(_) => None,
+            _ => Some(PolicyRule::MmioToNonScratchpad),
+        };
+    }
+    match (kind, region) {
+        (ThreadKind::Host { .. }, Region::Host) => None,
+        (ThreadKind::Host { .. }, Region::Part(_)) => Some(PolicyRule::HostTouchedPartition),
+        (ThreadKind::Host { .. }, Region::Spad(_)) => Some(PolicyRule::HostDirectScratchpad),
+        (ThreadKind::Nmp { part }, Region::Part(p))
+        | (ThreadKind::Nmp { part }, Region::Spad(p)) => {
+            (p != part).then_some(PolicyRule::NmpTouchedForeign)
+        }
+        (ThreadKind::Nmp { .. }, Region::Host) => Some(PolicyRule::NmpTouchedForeign),
+    }
+}
+
+pub(crate) struct PolicyChecker {
+    violations: Vec<PolicyViolation>,
+    seen: Vec<(&'static str, u32, u32, PolicyRule)>,
+    total: u64,
+}
+
+impl PolicyChecker {
+    pub(crate) fn new() -> Self {
+        PolicyChecker { violations: Vec::new(), seen: Vec::new(), total: 0 }
+    }
+
+    pub(crate) fn record(&mut self, v: PolicyViolation) {
+        self.total += 1;
+        let key = (v.file, v.line, v.column, v.rule);
+        if self.seen.contains(&key) || self.violations.len() >= MAX_STORED_VIOLATIONS {
+            return;
+        }
+        self.seen.push(key);
+        self.violations.push(v);
+    }
+
+    pub(crate) fn total(&self) -> u64 {
+        self.total
+    }
+
+    pub(crate) fn violations(&self) -> &[PolicyViolation] {
+        &self.violations
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn host_rules() {
+        let host = ThreadKind::Host { core: 0 };
+        assert_eq!(classify(host, Region::Host, false), None);
+        assert_eq!(classify(host, Region::Part(1), false), Some(PolicyRule::HostTouchedPartition));
+        assert_eq!(classify(host, Region::Spad(0), false), Some(PolicyRule::HostDirectScratchpad));
+        assert_eq!(classify(host, Region::Spad(0), true), None);
+        assert_eq!(classify(host, Region::Host, true), Some(PolicyRule::MmioToNonScratchpad));
+        assert_eq!(classify(host, Region::Part(0), true), Some(PolicyRule::MmioToNonScratchpad));
+    }
+
+    #[test]
+    fn nmp_rules() {
+        let nmp = ThreadKind::Nmp { part: 1 };
+        assert_eq!(classify(nmp, Region::Part(1), false), None);
+        assert_eq!(classify(nmp, Region::Spad(1), false), None);
+        assert_eq!(classify(nmp, Region::Part(0), false), Some(PolicyRule::NmpTouchedForeign));
+        assert_eq!(classify(nmp, Region::Spad(2), false), Some(PolicyRule::NmpTouchedForeign));
+        assert_eq!(classify(nmp, Region::Host, false), Some(PolicyRule::NmpTouchedForeign));
+    }
+
+    #[test]
+    fn dedup_keeps_counting() {
+        let mut c = PolicyChecker::new();
+        let v = PolicyViolation {
+            thread: "h0".into(),
+            thread_kind: ThreadKind::Host { core: 0 },
+            addr: 0x100,
+            region: Region::Part(0),
+            is_write: false,
+            mmio: false,
+            rule: PolicyRule::HostTouchedPartition,
+            file: "x.rs",
+            line: 1,
+            column: 1,
+            at: 10,
+        };
+        c.record(v.clone());
+        c.record(v);
+        assert_eq!(c.total(), 2);
+        assert_eq!(c.violations().len(), 1);
+    }
+}

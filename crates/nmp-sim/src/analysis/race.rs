@@ -1,0 +1,342 @@
+//! Vector-clock happens-before race detection over simulated addresses.
+//!
+//! State is tracked per 4-byte *cell* (`addr >> 2`); a 64-bit access covers
+//! two cells. A cell becomes a **sync cell** the first time it is targeted
+//! by a CAS or an acquire/release-annotated access; from then on every
+//! access to it is modeled as an atomic:
+//!
+//! * release store (or any plain store to a sync cell): the cell's clock
+//!   joins the thread's clock, and the thread's own component is bumped,
+//! * acquire load (or any plain load of a sync cell): the thread's clock
+//!   joins the cell's clock,
+//! * CAS: acquire, plus release when it succeeds.
+//!
+//! Plain accesses to ordinary (data) cells are race-checked: a pair of
+//! accesses to the same cell from different threads, at least one a write,
+//! with neither happening-before the other, is a race. Speculative
+//! (seqlock-optimistic) loads are neither checked nor ordering-relevant.
+
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+use std::panic::Location;
+
+use crate::engine::ThreadKind;
+use crate::mem::{Addr, MemMap, Region};
+
+use super::MemOp;
+
+/// At most this many distinct race reports are stored (the total count keeps
+/// counting past the cap).
+pub const MAX_STORED_REPORTS: usize = 64;
+
+/// Which conflict shape a race report describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RaceKind {
+    /// Two unordered writes.
+    WriteWrite,
+    /// An unordered read (first) and write (second).
+    ReadWrite,
+    /// An unordered write (first) and read (second).
+    WriteRead,
+}
+
+impl fmt::Display for RaceKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            RaceKind::WriteWrite => "write-write",
+            RaceKind::ReadWrite => "read-write",
+            RaceKind::WriteRead => "write-read",
+        })
+    }
+}
+
+/// One side of a race: who accessed, from where in the source, and when.
+#[derive(Debug, Clone)]
+pub struct AccessSite {
+    /// Logical thread name (as passed to `Simulation::spawn`).
+    pub thread: String,
+    /// Host core or NMP core identity of the thread.
+    pub thread_kind: ThreadKind,
+    /// Source file of the access.
+    pub file: &'static str,
+    /// Source line of the access.
+    pub line: u32,
+    /// Source column of the access.
+    pub column: u32,
+    /// Simulated completion time of the access, in cycles.
+    pub at: u64,
+    /// Whether this side was a store.
+    pub is_write: bool,
+}
+
+impl fmt::Display for AccessSite {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} by '{}' ({:?}) at {}:{}:{} (cycle {})",
+            if self.is_write { "write" } else { "read" },
+            self.thread,
+            self.thread_kind,
+            self.file,
+            self.line,
+            self.column,
+            self.at,
+        )
+    }
+}
+
+/// A detected data race on one simulated cell.
+#[derive(Debug, Clone)]
+pub struct RaceReport {
+    /// Cell-aligned simulated address the conflict is on.
+    pub addr: Addr,
+    /// Architectural region the address falls in.
+    pub region: Region,
+    /// Conflict shape.
+    pub kind: RaceKind,
+    /// The earlier access of the unordered pair.
+    pub first: AccessSite,
+    /// The later access of the unordered pair.
+    pub second: AccessSite,
+}
+
+impl fmt::Display for RaceReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} race on {:#x} ({:?}): {} vs {}",
+            self.kind, self.addr, self.region, self.first, self.second
+        )
+    }
+}
+
+type Cell = u32;
+type SitePos = (&'static str, u32, u32);
+
+/// A recorded prior access, compressed to (thread, scalar clock component).
+#[derive(Debug, Clone, Copy)]
+struct Access {
+    tid: usize,
+    epoch: u32,
+    site: &'static Location<'static>,
+    at: u64,
+}
+
+#[derive(Default)]
+struct CellState {
+    last_write: Option<Access>,
+    /// Reads since the last write, at most one per thread.
+    reads: Vec<Access>,
+}
+
+struct ThreadState {
+    name: String,
+    kind: ThreadKind,
+    vc: Vec<u32>,
+}
+
+pub(crate) struct RaceDetector {
+    threads: Vec<ThreadState>,
+    cells: HashMap<Cell, CellState>,
+    /// Sync cells and their clocks. Presence in this map *is* the sync mark.
+    sync: HashMap<Cell, Vec<u32>>,
+    reports: Vec<RaceReport>,
+    seen: HashSet<(SitePos, SitePos)>,
+    total: u64,
+}
+
+fn join(into: &mut Vec<u32>, other: &[u32]) {
+    if into.len() < other.len() {
+        into.resize(other.len(), 0);
+    }
+    for (a, b) in into.iter_mut().zip(other) {
+        *a = (*a).max(*b);
+    }
+}
+
+impl RaceDetector {
+    pub(crate) fn new() -> Self {
+        RaceDetector {
+            threads: Vec::new(),
+            cells: HashMap::new(),
+            sync: HashMap::new(),
+            reports: Vec::new(),
+            seen: HashSet::new(),
+            total: 0,
+        }
+    }
+
+    pub(crate) fn thread_name(&self, tid: usize) -> String {
+        self.threads.get(tid).map_or_else(|| format!("thread-{tid}"), |t| t.name.clone())
+    }
+
+    /// Register the threads of a simulation about to run. Everything that
+    /// happened in earlier simulations on this machine happens-before the
+    /// new threads: each starts from the join of all prior clocks.
+    pub(crate) fn on_sim_start(&mut self, roster: &[(String, ThreadKind)]) {
+        let mut g: Vec<u32> = Vec::new();
+        for t in &self.threads {
+            join(&mut g, &t.vc);
+        }
+        let n = roster.len().max(self.threads.len());
+        for (tid, (name, kind)) in roster.iter().enumerate() {
+            let mut vc = g.clone();
+            if vc.len() < n {
+                vc.resize(n, 0);
+            }
+            vc[tid] += 1;
+            let st = ThreadState { name: name.clone(), kind: *kind, vc };
+            if tid < self.threads.len() {
+                self.threads[tid] = st;
+            } else {
+                self.threads.push(st);
+            }
+        }
+    }
+
+    pub(crate) fn total(&self) -> u64 {
+        self.total
+    }
+
+    pub(crate) fn reports(&self) -> &[RaceReport] {
+        &self.reports
+    }
+
+    pub(crate) fn reset_range(&mut self, addr: Addr, bytes: u32) {
+        for cell in (addr >> 2)..((addr + bytes).div_ceil(4)) {
+            self.cells.remove(&cell);
+            self.sync.remove(&cell);
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn on_access(
+        &mut self,
+        map: &MemMap,
+        tid: usize,
+        at: u64,
+        addr: Addr,
+        bytes: u32,
+        op: MemOp,
+        site: &'static Location<'static>,
+    ) {
+        if matches!(op, MemOp::ReadSpeculative) {
+            return;
+        }
+        if tid >= self.threads.len() {
+            // Access before on_sim_start (cannot happen through the engine);
+            // be defensive rather than panic inside the checker.
+            return;
+        }
+        let first = addr >> 2;
+        let cells = first..(first + bytes.div_ceil(4));
+
+        // Promote cells to sync cells for annotated sync operations.
+        if matches!(op, MemOp::ReadAcquire | MemOp::WriteRelease | MemOp::Cas { .. }) {
+            for c in cells.clone() {
+                if !self.sync.contains_key(&c) {
+                    self.cells.remove(&c);
+                    self.sync.insert(c, Vec::new());
+                }
+            }
+        }
+
+        // Sync cells model atomics: loads acquire, stores release, CAS does
+        // both (release only on success). Plain accesses to data cells fall
+        // through to the happens-before race check.
+        let mut released = false;
+        for c in cells {
+            if let Some(svc) = self.sync.get_mut(&c) {
+                match op {
+                    MemOp::Read | MemOp::ReadAcquire => {
+                        join(&mut self.threads[tid].vc, svc);
+                    }
+                    MemOp::Write | MemOp::WriteRelease => {
+                        join(svc, &self.threads[tid].vc);
+                        released = true;
+                    }
+                    MemOp::Cas { success } => {
+                        join(&mut self.threads[tid].vc, svc);
+                        if success {
+                            join(svc, &self.threads[tid].vc);
+                            released = true;
+                        }
+                    }
+                    MemOp::ReadSpeculative => unreachable!(),
+                }
+                continue;
+            }
+            // Plain access to a data cell: happens-before race check.
+            let is_write = matches!(op, MemOp::Write);
+            let vc = &self.threads[tid].vc;
+            let epoch = vc[tid];
+            let acc = Access { tid, epoch, site, at };
+            let st = self.cells.entry(c).or_default();
+            let mut found: Vec<(Access, RaceKind)> = Vec::new();
+            if let Some(w) = st.last_write {
+                if w.tid != tid && vc.get(w.tid).copied().unwrap_or(0) < w.epoch {
+                    found.push((
+                        w,
+                        if is_write { RaceKind::WriteWrite } else { RaceKind::WriteRead },
+                    ));
+                }
+            }
+            if is_write {
+                for r in &st.reads {
+                    if r.tid != tid && vc.get(r.tid).copied().unwrap_or(0) < r.epoch {
+                        found.push((*r, RaceKind::ReadWrite));
+                    }
+                }
+                st.last_write = Some(acc);
+                st.reads.clear();
+            } else if let Some(slot) = st.reads.iter_mut().find(|r| r.tid == tid) {
+                *slot = acc;
+            } else {
+                st.reads.push(acc);
+            }
+            for (prior, kind) in found {
+                self.report(map, c, kind, prior, acc, is_write);
+            }
+        }
+        if released {
+            self.threads[tid].vc[tid] += 1;
+        }
+    }
+
+    fn report(
+        &mut self,
+        map: &MemMap,
+        cell: Cell,
+        kind: RaceKind,
+        prior: Access,
+        cur: Access,
+        cur_is_write: bool,
+    ) {
+        self.total += 1;
+        let key = (
+            (prior.site.file(), prior.site.line(), prior.site.column()),
+            (cur.site.file(), cur.site.line(), cur.site.column()),
+        );
+        if !self.seen.insert(key) || self.reports.len() >= MAX_STORED_REPORTS {
+            return;
+        }
+        let addr = cell << 2;
+        let side = |a: &Access, is_write: bool| AccessSite {
+            thread: self.threads[a.tid].name.clone(),
+            thread_kind: self.threads[a.tid].kind,
+            file: a.site.file(),
+            line: a.site.line(),
+            column: a.site.column(),
+            at: a.at,
+            is_write,
+        };
+        let prior_is_write = !matches!(kind, RaceKind::ReadWrite);
+        self.reports.push(RaceReport {
+            addr,
+            region: map.region_of(addr),
+            kind,
+            first: side(&prior, prior_is_write),
+            second: side(&cur, cur_is_write),
+        });
+    }
+}

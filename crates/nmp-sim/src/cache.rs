@@ -16,10 +16,14 @@ struct Line {
 /// Result of a cache access.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Access {
+    /// Line was present.
     Hit,
     /// Line was not present; it has been allocated. If allocation evicted a
     /// dirty line, `writeback` holds that line's block base address.
-    Miss { writeback: Option<u32> },
+    Miss {
+        /// Block base address of an evicted dirty line, if any.
+        writeback: Option<u32>,
+    },
 }
 
 /// One cache (an L1 instance or the shared L2).
@@ -30,11 +34,14 @@ pub struct Cache {
     ways: usize,
     block_bits: u32,
     set_bits: u32,
+    /// Access latency of this cache level in cycles.
     pub latency: u64,
+    /// Hit/miss counters for this cache.
     pub stats: CacheStats,
 }
 
 impl Cache {
+    /// Build an empty cache shaped by `cfg`.
     pub fn new(cfg: &CacheConfig) -> Self {
         let sets = cfg.sets();
         Cache {

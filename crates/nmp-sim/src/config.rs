@@ -107,7 +107,12 @@ impl Config {
             clock_ghz: 2.0,
             host_cores: 8,
             l1: CacheConfig { size_bytes: 64 * 1024, ways: 2, block_bytes: 128, latency_cycles: 2 },
-            l2: CacheConfig { size_bytes: 1024 * 1024, ways: 8, block_bytes: 128, latency_cycles: 20 },
+            l2: CacheConfig {
+                size_bytes: 1024 * 1024,
+                ways: 8,
+                block_bytes: 128,
+                latency_cycles: 20,
+            },
             num_vaults: 16,
             main_vaults: 8,
             banks_per_vault: 8,
@@ -195,8 +200,8 @@ impl Config {
         let _ = self.l2.sets();
         assert!(self.row_bytes.is_power_of_two());
         assert!(self.nmp_buffer_bytes.is_power_of_two());
-        assert!(self.host_heap_bytes % 8 == 0 && self.part_heap_bytes % 8 == 0);
-        assert!(self.scratchpad_bytes % 8 == 0);
+        assert!(self.host_heap_bytes.is_multiple_of(8) && self.part_heap_bytes.is_multiple_of(8));
+        assert!(self.scratchpad_bytes.is_multiple_of(8));
     }
 }
 

@@ -14,15 +14,22 @@ use crate::stats::VaultStats;
 /// DRAM timing parameters pre-converted to clock cycles.
 #[derive(Debug, Clone, Copy)]
 pub struct DramTiming {
+    /// Row precharge (close) time.
     pub t_rp: u64,
+    /// Row-to-column delay (activate an open row).
     pub t_rcd: u64,
+    /// Column access (CAS) latency.
     pub t_cl: u64,
+    /// Data burst transfer time for one block.
     pub t_burst: u64,
+    /// Bytes per DRAM row (open-page granularity).
     pub row_bytes: u32,
+    /// Banks per vault.
     pub banks: usize,
 }
 
 impl DramTiming {
+    /// Convert the nanosecond parameters in `c` to clock cycles.
     pub fn from_config(c: &Config) -> Self {
         DramTiming {
             t_rp: c.cycles(c.t_rp_ns),
@@ -60,10 +67,12 @@ struct Bank {
 #[derive(Debug)]
 pub struct Vault {
     banks: Vec<Bank>,
+    /// Traffic counters for this vault.
     pub stats: VaultStats,
 }
 
 impl Vault {
+    /// Build a vault with `t.banks` idle banks.
     pub fn new(t: &DramTiming) -> Self {
         Vault { banks: vec![Bank::default(); t.banks], stats: VaultStats::default() }
     }
@@ -114,6 +123,7 @@ impl Vault {
         let _ = self.access(now, addr, true, t);
     }
 
+    /// Number of banks in this vault.
     pub fn banks(&self) -> usize {
         self.banks.len()
     }

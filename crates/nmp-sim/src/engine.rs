@@ -15,15 +15,23 @@
 //! thread, so effects are applied in global simulated-time order — a
 //! sequentially-consistent execution).
 
-use std::panic::{self, AssertUnwindSafe};
+use std::panic::{self, AssertUnwindSafe, Location};
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::{self, Thread};
 
 use parking_lot::Mutex;
 
+#[cfg(feature = "analysis")]
+use crate::analysis::MemOp;
 use crate::config::Config;
 use crate::mem::{Addr, MemorySystem};
+
+/// Latency charged to an access that violates the region policy while an
+/// analysis is attached (the real machine path does not exist; this keeps
+/// negative fixtures making simulated-time progress).
+#[cfg(feature = "analysis")]
+const POLICY_FALLBACK_LAT: u64 = 100;
 
 const ST_INIT: u32 = 0;
 const ST_GO: u32 = 1;
@@ -35,9 +43,15 @@ const ST_DONE: u32 = 3;
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ThreadKind {
     /// A host hardware thread pinned to `core` (owns that core's L1).
-    Host { core: usize },
+    Host {
+        /// Index of the host core this thread is pinned to.
+        core: usize,
+    },
     /// The NMP core coupled to partition `part`.
-    Nmp { part: usize },
+    Nmp {
+        /// Index of the partition (and NMP core) this thread runs on.
+        part: usize,
+    },
 }
 
 struct ThreadShared {
@@ -48,6 +62,9 @@ struct ThreadShared {
     clock: AtomicU64,
     handle: Mutex<Option<Thread>>,
     panicked: AtomicBool,
+    /// "'name' panicked at simulated cycle N: message", captured by the
+    /// worker wrapper for the engine to surface in its own panic.
+    panic_note: Mutex<Option<String>>,
 }
 
 struct EngineShared {
@@ -73,6 +90,18 @@ fn unpark(slot: &Mutex<Option<Thread>>) {
     }
 }
 
+/// Best-effort extraction of a panic payload's message (the payload itself
+/// cannot cross the engine boundary usefully, but its text can).
+fn panic_message(p: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = p.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
 /// Execution context handed to each logical thread's closure. All timed
 /// memory operations go through here.
 pub struct ThreadCtx {
@@ -93,14 +122,17 @@ impl ThreadCtx {
         self.clock + self.pending
     }
 
+    /// What kind of processor this thread models (host core or NMP core).
     pub fn kind(&self) -> ThreadKind {
         self.kind
     }
 
+    /// Engine-assigned thread id (spawn order, daemons included).
     pub fn id(&self) -> usize {
         self.id
     }
 
+    /// The memory system this thread's accesses are routed through.
     pub fn mem(&self) -> &MemorySystem {
         &self.mem
     }
@@ -141,50 +173,177 @@ impl ThreadCtx {
         self.eng.stop.load(Ordering::Acquire)
     }
 
-    fn route(&mut self, addr: Addr, is_write: bool) -> u64 {
+    /// Route a direct (non-MMIO) access: with an analysis attached,
+    /// region-policy violations are recorded and charged a fallback latency
+    /// instead of panicking inside the memory system.
+    fn route(&mut self, addr: Addr, is_write: bool, _site: &'static Location<'static>) -> u64 {
         let now = self.now();
+        #[cfg(feature = "analysis")]
+        if let Some(a) = self.mem.analysis() {
+            if a.check_policy(self.id, self.kind, addr, is_write, false, now, _site) {
+                return POLICY_FALLBACK_LAT;
+            }
+        }
         match self.kind {
             ThreadKind::Host { core } => self.mem.host_access(core, now, addr, is_write),
             ThreadKind::Nmp { part } => self.mem.nmp_access(part, now, addr, is_write),
         }
     }
 
+    /// Route an MMIO access, with the same policy interception as [`route`].
+    fn mmio_route(&mut self, addr: Addr, is_write: bool, _site: &'static Location<'static>) -> u64 {
+        assert!(matches!(self.kind, ThreadKind::Host { .. }), "MMIO is a host-side path");
+        let now = self.now();
+        #[cfg(feature = "analysis")]
+        if let Some(a) = self.mem.analysis() {
+            if a.check_policy(self.id, self.kind, addr, is_write, true, now, _site) {
+                return POLICY_FALLBACK_LAT;
+            }
+        }
+        self.mem.mmio_access(now, addr, is_write)
+    }
+
+    /// Feed one completed access to the attached analysis. Fires at the
+    /// access's completion time — the engine's single serialization point —
+    /// so the race detector sees the global sequentially-consistent order.
+    #[cfg(feature = "analysis")]
+    fn trace(&self, addr: Addr, bytes: u32, op: MemOp, site: &'static Location<'static>) {
+        if let Some(a) = self.mem.analysis() {
+            a.on_access(self.id, self.clock, addr, bytes, op, site);
+        }
+    }
+
     /// Timed 64-bit load.
+    #[track_caller]
     pub fn read_u64(&mut self, addr: Addr) -> u64 {
-        let lat = self.route(addr, false);
+        let site = Location::caller();
+        let lat = self.route(addr, false, site);
         self.sleep(lat);
+        #[cfg(feature = "analysis")]
+        self.trace(addr, 8, MemOp::Read, site);
         self.mem.ram().read_u64(addr)
     }
 
     /// Timed 64-bit store.
+    #[track_caller]
     pub fn write_u64(&mut self, addr: Addr, value: u64) {
-        let lat = self.route(addr, true);
+        let site = Location::caller();
+        let lat = self.route(addr, true, site);
         self.sleep(lat);
+        #[cfg(feature = "analysis")]
+        self.trace(addr, 8, MemOp::Write, site);
         self.mem.ram().write_u64(addr, value);
     }
 
     /// Timed 32-bit load.
+    #[track_caller]
     pub fn read_u32(&mut self, addr: Addr) -> u32 {
-        let lat = self.route(addr, false);
+        let site = Location::caller();
+        let lat = self.route(addr, false, site);
         self.sleep(lat);
+        #[cfg(feature = "analysis")]
+        self.trace(addr, 4, MemOp::Read, site);
         self.mem.ram().read_u32(addr)
     }
 
     /// Timed 32-bit store.
+    #[track_caller]
     pub fn write_u32(&mut self, addr: Addr, value: u32) {
-        let lat = self.route(addr, true);
+        let site = Location::caller();
+        let lat = self.route(addr, true, site);
         self.sleep(lat);
+        #[cfg(feature = "analysis")]
+        self.trace(addr, 4, MemOp::Write, site);
         self.mem.ram().write_u32(addr, value);
+    }
+
+    /// Timed 64-bit load with *acquire* ordering: everything the releasing
+    /// thread did before its matching release-store happens-before the code
+    /// after this load. Identical timing to [`ThreadCtx::read_u64`]; the
+    /// annotation only informs the race detector.
+    #[track_caller]
+    pub fn read_u64_acquire(&mut self, addr: Addr) -> u64 {
+        let site = Location::caller();
+        let lat = self.route(addr, false, site);
+        self.sleep(lat);
+        #[cfg(feature = "analysis")]
+        self.trace(addr, 8, MemOp::ReadAcquire, site);
+        self.mem.ram().read_u64(addr)
+    }
+
+    /// Timed 64-bit store with *release* ordering (see
+    /// [`ThreadCtx::read_u64_acquire`]).
+    #[track_caller]
+    pub fn write_u64_release(&mut self, addr: Addr, value: u64) {
+        let site = Location::caller();
+        let lat = self.route(addr, true, site);
+        self.sleep(lat);
+        #[cfg(feature = "analysis")]
+        self.trace(addr, 8, MemOp::WriteRelease, site);
+        self.mem.ram().write_u64(addr, value);
+    }
+
+    /// Timed 32-bit acquire load (see [`ThreadCtx::read_u64_acquire`]).
+    #[track_caller]
+    pub fn read_u32_acquire(&mut self, addr: Addr) -> u32 {
+        let site = Location::caller();
+        let lat = self.route(addr, false, site);
+        self.sleep(lat);
+        #[cfg(feature = "analysis")]
+        self.trace(addr, 4, MemOp::ReadAcquire, site);
+        self.mem.ram().read_u32(addr)
+    }
+
+    /// Timed 32-bit release store (see [`ThreadCtx::read_u64_acquire`]).
+    #[track_caller]
+    pub fn write_u32_release(&mut self, addr: Addr, value: u32) {
+        let site = Location::caller();
+        let lat = self.route(addr, true, site);
+        self.sleep(lat);
+        #[cfg(feature = "analysis")]
+        self.trace(addr, 4, MemOp::WriteRelease, site);
+        self.mem.ram().write_u32(addr, value);
+    }
+
+    /// Timed *speculative* 64-bit load: an optimistic read under a seqlock
+    /// whose value is validated (and discarded on conflict) by re-reading
+    /// the sequence word. The race detector neither checks nor orders it.
+    #[track_caller]
+    pub fn read_u64_speculative(&mut self, addr: Addr) -> u64 {
+        let site = Location::caller();
+        let lat = self.route(addr, false, site);
+        self.sleep(lat);
+        #[cfg(feature = "analysis")]
+        self.trace(addr, 8, MemOp::ReadSpeculative, site);
+        self.mem.ram().read_u64(addr)
+    }
+
+    /// Timed speculative 32-bit load (see
+    /// [`ThreadCtx::read_u64_speculative`]).
+    #[track_caller]
+    pub fn read_u32_speculative(&mut self, addr: Addr) -> u32 {
+        let site = Location::caller();
+        let lat = self.route(addr, false, site);
+        self.sleep(lat);
+        #[cfg(feature = "analysis")]
+        self.trace(addr, 4, MemOp::ReadSpeculative, site);
+        self.mem.ram().read_u32(addr)
     }
 
     /// Timed atomic compare-and-swap on a 64-bit word. Returns `Ok(())` on
     /// success, `Err(actual)` on mismatch. Applied instantaneously at the
-    /// operation's completion time.
+    /// operation's completion time. A CAS is always a synchronization
+    /// operation for the race detector: acquire, plus release on success.
+    #[track_caller]
     pub fn cas_u64(&mut self, addr: Addr, expect: u64, new: u64) -> Result<(), u64> {
-        let lat = self.route(addr, true);
+        let site = Location::caller();
+        let lat = self.route(addr, true, site);
         self.sleep(lat);
         let cur = self.mem.ram().read_u64(addr);
-        if cur == expect {
+        let success = cur == expect;
+        #[cfg(feature = "analysis")]
+        self.trace(addr, 8, MemOp::Cas { success }, site);
+        if success {
             self.mem.ram().write_u64(addr, new);
             Ok(())
         } else {
@@ -193,11 +352,16 @@ impl ThreadCtx {
     }
 
     /// Timed atomic compare-and-swap on a 32-bit word.
+    #[track_caller]
     pub fn cas_u32(&mut self, addr: Addr, expect: u32, new: u32) -> Result<(), u32> {
-        let lat = self.route(addr, true);
+        let site = Location::caller();
+        let lat = self.route(addr, true, site);
         self.sleep(lat);
         let cur = self.mem.ram().read_u32(addr);
-        if cur == expect {
+        let success = cur == expect;
+        #[cfg(feature = "analysis")]
+        self.trace(addr, 4, MemOp::Cas { success }, site);
+        if success {
             self.mem.ram().write_u32(addr, new);
             Ok(())
         } else {
@@ -206,18 +370,48 @@ impl ThreadCtx {
     }
 
     /// Timed host MMIO load from a scratchpad word (host threads only).
+    #[track_caller]
     pub fn mmio_read_u64(&mut self, addr: Addr) -> u64 {
-        assert!(matches!(self.kind, ThreadKind::Host { .. }), "MMIO is a host-side path");
-        let lat = self.mem.mmio_access(self.now(), addr, false);
+        let site = Location::caller();
+        let lat = self.mmio_route(addr, false, site);
         self.sleep(lat);
+        #[cfg(feature = "analysis")]
+        self.trace(addr, 8, MemOp::Read, site);
         self.mem.ram().read_u64(addr)
     }
 
     /// Timed host MMIO store to a scratchpad word (host threads only).
+    #[track_caller]
     pub fn mmio_write_u64(&mut self, addr: Addr, value: u64) {
-        assert!(matches!(self.kind, ThreadKind::Host { .. }), "MMIO is a host-side path");
-        let lat = self.mem.mmio_access(self.now(), addr, true);
+        let site = Location::caller();
+        let lat = self.mmio_route(addr, true, site);
         self.sleep(lat);
+        #[cfg(feature = "analysis")]
+        self.trace(addr, 8, MemOp::Write, site);
+        self.mem.ram().write_u64(addr, value);
+    }
+
+    /// Timed MMIO acquire load (the host side of the publication-slot
+    /// control-word handoff; see [`ThreadCtx::read_u64_acquire`]).
+    #[track_caller]
+    pub fn mmio_read_u64_acquire(&mut self, addr: Addr) -> u64 {
+        let site = Location::caller();
+        let lat = self.mmio_route(addr, false, site);
+        self.sleep(lat);
+        #[cfg(feature = "analysis")]
+        self.trace(addr, 8, MemOp::ReadAcquire, site);
+        self.mem.ram().read_u64(addr)
+    }
+
+    /// Timed MMIO release store (publishes a publication-slot request; see
+    /// [`ThreadCtx::read_u64_acquire`]).
+    #[track_caller]
+    pub fn mmio_write_u64_release(&mut self, addr: Addr, value: u64) {
+        let site = Location::caller();
+        let lat = self.mmio_route(addr, true, site);
+        self.sleep(lat);
+        #[cfg(feature = "analysis")]
+        self.trace(addr, 8, MemOp::WriteRelease, site);
         self.mem.ram().write_u64(addr, value);
     }
 }
@@ -259,6 +453,7 @@ pub struct Simulation {
 }
 
 impl Simulation {
+    /// Build a simulation with a fresh memory system for `cfg`.
     pub fn new(cfg: Config) -> Self {
         let cpu_step = cfg.cpu_step_cycles;
         Simulation {
@@ -289,6 +484,7 @@ impl Simulation {
         }
     }
 
+    /// Shared handle to the simulation's memory system.
     pub fn mem(&self) -> Arc<MemorySystem> {
         Arc::clone(&self.mem)
     }
@@ -330,6 +526,7 @@ impl Simulation {
             clock: AtomicU64::new(0),
             handle: Mutex::new(None),
             panicked: AtomicBool::new(false),
+            panic_note: Mutex::new(None),
         }));
         self.bodies.push(f);
     }
@@ -340,6 +537,13 @@ impl Simulation {
         let Simulation { mem, eng, threads, bodies, cpu_step } = self;
         assert!(!threads.is_empty(), "no threads spawned");
         *eng.engine_thread.lock() = Some(thread::current());
+
+        #[cfg(feature = "analysis")]
+        if let Some(a) = mem.analysis() {
+            let roster: Vec<(String, ThreadKind)> =
+                threads.iter().map(|t| (t.name.clone(), t.kind)).collect();
+            a.on_sim_start(&roster);
+        }
 
         let mut joins = Vec::with_capacity(bodies.len());
         for (id, (ts, body)) in threads.iter().cloned().zip(bodies).enumerate() {
@@ -368,16 +572,18 @@ impl Simulation {
                             cpu_step,
                         };
                         let result = panic::catch_unwind(AssertUnwindSafe(|| body(&mut ctx)));
-                        ctx.ts.clock.store(ctx.clock + ctx.pending, Ordering::Release);
-                        if result.is_err() {
+                        let final_clock = ctx.clock + ctx.pending;
+                        ctx.ts.clock.store(final_clock, Ordering::Release);
+                        if let Err(p) = result {
+                            let msg = panic_message(p.as_ref());
+                            *ts.panic_note.lock() = Some(format!(
+                                "'{}' panicked at simulated cycle {final_clock}: {msg}",
+                                ts.name
+                            ));
                             ts.panicked.store(true, Ordering::Release);
                         }
                         ts.state.store(ST_DONE, Ordering::Release);
                         unpark(&eng2.engine_thread);
-                        if let Err(p) = result {
-                            // Keep the payload for the engine to surface.
-                            drop(p);
-                        }
                     })
                     .expect("spawn sim thread"),
             );
@@ -399,7 +605,7 @@ impl Simulation {
                     ST_YIELD => {
                         all_workers_done = false;
                         let c = ts.clock.load(Ordering::Acquire);
-                        if best.map_or(true, |(bc, bi)| (c, i) < (bc, bi)) {
+                        if best.is_none_or(|(bc, bi)| (c, i) < (bc, bi)) {
                             best = Some((c, i));
                         }
                     }
@@ -449,12 +655,17 @@ impl Simulation {
             let _ = j.join();
         }
         if threads.iter().any(|t| t.panicked.load(Ordering::Acquire)) {
-            let who: Vec<&str> = threads
+            let notes: Vec<String> = threads
                 .iter()
                 .filter(|t| t.panicked.load(Ordering::Acquire))
-                .map(|t| t.name.as_str())
+                .map(|t| {
+                    t.panic_note
+                        .lock()
+                        .take()
+                        .unwrap_or_else(|| format!("'{}' (message lost)", t.name))
+                })
                 .collect();
-            panic!("simulated thread(s) panicked: {who:?}");
+            panic!("simulated thread(s) panicked: {}", notes.join("; "));
         }
         SimOutcome {
             clocks: threads.iter().map(|t| t.clock.load(Ordering::Acquire)).collect(),
@@ -611,6 +822,22 @@ mod tests {
             ctx.idle(5);
         });
         sim.run();
+    }
+
+    #[test]
+    fn worker_panic_carries_name_clock_and_message() {
+        let mut sim = tiny_sim();
+        sim.spawn("exploder", ThreadKind::Host { core: 0 }, |ctx| {
+            ctx.advance(123);
+            ctx.idle(7);
+            panic!("kaboom {}", 42);
+        });
+        let err = panic::catch_unwind(AssertUnwindSafe(|| sim.run())).unwrap_err();
+        let msg = panic_message(err.as_ref());
+        assert!(msg.contains("simulated thread(s) panicked"), "{msg}");
+        assert!(msg.contains("'exploder'"), "missing thread name: {msg}");
+        assert!(msg.contains("simulated cycle 130"), "missing clock: {msg}");
+        assert!(msg.contains("kaboom 42"), "missing payload message: {msg}");
     }
 
     #[test]

@@ -17,6 +17,27 @@
 //! See `DESIGN.md` at the repository root for the fidelity argument and the
 //! list of deliberate simplifications relative to gem5/SMCSim.
 //!
+//! ## The `analysis` feature
+//!
+//! With the `analysis` cargo feature (on by default; disable with
+//! `default-features = false` for release benchmarking), the crate ships
+//! three engine-integrated correctness checkers in the [`analysis`] module:
+//!
+//! * a vector-clock happens-before **race detector** over simulated
+//!   addresses, where simulated CAS and acquire/release-annotated accesses
+//!   are the synchronization operations,
+//! * a **region-policy lint** that records (instead of panicking on) host
+//!   accesses to NMP partitions, NMP accesses to foreign regions, and
+//!   non-MMIO scratchpad accesses,
+//! * a **linearizability checker** over recorded operation histories,
+//!   verified against a sequential map oracle.
+//!
+//! The checkers are opt-in at runtime: call [`Machine::attach_analysis`]
+//! before running simulations, then inspect [`analysis::Report`] (or the
+//! `races_detected` / `policy_violations` counters in a
+//! [`StatsSnapshot`]). When nothing is attached the per-access overhead is
+//! a single atomic load, and benchmarks simply never attach.
+//!
 //! ## Quick tour
 //!
 //! ```
@@ -35,8 +56,11 @@
 //! assert_eq!(machine.ram().read_u64(addr), 2);
 //! assert!(outcome.makespan() > 0);
 //! ```
+#![warn(missing_docs)]
 
 pub mod alloc;
+#[cfg(feature = "analysis")]
+pub mod analysis;
 pub mod cache;
 pub mod config;
 pub mod dram;
@@ -46,6 +70,8 @@ pub mod mem;
 pub mod stats;
 
 pub use alloc::Arena;
+#[cfg(feature = "analysis")]
+pub use analysis::{Analysis, HistEvent, HistOp, HistoryRecorder, Report};
 pub use config::{CacheConfig, Config};
 pub use engine::{SimOutcome, Simulation, ThreadCtx, ThreadKind};
 pub use machine::Machine;

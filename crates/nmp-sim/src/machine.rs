@@ -16,6 +16,7 @@ pub struct Machine {
 }
 
 impl Machine {
+    /// Build a machine (memory system + arenas) for `cfg`.
     pub fn new(cfg: Config) -> Arc<Self> {
         let mem = Arc::new(MemorySystem::new(cfg));
         Arc::new(Self::from_memory(mem))
@@ -30,18 +31,22 @@ impl Machine {
         Machine { mem, host_arena, part_arenas }
     }
 
+    /// The machine's memory system (timed access plane).
     pub fn mem(&self) -> &Arc<MemorySystem> {
         &self.mem
     }
 
+    /// Raw backing storage (untimed data plane, e.g. for population).
     pub fn ram(&self) -> &SimRam {
         self.mem.ram()
     }
 
+    /// The static address map of this machine.
     pub fn map(&self) -> &MemMap {
         self.mem.map()
     }
 
+    /// The configuration the machine was built from.
     pub fn config(&self) -> &Config {
         self.mem.config()
     }
@@ -56,6 +61,7 @@ impl Machine {
         &self.part_arenas[p]
     }
 
+    /// Number of NMP partitions.
     pub fn partitions(&self) -> usize {
         self.part_arenas.len()
     }
@@ -63,6 +69,28 @@ impl Machine {
     /// Start building a simulation over this machine's memory.
     pub fn simulation(self: &Arc<Self>) -> Simulation {
         Simulation::with_memory(Arc::clone(&self.mem))
+    }
+
+    /// Attach the correctness checkers (race detector, region-policy lint)
+    /// to this machine and return them. Idempotent: a second call returns
+    /// the already-attached instance. Once attached, every timed memory
+    /// access in every subsequent simulation over this machine is traced,
+    /// and region-policy violations are recorded instead of panicking.
+    #[cfg(feature = "analysis")]
+    pub fn attach_analysis(&self) -> Arc<crate::analysis::Analysis> {
+        if let Some(a) = self.mem.analysis() {
+            return Arc::clone(a);
+        }
+        let a = crate::analysis::Analysis::new(*self.map());
+        self.mem.attach_analysis(Arc::clone(&a));
+        // `mem` may have raced another attach; wire the winning instance
+        // into the arenas so `free` resets the right detector.
+        let a = Arc::clone(self.mem.analysis().expect("just attached"));
+        self.host_arena.attach_analysis(Arc::clone(&a));
+        for arena in &self.part_arenas {
+            arena.attach_analysis(Arc::clone(&a));
+        }
+        a
     }
 }
 

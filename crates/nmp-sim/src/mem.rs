@@ -15,9 +15,13 @@
 //! [`crate::engine::ThreadCtx`] combines both.
 
 use std::sync::atomic::{AtomicU64, Ordering};
+#[cfg(feature = "analysis")]
+use std::sync::{Arc, OnceLock};
 
 use parking_lot::Mutex;
 
+#[cfg(feature = "analysis")]
+use crate::analysis::Analysis;
 use crate::cache::{Access, Cache};
 use crate::config::Config;
 use crate::dram::{DramTiming, Vault};
@@ -41,20 +45,28 @@ pub enum Region {
     Spad(usize),
 }
 
-/// The static address map.
+/// The static address map. Regions are laid out contiguously:
+/// `[null page | host heap | partition 0..p | scratchpad 0..p]`.
 #[derive(Debug, Clone, Copy)]
 pub struct MemMap {
+    /// First valid address (everything below is the null page).
     pub host_base: Addr,
+    /// Bytes of host main memory.
     pub host_size: u32,
+    /// Number of NMP partitions (= NMP cores).
     pub parts: usize,
     part_base0: Addr,
+    /// Bytes per NMP partition.
     pub part_size: u32,
     spad_base0: Addr,
+    /// Bytes per NMP scratchpad.
     pub spad_size: u32,
+    /// One past the highest valid address.
     pub total_bytes: u32,
 }
 
 impl MemMap {
+    /// Lay out the address map for `cfg`.
     pub fn new(cfg: &Config) -> Self {
         let parts = cfg.nmp_partitions();
         // Region bases are block-aligned so cache-block and NMP-buffer
@@ -75,11 +87,13 @@ impl MemMap {
         }
     }
 
+    /// Base address of NMP partition `p`.
     pub fn part_base(&self, p: usize) -> Addr {
         assert!(p < self.parts);
         self.part_base0 + (p as u32) * self.part_size
     }
 
+    /// Base address of NMP core `p`'s scratchpad.
     pub fn spad_base(&self, p: usize) -> Addr {
         assert!(p < self.parts);
         self.spad_base0 + (p as u32) * self.spad_size
@@ -108,6 +122,7 @@ pub struct SimRam {
 }
 
 impl SimRam {
+    /// Allocate zeroed backing storage of `total_bytes` (rounded up to 8).
     pub fn new(total_bytes: u32) -> Self {
         let n = (total_bytes as usize).div_ceil(8);
         let mut words = Vec::with_capacity(n);
@@ -120,31 +135,39 @@ impl SimRam {
         &self.words[(addr / 8) as usize]
     }
 
+    /// Untimed 8-byte read; `addr` must be 8-aligned.
     #[inline]
     pub fn read_u64(&self, addr: Addr) -> u64 {
         debug_assert_eq!(addr % 8, 0, "unaligned u64 read at {addr:#x}");
         self.word(addr).load(Ordering::Relaxed)
     }
 
+    /// Untimed 8-byte write; `addr` must be 8-aligned.
     #[inline]
     pub fn write_u64(&self, addr: Addr, value: u64) {
         debug_assert_eq!(addr % 8, 0, "unaligned u64 write at {addr:#x}");
         self.word(addr).store(value, Ordering::Relaxed)
     }
 
+    /// Untimed 4-byte read; `addr` must be 4-aligned.
     #[inline]
     pub fn read_u32(&self, addr: Addr) -> u32 {
         debug_assert_eq!(addr % 4, 0, "unaligned u32 read at {addr:#x}");
         let w = self.word(addr & !7).load(Ordering::Relaxed);
-        if addr % 8 == 0 { w as u32 } else { (w >> 32) as u32 }
+        if addr.is_multiple_of(8) {
+            w as u32
+        } else {
+            (w >> 32) as u32
+        }
     }
 
+    /// Untimed 4-byte write; `addr` must be 4-aligned.
     #[inline]
     pub fn write_u32(&self, addr: Addr, value: u32) {
         debug_assert_eq!(addr % 4, 0, "unaligned u32 write at {addr:#x}");
         let waddr = addr & !7;
         let w = self.word(waddr).load(Ordering::Relaxed);
-        let nw = if addr % 8 == 0 {
+        let nw = if addr.is_multiple_of(8) {
             (w & 0xFFFF_FFFF_0000_0000) | value as u64
         } else {
             (w & 0x0000_0000_FFFF_FFFF) | ((value as u64) << 32)
@@ -152,6 +175,7 @@ impl SimRam {
         self.word(waddr).store(nw, Ordering::Relaxed)
     }
 
+    /// Capacity in bytes (total simulated physical memory).
     pub fn len_bytes(&self) -> usize {
         self.words.len() * 8
     }
@@ -179,9 +203,14 @@ pub struct MemorySystem {
     host_link_cycles: u64,
     block_bytes: u32,
     t: Mutex<Timing>,
+    /// Correctness checkers, attached at most once per machine (see
+    /// [`crate::analysis`]). Empty = zero checking overhead.
+    #[cfg(feature = "analysis")]
+    analysis: OnceLock<Arc<Analysis>>,
 }
 
 impl MemorySystem {
+    /// Build the timed memory hierarchy (caches, vaults, MMIO) for `cfg`.
     pub fn new(cfg: Config) -> Self {
         cfg.validate();
         let map = MemMap::new(&cfg);
@@ -205,17 +234,36 @@ impl MemorySystem {
             block_bytes: cfg.l1.block_bytes,
             cfg,
             t: Mutex::new(t),
+            #[cfg(feature = "analysis")]
+            analysis: OnceLock::new(),
         }
     }
 
+    /// Attach the engine-integrated checkers. The first attach wins;
+    /// subsequent calls are ignored (use [`MemorySystem::analysis`] to get
+    /// the attached instance).
+    #[cfg(feature = "analysis")]
+    pub fn attach_analysis(&self, a: Arc<Analysis>) {
+        let _ = self.analysis.set(a);
+    }
+
+    /// The attached checkers, if any.
+    #[cfg(feature = "analysis")]
+    pub fn analysis(&self) -> Option<&Arc<Analysis>> {
+        self.analysis.get()
+    }
+
+    /// Raw backing storage (untimed data plane).
     pub fn ram(&self) -> &SimRam {
         &self.ram
     }
 
+    /// The static address map.
     pub fn map(&self) -> &MemMap {
         &self.map
     }
 
+    /// The configuration this memory system was built from.
     pub fn config(&self) -> &Config {
         &self.cfg
     }
@@ -334,7 +382,15 @@ impl MemorySystem {
     }
 
     /// Snapshot every counter. L1 counters are aggregated across cores.
+    /// The analysis counters (`races_detected`, `policy_violations`) are
+    /// cumulative over the machine's lifetime — [`MemorySystem::reset_stats`]
+    /// deliberately does not clear them.
     pub fn snapshot(&self) -> StatsSnapshot {
+        #[cfg(feature = "analysis")]
+        let (races_detected, policy_violations) =
+            self.analysis.get().map_or((0, 0), |a| (a.race_count(), a.policy_count()));
+        #[cfg(not(feature = "analysis"))]
+        let (races_detected, policy_violations) = (0, 0);
         let t = self.t.lock();
         let mut l1 = crate::stats::CacheStats::default();
         for c in &t.l1 {
@@ -348,6 +404,8 @@ impl MemorySystem {
             mmio_writes: t.mmio_writes,
             nmp_buffer_hits: t.nmp_buffer_hits,
             main_vaults: self.cfg.main_vaults,
+            races_detected,
+            policy_violations,
         }
     }
 
@@ -414,6 +472,71 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "null-page")]
+    fn last_byte_of_null_page_detected() {
+        let m = MemMap::new(&Config::tiny());
+        let _ = m.region_of(m.host_base - 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "beyond simulated memory")]
+    fn out_of_range_detected() {
+        let m = MemMap::new(&Config::tiny());
+        let _ = m.region_of(m.total_bytes);
+    }
+
+    #[test]
+    #[should_panic(expected = "beyond simulated memory")]
+    fn wild_high_pointer_detected() {
+        let m = MemMap::new(&Config::tiny());
+        let _ = m.region_of(Addr::MAX);
+    }
+
+    /// The first and last byte of every region must classify to that region:
+    /// an off-by-one in the map arithmetic shows up exactly at these edges.
+    #[test]
+    fn region_first_and_last_bytes_classify_exactly() {
+        let cfg = Config::tiny();
+        let m = MemMap::new(&cfg);
+        assert_eq!(m.region_of(m.host_base), Region::Host);
+        assert_eq!(m.region_of(m.host_base + m.host_size - 1), Region::Host);
+        for p in 0..m.parts {
+            let pb = m.part_base(p);
+            assert_eq!(m.region_of(pb), Region::Part(p));
+            assert_eq!(m.region_of(pb + m.part_size - 1), Region::Part(p));
+            let sb = m.spad_base(p);
+            assert_eq!(m.region_of(sb), Region::Spad(p));
+            assert_eq!(m.region_of(sb + m.spad_size - 1), Region::Spad(p));
+        }
+        // Regions tile the address space with no gaps: one past the last
+        // host byte is partition 0, one past partition p is partition p+1.
+        assert_eq!(m.region_of(m.host_base + m.host_size), Region::Part(0));
+        for p in 0..m.parts - 1 {
+            assert_eq!(m.region_of(m.part_base(p) + m.part_size), Region::Part(p + 1));
+        }
+        assert_eq!(m.region_of(m.part_base(m.parts - 1) + m.part_size), Region::Spad(0));
+    }
+
+    /// Every region base must be block-aligned so a cache block (and an NMP
+    /// buffer) never straddles two regions.
+    #[test]
+    fn region_bases_are_block_aligned() {
+        let cfg = Config::tiny();
+        let m = MemMap::new(&cfg);
+        let block = cfg.l1.block_bytes.max(cfg.nmp_buffer_bytes);
+        assert_eq!(m.host_base % block, 0);
+        for p in 0..m.parts {
+            assert_eq!(m.part_base(p) % block, 0, "partition {p} base unaligned");
+            assert_eq!(m.spad_base(p) % block, 0, "scratchpad {p} base unaligned");
+        }
+        // A block-sized access at the last block of the host region stays
+        // inside it (block edges never cross into partition 0).
+        let last_block = m.host_base + m.host_size - block;
+        assert_eq!(m.region_of(last_block), Region::Host);
+        assert_eq!(m.region_of(last_block + block - 1), Region::Host);
+    }
+
+    #[test]
     fn ram_u64_roundtrip() {
         let r = SimRam::new(1024);
         r.write_u64(64, 0xDEAD_BEEF_CAFE_F00D);
@@ -461,7 +584,7 @@ mod tests {
         let _ = s.host_access(0, 0, a, false);
         let _ = s.host_access(1, 100, a, false);
         let _ = s.host_access(1, 200, a, true); // core 1 writes: invalidates core 0
-        // Core 0 must now miss L1 (hits L2).
+                                                // Core 0 must now miss L1 (hits L2).
         let lat = s.host_access(0, 300, a, false);
         assert_eq!(lat, s.config().l1.latency_cycles + s.config().l2.latency_cycles);
     }

@@ -9,7 +9,9 @@ use serde::{Deserialize, Serialize};
 /// Counters for one cache level (aggregated across all caches of the level).
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct CacheStats {
+    /// Accesses satisfied by this level.
     pub hits: u64,
+    /// Accesses forwarded to the next level.
     pub misses: u64,
     /// Dirty lines written back to the next level on eviction.
     pub writebacks: u64,
@@ -18,14 +20,21 @@ pub struct CacheStats {
 }
 
 impl CacheStats {
+    /// Total accesses that reached this level.
     pub fn accesses(&self) -> u64 {
         self.hits + self.misses
     }
 
+    /// Fraction of accesses that hit (0 when there were none).
     pub fn hit_rate(&self) -> f64 {
-        if self.accesses() == 0 { 0.0 } else { self.hits as f64 / self.accesses() as f64 }
+        if self.accesses() == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.accesses() as f64
+        }
     }
 
+    /// Accumulate another counter set into this one.
     pub fn add(&mut self, o: &CacheStats) {
         self.hits += o.hits;
         self.misses += o.misses;
@@ -37,16 +46,22 @@ impl CacheStats {
 /// Counters for one DRAM vault.
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct VaultStats {
+    /// Read bursts serviced.
     pub reads: u64,
+    /// Write bursts serviced.
     pub writes: u64,
+    /// Accesses that found their DRAM row already open.
     pub row_hits: u64,
+    /// Accesses that opened a row in an idle bank.
     pub row_misses: u64,
+    /// Accesses that had to close another row first.
     pub row_conflicts: u64,
     /// Cycles an access had to wait for a busy bank.
     pub bank_wait_cycles: u64,
 }
 
 impl VaultStats {
+    /// Accumulate another counter set into this one.
     pub fn add(&mut self, o: &VaultStats) {
         self.reads += o.reads;
         self.writes += o.writes;
@@ -62,17 +77,28 @@ impl VaultStats {
 /// [`StatsSnapshot::delta_since`] to isolate a measurement window.
 #[derive(Debug, Default, Clone, PartialEq, Serialize, Deserialize)]
 pub struct StatsSnapshot {
+    /// L1 counters, aggregated over all host cores.
     pub l1: CacheStats,
+    /// Shared-L2 (LLC) counters.
     pub l2: CacheStats,
     /// Per-vault DRAM counters, indexed by vault id. Vaults
     /// `0..main_vaults` are host main memory; the rest are NMP vaults.
     pub vaults: Vec<VaultStats>,
+    /// Host MMIO reads (scratchpad polling).
     pub mmio_reads: u64,
+    /// Host MMIO writes (request publication).
     pub mmio_writes: u64,
     /// Hits in the NMP cores' single node-register buffers.
     pub nmp_buffer_hits: u64,
     /// How many of the vaults are host main-memory vaults.
     pub main_vaults: usize,
+    /// Racy access pairs found by the attached race detector (0 when the
+    /// `analysis` feature is off or no analysis is attached). Cumulative —
+    /// not cleared by `reset_stats`.
+    pub races_detected: u64,
+    /// Region-policy violations recorded by the attached lint (same
+    /// caveats as `races_detected`).
+    pub policy_violations: u64,
 }
 
 impl StatsSnapshot {
@@ -81,6 +107,7 @@ impl StatsSnapshot {
         self.vaults.iter().map(|v| v.reads).sum()
     }
 
+    /// Total DRAM write bursts across all vaults.
     pub fn dram_writes(&self) -> u64 {
         self.vaults.iter().map(|v| v.writes).sum()
     }
@@ -127,6 +154,8 @@ impl StatsSnapshot {
             mmio_writes: self.mmio_writes - earlier.mmio_writes,
             nmp_buffer_hits: self.nmp_buffer_hits - earlier.nmp_buffer_hits,
             main_vaults: self.main_vaults,
+            races_detected: self.races_detected - earlier.races_detected,
+            policy_violations: self.policy_violations - earlier.policy_violations,
         }
     }
 

@@ -1,0 +1,271 @@
+//! Fixture programs for the engine-integrated correctness checkers.
+//!
+//! Positive fixtures (clean programs) must produce a clean report; negative
+//! fixtures (a seeded racy program, a host thread touching an NMP
+//! partition) must be flagged. These guard the analysis layer itself: a
+//! detector that never fires would pass every structure test.
+#![cfg(feature = "analysis")]
+
+use std::sync::Arc;
+
+use nmp_sim::analysis::{PolicyRule, RaceKind};
+use nmp_sim::{Config, Machine, ThreadKind};
+
+/// Two host threads hammer the same word with plain (unannotated) writes:
+/// textbook write-write race.
+#[test]
+fn racy_program_is_flagged() {
+    let machine = Machine::new(Config::tiny());
+    let analysis = machine.attach_analysis();
+    let addr = machine.host_arena().alloc(8);
+    let mut sim = machine.simulation();
+    for core in 0..2usize {
+        sim.spawn(format!("h{core}"), ThreadKind::Host { core }, move |ctx| {
+            for i in 0..4u64 {
+                ctx.write_u64(addr, i);
+            }
+        });
+    }
+    sim.run();
+
+    let report = analysis.report();
+    assert!(report.races_total >= 1, "expected at least one race, got none");
+    assert!(!report.is_clean());
+    let r = &report.races[0];
+    assert_eq!(r.addr & !3, addr & !3);
+    assert_eq!(r.kind, RaceKind::WriteWrite);
+    assert_ne!(r.first.thread, r.second.thread);
+    // Both access sites must point into this file.
+    assert!(r.first.file.ends_with("analysis_fixtures.rs"), "site file: {}", r.first.file);
+    assert!(r.second.file.ends_with("analysis_fixtures.rs"));
+}
+
+/// Same program, but the shared word is only ever touched through CAS:
+/// every access is a synchronization operation, so no races.
+#[test]
+fn cas_only_program_is_clean() {
+    let machine = Machine::new(Config::tiny());
+    let analysis = machine.attach_analysis();
+    let addr = machine.host_arena().alloc(8);
+    let mut sim = machine.simulation();
+    for core in 0..2usize {
+        sim.spawn(format!("h{core}"), ThreadKind::Host { core }, move |ctx| {
+            let mut bumps = 0;
+            while bumps < 8 {
+                let cur = ctx.read_u64(addr);
+                if ctx.cas_u64(addr, cur, cur + 1).is_ok() {
+                    bumps += 1;
+                }
+            }
+        });
+    }
+    sim.run();
+    analysis.report().assert_clean();
+    assert_eq!(machine.ram().read_u64(addr), 16);
+}
+
+/// Message passing through an acquire/release flag: the data word is
+/// written plain by the producer and read plain by the consumer, but the
+/// release-store / acquire-load on the flag orders them.
+#[test]
+fn release_acquire_handoff_is_clean() {
+    let machine = Machine::new(Config::tiny());
+    let analysis = machine.attach_analysis();
+    let data = machine.host_arena().alloc(8);
+    let flag = machine.host_arena().alloc(8);
+    let mut sim = machine.simulation();
+    sim.spawn("producer", ThreadKind::Host { core: 0 }, move |ctx| {
+        ctx.write_u64(data, 99);
+        ctx.write_u64_release(flag, 1);
+    });
+    sim.spawn("consumer", ThreadKind::Host { core: 1 }, move |ctx| {
+        while ctx.read_u64_acquire(flag) == 0 {
+            ctx.idle(8);
+        }
+        assert_eq!(ctx.read_u64(data), 99);
+    });
+    sim.run();
+    analysis.report().assert_clean();
+}
+
+/// The same handoff with a *plain* flag write is a race on the data word
+/// (and the flag): the detector must not treat plain accesses as ordering.
+#[test]
+fn plain_flag_handoff_races() {
+    let machine = Machine::new(Config::tiny());
+    let analysis = machine.attach_analysis();
+    let data = machine.host_arena().alloc(8);
+    let flag = machine.host_arena().alloc(8);
+    let mut sim = machine.simulation();
+    sim.spawn("producer", ThreadKind::Host { core: 0 }, move |ctx| {
+        ctx.write_u64(data, 99);
+        ctx.write_u64(flag, 1); // plain: establishes no happens-before
+    });
+    sim.spawn("consumer", ThreadKind::Host { core: 1 }, move |ctx| {
+        while ctx.read_u64(flag) == 0 {
+            ctx.idle(8);
+        }
+        let _ = ctx.read_u64(data);
+    });
+    sim.run();
+    assert!(analysis.race_count() >= 1);
+}
+
+/// Speculative reads never race: validated-later read patterns (seqlock
+/// bodies, optimistic traversals) are exempt by construction.
+#[test]
+fn speculative_reads_do_not_race() {
+    let machine = Machine::new(Config::tiny());
+    let analysis = machine.attach_analysis();
+    let addr = machine.host_arena().alloc(8);
+    let mut sim = machine.simulation();
+    sim.spawn("writer", ThreadKind::Host { core: 0 }, move |ctx| {
+        for i in 0..4u64 {
+            ctx.write_u64(addr, i);
+        }
+    });
+    sim.spawn("reader", ThreadKind::Host { core: 1 }, move |ctx| {
+        for _ in 0..4 {
+            let _ = ctx.read_u64_speculative(addr);
+        }
+    });
+    sim.run();
+    analysis.report().assert_clean();
+}
+
+/// Freeing a block resets detector state: a new owner's unsynchronized
+/// accesses must not be raced against the old owner's.
+#[test]
+fn arena_free_resets_race_state() {
+    let machine = Machine::new(Config::tiny());
+    let analysis = machine.attach_analysis();
+    let addr = machine.host_arena().alloc(16);
+    let mut sim = machine.simulation();
+    sim.spawn("old-owner", ThreadKind::Host { core: 0 }, move |ctx| {
+        ctx.write_u64(addr, 7);
+    });
+    sim.run();
+    machine.host_arena().free(addr, 16, 8);
+    let addr2 = machine.host_arena().alloc(16);
+    assert_eq!(addr, addr2, "freelist should hand the block back");
+    let mut sim = machine.simulation();
+    sim.spawn("new-owner", ThreadKind::Host { core: 1 }, move |ctx| {
+        ctx.write_u64(addr2, 8); // unordered wrt old owner — but block was freed
+    });
+    sim.run();
+    analysis.report().assert_clean();
+}
+
+/// Sequential simulations over one machine are ordered by `on_sim_start`,
+/// so cross-simulation accesses to the same word never race.
+#[test]
+fn sequential_simulations_do_not_race() {
+    let machine = Machine::new(Config::tiny());
+    let analysis = machine.attach_analysis();
+    let addr = machine.host_arena().alloc(8);
+    for round in 0..3u64 {
+        let mut sim = machine.simulation();
+        sim.spawn("t", ThreadKind::Host { core: (round % 2) as usize }, move |ctx| {
+            let v = ctx.read_u64(addr);
+            ctx.write_u64(addr, v + 1);
+        });
+        sim.run();
+    }
+    analysis.report().assert_clean();
+}
+
+/// With analysis attached, a host thread touching an NMP partition is
+/// recorded as a policy violation instead of panicking the simulation.
+#[test]
+fn host_touching_partition_is_recorded_not_fatal() {
+    let machine = Machine::new(Config::tiny());
+    let analysis = machine.attach_analysis();
+    let part_addr = machine.part_arena(0).alloc(8);
+    let mut sim = machine.simulation();
+    sim.spawn("rogue-host", ThreadKind::Host { core: 0 }, move |ctx| {
+        ctx.write_u64(part_addr, 1);
+        let _ = ctx.read_u64(part_addr);
+    });
+    sim.run(); // must not panic
+
+    let report = analysis.report();
+    assert!(report.policy_total >= 1);
+    let v = &report.policy_violations[0];
+    assert_eq!(v.rule, PolicyRule::HostTouchedPartition);
+    assert_eq!(v.thread, "rogue-host");
+    assert!(v.file.ends_with("analysis_fixtures.rs"));
+}
+
+/// Without analysis attached the original fail-fast panic is preserved.
+#[test]
+#[should_panic(expected = "accessed NMP partition")]
+fn host_touching_partition_panics_when_unattached() {
+    let machine = Machine::new(Config::tiny());
+    let part_addr = machine.part_arena(0).alloc(8);
+    let mut sim = machine.simulation();
+    sim.spawn("rogue-host", ThreadKind::Host { core: 0 }, move |ctx| {
+        ctx.write_u64(part_addr, 1);
+    });
+    sim.run();
+}
+
+/// NMP core touching a foreign partition is a distinct rule.
+#[test]
+fn nmp_touching_foreign_partition_is_recorded() {
+    let machine = Machine::new(Config::tiny());
+    let analysis = machine.attach_analysis();
+    let foreign = machine.part_arena(1).alloc(8);
+    let mut sim = machine.simulation();
+    sim.spawn("nmp-0", ThreadKind::Nmp { part: 0 }, move |ctx| {
+        let _ = ctx.read_u64(foreign);
+    });
+    sim.run();
+    let report = analysis.report();
+    assert_eq!(report.policy_violations[0].rule, PolicyRule::NmpTouchedForeign);
+}
+
+/// Host direct (non-MMIO) scratchpad access is its own rule.
+#[test]
+fn host_direct_scratchpad_is_recorded() {
+    let machine = Machine::new(Config::tiny());
+    let analysis = machine.attach_analysis();
+    let spad = machine.map().spad_base(0);
+    let mut sim = machine.simulation();
+    sim.spawn("h0", ThreadKind::Host { core: 0 }, move |ctx| {
+        let _ = ctx.read_u64(spad);
+    });
+    sim.run();
+    let report = analysis.report();
+    assert_eq!(report.policy_violations[0].rule, PolicyRule::HostDirectScratchpad);
+}
+
+/// Analysis counters surface through the memory-system stats snapshot.
+#[test]
+fn snapshot_counters_reflect_analysis() {
+    let machine = Machine::new(Config::tiny());
+    let _analysis = machine.attach_analysis();
+    let addr = machine.host_arena().alloc(8);
+    let part_addr = machine.part_arena(0).alloc(8);
+    let mut sim = machine.simulation();
+    for core in 0..2usize {
+        sim.spawn(format!("h{core}"), ThreadKind::Host { core }, move |ctx| {
+            ctx.write_u64(addr, core as u64);
+            if core == 0 {
+                ctx.write_u64(part_addr, 1);
+            }
+        });
+    }
+    sim.run();
+    let snap = machine.mem().snapshot();
+    assert!(snap.races_detected >= 1);
+    assert!(snap.policy_violations >= 1);
+}
+
+/// Attach is idempotent and shared across handles.
+#[test]
+fn attach_is_idempotent() {
+    let machine = Machine::new(Config::tiny());
+    let a = machine.attach_analysis();
+    let b = machine.attach_analysis();
+    assert!(Arc::ptr_eq(&a, &b));
+}

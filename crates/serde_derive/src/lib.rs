@@ -1,0 +1,331 @@
+//! Offline stand-in for the `serde_derive` proc-macro crate.
+//!
+//! Generates impls of the vendored `serde::Serialize` / `serde::Deserialize`
+//! traits (the `Value`-tree pair, not real serde's visitor API). Because the
+//! environment has no crates.io access, this macro parses the item with a
+//! small hand-rolled token walker instead of `syn`, and emits code by
+//! string-building instead of `quote`.
+//!
+//! Supported shapes — exactly what this workspace derives on:
+//! - structs with named fields (no generics),
+//! - enums whose variants are unit or struct variants (externally tagged,
+//!   matching real serde's default representation: a unit variant encodes
+//!   as its name string, a struct variant as `{"Variant": {fields...}}`).
+//!
+//! `#[serde(...)]` attributes are not interpreted; tuple variants, tuple
+//! structs, and generics produce a compile error naming the limitation.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum Shape {
+    /// Named-field struct: field names in declaration order.
+    Struct { name: String, fields: Vec<String> },
+    /// Enum of unit and struct variants.
+    Enum { name: String, variants: Vec<(String, Option<Vec<String>>)> },
+}
+
+/// Derive `serde::Serialize` (the vendored Value-tree trait).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match parse_shape(input) {
+        Ok(shape) => gen_serialize(&shape).parse().unwrap(),
+        Err(e) => compile_error(&e),
+    }
+}
+
+/// Derive `serde::Deserialize` (the vendored Value-tree trait).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match parse_shape(input) {
+        Ok(shape) => gen_deserialize(&shape).parse().unwrap(),
+        Err(e) => compile_error(&e),
+    }
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({:?});", msg).parse().unwrap()
+}
+
+/// Skip `#[...]` attribute groups starting at `i`; returns the new index.
+fn skip_attrs(tokens: &[TokenTree], mut i: usize) -> usize {
+    while i + 1 < tokens.len() {
+        match (&tokens[i], &tokens[i + 1]) {
+            (TokenTree::Punct(p), TokenTree::Group(g))
+                if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket =>
+            {
+                i += 2;
+            }
+            _ => break,
+        }
+    }
+    i
+}
+
+/// Skip a `pub` / `pub(...)` visibility prefix at `i`; returns the new index.
+fn skip_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    if let Some(TokenTree::Ident(id)) = tokens.get(i) {
+        if id.to_string() == "pub" {
+            i += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    i += 1;
+                }
+            }
+        }
+    }
+    i
+}
+
+fn parse_shape(input: TokenStream) -> Result<Shape, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_vis(&tokens, skip_attrs(&tokens, 0));
+
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("serde derive: expected `struct` or `enum`, got {other:?}")),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("serde derive: expected type name, got {other:?}")),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            return Err(format!(
+                "serde derive: generics on `{name}` are not supported by the vendored derive"
+            ));
+        }
+    }
+    let body = match tokens.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        _ => {
+            return Err(format!(
+                "serde derive: `{name}` must have a braced body (tuple/unit structs unsupported)"
+            ))
+        }
+    };
+
+    match kind.as_str() {
+        "struct" => Ok(Shape::Struct { name, fields: parse_named_fields(body)? }),
+        "enum" => Ok(Shape::Enum { name, variants: parse_variants(body)? }),
+        other => Err(format!("serde derive: cannot derive on `{other}` items")),
+    }
+}
+
+/// Parse `name: Type, ...` named fields, returning the names.
+fn parse_named_fields(body: TokenStream) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_vis(&tokens, skip_attrs(&tokens, i));
+        if i >= tokens.len() {
+            break;
+        }
+        let fname = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => return Err(format!("serde derive: expected field name, got {other:?}")),
+        };
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            _ => return Err(format!("serde derive: expected `:` after field `{fname}`")),
+        }
+        // Skip the type: everything up to a comma at angle-bracket depth 0.
+        let mut depth = 0i32;
+        while i < tokens.len() {
+            if let TokenTree::Punct(p) = &tokens[i] {
+                match p.as_char() {
+                    '<' => depth += 1,
+                    '>' => depth -= 1,
+                    ',' if depth == 0 => {
+                        i += 1;
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            i += 1;
+        }
+        fields.push(fname);
+    }
+    Ok(fields)
+}
+
+/// A parsed variant: name plus `Some(fields)` for struct variants.
+type Variant = (String, Option<Vec<String>>);
+
+/// Parse enum variants: `Name` (unit) or `Name { fields }` (struct variant).
+fn parse_variants(body: TokenStream) -> Result<Vec<Variant>, String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_attrs(&tokens, i);
+        if i >= tokens.len() {
+            break;
+        }
+        let vname = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => return Err(format!("serde derive: expected variant name, got {other:?}")),
+        };
+        i += 1;
+        let mut fields = None;
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                fields = Some(parse_named_fields(g.stream())?);
+                i += 1;
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                return Err(format!(
+                    "serde derive: tuple variant `{vname}` unsupported by the vendored derive"
+                ));
+            }
+            _ => {}
+        }
+        // Skip an optional discriminant (`= expr`) and the trailing comma.
+        while i < tokens.len() {
+            if let TokenTree::Punct(p) = &tokens[i] {
+                if p.as_char() == ',' {
+                    i += 1;
+                    break;
+                }
+            }
+            i += 1;
+        }
+        variants.push((vname, fields));
+    }
+    Ok(variants)
+}
+
+fn gen_serialize(shape: &Shape) -> String {
+    match shape {
+        Shape::Struct { name, fields } => {
+            let mut pushes = String::new();
+            for f in fields {
+                pushes.push_str(&format!(
+                    "fields.push((::std::string::String::from({f:?}), \
+                     ::serde::Serialize::to_value(&self.{f})));\n"
+                ));
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         let mut fields: ::std::vec::Vec<(::std::string::String, ::serde::Value)> \
+                             = ::std::vec::Vec::new();\n\
+                         {pushes}\
+                         ::serde::Value::Object(fields)\n\
+                     }}\n\
+                 }}\n"
+            )
+        }
+        Shape::Enum { name, variants } => {
+            let mut arms = String::new();
+            for (vname, vfields) in variants {
+                match vfields {
+                    None => arms.push_str(&format!(
+                        "{name}::{vname} => ::serde::Value::Str(::std::string::String::from({vname:?})),\n"
+                    )),
+                    Some(fs) => {
+                        let binds = fs.join(", ");
+                        let mut pushes = String::new();
+                        for f in fs {
+                            pushes.push_str(&format!(
+                                "fields.push((::std::string::String::from({f:?}), \
+                                 ::serde::Serialize::to_value({f})));\n"
+                            ));
+                        }
+                        arms.push_str(&format!(
+                            "{name}::{vname} {{ {binds} }} => {{\n\
+                                 let mut fields: ::std::vec::Vec<(::std::string::String, ::serde::Value)> \
+                                     = ::std::vec::Vec::new();\n\
+                                 {pushes}\
+                                 ::serde::Value::Object(::std::vec::Vec::from([(\
+                                     ::std::string::String::from({vname:?}), \
+                                     ::serde::Value::Object(fields))]))\n\
+                             }}\n"
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         match self {{\n{arms}}}\n\
+                     }}\n\
+                 }}\n"
+            )
+        }
+    }
+}
+
+fn gen_deserialize(shape: &Shape) -> String {
+    match shape {
+        Shape::Struct { name, fields } => {
+            let mut inits = String::new();
+            for f in fields {
+                inits.push_str(&format!(
+                    "{f}: ::serde::Deserialize::from_value(v.field({f:?})?)?,\n"
+                ));
+            }
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) \
+                         -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                         ::std::result::Result::Ok({name} {{\n{inits}}})\n\
+                     }}\n\
+                 }}\n"
+            )
+        }
+        Shape::Enum { name, variants } => {
+            let mut unit_arms = String::new();
+            let mut tagged_arms = String::new();
+            for (vname, vfields) in variants {
+                match vfields {
+                    None => unit_arms.push_str(&format!(
+                        "{vname:?} => ::std::result::Result::Ok({name}::{vname}),\n"
+                    )),
+                    Some(fs) => {
+                        let mut inits = String::new();
+                        for f in fs {
+                            inits.push_str(&format!(
+                                "{f}: ::serde::Deserialize::from_value(inner.field({f:?})?)?,\n"
+                            ));
+                        }
+                        tagged_arms.push_str(&format!(
+                            "{vname:?} => ::std::result::Result::Ok({name}::{vname} {{\n{inits}}}),\n"
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) \
+                         -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                         match v {{\n\
+                             ::serde::Value::Str(s) => match s.as_str() {{\n\
+                                 {unit_arms}\
+                                 other => ::std::result::Result::Err(::serde::Error::msg(\
+                                     ::std::format!(\
+                                         \"unknown unit variant `{{other}}` for {name}\"))),\n\
+                             }},\n\
+                             ::serde::Value::Object(pairs) if pairs.len() == 1 => {{\n\
+                                 let (tag, inner) = &pairs[0];\n\
+                                 match tag.as_str() {{\n\
+                                     {tagged_arms}\
+                                     other => ::std::result::Result::Err(::serde::Error::msg(\
+                                         ::std::format!(\
+                                             \"unknown variant `{{other}}` for {name}\"))),\n\
+                                 }}\n\
+                             }}\n\
+                             other => ::std::result::Result::Err(::serde::Error::msg(\
+                                 ::std::format!(\
+                                     \"expected {name} variant, found {{}}\", other.kind()))),\n\
+                         }}\n\
+                     }}\n\
+                 }}\n"
+            )
+        }
+    }
+}

@@ -41,7 +41,7 @@ impl KeySpace {
     /// insertable tail slots per partition. `total_initial` must divide
     /// evenly (pad your N to a multiple of `parts`).
     pub fn new(total_initial: u32, parts: u32, headroom: u32) -> Self {
-        assert!(parts > 0 && total_initial % parts == 0, "initial keys must split evenly");
+        assert!(parts > 0 && total_initial.is_multiple_of(parts), "initial keys must split evenly");
         let per_part = total_initial / parts;
         let ks = KeySpace { parts, per_part, headroom };
         assert!(

@@ -29,11 +29,7 @@ pub enum Op {
 impl Op {
     pub fn key(&self) -> Key {
         match *self {
-            Op::Read(k)
-            | Op::Insert(k, _)
-            | Op::Remove(k)
-            | Op::Update(k, _)
-            | Op::Scan(k, _) => k,
+            Op::Read(k) | Op::Insert(k, _) | Op::Remove(k) | Op::Update(k, _) | Op::Scan(k, _) => k,
         }
     }
 }
@@ -57,9 +53,7 @@ impl Mix {
 
     pub const fn with_scans(read: u8, insert: u8, remove: u8, update: u8, scan: u8) -> Self {
         let m = Mix { read, insert, remove, update, scan };
-        assert!(
-            read as u32 + insert as u32 + remove as u32 + update as u32 + scan as u32 == 100
-        );
+        assert!(read as u32 + insert as u32 + remove as u32 + update as u32 + scan as u32 == 100);
         m
     }
 
@@ -80,7 +74,12 @@ impl Mix {
 
     /// The four mixes of Figures 7–9.
     pub fn sensitivity_suite() -> Vec<Mix> {
-        vec![Mix::read_insert_remove(100, 0, 0), Mix::read_insert_remove(90, 5, 5), Mix::read_insert_remove(70, 15, 15), Mix::read_insert_remove(50, 25, 25)]
+        vec![
+            Mix::read_insert_remove(100, 0, 0),
+            Mix::read_insert_remove(90, 5, 5),
+            Mix::read_insert_remove(70, 15, 15),
+            Mix::read_insert_remove(50, 25, 25),
+        ]
     }
 
     /// Paper-style label, e.g. `50-25-25`.
@@ -147,10 +146,9 @@ impl WorkloadSpec {
     /// are disjoint per thread, so no two threads ever insert the same key.
     pub fn generate(&self, ks: &KeySpace) -> Vec<Vec<Op>> {
         let zipf = match self.read_dist {
-            KeyDist::ZipfianTheta { theta_x100 } => ScrambledZipfian::with_theta(
-                ks.total_initial() as u64,
-                theta_x100 as f64 / 100.0,
-            ),
+            KeyDist::ZipfianTheta { theta_x100 } => {
+                ScrambledZipfian::with_theta(ks.total_initial() as u64, theta_x100 as f64 / 100.0)
+            }
             _ => ScrambledZipfian::ycsb(ks.total_initial() as u64),
         };
         let root = Rng::new(self.seed);

@@ -126,10 +126,7 @@ mod tests {
         let hits = (0..n).filter(|_| z.next_rank(&mut r) == 0).count();
         let expect = z.prob(0) * n as f64;
         let got = hits as f64;
-        assert!(
-            (got - expect).abs() < expect * 0.1,
-            "rank0: got {got}, expected ~{expect}"
-        );
+        assert!((got - expect).abs() < expect * 0.1, "rank0: got {got}, expected ~{expect}");
     }
 
     #[test]

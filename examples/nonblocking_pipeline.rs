@@ -54,8 +54,8 @@ fn run(inflight: usize) -> (Vec<(u64, u64)>, u64) {
         let mut next = 0;
         let mut done = 0;
         while done < BURST {
-            for lane in 0..inflight {
-                match lanes[lane].take() {
+            for (lane, slot) in lanes.iter_mut().enumerate() {
+                match slot.take() {
                     None if next < BURST => {
                         let t0 = ctx.now();
                         match sl.issue(ctx, lane, Op::Read(key(next))) {
@@ -64,7 +64,7 @@ fn run(inflight: usize) -> (Vec<(u64, u64)>, u64) {
                                 spans2.lock()[next] = (t0, ctx.now());
                                 done += 1;
                             }
-                            Issued::Pending(p) => lanes[lane] = Some((next, t0, p)),
+                            Issued::Pending(p) => *slot = Some((next, t0, p)),
                         }
                         next += 1;
                     }
@@ -75,7 +75,7 @@ fn run(inflight: usize) -> (Vec<(u64, u64)>, u64) {
                             spans2.lock()[i] = (t0, ctx.now());
                             done += 1;
                         }
-                        PollOutcome::Pending => lanes[lane] = Some((i, t0, p)),
+                        PollOutcome::Pending => *slot = Some((i, t0, p)),
                     },
                 }
             }
@@ -110,8 +110,5 @@ fn main() {
     render("blocking NMP calls (Fig. 4a)", &b_spans, b_make);
     let (n_spans, n_make) = run(4);
     render("non-blocking NMP calls, 4 in flight (Fig. 4b)", &n_spans, n_make);
-    println!(
-        "\npipelining speedup on this burst: {:.2}x",
-        b_make as f64 / n_make as f64
-    );
+    println!("\npipelining speedup on this burst: {:.2}x", b_make as f64 / n_make as f64);
 }

@@ -31,9 +31,8 @@ fn build_machine() -> (Arc<Machine>, KeySpace, Vec<(Key, Value)>) {
     let n = ORDERS / parts * parts;
     let ks = KeySpace::new(n, parts, 8192);
     // value = "row id" of the order row.
-    let pairs: Vec<(Key, Value)> = (0..ks.total_initial())
-        .map(|i| (ks.initial_key(i), 0x100_0000 | i))
-        .collect();
+    let pairs: Vec<(Key, Value)> =
+        (0..ks.total_initial()).map(|i| (ks.initial_key(i), 0x100_0000 | i)).collect();
     (machine, ks, pairs)
 }
 
@@ -65,7 +64,12 @@ fn main() {
     let (machine, ks, pairs) = build_machine();
     let host_only = HostBTree::new(Arc::clone(&machine), &pairs, 0.5);
     println!("host-only B+ tree: height {}", host_only.height());
-    let spec = RunSpec { workload: workload(threads), warmup_per_thread: 150, inflight: 1, app_footprint_lines: 0 };
+    let spec = RunSpec {
+        workload: workload(threads),
+        warmup_per_thread: 150,
+        inflight: 1,
+        app_footprint_lines: 0,
+    };
     let r_host = run_index(&machine, &host_only, &ks, &spec);
     host_only.check_invariants();
 

@@ -36,7 +36,11 @@ fn main() {
     let ks = KeySpace::new(n, parts, 4096);
     let (total, nh) = split_for(n as u64, llc);
     println!("hybrid skiplist over {n} keys:");
-    println!("  total levels {total}; levels {nh}..{} host-managed (top {})", total - 1, total - nh);
+    println!(
+        "  total levels {total}; levels {nh}..{} host-managed (top {})",
+        total - 1,
+        total - nh
+    );
     println!("  expected host nodes: ~{} (one per key with height > {nh})", n >> nh);
     let sl = HybridSkipList::new(Arc::clone(&machine), ks, total, nh, 7, 1);
     sl.populate((0..ks.total_initial()).map(|i| (ks.initial_key(i), i)));
@@ -62,10 +66,16 @@ fn main() {
     let n: u32 = 200_000 / parts * parts;
     let machine = Machine::new(cfg.clone());
     let ks = KeySpace::new(n, parts, 4096);
-    let pairs: Vec<(Key, Value)> = (0..ks.total_initial()).map(|i| (ks.initial_key(i), i)).collect();
+    let pairs: Vec<(Key, Value)> =
+        (0..ks.total_initial()).map(|i| (ks.initial_key(i), i)).collect();
     let bt = HybridBTree::new(Arc::clone(&machine), &pairs, 0.5, 1);
     println!("\nhybrid B+ tree over {n} keys:");
-    println!("  height {}; levels {}..{} host-managed", bt.height(), bt.last_host_level(), bt.height() - 1);
+    println!(
+        "  height {}; levels {}..{} host-managed",
+        bt.height(),
+        bt.last_host_level(),
+        bt.height() - 1
+    );
     let host_bytes = machine.host_arena().live_bytes();
     println!(
         "  host portion: {} kB vs LLC {} kB  {}",

@@ -1,8 +1,13 @@
 //! Integration: concurrent-execution consistency across the host/NMP split.
 //!
-//! Under full contention (threads racing on the *same* keys), deep
-//! linearizability checking is out of scope, but a strong balance invariant
-//! still holds for every structure: for each key,
+//! Every structure is exercised under full contention (threads racing on
+//! the *same* hot keys) with the engine-integrated checkers attached:
+//!
+//! * the recorded operation history must be **linearizable** against a
+//!   sequential map oracle (`nmp_sim::analysis::HistoryRecorder`),
+//! * the run must be **race-free** and **region-policy clean**
+//!   (`nmp_sim::analysis::Report::assert_clean`),
+//! * and a balance invariant ties results to final contents: for each key,
 //!
 //! ```text
 //! initially_present + successful_inserts - successful_removes
@@ -13,10 +18,11 @@
 //! successful remove transitions present→absent, and the structures report
 //! success exactly for those transitions.
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, HashMap, HashSet};
 use std::sync::Arc;
 
 use hybrids_repro::prelude::*;
+use nmp_sim::analysis::{HistEvent, HistOp, HistoryRecorder};
 use parking_lot::Mutex;
 use workloads::Rng;
 
@@ -42,28 +48,45 @@ fn contended_ops(seed: u64, ks: &KeySpace, hot_keys: u32, len: usize) -> Vec<Op>
         .collect()
 }
 
-fn run_balance_check<S: SimIndex>(
+fn hist_event(thread: usize, op: Op, r: OpResult, inv: u64, resp: u64) -> HistEvent {
+    let (hop, key, value) = match op {
+        Op::Read(k) => (HistOp::Read, k, r.value),
+        Op::Insert(k, v) => (HistOp::Insert, k, v),
+        Op::Remove(k) => (HistOp::Remove, k, 0),
+        Op::Update(k, v) => (HistOp::Update, k, v),
+        Op::Scan(..) => unreachable!("contended_ops generates no scans"),
+    };
+    HistEvent { thread, op: hop, key, ok: r.ok, value, inv, resp }
+}
+
+/// Run the contended workload with all checkers attached: linearizability
+/// of the recorded history, race/policy cleanliness, and the per-key
+/// balance invariant against the final contents.
+fn run_checked<S: SimIndex>(
     machine: &Arc<Machine>,
     index: &Arc<S>,
     ks: KeySpace,
-    initial_present: impl Fn(Key) -> bool + Copy,
+    initial: &[(Key, Value)],
     final_contents: impl FnOnce() -> BTreeMap<Key, Value>,
 ) {
+    let analysis = machine.attach_analysis();
+    let recorder = Arc::new(HistoryRecorder::new());
     let tallies: Arc<Mutex<HashMap<Key, Tally>>> = Arc::new(Mutex::new(HashMap::new()));
     let mut sim = machine.simulation();
     index.spawn_services(&mut sim);
     for core in 0..THREADS {
         let index = Arc::clone(index);
         let tallies = Arc::clone(&tallies);
+        let recorder = Arc::clone(&recorder);
         let ops = contended_ops(1000 + core as u64, &ks, 16, 150);
         sim.spawn(format!("h{core}"), ThreadKind::Host { core }, move |ctx| {
             for &op in &ops {
+                let inv = ctx.now();
                 let r = index.execute(ctx, op);
+                recorder.record(hist_event(core, op, r, inv, ctx.now()));
                 if r.ok {
                     let mut t = tallies.lock();
-                    let e = t
-                        .entry(op.key())
-                        .or_insert(Tally { inserts_ok: 0, removes_ok: 0 });
+                    let e = t.entry(op.key()).or_insert(Tally { inserts_ok: 0, removes_ok: 0 });
                     match op {
                         Op::Insert(..) => e.inserts_ok += 1,
                         Op::Remove(_) => e.removes_ok += 1,
@@ -74,9 +97,20 @@ fn run_balance_check<S: SimIndex>(
         });
     }
     sim.run();
+
+    // Checker 1: no data races, no region-policy violations.
+    analysis.report().assert_clean();
+
+    // Checker 2: the history must linearize against the initial contents.
+    let initial_map: HashMap<Key, Value> = initial.iter().copied().collect();
+    assert_eq!(recorder.len(), THREADS * 150);
+    recorder.check_linearizable(|k| initial_map.get(&k).copied()).unwrap_or_else(|e| panic!("{e}"));
+
+    // Checker 3: per-key presence balance against the final contents.
+    let present: HashSet<Key> = initial.iter().map(|&(k, _)| k).collect();
     let contents = final_contents();
     for (key, t) in tallies.lock().iter() {
-        let initial = initial_present(*key) as i64;
+        let initial = present.contains(key) as i64;
         let expected_present = initial + t.inserts_ok - t.removes_ok;
         assert!(
             expected_present == 0 || expected_present == 1,
@@ -105,87 +139,87 @@ fn half_initial(ks: &KeySpace) -> Vec<(Key, Value)> {
 }
 
 #[test]
-fn hybrid_skiplist_presence_balances_under_contention() {
+fn hybrid_skiplist_consistent_under_contention() {
     let ks = keyspace();
     let m = Machine::new(Config::tiny());
     let sl = HybridSkipList::new(Arc::clone(&m), ks, 10, 4, 3, 1);
     let initial = half_initial(&ks);
     sl.populate(initial.clone());
-    let present: std::collections::HashSet<Key> = initial.iter().map(|&(k, _)| k).collect();
     let sl2 = Arc::clone(&sl);
-    run_balance_check(&m, &sl, ks, |k| present.contains(&k), move || {
+    run_checked(&m, &sl, ks, &initial, move || {
         sl2.check_invariants();
         sl2.collect().into_iter().collect()
     });
 }
 
 #[test]
-fn nmp_skiplist_presence_balances_under_contention() {
+fn nmp_skiplist_consistent_under_contention() {
     let ks = keyspace();
     let m = Machine::new(Config::tiny());
     let sl = NmpSkipList::new(Arc::clone(&m), ks, 8, 3, 1);
     let initial = half_initial(&ks);
     sl.populate(initial.clone());
-    let present: std::collections::HashSet<Key> = initial.iter().map(|&(k, _)| k).collect();
     let sl2 = Arc::clone(&sl);
-    run_balance_check(&m, &sl, ks, |k| present.contains(&k), move || {
+    run_checked(&m, &sl, ks, &initial, move || {
         sl2.check_invariants();
         sl2.collect().into_iter().collect()
     });
 }
 
 #[test]
-fn host_btree_presence_balances_under_contention() {
+fn host_btree_consistent_under_contention() {
     let ks = keyspace();
     let m = Machine::new(Config::tiny());
     let initial = half_initial(&ks);
     let t = HostBTree::new(Arc::clone(&m), &initial, 0.7);
-    let present: std::collections::HashSet<Key> = initial.iter().map(|&(k, _)| k).collect();
     let t2 = Arc::clone(&t);
-    run_balance_check(&m, &t, ks, |k| present.contains(&k), move || {
+    run_checked(&m, &t, ks, &initial, move || {
         t2.check_invariants();
         t2.collect().into_iter().collect()
     });
 }
 
 #[test]
-fn hybrid_btree_presence_balances_under_contention() {
+fn hybrid_btree_consistent_under_contention() {
     let ks = keyspace();
     let m = Machine::new(Config::tiny());
     let initial = half_initial(&ks);
     let t = HybridBTree::with_budget(Arc::clone(&m), &initial, 0.7, 1, 2 * 1024);
-    let present: std::collections::HashSet<Key> = initial.iter().map(|&(k, _)| k).collect();
     let t2 = Arc::clone(&t);
-    run_balance_check(&m, &t, ks, |k| present.contains(&k), move || {
+    run_checked(&m, &t, ks, &initial, move || {
         t2.check_invariants();
         t2.collect().into_iter().collect()
     });
 }
 
 #[test]
-fn nonblocking_pipeline_balances_too() {
-    // Same invariant with 4-deep non-blocking pipelines per thread.
+fn nonblocking_pipeline_consistent_too() {
+    // Same checks with 4-deep non-blocking pipelines per thread.
     let ks = keyspace();
     let m = Machine::new(Config::tiny());
     let sl = HybridSkipList::new(Arc::clone(&m), ks, 10, 4, 3, 4);
     let initial = half_initial(&ks);
     sl.populate(initial.clone());
-    let present: std::collections::HashSet<Key> = initial.iter().map(|&(k, _)| k).collect();
+    let analysis = m.attach_analysis();
+    let recorder = Arc::new(HistoryRecorder::new());
+    let present: HashSet<Key> = initial.iter().map(|&(k, _)| k).collect();
     let tallies: Arc<Mutex<HashMap<Key, (i64, i64)>>> = Arc::new(Mutex::new(HashMap::new()));
     let mut sim = m.simulation();
     sl.spawn_services(&mut sim);
     for core in 0..THREADS {
         let sl = Arc::clone(&sl);
         let tallies = Arc::clone(&tallies);
+        let recorder = Arc::clone(&recorder);
         let ops = contended_ops(2000 + core as u64, &ks, 16, 120);
         sim.spawn(format!("h{core}"), ThreadKind::Host { core }, move |ctx| {
-            let mut lanes: Vec<Option<(Op, _)>> = (0..4).map(|_| None).collect();
+            let mut lanes: Vec<Option<(Op, u64, _)>> = (0..4).map(|_| None).collect();
             let mut next = 0;
             let mut done = 0;
             while done < ops.len() {
-                for lane in 0..4usize {
-                    let record = |op: Op, ok: bool| {
-                        if ok {
+                for (lane, lane_slot) in lanes.iter_mut().enumerate() {
+                    let complete = |op: Op, r: OpResult, inv: u64, resp: u64| {
+                        recorder.record(hist_event(core, op, r, inv, resp));
+                        if r.ok {
                             let mut t = tallies.lock();
                             let e = t.entry(op.key()).or_insert((0, 0));
                             match op {
@@ -195,25 +229,26 @@ fn nonblocking_pipeline_balances_too() {
                             }
                         }
                     };
-                    match lanes[lane].take() {
+                    match lane_slot.take() {
                         None if next < ops.len() => {
                             let op = ops[next];
                             next += 1;
+                            let inv = ctx.now();
                             match sl.issue(ctx, lane, op) {
                                 Issued::Done(r) => {
-                                    record(op, r.ok);
+                                    complete(op, r, inv, ctx.now());
                                     done += 1;
                                 }
-                                Issued::Pending(p) => lanes[lane] = Some((op, p)),
+                                Issued::Pending(p) => *lane_slot = Some((op, inv, p)),
                             }
                         }
                         None => {}
-                        Some((op, mut p)) => match sl.poll(ctx, &mut p) {
+                        Some((op, inv, mut p)) => match sl.poll(ctx, &mut p) {
                             PollOutcome::Done(r) => {
-                                record(op, r.ok);
+                                complete(op, r, inv, ctx.now());
                                 done += 1;
                             }
-                            PollOutcome::Pending => lanes[lane] = Some((op, p)),
+                            PollOutcome::Pending => *lane_slot = Some((op, inv, p)),
                         },
                     }
                 }
@@ -222,6 +257,9 @@ fn nonblocking_pipeline_balances_too() {
         });
     }
     sim.run();
+    analysis.report().assert_clean();
+    let initial_map: HashMap<Key, Value> = initial.iter().copied().collect();
+    recorder.check_linearizable(|k| initial_map.get(&k).copied()).unwrap_or_else(|e| panic!("{e}"));
     sl.check_invariants();
     let contents: BTreeMap<Key, Value> = sl.collect().into_iter().collect();
     for (key, (io, ro)) in tallies.lock().iter() {

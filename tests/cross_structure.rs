@@ -41,11 +41,11 @@ fn oracle_apply(model: &mut BTreeMap<Key, Value>, op: Op) -> (bool, Value) {
             None => (false, 0),
         },
         Op::Insert(k, v) => {
-            if model.contains_key(&k) {
-                (false, 0)
-            } else {
-                model.insert(k, v);
+            if let std::collections::btree_map::Entry::Vacant(e) = model.entry(k) {
+                e.insert(v);
                 (true, 0)
+            } else {
+                (false, 0)
             }
         }
         Op::Remove(k) => (model.remove(&k).is_some(), 0),
@@ -66,11 +66,7 @@ fn oracle_apply(model: &mut BTreeMap<Key, Value>, op: Op) -> (bool, Value) {
 
 /// Run `ops` against `index` on one host thread; return per-op results and
 /// the machine (for final inspection).
-fn drive<S: SimIndex>(
-    machine: &Arc<Machine>,
-    index: &Arc<S>,
-    ops: Vec<Op>,
-) -> Vec<(bool, Value)> {
+fn drive<S: SimIndex>(machine: &Arc<Machine>, index: &Arc<S>, ops: Vec<Op>) -> Vec<(bool, Value)> {
     let results = Arc::new(Mutex::new(Vec::new()));
     let mut sim = machine.simulation();
     index.spawn_services(&mut sim);

@@ -1,16 +1,17 @@
-//! Property tests: random operation sequences against a `BTreeMap` oracle,
-//! for each index structure (single simulated host thread, so the oracle
-//! order is exact).
+//! Randomized oracle tests: seeded random operation sequences against a
+//! `BTreeMap` oracle, for each index structure (single simulated host
+//! thread, so the oracle order is exact). Deterministic xorshift sequences
+//! stand in for proptest, which is unavailable offline.
 
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use hybrids_repro::prelude::*;
 use parking_lot::Mutex;
-use proptest::prelude::*;
 
 const N: u32 = 128;
 const PARTS: u32 = 2;
+const CASES: u64 = 12;
 
 fn keyspace() -> KeySpace {
     KeySpace::new(N, PARTS, 64)
@@ -25,15 +26,32 @@ enum PropOp {
     Scan(u32, u16),
 }
 
-fn prop_ops() -> impl Strategy<Value = Vec<PropOp>> {
-    let op = prop_oneof![
-        3 => (0..N).prop_map(PropOp::Read),
-        3 => ((0..N), (1..8u8)).prop_map(|(i, off)| PropOp::InsertGap(i, off)),
-        3 => (0..N).prop_map(PropOp::Remove),
-        3 => ((0..N), any::<u32>()).prop_map(|(i, v)| PropOp::Update(i, v | 1)),
-        1 => ((0..N), (1..40u16)).prop_map(|(i, len)| PropOp::Scan(i, len)),
-    ];
-    proptest::collection::vec(op, 1..80)
+fn xorshift(state: &mut u64) -> u64 {
+    let mut x = *state;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    *state = x;
+    x
+}
+
+/// Random op sequence matching the old proptest strategy: reads, gap
+/// inserts, removes, and updates at weight 3 each, scans at weight 1,
+/// sequence length 1..80.
+fn prop_ops(rng: &mut u64) -> Vec<PropOp> {
+    let len = 1 + (xorshift(rng) % 79) as usize;
+    (0..len)
+        .map(|_| {
+            let i = (xorshift(rng) % N as u64) as u32;
+            match xorshift(rng) % 13 {
+                0..=2 => PropOp::Read(i),
+                3..=5 => PropOp::InsertGap(i, 1 + (xorshift(rng) % 7) as u8),
+                6..=8 => PropOp::Remove(i),
+                9..=11 => PropOp::Update(i, (xorshift(rng) as u32) | 1),
+                _ => PropOp::Scan(i, 1 + (xorshift(rng) % 39) as u16),
+            }
+        })
+        .collect()
 }
 
 fn to_ops(ks: &KeySpace, seq: &[PropOp]) -> Vec<Op> {
@@ -55,11 +73,11 @@ fn oracle(ops: &[Op], initial: &[(Key, Value)]) -> (Vec<(bool, Value)>, BTreeMap
         .map(|&op| match op {
             Op::Read(k) => model.get(&k).map_or((false, 0), |&v| (true, v)),
             Op::Insert(k, v) => {
-                if model.contains_key(&k) {
-                    (false, 0)
-                } else {
-                    model.insert(k, v);
+                if let std::collections::btree_map::Entry::Vacant(e) = model.entry(k) {
+                    e.insert(v);
                     (true, 0)
+                } else {
+                    (false, 0)
                 }
             }
             Op::Remove(k) => (model.remove(&k).is_some(), 0),
@@ -104,64 +122,78 @@ fn initial(ks: &KeySpace) -> Vec<(Key, Value)> {
     (0..ks.total_initial()).filter(|i| i % 3 != 2).map(|i| (ks.initial_key(i), i + 1)).collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
-
-    #[test]
-    fn hybrid_skiplist_matches_oracle(seq in prop_ops()) {
+/// Run `CASES` seeded random sequences against `make` + the oracle.
+fn check_matches_oracle<S>(make: impl Fn(&Arc<Machine>, KeySpace, &[(Key, Value)]) -> Arc<S>)
+where
+    S: SimIndex + CheckedIndex,
+{
+    for case in 0..CASES {
+        let mut rng = 0x243F6A8885A308D3 ^ (case + 1).wrapping_mul(0x9E3779B97F4A7C15);
+        let seq = prop_ops(&mut rng);
         let ks = keyspace();
         let init = initial(&ks);
         let ops = to_ops(&ks, &seq);
         let (expect, model) = oracle(&ops, &init);
         let m = Machine::new(Config::tiny());
-        let sl = HybridSkipList::new(Arc::clone(&m), ks, 9, 4, 5, 1);
-        sl.populate(init.clone());
-        let got = drive(&m, &sl, ops);
-        prop_assert_eq!(got, expect);
-        sl.check_invariants();
-        prop_assert_eq!(sl.collect().into_iter().collect::<BTreeMap<_, _>>(), model);
+        let idx = make(&m, ks, &init);
+        let got = drive(&m, &idx, ops);
+        assert_eq!(got, expect, "case {case}: results diverge from oracle");
+        idx.check_invariants();
+        assert_eq!(
+            idx.collect().into_iter().collect::<BTreeMap<_, _>>(),
+            model,
+            "case {case}: final contents diverge from oracle"
+        );
     }
+}
 
-    #[test]
-    fn hybrid_btree_matches_oracle(seq in prop_ops()) {
-        let ks = keyspace();
-        let init = initial(&ks);
-        let ops = to_ops(&ks, &seq);
-        let (expect, model) = oracle(&ops, &init);
-        let m = Machine::new(Config::tiny());
-        let t = HybridBTree::with_budget(Arc::clone(&m), &init, 1.0, 1, 1024);
-        let got = drive(&m, &t, ops);
-        prop_assert_eq!(got, expect);
-        t.check_invariants();
-        prop_assert_eq!(t.collect().into_iter().collect::<BTreeMap<_, _>>(), model);
-    }
+/// The post-run checks every structure under test supports.
+trait CheckedIndex {
+    fn check_invariants(&self);
+    fn collect(&self) -> Vec<(Key, Value)>;
+}
 
-    #[test]
-    fn host_btree_matches_oracle(seq in prop_ops()) {
-        let ks = keyspace();
-        let init = initial(&ks);
-        let ops = to_ops(&ks, &seq);
-        let (expect, model) = oracle(&ops, &init);
-        let m = Machine::new(Config::tiny());
-        let t = HostBTree::new(Arc::clone(&m), &init, 1.0);
-        let got = drive(&m, &t, ops);
-        prop_assert_eq!(got, expect);
-        t.check_invariants();
-        prop_assert_eq!(t.collect().into_iter().collect::<BTreeMap<_, _>>(), model);
-    }
+macro_rules! impl_checked {
+    ($($t:ty),*) => {$(
+        impl CheckedIndex for $t {
+            fn check_invariants(&self) {
+                <$t>::check_invariants(self)
+            }
+            fn collect(&self) -> Vec<(Key, Value)> {
+                <$t>::collect(self)
+            }
+        }
+    )*};
+}
 
-    #[test]
-    fn nmp_skiplist_matches_oracle(seq in prop_ops()) {
-        let ks = keyspace();
-        let init = initial(&ks);
-        let ops = to_ops(&ks, &seq);
-        let (expect, model) = oracle(&ops, &init);
-        let m = Machine::new(Config::tiny());
-        let sl = NmpSkipList::new(Arc::clone(&m), ks, 7, 5, 1);
-        sl.populate(init.clone());
-        let got = drive(&m, &sl, ops);
-        prop_assert_eq!(got, expect);
-        sl.check_invariants();
-        prop_assert_eq!(sl.collect().into_iter().collect::<BTreeMap<_, _>>(), model);
-    }
+impl_checked!(HybridSkipList, NmpSkipList, HostBTree, HybridBTree);
+
+#[test]
+fn hybrid_skiplist_matches_oracle() {
+    check_matches_oracle(|m, ks, init| {
+        let sl = HybridSkipList::new(Arc::clone(m), ks, 9, 4, 5, 1);
+        sl.populate(init.to_vec());
+        sl
+    });
+}
+
+#[test]
+fn hybrid_btree_matches_oracle() {
+    check_matches_oracle(|m, _ks, init| {
+        HybridBTree::with_budget(Arc::clone(m), init, 1.0, 1, 1024)
+    });
+}
+
+#[test]
+fn host_btree_matches_oracle() {
+    check_matches_oracle(|m, _ks, init| HostBTree::new(Arc::clone(m), init, 1.0));
+}
+
+#[test]
+fn nmp_skiplist_matches_oracle() {
+    check_matches_oracle(|m, ks, init| {
+        let sl = NmpSkipList::new(Arc::clone(m), ks, 7, 5, 1);
+        sl.populate(init.to_vec());
+        sl
+    });
 }

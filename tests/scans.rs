@@ -53,12 +53,12 @@ fn expect(ks: &KeySpace, key: Key, len: u16) -> u32 {
 
 fn probes(ks: &KeySpace) -> Vec<(Key, u16)> {
     vec![
-        (ks.initial_key(0), 10),                        // start of key space
-        (ks.initial_key(100) + 1, 25),                  // mid, from a gap key
-        (ks.initial_key(N - 5), 100),                   // runs off the end
-        (ks.initial_key(N / PARTS - 3), 20),            // crosses the partition boundary
-        (ks.keyspace() - 1, 10),                        // past every key
-        (ks.initial_key(0), 400),                       // long scan over most of the space
+        (ks.initial_key(0), 10),             // start of key space
+        (ks.initial_key(100) + 1, 25),       // mid, from a gap key
+        (ks.initial_key(N - 5), 100),        // runs off the end
+        (ks.initial_key(N / PARTS - 3), 20), // crosses the partition boundary
+        (ks.keyspace() - 1, 10),             // past every key
+        (ks.initial_key(0), 400),            // long scan over most of the space
     ]
 }
 
@@ -213,19 +213,19 @@ fn pipelined_btree_scans_interleaved_with_parked_inserts() {
             let mut next = 0;
             let mut done = 0;
             while done < ops.len() {
-                for lane in 0..4usize {
-                    match lanes[lane].take() {
+                for (lane, slot) in lanes.iter_mut().enumerate() {
+                    match slot.take() {
                         None if next < ops.len() => {
                             match t.issue(ctx, lane, ops[next]) {
                                 Issued::Done(_) => done += 1,
-                                Issued::Pending(p) => lanes[lane] = Some(p),
+                                Issued::Pending(p) => *slot = Some(p),
                             }
                             next += 1;
                         }
                         None => {}
                         Some(mut p) => match t.poll(ctx, &mut p) {
                             PollOutcome::Done(_) => done += 1,
-                            PollOutcome::Pending => lanes[lane] = Some(p),
+                            PollOutcome::Pending => *slot = Some(p),
                         },
                     }
                 }
