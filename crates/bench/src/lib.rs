@@ -255,6 +255,12 @@ pub struct Record {
     pub cycles: u64,
     pub measured_ops: u64,
     pub succeeded_ops: u64,
+    pub wall_ms: f64,
+    pub sim_cycles_per_sec: f64,
+    pub offload_posted: u64,
+    pub offload_retries: u64,
+    pub offload_lock_path: u64,
+    pub offload_mean_batch: f64,
 }
 
 impl Record {
@@ -280,6 +286,12 @@ impl Record {
             cycles: r.cycles,
             measured_ops: r.measured_ops,
             succeeded_ops: r.succeeded_ops,
+            wall_ms: r.wall_ms,
+            sim_cycles_per_sec: r.sim_cycles_per_sec,
+            offload_posted: r.offload_posted,
+            offload_retries: r.offload_retries,
+            offload_lock_path: r.offload_lock_path,
+            offload_mean_batch: r.offload_mean_batch,
         }
     }
 }
@@ -412,13 +424,13 @@ pub fn save_records(experiment: &str, records: &[Record]) {
     let mut csv = String::new();
     if fresh {
         csv.push_str(
-            "experiment,scale,variant,workload,threads,mops,dram_reads_per_op,host_dram_reads_per_op,nmp_dram_reads_per_op,mmio_per_op,energy_nj_per_op,cycles,measured_ops,succeeded_ops\n",
+            "experiment,scale,variant,workload,threads,mops,dram_reads_per_op,host_dram_reads_per_op,nmp_dram_reads_per_op,mmio_per_op,energy_nj_per_op,cycles,measured_ops,succeeded_ops,wall_ms,sim_cycles_per_sec,offload_posted,offload_retries,offload_lock_path,offload_mean_batch\n",
         );
     }
     for r in records {
         let _ = writeln!(
             csv,
-            "{},{},{},{},{},{:.6},{:.4},{:.4},{:.4},{:.4},{:.4},{},{},{}",
+            "{},{},{},{},{},{:.6},{:.4},{:.4},{:.4},{:.4},{:.4},{},{},{},{:.3},{:.0},{},{},{},{:.3}",
             r.experiment,
             r.scale,
             r.variant,
@@ -432,7 +444,13 @@ pub fn save_records(experiment: &str, records: &[Record]) {
             r.energy_nj_per_op,
             r.cycles,
             r.measured_ops,
-            r.succeeded_ops
+            r.succeeded_ops,
+            r.wall_ms,
+            r.sim_cycles_per_sec,
+            r.offload_posted,
+            r.offload_retries,
+            r.offload_lock_path,
+            r.offload_mean_batch
         );
     }
     use std::io::Write;

@@ -25,13 +25,14 @@ use std::sync::Arc;
 use nmp_sim::{Addr, Machine, Region, Simulation, ThreadCtx, NULL};
 use workloads::{Key, Op, Value};
 
-use crate::api::{host_core, Issued, OpResult, PollOutcome, SimIndex};
-use crate::publist::{spawn_combiners, NmpExec, OpCode, PubLists, Request, Response};
+use crate::api::{Issued, OpResult, PollOutcome, SimIndex};
+use crate::offload::{OffloadClient, OffloadRuntime, PendingOp, Step};
+use crate::publist::{NmpExec, OpCode, Request, Response};
 
 use super::build;
 use super::host_only::{apply_insert, InsertSeed};
 use super::node::{self, INNER_MAX};
-use super::traverse::{descend, try_descend};
+use super::traverse::try_descend;
 
 /// NMP-side executor of the hybrid B+ tree.
 pub struct BtreeExec {
@@ -257,7 +258,7 @@ impl BtreeExec {
 /// The hybrid B+ tree.
 pub struct HybridBTree {
     machine: Arc<Machine>,
-    lists: Arc<PubLists>,
+    runtime: OffloadRuntime,
     exec: Arc<BtreeExec>,
     root_word: Addr,
     last_host_level: u32,
@@ -292,9 +293,9 @@ impl HybridBTree {
         build::push_down(&machine, root, height, last_host_level);
         let root_word = machine.host_arena().alloc(8);
         machine.ram().write_u32(root_word, root);
-        let lists = Arc::new(PubLists::new(Arc::clone(&machine), max_inflight));
+        let runtime = OffloadRuntime::new(Arc::clone(&machine), max_inflight);
         let exec = Arc::new(BtreeExec { machine: Arc::clone(&machine) });
-        Arc::new(HybridBTree { machine, lists, exec, root_word, last_host_level })
+        Arc::new(HybridBTree { machine, runtime, exec, root_word, last_host_level })
     }
 
     pub fn machine(&self) -> &Arc<Machine> {
@@ -332,52 +333,39 @@ impl HybridBTree {
         }
     }
 
-    /// Range scan (extension; YCSB-E): iterate begin-child subtrees left to
-    /// right. Each offload scans one subtree's worth of the partition-local
-    /// leaf chain, bounded by the subtree's dividing key; the host then
-    /// continues at `bound + 1`, which routes to the next subtree (possibly
-    /// in the next partition).
-    fn scan_op(&self, ctx: &mut ThreadCtx, slot: usize, key: Key, len: u16) -> OpResult {
-        let mut remaining = len as u32;
-        let mut count = 0u32;
-        let mut from = key;
-        while remaining > 0 {
-            let d = descend(ctx, self.root_word, from, self.last_host_level);
-            let (_, begin) = d.picked.expect("hybrid descent always picks an NMP child");
-            let part = self.part_of(begin);
-            let mut req = Request::new(OpCode::Scan, from, d.picked_hi);
-            req.begin = begin;
-            req.aux = remaining;
-            self.lists.post(ctx, part, slot, &req);
-            let resp = self.lists.wait_response(ctx, part, slot);
-            if resp.retry {
-                continue;
-            }
-            count += resp.value;
-            remaining = remaining.saturating_sub(resp.value);
-            if d.picked_hi == 0 && resp.split_key == 1 {
-                break; // rightmost subtree exhausted: global end
-            }
-            if d.picked_hi == 0 {
-                break; // defensive: unbounded subtree served everything it could
-            }
-            from = d.picked_hi + 1;
+    /// Next subtree request of a range scan (extension; YCSB-E): iterate
+    /// begin-child subtrees left to right. Each offload scans one subtree's
+    /// worth of the partition-local leaf chain, bounded by the subtree's
+    /// dividing key; the host then continues at `bound + 1`, which routes
+    /// to the next subtree (possibly in the next partition). The descent is
+    /// bounded, so a seqlock held by a sibling lane never wedges the scan —
+    /// it stalls and retries on the next poll.
+    fn scan_step(&self, ctx: &mut ThreadCtx, st: &mut BtOpState) -> Step {
+        if st.remaining == 0 {
+            return Step::Done(OpResult { ok: st.count > 0, value: st.count });
         }
-        OpResult { ok: count > 0, value: count }
+        let Some(d) = try_descend(ctx, self.root_word, st.from, self.last_host_level, PATIENCE)
+        else {
+            return Step::Stall;
+        };
+        let (_, begin) = d.picked.expect("hybrid descent always picks an NMP child");
+        let part = self.part_of(begin);
+        st.hi = d.picked_hi;
+        let mut req = Request::new(OpCode::Scan, st.from, d.picked_hi);
+        req.begin = begin;
+        req.aux = st.remaining;
+        Step::Post { part, req }
     }
 
-    /// Host traversal + offload (Listing 4 lines 4-24). Bounded: gives up
-    /// after a few seqlock waits so a pipelined host thread never spins on
-    /// a lock that one of its *own* in-flight operations holds.
-    fn try_offload(
-        &self,
-        ctx: &mut ThreadCtx,
-        slot: usize,
-        op: Op,
-    ) -> Option<(usize, SavedDescent)> {
-        const PATIENCE: u32 = 8;
+    /// Host traversal + offload request (Listing 4 lines 4-24). Bounded:
+    /// gives up (stalls) after a few seqlock waits so a pipelined host
+    /// thread never spins on a lock that one of its *own* in-flight
+    /// operations holds.
+    fn offload_step(&self, ctx: &mut ThreadCtx, op: Op, st: &mut BtOpState) -> Step {
         let key = op.key();
-        let d = try_descend(ctx, self.root_word, key, self.last_host_level, PATIENCE)?;
+        let Some(d) = try_descend(ctx, self.root_word, key, self.last_host_level, PATIENCE) else {
+            return Step::Stall;
+        };
         let (_, begin) = d.picked.expect("hybrid descent always picks an NMP child");
         let part = self.part_of(begin);
         let value = match op {
@@ -387,8 +375,9 @@ impl HybridBTree {
         let mut req = Request::new(Self::opcode(op), key, value);
         req.begin = begin;
         req.aux = d.bottom().1; // parent's observed (even) seqnum
-        self.lists.post(ctx, part, slot, &req);
-        Some((part, SavedDescent { path: d.path, root_level: d.root_level }))
+        st.saved = SavedDescent { path: d.path, root_level: d.root_level };
+        st.part = part;
+        Step::Post { part, req }
     }
 
     /// LOCK_PATH arrived: lock the recorded host path from the last host
@@ -491,184 +480,143 @@ impl HybridBTree {
     }
 }
 
+/// Seqlock waits a bounded host descent tolerates before giving up, so a
+/// pipelined host thread never spins on a lock that one of its *own*
+/// in-flight operations holds.
+const PATIENCE: u32 = 8;
+
 /// Host traversal snapshot kept while an operation is in flight.
+#[derive(Default)]
 pub struct SavedDescent {
     path: Vec<(Addr, u32)>,
     root_level: u32,
 }
 
-/// Non-blocking hybrid B+ tree operation state machine.
-pub struct BtPending {
-    op: Op,
-    part: usize,
-    slot: usize,
-    saved: SavedDescent,
-    phase: BtPhase,
-}
-
+/// Which request the operation currently awaits a response to.
+#[derive(Default, PartialEq, Eq)]
 enum BtPhase {
-    /// Not yet offloaded: the bounded host traversal gave up on a held
-    /// seqlock; retried at the next poll.
-    NeedOffload,
-    /// Pipelined range scan: about to traverse for the next subtree
-    /// (bounded, so a seqlock held by a sibling lane never wedges us).
-    ScanDescend { from: Key, remaining: u32, count: u32 },
-    /// Pipelined range scan: waiting for one subtree's scan response.
-    ScanWait { hi: Key, remaining: u32, count: u32 },
-    /// Waiting for the main operation's response.
+    /// The main operation (or, for a stalled descent, none yet).
+    #[default]
     Main,
-    /// Waiting for the RESUME_INSERT response (host path locked).
-    Resume { locked: Vec<Addr> },
-    /// Waiting for the UNLOCK_PATH acknowledgment before retrying.
+    /// RESUME_INSERT (host path locked, held in `BtOpState::locked`).
+    Resume,
+    /// UNLOCK_PATH acknowledgment before retrying from the root.
     AwaitUnlock,
 }
 
-impl SimIndex for HybridBTree {
-    type Pending = BtPending;
+/// Per-operation offload state: the recorded host descent, the lock-path
+/// phase, and the subtree-hopping scan cursor.
+#[derive(Default)]
+pub struct BtOpState {
+    saved: SavedDescent,
+    phase: BtPhase,
+    locked: Vec<Addr>,
+    /// Partition of the main request's begin node; RESUME_INSERT /
+    /// UNLOCK_PATH must go to the same combiner (it holds the parked
+    /// insert in that slot's state).
+    part: usize,
+    started: bool,
+    from: Key,
+    remaining: u32,
+    count: u32,
+    hi: Key,
+}
 
-    fn execute(&self, ctx: &mut ThreadCtx, op: Op) -> OpResult {
+impl OffloadClient for HybridBTree {
+    type OpState = BtOpState;
+
+    fn advance(&self, ctx: &mut ThreadCtx, op: Op, st: &mut BtOpState) -> Step {
         if let Op::Scan(k, len) = op {
-            let core = host_core(ctx);
-            let slot = self.lists.slot_of(core, 0);
-            return self.scan_op(ctx, slot, k, len);
+            if !st.started {
+                st.started = true;
+                st.from = k;
+                st.remaining = len as u32;
+            }
+            return self.scan_step(ctx, st);
         }
-        match self.issue(ctx, 0, op) {
-            Issued::Done(r) => r,
-            Issued::Pending(mut p) => loop {
-                match self.poll(ctx, &mut p) {
-                    PollOutcome::Done(r) => return r,
-                    PollOutcome::Pending => {
-                        ctx.idle(self.machine.config().host_poll_interval_cycles)
-                    }
-                }
-            },
-        }
+        // Initial attempt, stalled-descent retry, or NMP-side retry
+        // (stale begin node / locked leaf): redo the optimistic descent.
+        st.phase = BtPhase::Main;
+        self.offload_step(ctx, op, st)
     }
 
-    fn issue(&self, ctx: &mut ThreadCtx, lane: usize, op: Op) -> Issued<BtPending> {
-        let core = host_core(ctx);
-        let slot = self.lists.slot_of(core, lane);
-        if let Op::Scan(k, len) = op {
-            // Scans are long, multi-offload operations; drive them one
-            // bounded step per poll so a scan never blocks on a host
-            // seqlock held by another in-flight lane of this same thread.
-            return Issued::Pending(BtPending {
-                op,
-                part: 0,
-                slot,
-                saved: SavedDescent { path: Vec::new(), root_level: 0 },
-                phase: BtPhase::ScanDescend { from: k, remaining: len as u32, count: 0 },
-            });
+    fn complete(&self, ctx: &mut ThreadCtx, op: Op, resp: &Response, st: &mut BtOpState) -> Step {
+        if matches!(op, Op::Scan(..)) {
+            st.count += resp.value;
+            st.remaining = st.remaining.saturating_sub(resp.value);
+            if st.remaining == 0 || st.hi == 0 {
+                // Either length satisfied, or the rightmost (unbounded)
+                // subtree served everything it could: global end.
+                return Step::Done(OpResult { ok: st.count > 0, value: st.count });
+            }
+            st.from = st.hi + 1;
+            return self.scan_step(ctx, st);
         }
-        match self.try_offload(ctx, slot, op) {
-            Some((part, saved)) => {
-                Issued::Pending(BtPending { op, part, slot, saved, phase: BtPhase::Main })
-            }
-            None => Issued::Pending(BtPending {
-                op,
-                part: 0,
-                slot,
-                saved: SavedDescent { path: Vec::new(), root_level: 0 },
-                phase: BtPhase::NeedOffload,
-            }),
-        }
-    }
-
-    fn poll(&self, ctx: &mut ThreadCtx, p: &mut BtPending) -> PollOutcome {
-        if let BtPhase::ScanDescend { from, remaining, count } = p.phase {
-            if let Some(d) = try_descend(ctx, self.root_word, from, self.last_host_level, 8) {
-                let (_, begin) = d.picked.expect("hybrid descent always picks an NMP child");
-                p.part = self.part_of(begin);
-                let mut req = Request::new(OpCode::Scan, from, d.picked_hi);
-                req.begin = begin;
-                req.aux = remaining;
-                self.lists.post(ctx, p.part, p.slot, &req);
-                p.phase = BtPhase::ScanWait { hi: d.picked_hi, remaining, count };
-            }
-            return PollOutcome::Pending;
-        }
-        if let BtPhase::ScanWait { hi, remaining, count } = p.phase {
-            let Some(resp) = self.lists.try_response(ctx, p.part, p.slot) else {
-                return PollOutcome::Pending;
-            };
-            let count = count + resp.value;
-            let remaining = remaining.saturating_sub(resp.value);
-            if remaining == 0 || hi == 0 {
-                return PollOutcome::Done(OpResult { ok: count > 0, value: count });
-            }
-            p.phase = BtPhase::ScanDescend { from: hi + 1, remaining, count };
-            return PollOutcome::Pending;
-        }
-        if matches!(p.phase, BtPhase::NeedOffload) {
-            if let Some((part, saved)) = self.try_offload(ctx, p.slot, p.op) {
-                p.part = part;
-                p.saved = saved;
-                p.phase = BtPhase::Main;
-            }
-            return PollOutcome::Pending;
-        }
-        let Some(resp) = self.lists.try_response(ctx, p.part, p.slot) else {
-            return PollOutcome::Pending;
-        };
-        match &mut p.phase {
-            BtPhase::NeedOffload | BtPhase::ScanDescend { .. } | BtPhase::ScanWait { .. } => {
-                unreachable!("handled above")
-            }
-            BtPhase::Main => {
-                if resp.retry {
-                    match self.try_offload(ctx, p.slot, p.op) {
-                        Some((part, saved)) => {
-                            p.part = part;
-                            p.saved = saved;
-                        }
-                        None => p.phase = BtPhase::NeedOffload,
-                    }
-                    return PollOutcome::Pending;
-                }
-                if resp.lock_path {
-                    match self.try_lock_host_path(ctx, &p.saved) {
-                        Some(locked) => {
-                            let req = Request::new(OpCode::ResumeInsert, p.op.key(), 0);
-                            self.lists.post(ctx, p.part, p.slot, &req);
-                            p.phase = BtPhase::Resume { locked };
-                        }
-                        None => {
-                            let req = Request::new(OpCode::UnlockPath, p.op.key(), 0);
-                            self.lists.post(ctx, p.part, p.slot, &req);
-                            p.phase = BtPhase::AwaitUnlock;
-                        }
-                    }
-                    return PollOutcome::Pending;
-                }
-                PollOutcome::Done(Self::to_result(p.op, &resp))
-            }
-            BtPhase::Resume { locked } => {
+        match st.phase {
+            BtPhase::Resume => {
                 debug_assert!(resp.ok, "RESUME_INSERT is guaranteed to succeed");
-                let locked = std::mem::take(locked);
-                self.finish_resume(ctx, locked, p.saved.root_level, resp.split_key, resp.new_child);
-                PollOutcome::Done(OpResult::ok(0))
+                let locked = std::mem::take(&mut st.locked);
+                self.finish_resume(
+                    ctx,
+                    locked,
+                    st.saved.root_level,
+                    resp.split_key,
+                    resp.new_child,
+                );
+                Step::Done(OpResult::ok(0))
             }
             BtPhase::AwaitUnlock => {
                 // Retry the whole insert from the root (Listing 4 line 33).
-                match self.try_offload(ctx, p.slot, p.op) {
-                    Some((part, saved)) => {
-                        p.part = part;
-                        p.saved = saved;
-                        p.phase = BtPhase::Main;
-                    }
-                    None => p.phase = BtPhase::NeedOffload,
+                st.phase = BtPhase::Main;
+                self.offload_step(ctx, op, st)
+            }
+            BtPhase::Main => {
+                if resp.lock_path {
+                    return match self.try_lock_host_path(ctx, &st.saved) {
+                        Some(locked) => {
+                            st.locked = locked;
+                            st.phase = BtPhase::Resume;
+                            Step::Post {
+                                part: st.part,
+                                req: Request::new(OpCode::ResumeInsert, op.key(), 0),
+                            }
+                        }
+                        None => {
+                            st.phase = BtPhase::AwaitUnlock;
+                            Step::Post {
+                                part: st.part,
+                                req: Request::new(OpCode::UnlockPath, op.key(), 0),
+                            }
+                        }
+                    };
                 }
-                PollOutcome::Pending
+                Step::Done(Self::to_result(op, resp))
             }
         }
     }
+}
+
+impl SimIndex for HybridBTree {
+    type Pending = PendingOp<BtOpState>;
+
+    fn execute(&self, ctx: &mut ThreadCtx, op: Op) -> OpResult {
+        self.runtime.execute(ctx, self, op)
+    }
+
+    fn issue(&self, ctx: &mut ThreadCtx, lane: usize, op: Op) -> Issued<Self::Pending> {
+        self.runtime.issue(ctx, self, lane, op)
+    }
+
+    fn poll(&self, ctx: &mut ThreadCtx, pending: &mut Self::Pending) -> PollOutcome {
+        self.runtime.poll(ctx, self, pending)
+    }
 
     fn spawn_services(self: &Arc<Self>, sim: &mut Simulation) {
-        spawn_combiners(sim, Arc::clone(&self.lists), Arc::clone(&self.exec));
+        self.runtime.spawn_combiners(sim, Arc::clone(&self.exec));
     }
 
     fn max_inflight(&self) -> usize {
-        self.lists.max_inflight()
+        self.runtime.max_inflight()
     }
 }
 
@@ -815,7 +763,7 @@ mod tests {
     fn nonblocking_pipeline_with_lock_path() {
         let (m, t) = setup(500, 1.0, 4 * 1024);
         run_hosts(&m, &t, 2, |ctx, t, core| {
-            let mut lanes: Vec<Option<BtPending>> = (0..2).map(|_| None).collect();
+            let mut lanes: Vec<Option<PendingOp<BtOpState>>> = (0..2).map(|_| None).collect();
             let mut issued = 0u32;
             let mut done = 0u32;
             let total = 50u32;

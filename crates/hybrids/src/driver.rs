@@ -106,6 +106,21 @@ pub struct RunResult {
     pub mmio_per_op: f64,
     /// Modeled energy per operation (nJ).
     pub energy_nj_per_op: f64,
+    /// Host wall-clock milliseconds spent inside `sim.run()` (warm-up and
+    /// measured phases): the real cost of simulating this experiment.
+    pub wall_ms: f64,
+    /// Simulated cycles advanced per wall-clock second — the simulator's
+    /// effective speed for this run (makespan / wall time).
+    pub sim_cycles_per_sec: f64,
+    /// Offload requests posted to publication lists in the measured window.
+    pub offload_posted: u64,
+    /// NMP-side retries (stale `begin`, parked-slot conflicts) in the window.
+    pub offload_retries: u64,
+    /// Lock-path falls (hybrid B+ tree splits reaching host levels).
+    pub offload_lock_path: u64,
+    /// Mean requests combined per non-idle combiner pass (>1 means the
+    /// flat-combining batching is actually coalescing concurrent posts).
+    pub offload_mean_batch: f64,
     /// Full counter snapshot of the measured window.
     pub stats: StatsSnapshot,
 }
@@ -206,8 +221,9 @@ fn run_index_inner<S: SimIndex>(
                 machine.mem().reset_stats();
                 shared.released.store(1, Ordering::Release);
             } else {
+                let idle = machine.config().host_pipeline_idle_cycles;
                 while shared.released.load(Ordering::Acquire) == 0 {
-                    ctx.idle(16);
+                    ctx.idle(idle);
                 }
             }
             shared.starts[t].store(ctx.now(), Ordering::Relaxed);
@@ -216,7 +232,9 @@ fn run_index_inner<S: SimIndex>(
             shared.succeeded.fetch_add(ok, Ordering::Relaxed);
         });
     }
-    sim.run();
+    let t0 = std::time::Instant::now();
+    let outcome = sim.run();
+    let wall = t0.elapsed().as_secs_f64();
 
     let start = shared.starts.iter().map(|a| a.load(Ordering::Relaxed)).min().unwrap_or(0);
     let end = shared.ends.iter().map(|a| a.load(Ordering::Relaxed)).max().unwrap_or(0);
@@ -240,6 +258,12 @@ fn run_index_inner<S: SimIndex>(
         nmp_dram_reads_per_op: stats.nmp_dram_reads() as f64 / measured_ops as f64,
         mmio_per_op: (stats.mmio_reads + stats.mmio_writes) as f64 / measured_ops as f64,
         energy_nj_per_op: stats.energy_nj() / measured_ops as f64,
+        wall_ms: wall * 1e3,
+        sim_cycles_per_sec: if wall > 0.0 { outcome.makespan() as f64 / wall } else { 0.0 },
+        offload_posted: stats.offload.posted_total(),
+        offload_retries: stats.offload.retries_total(),
+        offload_lock_path: stats.offload.lock_path_total(),
+        offload_mean_batch: stats.offload.mean_batch(),
         stats,
     }
 }
@@ -287,6 +311,7 @@ fn run_stream<S: SimIndex>(
         }
         return ok;
     }
+    let idle = ctx.mem().config().host_pipeline_idle_cycles;
     let mut lanes: Vec<Option<S::Pending>> = (0..inflight).map(|_| None).collect();
     // Invocation metadata per lane, kept for the completion record.
     let mut issued: Vec<(Op, u64)> = vec![(Op::Read(0), 0); inflight];
@@ -333,7 +358,7 @@ fn run_stream<S: SimIndex>(
             }
         }
         if !progressed {
-            ctx.idle(16);
+            ctx.idle(idle);
         }
     }
     ok

@@ -43,6 +43,7 @@
 pub mod api;
 pub mod btree;
 pub mod driver;
+pub mod offload;
 pub mod publist;
 pub mod skiplist;
 
@@ -50,3 +51,4 @@ pub use api::{Issued, OpResult, PollOutcome, SimIndex};
 #[cfg(feature = "analysis")]
 pub use driver::run_index_recorded;
 pub use driver::{run_index, RunResult, RunSpec};
+pub use offload::{OffloadClient, OffloadRuntime, PendingOp, Step};

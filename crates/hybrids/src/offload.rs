@@ -1,0 +1,368 @@
+//! Shared offload runtime: the host↔NMP request lifecycle, in one place.
+//!
+//! Every hybrid structure offloads operations the same way (§3.2, §3.5):
+//! run a host-side phase (traversal/classification), post a request into a
+//! publication-list slot, wait for or poll the combiner's response, retry
+//! when the NMP side reports a stale begin node, fall back to a host-locked
+//! path on LOCK_PATH, and possibly post follow-up requests. This module owns
+//! that state machine once; structures implement only the structure-specific
+//! decisions through [`OffloadClient`]:
+//!
+//! * `advance` — run the host phase and decide: finish on the host
+//!   ([`Step::Done`]), publish a request ([`Step::Post`]), or yield and try
+//!   again later ([`Step::Stall`], e.g. a bounded seqlock descent that hit
+//!   its patience limit). `advance` is also where retries restart: the
+//!   runtime re-invokes it after every retry response, so a client's host
+//!   phase is automatically its retry path.
+//! * `complete` — interpret a non-retry response: finish ([`Step::Done`]),
+//!   or continue the operation with a follow-up request ([`Step::Post`] —
+//!   partition-hopping scans, the B+ tree RESUME_INSERT / UNLOCK_PATH
+//!   dance) or a host-side fallback ([`Step::Stall`]).
+//!
+//! The runtime provisions the publication lists, spawns the batching flat
+//! combiners ([`crate::publist::spawn_combiners`]), allocates slots
+//! (`core * max_inflight + lane`), and records per-partition/per-lane
+//! telemetry (posts, retries, lock-path falls) into
+//! [`nmp_sim::OffloadStats`] as a side effect of driving the lifecycle —
+//! structures cannot forget to count.
+
+use std::sync::Arc;
+
+use nmp_sim::{Machine, Simulation, ThreadCtx};
+use workloads::Op;
+
+use crate::api::{host_core, Issued, OpResult, PollOutcome};
+use crate::publist::{self, NmpExec, PubLists, Request, Response};
+
+/// What a client wants the runtime to do next with an operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Step {
+    /// The operation is finished (host-served, or response fully applied).
+    Done(OpResult),
+    /// Publish `req` to partition `part` and await its response.
+    Post {
+        /// Target NMP partition.
+        part: usize,
+        /// The request to publish.
+        req: Request,
+    },
+    /// The host phase could not make progress (e.g. contended host levels);
+    /// the runtime will re-invoke `advance` on the next poll.
+    Stall,
+}
+
+/// Structure-specific half of the offload lifecycle. One operation's state
+/// lives in an `OpState`; the runtime threads it through `advance` /
+/// `complete` until one of them returns [`Step::Done`].
+pub trait OffloadClient: Send + Sync + 'static {
+    /// Per-operation state (host-side nodes held across the offload, scan
+    /// cursors, lock-path phase). `Default` must be the fresh-operation
+    /// state.
+    type OpState: Default + Send + 'static;
+
+    /// Run the host phase of `op` (initially, after a [`Step::Stall`], and
+    /// after every retry response) and decide the next step.
+    fn advance(&self, ctx: &mut ThreadCtx, op: Op, st: &mut Self::OpState) -> Step;
+
+    /// Apply a non-retry response (including LOCK_PATH responses) and
+    /// decide the next step.
+    fn complete(
+        &self,
+        ctx: &mut ThreadCtx,
+        op: Op,
+        resp: &Response,
+        st: &mut Self::OpState,
+    ) -> Step;
+}
+
+/// A pending offloaded operation: the paper's "operation ID" (§3.5), owned
+/// by the issuing host thread and bound to one publication-list slot.
+pub struct PendingOp<S> {
+    op: Op,
+    slot: usize,
+    part: usize,
+    posted: bool,
+    state: S,
+}
+
+/// The per-structure offload runtime: publication lists plus the shared
+/// pipeline state machine driving them.
+pub struct OffloadRuntime {
+    machine: Arc<Machine>,
+    lists: Arc<PubLists>,
+}
+
+impl OffloadRuntime {
+    /// Provision publication lists with `max_inflight` lanes per host
+    /// thread on `machine`.
+    pub fn new(machine: Arc<Machine>, max_inflight: usize) -> Self {
+        let lists = Arc::new(PubLists::new(Arc::clone(&machine), max_inflight));
+        OffloadRuntime { machine, lists }
+    }
+
+    /// The machine this runtime posts to.
+    pub fn machine(&self) -> &Arc<Machine> {
+        &self.machine
+    }
+
+    /// Publication-list lanes per host thread.
+    pub fn max_inflight(&self) -> usize {
+        self.lists.max_inflight()
+    }
+
+    /// Spawn the flat-combining daemons (one per partition) executing
+    /// requests through `exec`.
+    pub fn spawn_combiners<E: NmpExec>(&self, sim: &mut Simulation, exec: Arc<E>) {
+        publist::spawn_combiners(sim, Arc::clone(&self.lists), exec);
+    }
+
+    fn apply_step<S>(
+        &self,
+        ctx: &mut ThreadCtx,
+        pend: &mut PendingOp<S>,
+        step: Step,
+    ) -> Option<OpResult> {
+        match step {
+            Step::Done(r) => Some(r),
+            Step::Stall => {
+                pend.posted = false;
+                None
+            }
+            Step::Post { part, req } => {
+                self.lists.post(ctx, part, pend.slot, &req);
+                self.machine.mem().note_offload_post(part, pend.slot % self.lists.max_inflight());
+                pend.part = part;
+                pend.posted = true;
+                None
+            }
+        }
+    }
+
+    fn on_response<C: OffloadClient>(
+        &self,
+        ctx: &mut ThreadCtx,
+        client: &C,
+        pend: &mut PendingOp<C::OpState>,
+        resp: &Response,
+    ) -> Option<OpResult> {
+        let step = if resp.retry {
+            self.machine.mem().note_offload_retry(pend.part);
+            client.advance(ctx, pend.op, &mut pend.state)
+        } else {
+            if resp.lock_path {
+                self.machine.mem().note_offload_lock_path(pend.part);
+            }
+            client.complete(ctx, pend.op, resp, &mut pend.state)
+        };
+        self.apply_step(ctx, pend, step)
+    }
+
+    /// Execute `op` to completion with blocking NMP calls on lane 0.
+    pub fn execute<C: OffloadClient>(&self, ctx: &mut ThreadCtx, client: &C, op: Op) -> OpResult {
+        let slot = self.lists.slot_of(host_core(ctx), 0);
+        let mut pend = PendingOp { op, slot, part: 0, posted: false, state: C::OpState::default() };
+        let step = client.advance(ctx, op, &mut pend.state);
+        if let Some(r) = self.apply_step(ctx, &mut pend, step) {
+            return r;
+        }
+        let interval = self.machine.config().host_poll_interval_cycles;
+        loop {
+            if pend.posted {
+                let resp = self.lists.wait_response(ctx, pend.part, pend.slot);
+                if let Some(r) = self.on_response(ctx, client, &mut pend, &resp) {
+                    return r;
+                }
+            } else {
+                ctx.idle(interval);
+                let step = client.advance(ctx, pend.op, &mut pend.state);
+                if let Some(r) = self.apply_step(ctx, &mut pend, step) {
+                    return r;
+                }
+            }
+        }
+    }
+
+    /// Start `op` non-blockingly on publication-list lane `lane` (§3.5).
+    pub fn issue<C: OffloadClient>(
+        &self,
+        ctx: &mut ThreadCtx,
+        client: &C,
+        lane: usize,
+        op: Op,
+    ) -> Issued<PendingOp<C::OpState>> {
+        let slot = self.lists.slot_of(host_core(ctx), lane);
+        let mut pend = PendingOp { op, slot, part: 0, posted: false, state: C::OpState::default() };
+        let step = client.advance(ctx, op, &mut pend.state);
+        match self.apply_step(ctx, &mut pend, step) {
+            Some(r) => Issued::Done(r),
+            None => Issued::Pending(pend),
+        }
+    }
+
+    /// Poll a pending operation: drain a ready response (driving retries,
+    /// follow-up posts, and host fallbacks through the client), or re-run a
+    /// stalled host phase. Never blocks.
+    pub fn poll<C: OffloadClient>(
+        &self,
+        ctx: &mut ThreadCtx,
+        client: &C,
+        pend: &mut PendingOp<C::OpState>,
+    ) -> PollOutcome {
+        if !pend.posted {
+            let step = client.advance(ctx, pend.op, &mut pend.state);
+            return match self.apply_step(ctx, pend, step) {
+                Some(r) => PollOutcome::Done(r),
+                None => PollOutcome::Pending,
+            };
+        }
+        match self.lists.try_response(ctx, pend.part, pend.slot) {
+            None => PollOutcome::Pending,
+            Some(resp) => match self.on_response(ctx, client, pend, &resp) {
+                Some(r) => PollOutcome::Done(r),
+                None => PollOutcome::Pending,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::publist::OpCode;
+    use nmp_sim::{Config, ThreadKind};
+    use std::sync::atomic::{AtomicU32, Ordering};
+
+    fn machine() -> Arc<Machine> {
+        Machine::new(Config::tiny())
+    }
+
+    /// Echo executor: ok, value = key + 1; retries first attempt per slot
+    /// when `retry_once` is set.
+    struct Echo {
+        retry_once: bool,
+    }
+    impl NmpExec for Echo {
+        type SlotState = u32;
+        fn exec(
+            &self,
+            ctx: &mut ThreadCtx,
+            _part: usize,
+            req: &Request,
+            tries: &mut u32,
+        ) -> Response {
+            // Modest execution cost so pipelined posts pile up behind the
+            // in-progress request and the next scan pass batches them.
+            ctx.idle(300);
+            *tries += 1;
+            if self.retry_once && *tries == 1 {
+                return Response::retry();
+            }
+            Response::ok_value(req.key + 1)
+        }
+    }
+
+    /// Client routing every op to partition key % parts.
+    struct ModClient {
+        parts: usize,
+    }
+    impl OffloadClient for ModClient {
+        type OpState = ();
+        fn advance(&self, _ctx: &mut ThreadCtx, op: Op, _st: &mut ()) -> Step {
+            let key = op.key();
+            Step::Post { part: key as usize % self.parts, req: Request::new(OpCode::Read, key, 0) }
+        }
+        fn complete(&self, _ctx: &mut ThreadCtx, _op: Op, resp: &Response, _st: &mut ()) -> Step {
+            Step::Done(OpResult { ok: resp.ok, value: resp.value })
+        }
+    }
+
+    #[test]
+    fn execute_round_trip_and_telemetry() {
+        let m = machine();
+        let rt = Arc::new(OffloadRuntime::new(Arc::clone(&m), 1));
+        let client = Arc::new(ModClient { parts: m.partitions() });
+        let mut sim = m.simulation();
+        rt.spawn_combiners(&mut sim, Arc::new(Echo { retry_once: false }));
+        let done = Arc::new(AtomicU32::new(0));
+        for core in 0..2 {
+            let rt = Arc::clone(&rt);
+            let client = Arc::clone(&client);
+            let done = Arc::clone(&done);
+            sim.spawn(format!("h{core}"), ThreadKind::Host { core }, move |ctx| {
+                let r = rt.execute(ctx, &*client, Op::Read(10 + core as u32));
+                assert!(r.ok);
+                assert_eq!(r.value, 11 + core as u32);
+                done.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        sim.run();
+        assert_eq!(done.load(Ordering::Relaxed), 2);
+        let o = m.mem().snapshot().offload;
+        assert_eq!(o.posted_total(), 2);
+        assert_eq!(o.completed_total(), 2, "every post executed exactly once");
+        assert_eq!(o.retries_total(), 0);
+    }
+
+    #[test]
+    fn retry_reposts_through_advance() {
+        let m = machine();
+        let rt = Arc::new(OffloadRuntime::new(Arc::clone(&m), 1));
+        let client = Arc::new(ModClient { parts: m.partitions() });
+        let mut sim = m.simulation();
+        rt.spawn_combiners(&mut sim, Arc::new(Echo { retry_once: true }));
+        let rt2 = Arc::clone(&rt);
+        sim.spawn("h0", ThreadKind::Host { core: 0 }, move |ctx| {
+            let r = rt2.execute(ctx, &*client, Op::Read(7));
+            assert!(r.ok);
+            assert_eq!(r.value, 8);
+        });
+        sim.run();
+        let o = m.mem().snapshot().offload;
+        assert_eq!(o.retries_total(), 1);
+        assert_eq!(o.posted_total(), 2, "retry causes one repost");
+    }
+
+    #[test]
+    fn pipelined_lanes_post_to_distinct_slots() {
+        let m = machine();
+        let rt = Arc::new(OffloadRuntime::new(Arc::clone(&m), 4));
+        let client = Arc::new(ModClient { parts: m.partitions() });
+        let mut sim = m.simulation();
+        rt.spawn_combiners(&mut sim, Arc::new(Echo { retry_once: false }));
+        let rt2 = Arc::clone(&rt);
+        sim.spawn("h0", ThreadKind::Host { core: 0 }, move |ctx| {
+            let mut pending = Vec::new();
+            for lane in 0..4 {
+                // Same partition so one combiner pass can batch them.
+                match rt2.issue(ctx, &*client, lane, Op::Read(2 * lane as u32)) {
+                    Issued::Pending(p) => pending.push(p),
+                    Issued::Done(_) => unreachable!("ModClient always posts"),
+                }
+            }
+            let mut results = vec![None; pending.len()];
+            while results.iter().any(Option::is_none) {
+                let mut progressed = false;
+                for (i, p) in pending.iter_mut().enumerate() {
+                    if results[i].is_none() {
+                        if let PollOutcome::Done(r) = rt2.poll(ctx, &*client, p) {
+                            results[i] = Some(r);
+                            progressed = true;
+                        }
+                    }
+                }
+                if !progressed {
+                    ctx.idle(16);
+                }
+            }
+            for (lane, r) in results.iter().enumerate() {
+                assert_eq!(r.unwrap().value, 2 * lane as u32 + 1);
+            }
+        });
+        sim.run();
+        let o = m.mem().snapshot().offload;
+        assert_eq!(o.posted_total(), 4);
+        // All four keys are even -> partition 0; 4 distinct lanes used.
+        assert!(o.lane_posted[..4].iter().all(|&c| c == 1), "lanes: {:?}", o.lane_posted);
+        assert!(o.passes_with(2) > 0, "combiner should batch concurrent lane posts");
+    }
+}

@@ -152,6 +152,11 @@ impl PubLists {
         PubLists { machine, slots_per_part: slots, max_inflight }
     }
 
+    /// The machine these lists live on.
+    pub fn machine(&self) -> &Arc<Machine> {
+        &self.machine
+    }
+
     pub fn max_inflight(&self) -> usize {
         self.max_inflight
     }
@@ -287,8 +292,12 @@ pub trait NmpExec: Send + Sync + 'static {
     ) -> Response;
 }
 
-/// Spawn one flat-combining daemon per partition: each scans its
-/// publication list, executing posted requests one at a time (§3.2).
+/// Spawn one flat-combining daemon per partition. Each combiner runs the
+/// batched flat-combining loop: one scan pass over its publication list
+/// collects *all* currently-published requests, then executes them
+/// back-to-back, amortizing the scan cost over the whole batch instead of
+/// re-scanning after every request. The batch size of every pass feeds the
+/// combined-per-pass histogram in [`nmp_sim::OffloadStats`].
 pub fn spawn_combiners<E: NmpExec>(sim: &mut Simulation, lists: Arc<PubLists>, exec: Arc<E>) {
     let parts = lists.machine.partitions();
     let idle = lists.machine.config().nmp_idle_poll_cycles;
@@ -298,21 +307,27 @@ pub fn spawn_combiners<E: NmpExec>(sim: &mut Simulation, lists: Arc<PubLists>, e
         sim.spawn_daemon(format!("nmp-{part}"), ThreadKind::Nmp { part }, move |ctx| {
             let mut states: Vec<E::SlotState> = Vec::new();
             states.resize_with(lists.slots_per_part(), Default::default);
+            let mut batch: Vec<(usize, Request)> = Vec::with_capacity(lists.slots_per_part());
             loop {
-                let mut progress = false;
-                for (slot, state) in states.iter_mut().enumerate() {
+                batch.clear();
+                for slot in 0..lists.slots_per_part() {
                     if let Some(req) = lists.scan(ctx, part, slot) {
-                        let resp = exec.exec(ctx, part, &req, state);
-                        lists.complete(ctx, part, slot, &resp);
-                        progress = true;
+                        batch.push((slot, req));
                     }
                     ctx.step();
                 }
-                if !progress {
+                lists.machine.mem().note_offload_pass(part, batch.len());
+                if batch.is_empty() {
                     if ctx.stop_requested() {
                         return;
                     }
                     ctx.idle(idle);
+                    continue;
+                }
+                for &(slot, ref req) in &batch {
+                    let resp = exec.exec(ctx, part, req, &mut states[slot]);
+                    lists.complete(ctx, part, slot, &resp);
+                    ctx.step();
                 }
             }
         });

@@ -27,8 +27,9 @@ use std::sync::Arc;
 use nmp_sim::{Addr, Machine, Simulation, ThreadCtx, NULL};
 use workloads::{Key, KeySpace, Op, Value};
 
-use crate::api::{host_core, Issued, OpResult, PollOutcome, SimIndex};
-use crate::publist::{spawn_combiners, OpCode, PubLists, Request, Response};
+use crate::api::{Issued, OpResult, PollOutcome, SimIndex};
+use crate::offload::{OffloadClient, OffloadRuntime, PendingOp, Step};
+use crate::publist::{OpCode, Request, Response};
 
 use super::nmp_based::SkiplistExec;
 use super::{node, seq, LockFreeSkipList};
@@ -36,7 +37,7 @@ use super::{node, seq, LockFreeSkipList};
 /// Hybrid skiplist handle.
 pub struct HybridSkipList {
     machine: Arc<Machine>,
-    lists: Arc<PubLists>,
+    runtime: OffloadRuntime,
     exec: Arc<SkiplistExec>,
     host: LockFreeSkipList,
     nmp_heads: Vec<Addr>,
@@ -74,11 +75,11 @@ impl HybridSkipList {
         let nmp_heads: Vec<Addr> = (0..machine.partitions())
             .map(|p| seq::make_sentinel(machine.part_arena(p), machine.ram(), nmp_height))
             .collect();
-        let lists = Arc::new(PubLists::new(Arc::clone(&machine), max_inflight));
+        let runtime = OffloadRuntime::new(Arc::clone(&machine), max_inflight);
         let exec = Arc::new(SkiplistExec::new(Arc::clone(&machine), nmp_heads.clone(), nmp_height));
         Arc::new(HybridSkipList {
             machine,
-            lists,
+            runtime,
             exec,
             host,
             nmp_heads,
@@ -216,38 +217,25 @@ impl HybridSkipList {
                 req.begin = begin;
                 Ok((self.ks.partition_of(key) as usize, req))
             }
-            Op::Scan(..) => unreachable!("scans are driven by scan_op"),
+            Op::Scan(..) => unreachable!("scans are driven by the scan cursor in advance"),
         }
     }
 
-    /// Multi-partition range scan over the NMP-managed bottom level (the
-    /// authoritative key sequence), using begin-node shortcuts where the
-    /// host portion provides them.
-    fn scan_op(&self, ctx: &mut ThreadCtx, slot: usize, key: Key, len: u16) -> OpResult {
-        let mut remaining = len as u32;
-        let mut count = 0u32;
-        let mut part = self.ks.partition_of(key) as usize;
-        let mut from = key;
-        while remaining > 0 {
-            let (pred0, _) = self.host.read_with_pred(ctx, from);
-            let begin = self.begin_for(ctx, pred0, from);
-            let mut req = Request::new(OpCode::Scan, from, 0);
-            req.begin = begin;
-            req.aux = remaining;
-            self.lists.post(ctx, part, slot, &req);
-            let resp = self.lists.wait_response(ctx, part, slot);
-            if resp.retry {
-                continue; // stale begin node: redo this partition
-            }
-            count += resp.value;
-            remaining = remaining.saturating_sub(resp.value);
-            part += 1;
-            if part >= self.ks.parts as usize {
-                break;
-            }
-            from = self.ks.part_base(part as u32);
+    /// Next partition-local request of a multi-partition range scan over the
+    /// NMP-managed bottom level (the authoritative key sequence), using a
+    /// begin-node shortcut where the host portion provides one. Re-invoked
+    /// by the runtime on retry (stale begin node), which naturally redoes
+    /// the host traversal for the current partition.
+    fn scan_step(&self, ctx: &mut ThreadCtx, st: &HyOpState) -> Step {
+        if st.remaining == 0 || st.part >= self.ks.parts as usize {
+            return Step::Done(OpResult { ok: st.count > 0, value: st.count });
         }
-        OpResult { ok: count > 0, value: count }
+        let (pred0, _) = self.host.read_with_pred(ctx, st.from);
+        let begin = self.begin_for(ctx, pred0, st.from);
+        let mut req = Request::new(OpCode::Scan, st.from, 0);
+        req.begin = begin;
+        req.aux = st.remaining;
+        Step::Post { part: st.part, req }
     }
 
     fn release_host_node(&self, _ctx: &mut ThreadCtx, host_node: &mut Addr, key: Key) {
@@ -357,78 +345,72 @@ impl HybridSkipList {
     }
 }
 
-/// In-flight non-blocking hybrid skiplist operation.
-pub struct HyPending {
-    op: Op,
-    part: usize,
-    slot: usize,
+/// Per-operation offload state: the host-side node held across an insert
+/// offload (NULL when none) plus the partition-hopping scan cursor.
+#[derive(Default)]
+pub struct HyOpState {
     host_node: Addr,
+    started: bool,
+    part: usize,
+    from: Key,
+    remaining: u32,
+    count: u32,
+}
+
+impl OffloadClient for HybridSkipList {
+    type OpState = HyOpState;
+
+    fn advance(&self, ctx: &mut ThreadCtx, op: Op, st: &mut HyOpState) -> Step {
+        if let Op::Scan(k, len) = op {
+            if !st.started {
+                st.started = true;
+                st.part = self.ks.partition_of(k) as usize;
+                st.from = k;
+                st.remaining = len as u32;
+            }
+            return self.scan_step(ctx, st);
+        }
+        match self.host_phase(ctx, op, &mut st.host_node) {
+            Err(done) => Step::Done(done),
+            Ok((part, req)) => Step::Post { part, req },
+        }
+    }
+
+    fn complete(&self, ctx: &mut ThreadCtx, op: Op, resp: &Response, st: &mut HyOpState) -> Step {
+        if matches!(op, Op::Scan(..)) {
+            st.count += resp.value;
+            st.remaining = st.remaining.saturating_sub(resp.value);
+            st.part += 1;
+            if st.part < self.ks.parts as usize {
+                st.from = self.ks.part_base(st.part as u32);
+            }
+            return self.scan_step(ctx, st);
+        }
+        Step::Done(self.finish(ctx, op, resp, &mut st.host_node))
+    }
 }
 
 impl SimIndex for HybridSkipList {
-    type Pending = HyPending;
+    type Pending = PendingOp<HyOpState>;
 
     fn execute(&self, ctx: &mut ThreadCtx, op: Op) -> OpResult {
-        let core = host_core(ctx);
-        let slot = self.lists.slot_of(core, 0);
-        if let Op::Scan(k, len) = op {
-            return self.scan_op(ctx, slot, k, len);
-        }
-        let mut host_node = NULL;
-        loop {
-            let (part, req) = match self.host_phase(ctx, op, &mut host_node) {
-                Ok(pr) => pr,
-                Err(done) => return done,
-            };
-            self.lists.post(ctx, part, slot, &req);
-            let resp = self.lists.wait_response(ctx, part, slot);
-            if resp.retry {
-                continue; // stale begin node: retry from the beginning
-            }
-            return self.finish(ctx, op, &resp, &mut host_node);
-        }
+        self.runtime.execute(ctx, self, op)
     }
 
-    fn issue(&self, ctx: &mut ThreadCtx, lane: usize, op: Op) -> Issued<HyPending> {
-        let core = host_core(ctx);
-        let slot = self.lists.slot_of(core, lane);
-        if let Op::Scan(k, len) = op {
-            return Issued::Done(self.scan_op(ctx, slot, k, len));
-        }
-        let mut host_node = NULL;
-        match self.host_phase(ctx, op, &mut host_node) {
-            Err(done) => Issued::Done(done),
-            Ok((part, req)) => {
-                self.lists.post(ctx, part, slot, &req);
-                Issued::Pending(HyPending { op, part, slot, host_node })
-            }
-        }
+    fn issue(&self, ctx: &mut ThreadCtx, lane: usize, op: Op) -> Issued<Self::Pending> {
+        self.runtime.issue(ctx, self, lane, op)
     }
 
-    fn poll(&self, ctx: &mut ThreadCtx, p: &mut HyPending) -> PollOutcome {
-        match self.lists.try_response(ctx, p.part, p.slot) {
-            None => PollOutcome::Pending,
-            Some(resp) if resp.retry => {
-                // Re-drive the host phase and repost into the same slot.
-                match self.host_phase(ctx, p.op, &mut p.host_node) {
-                    Err(done) => PollOutcome::Done(done),
-                    Ok((part, req)) => {
-                        debug_assert_eq!(part, p.part);
-                        self.lists.post(ctx, part, p.slot, &req);
-                        PollOutcome::Pending
-                    }
-                }
-            }
-            Some(resp) => PollOutcome::Done(self.finish(ctx, p.op, &resp, &mut p.host_node)),
-        }
+    fn poll(&self, ctx: &mut ThreadCtx, pending: &mut Self::Pending) -> PollOutcome {
+        self.runtime.poll(ctx, self, pending)
     }
 
     fn spawn_services(self: &Arc<Self>, sim: &mut Simulation) {
-        spawn_combiners(sim, Arc::clone(&self.lists), Arc::clone(&self.exec));
+        self.runtime.spawn_combiners(sim, Arc::clone(&self.exec));
     }
 
     fn max_inflight(&self) -> usize {
-        self.lists.max_inflight()
+        self.runtime.max_inflight()
     }
 }
 
@@ -663,7 +645,7 @@ mod tests {
         let (m, sl, ks) = setup();
         sl.populate((0..ks.total_initial()).map(|i| (ks.initial_key(i), 1)));
         run_hosts(&m, &sl, 2, move |ctx, sl, core| {
-            let mut lanes: Vec<Option<HyPending>> = vec![None, None];
+            let mut lanes: Vec<Option<PendingOp<HyOpState>>> = vec![None, None];
             let mut issued = 0u32;
             let mut done = 0u32;
             let total = 40u32;

@@ -1,5 +1,5 @@
 //! NMP-based flat-combining skiplist — the prior-work baseline
-//! (Liu et al. SPAA '17 [44], Choe et al. SPAA '19 [16]).
+//! (Liu et al. SPAA '17 \[44\], Choe et al. SPAA '19 \[16\]).
 //!
 //! The entire skiplist lives in NMP memory, range-partitioned across the
 //! NMP vaults. Host threads do **no** traversal at all: they post each
@@ -14,8 +14,9 @@ use std::sync::Arc;
 use nmp_sim::{Addr, Machine, Simulation, ThreadCtx, NULL};
 use workloads::{Key, KeySpace, Op, Value};
 
-use crate::api::{host_core, Issued, OpResult, PollOutcome, SimIndex};
-use crate::publist::{spawn_combiners, NmpExec, OpCode, PubLists, Request, Response};
+use crate::api::{Issued, OpResult, PollOutcome, SimIndex};
+use crate::offload::{OffloadClient, OffloadRuntime, PendingOp, Step};
+use crate::publist::{NmpExec, OpCode, Request, Response};
 
 use super::{node, seq};
 
@@ -97,16 +98,21 @@ impl NmpExec for SkiplistExec {
     }
 }
 
-/// Publication-list location of an in-flight non-blocking call.
-pub struct NmpPending {
+/// Per-operation offload state: only scans carry state (their
+/// partition-hopping cursor); point operations are single requests.
+#[derive(Default)]
+pub struct NmpOpState {
+    started: bool,
     part: usize,
-    slot: usize,
+    from: Key,
+    remaining: u32,
+    count: u32,
 }
 
 /// The NMP-based skiplist baseline.
 pub struct NmpSkipList {
     machine: Arc<Machine>,
-    lists: Arc<PubLists>,
+    runtime: OffloadRuntime,
     exec: Arc<SkiplistExec>,
     heads: Vec<Addr>,
     levels: u32,
@@ -127,9 +133,9 @@ impl NmpSkipList {
         let heads: Vec<Addr> = (0..machine.partitions())
             .map(|p| seq::make_sentinel(machine.part_arena(p), machine.ram(), levels))
             .collect();
-        let lists = Arc::new(PubLists::new(Arc::clone(&machine), max_inflight));
+        let runtime = OffloadRuntime::new(Arc::clone(&machine), max_inflight);
         let exec = Arc::new(SkiplistExec::new(Arc::clone(&machine), heads.clone(), levels));
-        Arc::new(NmpSkipList { machine, lists, exec, heads, levels, ks, seed })
+        Arc::new(NmpSkipList { machine, runtime, exec, heads, levels, ks, seed })
     }
 
     pub fn levels(&self) -> u32 {
@@ -164,32 +170,20 @@ impl NmpSkipList {
                 r.aux = node::height_for_key(k, self.seed, self.levels);
                 r
             }
-            Op::Scan(..) => unreachable!("scans are driven by scan_op"),
+            Op::Scan(..) => unreachable!("scans are driven by the scan cursor in advance"),
         };
         (part, req)
     }
 
-    /// Multi-partition range scan: offload partition-local scans left to
-    /// right until `len` pairs were read or the key space is exhausted.
-    fn scan_op(&self, ctx: &mut ThreadCtx, slot: usize, key: Key, len: u16) -> OpResult {
-        let mut remaining = len as u32;
-        let mut count = 0u32;
-        let mut part = self.ks.partition_of(key) as usize;
-        let mut from = key;
-        while remaining > 0 {
-            let mut req = Request::new(OpCode::Scan, from, 0);
-            req.aux = remaining;
-            self.lists.post(ctx, part, slot, &req);
-            let resp = self.lists.wait_response(ctx, part, slot);
-            count += resp.value;
-            remaining = remaining.saturating_sub(resp.value);
-            part += 1;
-            if part >= self.ks.parts as usize {
-                break;
-            }
-            from = self.ks.part_base(part as u32);
+    /// Next partition-local scan request of a multi-partition range scan
+    /// (offloaded left to right until the length or key space is exhausted).
+    fn scan_step(&self, st: &NmpOpState) -> Step {
+        if st.remaining == 0 || st.part >= self.ks.parts as usize {
+            return Step::Done(OpResult { ok: st.count > 0, value: st.count });
         }
-        OpResult { ok: count > 0, value: count }
+        let mut req = Request::new(OpCode::Scan, st.from, 0);
+        req.aux = st.remaining;
+        Step::Post { part: st.part, req }
     }
 
     fn to_result(op: Op, resp: &Response) -> OpResult {
@@ -248,59 +242,58 @@ impl NmpSkipList {
     }
 }
 
+impl OffloadClient for NmpSkipList {
+    type OpState = NmpOpState;
+
+    fn advance(&self, _ctx: &mut ThreadCtx, op: Op, st: &mut NmpOpState) -> Step {
+        if let Op::Scan(k, len) = op {
+            if !st.started {
+                st.started = true;
+                st.part = self.ks.partition_of(k) as usize;
+                st.from = k;
+                st.remaining = len as u32;
+            }
+            return self.scan_step(st);
+        }
+        let (part, req) = self.request_for(op);
+        Step::Post { part, req }
+    }
+
+    fn complete(&self, _ctx: &mut ThreadCtx, op: Op, resp: &Response, st: &mut NmpOpState) -> Step {
+        if matches!(op, Op::Scan(..)) {
+            st.count += resp.value;
+            st.remaining = st.remaining.saturating_sub(resp.value);
+            st.part += 1;
+            if st.part < self.ks.parts as usize {
+                st.from = self.ks.part_base(st.part as u32);
+            }
+            return self.scan_step(st);
+        }
+        Step::Done(Self::to_result(op, resp))
+    }
+}
+
 impl SimIndex for NmpSkipList {
-    type Pending = (Op, NmpPending);
+    type Pending = PendingOp<NmpOpState>;
 
     fn execute(&self, ctx: &mut ThreadCtx, op: Op) -> OpResult {
-        let core = host_core(ctx);
-        let slot = self.lists.slot_of(core, 0);
-        if let Op::Scan(k, len) = op {
-            return self.scan_op(ctx, slot, k, len);
-        }
-        loop {
-            let (part, req) = self.request_for(op);
-            self.lists.post(ctx, part, slot, &req);
-            let resp = self.lists.wait_response(ctx, part, slot);
-            if resp.retry {
-                continue;
-            }
-            return Self::to_result(op, &resp);
-        }
+        self.runtime.execute(ctx, self, op)
     }
 
     fn issue(&self, ctx: &mut ThreadCtx, lane: usize, op: Op) -> Issued<Self::Pending> {
-        let core = host_core(ctx);
-        let slot = self.lists.slot_of(core, lane);
-        if let Op::Scan(k, len) = op {
-            // Scans are long, multi-offload operations; run them to
-            // completion rather than pipelining.
-            return Issued::Done(self.scan_op(ctx, slot, k, len));
-        }
-        let (part, req) = self.request_for(op);
-        self.lists.post(ctx, part, slot, &req);
-        Issued::Pending((op, NmpPending { part, slot }))
+        self.runtime.issue(ctx, self, lane, op)
     }
 
     fn poll(&self, ctx: &mut ThreadCtx, pending: &mut Self::Pending) -> PollOutcome {
-        let (op, p) = (pending.0, &pending.1);
-        match self.lists.try_response(ctx, p.part, p.slot) {
-            None => PollOutcome::Pending,
-            Some(resp) if resp.retry => {
-                let (part, req) = self.request_for(op);
-                debug_assert_eq!(part, p.part);
-                self.lists.post(ctx, part, p.slot, &req);
-                PollOutcome::Pending
-            }
-            Some(resp) => PollOutcome::Done(Self::to_result(op, &resp)),
-        }
+        self.runtime.poll(ctx, self, pending)
     }
 
     fn spawn_services(self: &Arc<Self>, sim: &mut Simulation) {
-        spawn_combiners(sim, Arc::clone(&self.lists), Arc::clone(&self.exec));
+        self.runtime.spawn_combiners(sim, Arc::clone(&self.exec));
     }
 
     fn max_inflight(&self) -> usize {
-        self.lists.max_inflight()
+        self.runtime.max_inflight()
     }
 }
 

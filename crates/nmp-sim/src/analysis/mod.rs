@@ -10,7 +10,7 @@
 //!    acquire/release-annotated accesses, and the publication-slot handoff —
 //!    establish happens-before edges; conflicting unordered plain accesses
 //!    are reported with both access sites, thread kinds, and the address's
-//!    [`Region`].
+//!    [`Region`](crate::mem::Region).
 //! 2. **Region-policy lint** ([`policy`]): flags host threads touching
 //!    `Region::Part(p)` memory, NMP cores touching foreign partitions or
 //!    scratchpads, and non-MMIO host scratchpad access. With an [`Analysis`]

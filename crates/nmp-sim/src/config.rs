@@ -83,8 +83,13 @@ pub struct Config {
 
     /// Cycles a host thread waits between polls of a publication-list flag.
     pub host_poll_interval_cycles: u64,
-    /// Cycles an idle NMP core waits between publication-list scan rounds.
+    /// Cycles an idle NMP core waits between publication-list scan rounds
+    /// (charged by the combiner when a full scan pass finds no requests).
     pub nmp_idle_poll_cycles: u64,
+    /// Cycles a pipelining host thread idles between lane sweeps when no
+    /// lane made progress (the driver's non-blocking loop and its warm-up
+    /// barrier).
+    pub host_pipeline_idle_cycles: u64,
     /// Cycles charged per simulated "CPU step" (non-memory work between
     /// memory accesses, e.g. a key comparison). Out-of-order hosts hide most
     /// of this; the in-order sensitivity configuration charges more.
@@ -128,6 +133,7 @@ impl Config {
             mmio_read_ns: 12.0,
             host_poll_interval_cycles: 40,
             nmp_idle_poll_cycles: 16,
+            host_pipeline_idle_cycles: 16,
             cpu_step_cycles: 1,
             host_heap_bytes: 192 * 1024 * 1024,
             part_heap_bytes: 64 * 1024 * 1024,
@@ -202,6 +208,12 @@ impl Config {
         assert!(self.nmp_buffer_bytes.is_power_of_two());
         assert!(self.host_heap_bytes.is_multiple_of(8) && self.part_heap_bytes.is_multiple_of(8));
         assert!(self.scratchpad_bytes.is_multiple_of(8));
+        assert!(
+            self.host_poll_interval_cycles >= 1
+                && self.nmp_idle_poll_cycles >= 1
+                && self.host_pipeline_idle_cycles >= 1,
+            "poll/idle intervals must be at least one cycle"
+        );
     }
 }
 
@@ -271,6 +283,14 @@ mod tests {
         let j = serde_json::to_string(&c).unwrap();
         let back: Config = serde_json::from_str(&j).unwrap();
         assert_eq!(c, back);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one cycle")]
+    fn validate_rejects_zero_idle_interval() {
+        let mut c = Config::paper();
+        c.host_pipeline_idle_cycles = 0;
+        c.validate();
     }
 
     #[test]

@@ -75,5 +75,7 @@ pub use analysis::{Analysis, HistEvent, HistOp, HistoryRecorder, Report};
 pub use config::{CacheConfig, Config};
 pub use engine::{SimOutcome, Simulation, ThreadCtx, ThreadKind};
 pub use machine::Machine;
-pub use mem::{Addr, MemMap, MemorySystem, Region, SimRam, NULL};
-pub use stats::{CacheStats, StatsSnapshot, VaultStats};
+pub use mem::{
+    Addr, MemMap, MemorySystem, Region, SimRam, NULL, OFFLOAD_HIST_BUCKETS, OFFLOAD_LANE_CAP,
+};
+pub use stats::{CacheStats, OffloadStats, StatsSnapshot, VaultStats};

@@ -25,7 +25,7 @@ use crate::analysis::Analysis;
 use crate::cache::{Access, Cache};
 use crate::config::Config;
 use crate::dram::{DramTiming, Vault};
-use crate::stats::StatsSnapshot;
+use crate::stats::{OffloadStats, StatsSnapshot};
 
 /// Simulated 32-bit address.
 pub type Addr = u32;
@@ -181,6 +181,69 @@ impl SimRam {
     }
 }
 
+/// Combined-per-pass histogram buckets tracked per partition: bucket `i`
+/// counts combiner scan passes that collected exactly `i` requests, with the
+/// last bucket saturating (so `OFFLOAD_HIST_BUCKETS - 1` = "16 or more").
+pub const OFFLOAD_HIST_BUCKETS: usize = 17;
+
+/// Publication-list lanes tracked individually in the per-lane occupancy
+/// counter; posts to higher lanes accumulate in the last element.
+pub const OFFLOAD_LANE_CAP: usize = 16;
+
+/// Lock-free offload-runtime counters, recorded by `hybrids::offload` (host
+/// side) and its combiners (NMP side). Untimed and relaxed: recording never
+/// perturbs simulated timing, so determinism is unaffected.
+struct OffloadCounters {
+    posted: Vec<AtomicU64>,
+    completed: Vec<AtomicU64>,
+    retries: Vec<AtomicU64>,
+    lock_path: Vec<AtomicU64>,
+    lane_posted: Vec<AtomicU64>,
+    /// parts × OFFLOAD_HIST_BUCKETS, row-major.
+    combined_hist: Vec<AtomicU64>,
+}
+
+impl OffloadCounters {
+    fn new(parts: usize) -> Self {
+        let zeros = |n: usize| {
+            let mut v = Vec::with_capacity(n);
+            v.resize_with(n, || AtomicU64::new(0));
+            v
+        };
+        OffloadCounters {
+            posted: zeros(parts),
+            completed: zeros(parts),
+            retries: zeros(parts),
+            lock_path: zeros(parts),
+            lane_posted: zeros(OFFLOAD_LANE_CAP),
+            combined_hist: zeros(parts * OFFLOAD_HIST_BUCKETS),
+        }
+    }
+
+    fn collect(&self) -> OffloadStats {
+        let load = |v: &[AtomicU64]| v.iter().map(|a| a.load(Ordering::Relaxed)).collect();
+        OffloadStats {
+            posted: load(&self.posted),
+            completed: load(&self.completed),
+            retries: load(&self.retries),
+            lock_path: load(&self.lock_path),
+            lane_posted: load(&self.lane_posted),
+            combined_hist: load(&self.combined_hist),
+        }
+    }
+
+    fn reset(&self) {
+        for v in [&self.posted, &self.completed, &self.retries, &self.lock_path] {
+            for a in v.iter() {
+                a.store(0, Ordering::Relaxed);
+            }
+        }
+        for a in self.lane_posted.iter().chain(self.combined_hist.iter()) {
+            a.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
 struct Timing {
     l1: Vec<Cache>,
     l2: Cache,
@@ -202,6 +265,7 @@ pub struct MemorySystem {
     mmio_write_cycles: u64,
     host_link_cycles: u64,
     block_bytes: u32,
+    offload: OffloadCounters,
     t: Mutex<Timing>,
     /// Correctness checkers, attached at most once per machine (see
     /// [`crate::analysis`]). Empty = zero checking overhead.
@@ -232,6 +296,7 @@ impl MemorySystem {
             mmio_write_cycles: cfg.cycles(cfg.mmio_write_ns),
             host_link_cycles: cfg.cycles(cfg.host_link_ns),
             block_bytes: cfg.l1.block_bytes,
+            offload: OffloadCounters::new(cfg.nmp_partitions()),
             cfg,
             t: Mutex::new(t),
             #[cfg(feature = "analysis")]
@@ -381,6 +446,32 @@ impl MemorySystem {
         }
     }
 
+    /// Record a host post of an offload request to partition `part`, on
+    /// publication-list lane `lane` of the posting thread.
+    pub fn note_offload_post(&self, part: usize, lane: usize) {
+        self.offload.posted[part].fetch_add(1, Ordering::Relaxed);
+        self.offload.lane_posted[lane.min(OFFLOAD_LANE_CAP - 1)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a retry response observed for partition `part`.
+    pub fn note_offload_retry(&self, part: usize) {
+        self.offload.retries[part].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a lock-path response observed for partition `part`.
+    pub fn note_offload_lock_path(&self, part: usize) {
+        self.offload.lock_path[part].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one combiner scan pass over partition `part`'s publication
+    /// list that collected `combined` requests (0 = idle pass).
+    pub fn note_offload_pass(&self, part: usize, combined: usize) {
+        let bucket = combined.min(OFFLOAD_HIST_BUCKETS - 1);
+        self.offload.combined_hist[part * OFFLOAD_HIST_BUCKETS + bucket]
+            .fetch_add(1, Ordering::Relaxed);
+        self.offload.completed[part].fetch_add(combined as u64, Ordering::Relaxed);
+    }
+
     /// Snapshot every counter. L1 counters are aggregated across cores.
     /// The analysis counters (`races_detected`, `policy_violations`) are
     /// cumulative over the machine's lifetime — [`MemorySystem::reset_stats`]
@@ -406,6 +497,7 @@ impl MemorySystem {
             main_vaults: self.cfg.main_vaults,
             races_detected,
             policy_violations,
+            offload: self.offload.collect(),
         }
     }
 
@@ -423,6 +515,7 @@ impl MemorySystem {
         t.mmio_reads = 0;
         t.mmio_writes = 0;
         t.nmp_buffer_hits = 0;
+        self.offload.reset();
     }
 
     /// Pre-load the block containing `addr` into the shared L2 (and the
@@ -662,6 +755,40 @@ mod tests {
         let snap = s.snapshot();
         assert!(snap.vaults[0].reads > 0);
         assert!(snap.vaults[1].reads > 0);
+    }
+
+    #[test]
+    fn offload_counters_snapshot_and_reset() {
+        let s = sys();
+        s.note_offload_post(0, 0);
+        s.note_offload_post(0, 3);
+        s.note_offload_post(1, 99); // lane beyond cap folds into last element
+        s.note_offload_retry(0);
+        s.note_offload_lock_path(1);
+        s.note_offload_pass(0, 2);
+        s.note_offload_pass(0, 0);
+        s.note_offload_pass(1, 40); // saturates into the last bucket
+        let o = s.snapshot().offload;
+        assert_eq!(o.posted, vec![2, 1]);
+        assert_eq!(o.completed, vec![2, 40]);
+        assert_eq!(o.retries, vec![1, 0]);
+        assert_eq!(o.lock_path, vec![0, 1]);
+        assert_eq!(o.lane_posted[0], 1);
+        assert_eq!(o.lane_posted[3], 1);
+        assert_eq!(o.lane_posted[OFFLOAD_LANE_CAP - 1], 1);
+        assert_eq!(o.hist_buckets(), OFFLOAD_HIST_BUCKETS);
+        assert_eq!(o.combined_hist[2], 1); // part 0, bucket 2
+        assert_eq!(o.combined_hist[0], 1); // part 0, empty pass
+        assert_eq!(o.combined_hist[OFFLOAD_HIST_BUCKETS + OFFLOAD_HIST_BUCKETS - 1], 1);
+        assert_eq!(o.passes_with(1), 2);
+        assert_eq!(o.passes_with(2), 2);
+        assert_eq!(o.passes_with(17), 0);
+        let d = o.delta_since(&OffloadStats::default());
+        assert_eq!(d, o);
+        s.reset_stats();
+        let o2 = s.snapshot().offload;
+        assert_eq!(o2.posted_total(), 0);
+        assert_eq!(o2.passes_with(1), 0);
     }
 
     #[test]

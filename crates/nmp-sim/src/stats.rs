@@ -72,6 +72,110 @@ impl VaultStats {
     }
 }
 
+/// Telemetry of the shared offload runtime: request-lifecycle counters the
+/// memory system keeps on behalf of `hybrids::offload` (posted requests,
+/// combiner batching, retries, lock-path falls). All vectors are empty when
+/// no offload traffic occurred (e.g. host-only structures).
+///
+/// Recording is untimed and lock-free, so attaching these counters never
+/// perturbs simulated timing or determinism.
+#[derive(Debug, Default, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OffloadStats {
+    /// Requests posted per NMP partition (host MMIO publications; includes
+    /// retry re-posts and follow-up requests such as RESUME_INSERT).
+    pub posted: Vec<u64>,
+    /// Requests executed and completed per partition by its combiner.
+    pub completed: Vec<u64>,
+    /// Retry responses per partition (stale begin node, seqnum conflict,
+    /// locked leaf).
+    pub retries: Vec<u64>,
+    /// LOCK_PATH responses per partition (B+ tree cross-boundary inserts
+    /// falling back to the host-locked path).
+    pub lock_path: Vec<u64>,
+    /// Requests posted per publication-list lane, aggregated over
+    /// partitions; lanes past the tracked cap accumulate in the last
+    /// element. Shows pipeline lane occupancy.
+    pub lane_posted: Vec<u64>,
+    /// Combined-per-pass histogram, flattened row-major per partition:
+    /// entry `part * buckets + i` counts combiner scan passes of partition
+    /// `part` that collected exactly `i` requests, where `buckets =
+    /// combined_hist.len() / posted.len()` and the last bucket saturates.
+    /// Bucket 0 counts empty (idle) passes.
+    pub combined_hist: Vec<u64>,
+}
+
+impl OffloadStats {
+    /// Total requests posted across partitions.
+    pub fn posted_total(&self) -> u64 {
+        self.posted.iter().sum()
+    }
+
+    /// Total requests executed by combiners across partitions.
+    pub fn completed_total(&self) -> u64 {
+        self.completed.iter().sum()
+    }
+
+    /// Total retry responses across partitions.
+    pub fn retries_total(&self) -> u64 {
+        self.retries.iter().sum()
+    }
+
+    /// Total LOCK_PATH responses across partitions.
+    pub fn lock_path_total(&self) -> u64 {
+        self.lock_path.iter().sum()
+    }
+
+    /// Histogram buckets tracked per partition (0 when no telemetry).
+    pub fn hist_buckets(&self) -> usize {
+        if self.posted.is_empty() {
+            0
+        } else {
+            self.combined_hist.len() / self.posted.len()
+        }
+    }
+
+    /// Scan passes (across all partitions) that collected at least
+    /// `min_batch` requests. `passes_with(1)` = non-empty passes;
+    /// `passes_with(2)` > 0 shows flat-combining batching in action.
+    pub fn passes_with(&self, min_batch: usize) -> u64 {
+        let buckets = self.hist_buckets();
+        if buckets == 0 {
+            return 0;
+        }
+        self.combined_hist
+            .chunks(buckets)
+            .map(|part| part.iter().skip(min_batch).sum::<u64>())
+            .sum()
+    }
+
+    /// Mean requests combined per non-empty scan pass (0 when idle).
+    pub fn mean_batch(&self) -> f64 {
+        let nonempty = self.passes_with(1);
+        if nonempty == 0 {
+            0.0
+        } else {
+            self.completed_total() as f64 / nonempty as f64
+        }
+    }
+
+    /// Counter-wise `self - earlier`, tolerating an `earlier` snapshot
+    /// taken before any offload runtime existed (empty vectors read as
+    /// all-zero).
+    pub fn delta_since(&self, earlier: &OffloadStats) -> OffloadStats {
+        fn dv(a: &[u64], b: &[u64]) -> Vec<u64> {
+            a.iter().enumerate().map(|(i, &x)| x - b.get(i).copied().unwrap_or(0)).collect()
+        }
+        OffloadStats {
+            posted: dv(&self.posted, &earlier.posted),
+            completed: dv(&self.completed, &earlier.completed),
+            retries: dv(&self.retries, &earlier.retries),
+            lock_path: dv(&self.lock_path, &earlier.lock_path),
+            lane_posted: dv(&self.lane_posted, &earlier.lane_posted),
+            combined_hist: dv(&self.combined_hist, &earlier.combined_hist),
+        }
+    }
+}
+
 /// A snapshot of every counter in the memory system, taken with
 /// [`crate::mem::MemorySystem::snapshot`]. Subtract two snapshots with
 /// [`StatsSnapshot::delta_since`] to isolate a measurement window.
@@ -99,6 +203,8 @@ pub struct StatsSnapshot {
     /// Region-policy violations recorded by the attached lint (same
     /// caveats as `races_detected`).
     pub policy_violations: u64,
+    /// Offload-runtime telemetry (publication-list lifecycle counters).
+    pub offload: OffloadStats,
 }
 
 impl StatsSnapshot {
@@ -156,6 +262,7 @@ impl StatsSnapshot {
             main_vaults: self.main_vaults,
             races_detected: self.races_detected - earlier.races_detected,
             policy_violations: self.policy_violations - earlier.policy_violations,
+            offload: self.offload.delta_since(&earlier.offload),
         }
     }
 

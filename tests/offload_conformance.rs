@@ -1,0 +1,350 @@
+//! Integration: every structure behaves identically through the shared
+//! offload runtime (`hybrids::offload`).
+//!
+//! One generic harness drives all four `SimIndex` structures — NMP-based
+//! skiplist, hybrid skiplist, hybrid B+ tree, host-only B+ tree — through
+//! both NMP-call modes (blocking `execute`, 4-deep `issue`/`poll`
+//! pipelines) under full contention with scans mixed in, and asserts the
+//! *same* contract for each:
+//!
+//! * race-free and region-policy clean (engine checkers),
+//! * recorded point-op history linearizes against the initial contents,
+//! * per-key presence balances against the final contents,
+//! * runtime telemetry is conserved: every posted request was executed
+//!   exactly once (`completed_total == posted_total` at quiescence), and
+//!   the offloading structures actually posted (the host-only baseline
+//!   must post nothing).
+//!
+//! Separate tests force the rare paths through the runtime — NMP-side
+//! retries and the hybrid B+ tree's lock path — and pin down batching
+//! observability plus bit-for-bit determinism of makespan *and* telemetry.
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::sync::Arc;
+
+use hybrids_repro::prelude::*;
+use nmp_sim::analysis::{HistEvent, HistOp, HistoryRecorder};
+use nmp_sim::OffloadStats;
+use parking_lot::Mutex;
+use workloads::Rng;
+
+const THREADS: usize = 4;
+const OPS_PER_THREAD: usize = 120;
+
+fn keyspace() -> KeySpace {
+    KeySpace::new(256, 2, 128)
+}
+
+/// Half the initial keys populated so inserts and removes both succeed.
+fn half_initial(ks: &KeySpace) -> Vec<(Key, Value)> {
+    (0..ks.total_initial()).filter(|i| i % 2 == 0).map(|i| (ks.initial_key(i), 5)).collect()
+}
+
+/// Contended mix over a small hot set, with scans sprinkled in to exercise
+/// the pipelined multi-request scan clients.
+fn mixed_ops(seed: u64, ks: &KeySpace, hot_keys: u32, len: usize) -> Vec<Op> {
+    let mut rng = Rng::new(seed);
+    (0..len)
+        .map(|_| {
+            let k = ks.initial_key(rng.below(hot_keys as u64) as u32);
+            match rng.below(8) {
+                0 | 1 => Op::Insert(k, rng.next_u32() | 1),
+                2 | 3 => Op::Remove(k),
+                4 => Op::Update(k, rng.next_u32() | 1),
+                5 => Op::Scan(k, 4),
+                _ => Op::Read(k),
+            }
+        })
+        .collect()
+}
+
+/// Record a completed point operation; scans are outside the per-key
+/// linearizability model and are skipped.
+fn record(rec: &HistoryRecorder, thread: usize, op: Op, r: OpResult, inv: u64, resp: u64) {
+    let (hop, key, value) = match op {
+        Op::Read(k) => (HistOp::Read, k, r.value),
+        Op::Insert(k, v) => (HistOp::Insert, k, v),
+        Op::Remove(k) => (HistOp::Remove, k, 0),
+        Op::Update(k, v) => (HistOp::Update, k, v),
+        Op::Scan(..) => return,
+    };
+    rec.record(HistEvent { thread, op: hop, key, ok: r.ok, value, inv, resp });
+}
+
+/// Drive `index` with the contended mixed workload at the given pipeline
+/// depth, check the full conformance contract, and return the offload
+/// telemetry for scenario-specific assertions.
+#[allow(clippy::too_many_arguments)]
+fn run_conformance<S: SimIndex>(
+    machine: &Arc<Machine>,
+    index: &Arc<S>,
+    ks: KeySpace,
+    initial: &[(Key, Value)],
+    inflight: usize,
+    seed: u64,
+    expect_offload: bool,
+    final_contents: impl FnOnce() -> BTreeMap<Key, Value>,
+) -> OffloadStats {
+    let analysis = machine.attach_analysis();
+    let recorder = Arc::new(HistoryRecorder::new());
+    let tallies: Arc<Mutex<HashMap<Key, (i64, i64)>>> = Arc::new(Mutex::new(HashMap::new()));
+    let mut sim = machine.simulation();
+    index.spawn_services(&mut sim);
+    for core in 0..THREADS {
+        let index = Arc::clone(index);
+        let tallies = Arc::clone(&tallies);
+        let recorder = Arc::clone(&recorder);
+        let ops = mixed_ops(seed + core as u64, &ks, 16, OPS_PER_THREAD);
+        sim.spawn(format!("h{core}"), ThreadKind::Host { core }, move |ctx| {
+            let complete = |op: Op, r: OpResult, inv: u64, resp: u64| {
+                record(&recorder, core, op, r, inv, resp);
+                if r.ok {
+                    let mut t = tallies.lock();
+                    let e = t.entry(op.key()).or_insert((0, 0));
+                    match op {
+                        Op::Insert(..) => e.0 += 1,
+                        Op::Remove(_) => e.1 += 1,
+                        _ => {}
+                    }
+                }
+            };
+            if inflight <= 1 {
+                for &op in &ops {
+                    let inv = ctx.now();
+                    let r = index.execute(ctx, op);
+                    complete(op, r, inv, ctx.now());
+                }
+                return;
+            }
+            let mut lanes: Vec<Option<(Op, u64, S::Pending)>> =
+                (0..inflight).map(|_| None).collect();
+            let mut next = 0;
+            let mut done = 0;
+            while done < ops.len() {
+                for (lane, slot) in lanes.iter_mut().enumerate() {
+                    match slot.take() {
+                        None if next < ops.len() => {
+                            let op = ops[next];
+                            next += 1;
+                            let inv = ctx.now();
+                            match index.issue(ctx, lane, op) {
+                                Issued::Done(r) => {
+                                    complete(op, r, inv, ctx.now());
+                                    done += 1;
+                                }
+                                Issued::Pending(p) => *slot = Some((op, inv, p)),
+                            }
+                        }
+                        None => {}
+                        Some((op, inv, mut p)) => match index.poll(ctx, &mut p) {
+                            PollOutcome::Done(r) => {
+                                complete(op, r, inv, ctx.now());
+                                done += 1;
+                            }
+                            PollOutcome::Pending => *slot = Some((op, inv, p)),
+                        },
+                    }
+                }
+                ctx.idle(16);
+            }
+        });
+    }
+    sim.run();
+
+    // Contract 1: no data races, no region-policy violations.
+    analysis.report().assert_clean();
+
+    // Contract 2: the point-op history linearizes.
+    let initial_map: HashMap<Key, Value> = initial.iter().copied().collect();
+    recorder.check_linearizable(|k| initial_map.get(&k).copied()).unwrap_or_else(|e| panic!("{e}"));
+
+    // Contract 3: per-key presence balance against final contents.
+    let present: HashSet<Key> = initial.iter().map(|&(k, _)| k).collect();
+    let contents = final_contents();
+    for (key, (io, ro)) in tallies.lock().iter() {
+        let init = present.contains(key) as i64;
+        assert_eq!(
+            contents.contains_key(key) as i64,
+            init + io - ro,
+            "key {key} unbalanced (initial {init}, +{io}, -{ro})"
+        );
+    }
+
+    // Contract 4: telemetry conservation — every posted request was
+    // executed exactly once by a combiner, and offloading structures
+    // actually went through the runtime.
+    let offload = machine.mem().snapshot().offload;
+    assert_eq!(
+        offload.completed_total(),
+        offload.posted_total(),
+        "posted requests must all be executed at quiescence"
+    );
+    if expect_offload {
+        assert!(offload.posted_total() > 0, "offloading structure posted nothing");
+    } else {
+        assert_eq!(offload.posted_total(), 0, "host-only structure must not post");
+    }
+    offload
+}
+
+#[test]
+fn nmp_skiplist_conforms_blocking_and_pipelined() {
+    for inflight in [1usize, 4] {
+        let ks = keyspace();
+        let m = Machine::new(Config::tiny());
+        let sl = NmpSkipList::new(Arc::clone(&m), ks, 8, 3, inflight);
+        let initial = half_initial(&ks);
+        sl.populate(initial.clone());
+        let sl2 = Arc::clone(&sl);
+        run_conformance(&m, &sl, ks, &initial, inflight, 3100, true, move || {
+            sl2.check_invariants();
+            sl2.collect().into_iter().collect()
+        });
+    }
+}
+
+#[test]
+fn hybrid_skiplist_conforms_blocking_and_pipelined() {
+    for inflight in [1usize, 4] {
+        let ks = keyspace();
+        let m = Machine::new(Config::tiny());
+        let sl = HybridSkipList::new(Arc::clone(&m), ks, 10, 4, 3, inflight);
+        let initial = half_initial(&ks);
+        sl.populate(initial.clone());
+        let sl2 = Arc::clone(&sl);
+        run_conformance(&m, &sl, ks, &initial, inflight, 3200, true, move || {
+            sl2.check_invariants();
+            sl2.collect().into_iter().collect()
+        });
+    }
+}
+
+#[test]
+fn hybrid_btree_conforms_blocking_and_pipelined() {
+    for inflight in [1usize, 4] {
+        let ks = keyspace();
+        let m = Machine::new(Config::tiny());
+        let initial = half_initial(&ks);
+        let t = HybridBTree::with_budget(Arc::clone(&m), &initial, 0.7, inflight.max(2), 2 * 1024);
+        let t2 = Arc::clone(&t);
+        run_conformance(&m, &t, ks, &initial, inflight, 3300, true, move || {
+            t2.check_invariants();
+            t2.collect().into_iter().collect()
+        });
+    }
+}
+
+#[test]
+fn host_btree_conforms_and_posts_nothing() {
+    for inflight in [1usize, 4] {
+        let ks = keyspace();
+        let m = Machine::new(Config::tiny());
+        let initial = half_initial(&ks);
+        let t = HostBTree::new(Arc::clone(&m), &initial, 0.7);
+        let t2 = Arc::clone(&t);
+        run_conformance(&m, &t, ks, &initial, inflight, 3400, false, move || {
+            t2.check_invariants();
+            t2.collect().into_iter().collect()
+        });
+    }
+}
+
+/// Split-heavy inserts racing removes in the same key range: parked
+/// inserts force the NMP side to answer RETRY, and splits reaching the
+/// host levels force the lock path. Both must be visible in telemetry and
+/// leave the tree consistent.
+#[test]
+fn forced_retries_and_lock_path_are_counted() {
+    let m = Machine::new(Config::tiny());
+    let pairs: Vec<(Key, Value)> = (1..=500u32).map(|k| (k * 8, k)).collect();
+    let t = HybridBTree::with_budget(Arc::clone(&m), &pairs, 1.0, 4, 4 * 1024);
+    let analysis = m.attach_analysis();
+    let mut sim = m.simulation();
+    t.spawn_services(&mut sim);
+    for core in 0..4usize {
+        let t = Arc::clone(&t);
+        sim.spawn(format!("h{core}"), ThreadKind::Host { core }, move |ctx| {
+            for i in 0..40u32 {
+                if core % 2 == 0 {
+                    // Dense fresh keys into full leaves: every insert splits.
+                    let key = 4001 + core as u32 * 500 + i;
+                    assert!(t.execute(ctx, Op::Insert(key, i)).ok);
+                } else {
+                    // Removes in the same range race the parked inserts.
+                    let key = ((i * 13 + core as u32) % 500 + 1) * 8;
+                    let _ = t.execute(ctx, Op::Remove(key));
+                }
+            }
+        });
+    }
+    sim.run();
+    analysis.report().assert_clean();
+    t.check_invariants();
+    let offload = m.mem().snapshot().offload;
+    assert_eq!(offload.completed_total(), offload.posted_total());
+    assert!(offload.lock_path_total() > 0, "fill-1.0 splits must reach the host lock path");
+    assert!(offload.retries_total() > 0, "removes racing parked inserts must retry");
+}
+
+/// Under a pipelined YCSB-C run the combiner must actually batch: some
+/// scan passes pick up more than one published request.
+#[test]
+fn pipelined_run_batches_multiple_requests_per_pass() {
+    let m = Machine::new(Config::tiny());
+    let ks = keyspace();
+    let sl = HybridSkipList::new(Arc::clone(&m), ks, 10, 4, 7, 4);
+    sl.populate((0..ks.total_initial()).map(|i| (ks.initial_key(i), i)));
+    let spec = RunSpec::new(
+        WorkloadSpec {
+            seed: 42,
+            threads: 4,
+            ops_per_thread: 80,
+            mix: Mix::ycsb_c(),
+            read_dist: KeyDist::Uniform,
+            insert_dist: InsertDist::UniformGap,
+        },
+        20,
+        4,
+    );
+    let r = run_index(&m, &sl, &ks, &spec);
+    assert_eq!(r.measured_ops, 320);
+    assert!(
+        r.stats.offload.passes_with(2) > 0,
+        "pipelined YCSB-C should combine >1 request in some passes: {:?}",
+        r.stats.offload
+    );
+    assert!(r.offload_mean_batch > 0.0);
+    assert!(r.wall_ms > 0.0);
+    assert!(r.sim_cycles_per_sec > 0.0);
+}
+
+/// Identical seeds must give identical makespans *and* identical offload
+/// telemetry across consecutive runs — the telemetry layer itself must
+/// not perturb simulated time.
+#[test]
+fn telemetry_and_makespan_are_deterministic() {
+    let go = || {
+        let m = Machine::new(Config::tiny());
+        let ks = keyspace();
+        let sl = HybridSkipList::new(Arc::clone(&m), ks, 10, 4, 11, 4);
+        sl.populate((0..ks.total_initial()).map(|i| (ks.initial_key(i), i)));
+        let spec = RunSpec::new(
+            WorkloadSpec {
+                seed: 7,
+                threads: 3,
+                ops_per_thread: 60,
+                mix: Mix::read_insert_remove(60, 20, 20),
+                read_dist: KeyDist::Uniform,
+                insert_dist: InsertDist::UniformGap,
+            },
+            10,
+            4,
+        );
+        let r = run_index(&m, &sl, &ks, &spec);
+        (r.cycles, r.succeeded_ops, r.stats.offload.clone())
+    };
+    let (a, b) = (go(), go());
+    assert_eq!(a.0, b.0, "makespan must be bit-for-bit deterministic");
+    assert_eq!(a.1, b.1);
+    assert_eq!(a.2, b.2, "offload telemetry must be deterministic");
+}
