@@ -1,0 +1,66 @@
+//! New hybrid structures on the shared offload runtime (§6.3 extension):
+//! the hash map (host-resident bucket directory, NMP-managed chains) and
+//! the priority queue (host-merged partition minima, NMP-managed sorted
+//! runs), each in blocking and 4-deep pipelined modes.
+//!
+//! Expected shape: the hash map's host phase is a single LLC-resident
+//! directory read, so nearly all of its DRAM traffic is NMP-side chain
+//! walking — the most offload-friendly structure in the suite. The
+//! priority queue's extract-min adds a host-side merge over the cached
+//! partition minima; pipelining overlaps the combiner round trips of
+//! independent inserts.
+
+use hybrids_bench::{
+    hashmap_workload, pqueue_workload, run_hashmap, run_pqueue, save_records, Record, Scale,
+    Variant,
+};
+use workloads::KeyDist;
+
+fn main() {
+    let scale = Scale::from_env();
+    println!("new structures: hybrid hash map + hybrid pqueue (scale = {})", scale.name);
+    println!(
+        "{:<10} {:<22} {:<16} {:>10} {:>14} {:>10}",
+        "structure", "variant", "workload", "Mops/s", "DRAM reads/op", "posted"
+    );
+    let mut records = Vec::new();
+    for v in [Variant::HashMapBlocking, Variant::HashMapNonblocking(4)] {
+        for dist in [KeyDist::Uniform, KeyDist::Zipfian] {
+            let wl = hashmap_workload(&scale, dist);
+            let label = wl.mix.label()
+                + match dist {
+                    KeyDist::Uniform => "-uni",
+                    _ => "-zipf",
+                };
+            let r = run_hashmap(&scale, v, wl);
+            println!(
+                "{:<10} {:<22} {:<16} {:>10.4} {:>14.2} {:>10}",
+                "hashmap",
+                v.label(),
+                label,
+                r.mops,
+                r.dram_reads_per_op,
+                r.offload_posted
+            );
+            records.push(Record::new("new_structures", &scale, &v, &label, &r));
+        }
+    }
+    for v in [Variant::PqueueBlocking, Variant::PqueueNonblocking(4)] {
+        for insert_pct in [50u8, 80] {
+            let wl = pqueue_workload(&scale, insert_pct);
+            let label = wl.mix.label();
+            let r = run_pqueue(&scale, v, wl);
+            println!(
+                "{:<10} {:<22} {:<16} {:>10.4} {:>14.2} {:>10}",
+                "pqueue",
+                v.label(),
+                label,
+                r.mops,
+                r.dram_reads_per_op,
+                r.offload_posted
+            );
+            records.push(Record::new("new_structures", &scale, &v, &label, &r));
+        }
+    }
+    save_records("new_structures", &records);
+}

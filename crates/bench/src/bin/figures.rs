@@ -1,7 +1,7 @@
 //! Run the figure/table harnesses from one binary:
 //!
 //! ```text
-//! cargo run --release -p hybrids-bench --bin figures -- [--scale ci|scaled|paper] [fig5 fig6 fig7 fig8 table2 fig4 | all]
+//! cargo run --release -p hybrids-bench --bin figures -- [--scale smoke|ci|scaled|paper] [fig5 fig6 fig7 fig8 table2 fig4 newstructs | all]
 //! ```
 //!
 //! Each experiment is the same code `cargo bench` runs (the bench targets
@@ -21,12 +21,14 @@ fn main() {
         }
     }
     if figs.is_empty() || figs.iter().any(|f| f == "all") {
-        figs = ["fig4", "fig5", "fig6", "fig7", "fig8", "table2", "ablations", "ycsbe"]
-            .iter()
-            .map(|s| s.to_string())
-            .collect();
+        figs =
+            ["fig4", "fig5", "fig6", "fig7", "fig8", "table2", "ablations", "ycsbe", "newstructs"]
+                .iter()
+                .map(|s| s.to_string())
+                .collect();
     }
-    let bench_name = |f: &str| match f {
+    let bench_name = |f: &str| {
+        match f {
         "fig4" => "fig4_blocking_trace",
         "fig5" => "fig5_skiplist_baseline",
         "fig6" => "fig6_btree_baseline",
@@ -35,9 +37,11 @@ fn main() {
         "table2" => "table2_offload_delays",
         "ablations" => "ablations",
         "ycsbe" | "ycsb_e" => "ycsb_e_scans",
+        "newstructs" | "hashmap" | "pqueue" => "new_structures",
         other => panic!(
-            "unknown experiment '{other}' (fig4/fig5/fig6/fig7/fig8/fig9/table2/ablations/ycsbe)"
+            "unknown experiment '{other}' (fig4/fig5/fig6/fig7/fig8/fig9/table2/ablations/ycsbe/newstructs)"
         ),
+    }
     };
     for f in &figs {
         let mut cmd = Command::new(std::env::var("CARGO").unwrap_or_else(|_| "cargo".into()));

@@ -23,6 +23,8 @@ use std::sync::Arc;
 use hybrids::api::SimIndex;
 use hybrids::btree::{HostBTree, HybridBTree};
 use hybrids::driver::{run_index, RunResult, RunSpec};
+use hybrids::hashmap::HybridHashMap;
+use hybrids::pqueue::HybridPqueue;
 use hybrids::skiplist::{
     hybrid::split_for, lockfree::NodeLayout, HybridSkipList, LockFreeSkipList, NmpSkipList,
 };
@@ -105,11 +107,27 @@ impl Scale {
         }
     }
 
+    /// Minimal end-to-end scale: a `Config::tiny()` machine with a handful
+    /// of ops, so the whole bench path (populate → warmup → measure →
+    /// CSV/JSONL) runs in seconds. Used by the CI smoke step.
+    pub fn smoke() -> Self {
+        Scale {
+            name: "smoke",
+            cfg: Config::tiny(),
+            skiplist_keys: 1 << 10,
+            btree_keys: 2048,
+            ops_per_thread: 20,
+            warmup_per_thread: 5,
+            btree_footprint_lines: 0,
+        }
+    }
+
     /// Resolve from `HYBRIDS_SCALE` / `HYBRIDS_OPS`.
     pub fn from_env() -> Self {
         let mut s = match std::env::var("HYBRIDS_SCALE").as_deref() {
             Ok("paper") => Self::paper(),
             Ok("scaled") => Self::scaled(),
+            Ok("smoke") => Self::smoke(),
             _ => Self::ci(),
         };
         if let Ok(ops) = std::env::var("HYBRIDS_OPS") {
@@ -158,6 +176,10 @@ pub enum Variant {
     HostOnly,
     HybridBtBlocking,
     HybridBtNonblocking(usize),
+    HashMapBlocking,
+    HashMapNonblocking(usize),
+    PqueueBlocking,
+    PqueueNonblocking(usize),
 }
 
 impl Variant {
@@ -170,12 +192,19 @@ impl Variant {
                 format!("hybrid-nonblocking{k}")
             }
             Variant::HostOnly => "host-only".into(),
+            Variant::HashMapBlocking => "hashmap-blocking".into(),
+            Variant::HashMapNonblocking(k) => format!("hashmap-nonblocking{k}"),
+            Variant::PqueueBlocking => "pqueue-blocking".into(),
+            Variant::PqueueNonblocking(k) => format!("pqueue-nonblocking{k}"),
         }
     }
 
     pub fn inflight(&self) -> usize {
         match self {
-            Variant::HybridNonblocking(k) | Variant::HybridBtNonblocking(k) => *k,
+            Variant::HybridNonblocking(k)
+            | Variant::HybridBtNonblocking(k)
+            | Variant::HashMapNonblocking(k)
+            | Variant::PqueueNonblocking(k) => *k,
             _ => 1,
         }
     }
@@ -219,6 +248,8 @@ impl SimIndex for LockFreeIndex {
                 let n = self.0.scan(ctx, k, len as u32);
                 hybrids::OpResult { ok: n > 0, value: n }
             }
+            // Not a search-tree operation (priority queues only).
+            Op::ExtractMin => hybrids::OpResult::fail(),
         }
     }
 
@@ -372,6 +403,83 @@ pub fn run_btree(scale: &Scale, variant: Variant, workload: WorkloadSpec) -> Run
     }
 }
 
+/// Run one hybrid hash map variant on a fresh machine. The bucket
+/// directory targets a load factor around 4 keys/bucket, clamped so it
+/// always fits the LLC (the structure's construction-time invariant).
+pub fn run_hashmap(scale: &Scale, variant: Variant, workload: WorkloadSpec) -> RunResult {
+    let ks = scale.skiplist_keyspace();
+    let machine = Machine::new(scale.cfg.clone());
+    let pairs = initial_pairs(&ks);
+    let spec = RunSpec {
+        workload,
+        warmup_per_thread: scale.warmup_per_thread,
+        inflight: variant.inflight(),
+        app_footprint_lines: 0,
+    };
+    match variant {
+        Variant::HashMapBlocking | Variant::HashMapNonblocking(_) => {
+            let parts = ks.parts;
+            let max_buckets = (scale.cfg.l2.size_bytes / 8 / parts).max(1) * parts;
+            let buckets = (ks.total_initial() / 4 / parts).max(1) * parts;
+            let hm = HybridHashMap::new(
+                Arc::clone(&machine),
+                buckets.min(max_buckets),
+                SEED,
+                spec.inflight.max(1),
+            );
+            hm.populate(pairs);
+            run_index(&machine, &hm, &ks, &spec)
+        }
+        v => panic!("{v:?} is not a hash map variant"),
+    }
+}
+
+/// Run one hybrid priority queue variant on a fresh machine. Per-partition
+/// run levels follow the NMP-based sizing: log2 of the partition's share.
+pub fn run_pqueue(scale: &Scale, variant: Variant, workload: WorkloadSpec) -> RunResult {
+    let ks = scale.skiplist_keyspace();
+    let machine = Machine::new(scale.cfg.clone());
+    let pairs = initial_pairs(&ks);
+    let spec = RunSpec {
+        workload,
+        warmup_per_thread: scale.warmup_per_thread,
+        inflight: variant.inflight(),
+        app_footprint_lines: 0,
+    };
+    match variant {
+        Variant::PqueueBlocking | Variant::PqueueNonblocking(_) => {
+            let per_part = (ks.total_initial() / ks.parts).max(2) as u64;
+            let levels = 64 - (per_part - 1).leading_zeros();
+            let pq =
+                HybridPqueue::new(Arc::clone(&machine), ks, levels, SEED, spec.inflight.max(1));
+            pq.populate(&pairs);
+            run_index(&machine, &pq, &ks, &spec)
+        }
+        v => panic!("{v:?} is not a priority queue variant"),
+    }
+}
+
+/// Hash-map point-op mix (60r/20i/10d/10u) over uniform or zipfian keys,
+/// on all host cores.
+pub fn hashmap_workload(scale: &Scale, dist: KeyDist) -> WorkloadSpec {
+    WorkloadSpec::hashmap_mixed(
+        SEED ^ 0xA511,
+        scale.cfg.host_cores as u32,
+        scale.ops_per_thread,
+        dist,
+    )
+}
+
+/// Priority-queue insert/extract mix on all host cores.
+pub fn pqueue_workload(scale: &Scale, insert_pct: u8) -> WorkloadSpec {
+    WorkloadSpec::pqueue(
+        SEED ^ 0x9011,
+        scale.cfg.host_cores as u32,
+        scale.ops_per_thread,
+        insert_pct,
+    )
+}
+
 /// YCSB-C at a given thread count (baseline experiments, §5.1).
 pub fn ycsb_c(scale: &Scale, threads: u32) -> WorkloadSpec {
     WorkloadSpec {
@@ -486,6 +594,10 @@ mod tests {
         assert_eq!(Variant::HostOnly.label(), "host-only");
         assert_eq!(Variant::HybridBtBlocking.inflight(), 1);
         assert_eq!(Variant::HybridNonblocking(2).inflight(), 2);
+        assert_eq!(Variant::HashMapBlocking.label(), "hashmap-blocking");
+        assert_eq!(Variant::HashMapNonblocking(4).label(), "hashmap-nonblocking4");
+        assert_eq!(Variant::PqueueNonblocking(4).inflight(), 4);
+        assert_eq!(Variant::PqueueBlocking.label(), "pqueue-blocking");
     }
 
     #[test]
@@ -518,5 +630,22 @@ mod tests {
         let r = run_btree(&s, Variant::HostOnly, ycsb_c(&s, 2));
         assert_eq!(r.measured_ops, 60);
         assert!(r.succeeded_ops > 0);
+    }
+
+    #[test]
+    fn smoke_hashmap_run() {
+        let s = Scale::smoke();
+        let r =
+            run_hashmap(&s, Variant::HashMapNonblocking(2), hashmap_workload(&s, KeyDist::Uniform));
+        assert!(r.measured_ops > 0);
+        assert!(r.offload_posted > 0, "hash map must route through the runtime");
+    }
+
+    #[test]
+    fn smoke_pqueue_run() {
+        let s = Scale::smoke();
+        let r = run_pqueue(&s, Variant::PqueueBlocking, pqueue_workload(&s, 50));
+        assert!(r.measured_ops > 0);
+        assert!(r.offload_posted > 0, "pqueue must route through the runtime");
     }
 }

@@ -321,6 +321,8 @@ impl SimIndex for HostBTree {
             Op::Remove(k) => self.remove_op(ctx, k),
             Op::Update(k, v) => self.update_op(ctx, k, v),
             Op::Scan(k, len) => self.scan_op(ctx, k, len),
+            // Not a search-tree operation (priority queues only).
+            Op::ExtractMin => OpResult::fail(),
         }
     }
 

@@ -330,6 +330,7 @@ impl HybridBTree {
             Op::Remove(_) => OpCode::Remove,
             Op::Update(..) => OpCode::Update,
             Op::Scan(..) => OpCode::Scan,
+            Op::ExtractMin => unreachable!("extract-min never reaches the offload path"),
         }
     }
 
@@ -533,6 +534,10 @@ impl OffloadClient for HybridBTree {
                 st.remaining = len as u32;
             }
             return self.scan_step(ctx, st);
+        }
+        if matches!(op, Op::ExtractMin) {
+            // Not a search-tree operation (priority queues only).
+            return Step::Done(OpResult::fail());
         }
         // Initial attempt, stalled-descent retry, or NMP-side retry
         // (stale begin node / locked leaf): redo the optimistic descent.

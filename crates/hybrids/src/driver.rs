@@ -44,7 +44,7 @@ fn record_completion(rec: RecorderHandle<'_>, op: Op, r: OpResult, inv: u64, res
         Op::Insert(k, v) => (HistOp::Insert, k, v),
         Op::Remove(k) => (HistOp::Remove, k, 0),
         Op::Update(k, v) => (HistOp::Update, k, v),
-        Op::Scan(..) => return,
+        Op::Scan(..) | Op::ExtractMin => return,
     };
     rec.record(HistEvent { thread, op: hop, key, ok: r.ok, value, inv, resp });
 }

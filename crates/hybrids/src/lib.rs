@@ -13,6 +13,8 @@
 //! | **hybrid skiplist** | §3.3 | [`skiplist::HybridSkipList`] |
 //! | *host-only* | seqlock B+ tree baseline | [`btree::HostBTree`] |
 //! | **hybrid B+ tree** | §3.4 | [`btree::HybridBTree`] |
+//! | **hybrid hash map** | §6.3 extension | [`hashmap::HybridHashMap`] |
+//! | **hybrid priority queue** | §6.3 extension | [`pqueue::HybridPqueue`] |
 //!
 //! All structures implement [`api::SimIndex`]: operations execute inside
 //! the simulator on logical host threads, with blocking (`execute`) or
@@ -43,7 +45,9 @@
 pub mod api;
 pub mod btree;
 pub mod driver;
+pub mod hashmap;
 pub mod offload;
+pub mod pqueue;
 pub mod publist;
 pub mod skiplist;
 

@@ -44,6 +44,8 @@ pub enum OpCode {
     UnlockPath = 5,
     /// Range scan within the partition (extension; YCSB-E).
     Scan = 6,
+    /// Priority queue: pop the partition's minimum key (extension; §6.3).
+    PopMin = 7,
 }
 
 impl OpCode {
@@ -55,7 +57,8 @@ impl OpCode {
             3 => OpCode::Remove,
             4 => OpCode::ResumeInsert,
             5 => OpCode::UnlockPath,
-            _ => OpCode::Scan,
+            6 => OpCode::Scan,
+            _ => OpCode::PopMin,
         }
     }
 }

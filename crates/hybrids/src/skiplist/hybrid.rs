@@ -218,6 +218,8 @@ impl HybridSkipList {
                 Ok((self.ks.partition_of(key) as usize, req))
             }
             Op::Scan(..) => unreachable!("scans are driven by the scan cursor in advance"),
+            // Not a search-tree operation (priority queues only).
+            Op::ExtractMin => Err(OpResult::fail()),
         }
     }
 
@@ -265,7 +267,7 @@ impl HybridSkipList {
                 }
                 OpResult { ok: resp.ok, value: 0 }
             }
-            Op::Scan(..) => unreachable!("scans never reach finish()"),
+            Op::Scan(..) | Op::ExtractMin => unreachable!("never offloaded, never reach finish()"),
             Op::Insert(key, _) => {
                 if !resp.ok {
                     self.release_host_node(ctx, host_node, key);

@@ -171,6 +171,7 @@ impl NmpSkipList {
                 r
             }
             Op::Scan(..) => unreachable!("scans are driven by the scan cursor in advance"),
+            Op::ExtractMin => unreachable!("extract-min never reaches the offload path"),
         };
         (part, req)
     }
@@ -254,6 +255,10 @@ impl OffloadClient for NmpSkipList {
                 st.remaining = len as u32;
             }
             return self.scan_step(st);
+        }
+        if matches!(op, Op::ExtractMin) {
+            // Not a search-tree operation (priority queues only).
+            return Step::Done(OpResult::fail());
         }
         let (part, req) = self.request_for(op);
         Step::Post { part, req }

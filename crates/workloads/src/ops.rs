@@ -24,17 +24,23 @@ pub enum Op {
     /// pairs starting at the first key `>=` the given key (YCSB-E style;
     /// an extension beyond the paper's point-operation evaluation).
     Scan(Key, u16),
+    /// Remove and return the smallest key (priority-queue structures only;
+    /// §6.3 generalization). Carries no key: the target is decided by the
+    /// structure's host-side merge of partition minima.
+    ExtractMin,
 }
 
 impl Op {
     pub fn key(&self) -> Key {
         match *self {
             Op::Read(k) | Op::Insert(k, _) | Op::Remove(k) | Op::Update(k, _) | Op::Scan(k, _) => k,
+            Op::ExtractMin => 0,
         }
     }
 }
 
-/// Read / insert / remove / update / scan percentages (must sum to 100).
+/// Read / insert / remove / update / scan / extract-min percentages (must
+/// sum to 100).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Mix {
     pub read: u8,
@@ -42,18 +48,26 @@ pub struct Mix {
     pub remove: u8,
     pub update: u8,
     pub scan: u8,
+    pub extract: u8,
 }
 
 impl Mix {
     pub const fn new(read: u8, insert: u8, remove: u8, update: u8) -> Self {
-        let m = Mix { read, insert, remove, update, scan: 0 };
+        let m = Mix { read, insert, remove, update, scan: 0, extract: 0 };
         assert!(read as u32 + insert as u32 + remove as u32 + update as u32 == 100);
         m
     }
 
     pub const fn with_scans(read: u8, insert: u8, remove: u8, update: u8, scan: u8) -> Self {
-        let m = Mix { read, insert, remove, update, scan };
+        let m = Mix { read, insert, remove, update, scan, extract: 0 };
         assert!(read as u32 + insert as u32 + remove as u32 + update as u32 + scan as u32 == 100);
+        m
+    }
+
+    /// Priority-queue mix: inserts and extract-mins only.
+    pub const fn pqueue(insert: u8, extract: u8) -> Self {
+        let m = Mix { read: 0, insert, remove: 0, update: 0, scan: 0, extract };
+        assert!(insert as u32 + extract as u32 == 100);
         m
     }
 
@@ -82,8 +96,12 @@ impl Mix {
         ]
     }
 
-    /// Paper-style label, e.g. `50-25-25`.
+    /// Paper-style label, e.g. `50-25-25`; priority-queue mixes are
+    /// labeled `pq-i<insert>-x<extract>`.
     pub fn label(&self) -> String {
+        if self.extract != 0 {
+            return format!("pq-i{}-x{}", self.insert, self.extract);
+        }
         let mut s = format!("{}-{}-{}", self.read, self.insert, self.remove);
         if self.update != 0 {
             s.push_str(&format!("-u{}", self.update));
@@ -142,6 +160,32 @@ impl WorkloadSpec {
         }
     }
 
+    /// Priority-queue workload: `insert_pct`% inserts at uniformly random
+    /// gap keys, the rest extract-mins.
+    pub fn pqueue(seed: u64, threads: u32, ops_per_thread: u32, insert_pct: u8) -> Self {
+        WorkloadSpec {
+            seed,
+            threads,
+            ops_per_thread,
+            mix: Mix::pqueue(insert_pct, 100 - insert_pct),
+            read_dist: KeyDist::Uniform,
+            insert_dist: InsertDist::UniformGap,
+        }
+    }
+
+    /// Hash-map workload: a read-dominated point-op mix (60-20-10 plus 10%
+    /// updates, no scans) over the chosen key distribution.
+    pub fn hashmap_mixed(seed: u64, threads: u32, ops_per_thread: u32, dist: KeyDist) -> Self {
+        WorkloadSpec {
+            seed,
+            threads,
+            ops_per_thread,
+            mix: Mix::new(60, 20, 10, 10),
+            read_dist: dist,
+            insert_dist: InsertDist::UniformGap,
+        }
+    }
+
     /// Generate one operation stream per thread. Split-heavy insert lanes
     /// are disjoint per thread, so no two threads ever insert the same key.
     pub fn generate(&self, ks: &KeySpace) -> Vec<Vec<Op>> {
@@ -185,10 +229,18 @@ impl WorkloadSpec {
                         < self.mix.read + self.mix.insert + self.mix.remove + self.mix.update
                     {
                         Op::Update(self.read_key(ks, &zipf, &mut rng), nonzero_value(&mut rng))
-                    } else {
+                    } else if roll
+                        < self.mix.read
+                            + self.mix.insert
+                            + self.mix.remove
+                            + self.mix.update
+                            + self.mix.scan
+                    {
                         // YCSB-E scan lengths: uniform 1..=100.
                         let len = 1 + rng.below(100) as u16;
                         Op::Scan(self.read_key(ks, &zipf, &mut rng), len)
+                    } else {
+                        Op::ExtractMin
                     };
                     ops.push(op);
                 }
@@ -214,6 +266,7 @@ fn nonzero_value(rng: &mut Rng) -> Value {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::keys::KEY_STRIDE;
 
     fn ks() -> KeySpace {
         KeySpace::new(1024, 4, 400)
@@ -329,6 +382,67 @@ mod tests {
         }
         let max = counts.values().max().copied().unwrap();
         assert!(max > 50_000 / 4096 * 20, "hottest key count = {max}");
+    }
+
+    #[test]
+    fn pqueue_mix_ratios_pinned() {
+        let spec = WorkloadSpec::pqueue(6, 1, 20_000, 50);
+        let ops = &spec.generate(&ks())[0];
+        let inserts = ops.iter().filter(|o| matches!(o, Op::Insert(..))).count();
+        let extracts = ops.iter().filter(|o| matches!(o, Op::ExtractMin)).count();
+        assert_eq!(inserts + extracts, 20_000, "pqueue mix emits only inserts and extract-mins");
+        assert!((9_000..11_000).contains(&inserts), "inserts={inserts}");
+        assert!((9_000..11_000).contains(&extracts), "extracts={extracts}");
+        // Insert keys are grid-gap keys: never on the initial grid.
+        for op in ops {
+            if let Op::Insert(k, v) = op {
+                assert!(k % KEY_STRIDE != 0, "gap key expected, got {k}");
+                assert!(*v != 0);
+            }
+        }
+    }
+
+    #[test]
+    fn pqueue_workload_deterministic_and_labeled() {
+        let spec = WorkloadSpec::pqueue(9, 3, 300, 80);
+        assert_eq!(spec.generate(&ks()), spec.generate(&ks()));
+        assert_eq!(spec.mix.label(), "pq-i80-x20");
+        let inserts: usize =
+            spec.generate(&ks()).iter().flatten().filter(|o| matches!(o, Op::Insert(..))).count();
+        assert!((650..=800).contains(&inserts), "80% of 900 ops, got {inserts}");
+    }
+
+    #[test]
+    fn hashmap_mixed_ratios_pinned() {
+        let spec = WorkloadSpec::hashmap_mixed(11, 1, 20_000, KeyDist::Uniform);
+        let ops = &spec.generate(&ks())[0];
+        let count = |f: fn(&Op) -> bool| ops.iter().filter(|o| f(o)).count();
+        let reads = count(|o| matches!(o, Op::Read(_)));
+        let inserts = count(|o| matches!(o, Op::Insert(..)));
+        let removes = count(|o| matches!(o, Op::Remove(_)));
+        let updates = count(|o| matches!(o, Op::Update(..)));
+        assert_eq!(reads + inserts + removes + updates, 20_000, "point ops only");
+        assert!((11_000..13_000).contains(&reads), "reads={reads}");
+        assert!((3_000..5_000).contains(&inserts), "inserts={inserts}");
+        assert!((1_500..2_500).contains(&removes), "removes={removes}");
+        assert!((1_500..2_500).contains(&updates), "updates={updates}");
+    }
+
+    #[test]
+    fn extract_free_mixes_unchanged_by_extract_arm() {
+        // The extract branch must not consume RNG draws for mixes whose
+        // other percentages already sum to 100.
+        let spec = WorkloadSpec::ycsb_c(7, 2, 200);
+        assert_eq!(spec.mix.extract, 0);
+        for stream in spec.generate(&ks()) {
+            assert!(stream.iter().all(|op| !matches!(op, Op::ExtractMin)));
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn pqueue_mix_must_sum_to_100() {
+        let _ = Mix::pqueue(60, 60);
     }
 
     #[test]

@@ -22,6 +22,8 @@ pub mod prelude {
     pub use hybrids::api::{Issued, OpResult, PollOutcome, SimIndex};
     pub use hybrids::btree::{HostBTree, HybridBTree};
     pub use hybrids::driver::{run_index, RunResult, RunSpec};
+    pub use hybrids::hashmap::HybridHashMap;
+    pub use hybrids::pqueue::HybridPqueue;
     pub use hybrids::skiplist::{HybridSkipList, LockFreeSkipList, NmpSkipList};
     pub use nmp_sim::{Config, Machine, Simulation, ThreadCtx, ThreadKind};
     pub use workloads::{InsertDist, Key, KeyDist, KeySpace, Mix, Op, Value, WorkloadSpec};

@@ -54,7 +54,9 @@ fn hist_event(thread: usize, op: Op, r: OpResult, inv: u64, resp: u64) -> HistEv
         Op::Insert(k, v) => (HistOp::Insert, k, v),
         Op::Remove(k) => (HistOp::Remove, k, 0),
         Op::Update(k, v) => (HistOp::Update, k, v),
-        Op::Scan(..) => unreachable!("contended_ops generates no scans"),
+        Op::Scan(..) | Op::ExtractMin => {
+            unreachable!("contended_ops generates neither scans nor extract-mins")
+        }
     };
     HistEvent { thread, op: hop, key, ok: r.ok, value, inv, resp }
 }

@@ -1,11 +1,11 @@
 //! Integration: every structure behaves identically through the shared
 //! offload runtime (`hybrids::offload`).
 //!
-//! One generic harness drives all four `SimIndex` structures — NMP-based
-//! skiplist, hybrid skiplist, hybrid B+ tree, host-only B+ tree — through
-//! both NMP-call modes (blocking `execute`, 4-deep `issue`/`poll`
-//! pipelines) under full contention with scans mixed in, and asserts the
-//! *same* contract for each:
+//! One generic harness drives every registered `SimIndex` structure (see
+//! `REGISTRY` — adding a structure means adding one entry, not a new
+//! hand-rolled test) through both NMP-call modes (blocking `execute`,
+//! 4-deep `issue`/`poll` pipelines) under full contention, and asserts the
+//! *same* contract for each map-like structure:
 //!
 //! * race-free and region-policy clean (engine checkers),
 //! * recorded point-op history linearizes against the initial contents,
@@ -15,9 +15,15 @@
 //!   the offloading structures actually posted (the host-only baseline
 //!   must post nothing).
 //!
+//! The priority queue is not a map, so its registry entry swaps contract 2
+//! for the pqueue-specific one: a combiner-log replay proving every pop
+//! took its partition's minimum, plus per-key conservation of the popped /
+//! inserted multiset against the final contents.
+//!
 //! Separate tests force the rare paths through the runtime — NMP-side
 //! retries and the hybrid B+ tree's lock path — and pin down batching
-//! observability plus bit-for-bit determinism of makespan *and* telemetry.
+//! observability plus bit-for-bit determinism of makespan *and* telemetry
+//! (including both new structures through the driver).
 
 use std::collections::{BTreeMap, HashMap, HashSet};
 use std::sync::Arc;
@@ -40,9 +46,10 @@ fn half_initial(ks: &KeySpace) -> Vec<(Key, Value)> {
     (0..ks.total_initial()).filter(|i| i % 2 == 0).map(|i| (ks.initial_key(i), 5)).collect()
 }
 
-/// Contended mix over a small hot set, with scans sprinkled in to exercise
-/// the pipelined multi-request scan clients.
-fn mixed_ops(seed: u64, ks: &KeySpace, hot_keys: u32, len: usize) -> Vec<Op> {
+/// Contended mix over a small hot set. `scans` sprinkles range scans in to
+/// exercise the pipelined multi-request scan clients; structures without a
+/// key order (the hash map) take the all-point-op variant instead.
+fn mixed_ops(seed: u64, ks: &KeySpace, hot_keys: u32, len: usize, scans: bool) -> Vec<Op> {
     let mut rng = Rng::new(seed);
     (0..len)
         .map(|_| {
@@ -51,24 +58,77 @@ fn mixed_ops(seed: u64, ks: &KeySpace, hot_keys: u32, len: usize) -> Vec<Op> {
                 0 | 1 => Op::Insert(k, rng.next_u32() | 1),
                 2 | 3 => Op::Remove(k),
                 4 => Op::Update(k, rng.next_u32() | 1),
-                5 => Op::Scan(k, 4),
+                5 if scans => Op::Scan(k, 4),
                 _ => Op::Read(k),
             }
         })
         .collect()
 }
 
-/// Record a completed point operation; scans are outside the per-key
-/// linearizability model and are skipped.
+/// Record a completed point operation; scans and extract-mins are outside
+/// the per-key linearizability model and are skipped.
 fn record(rec: &HistoryRecorder, thread: usize, op: Op, r: OpResult, inv: u64, resp: u64) {
     let (hop, key, value) = match op {
         Op::Read(k) => (HistOp::Read, k, r.value),
         Op::Insert(k, v) => (HistOp::Insert, k, v),
         Op::Remove(k) => (HistOp::Remove, k, 0),
         Op::Update(k, v) => (HistOp::Update, k, v),
-        Op::Scan(..) => return,
+        Op::Scan(..) | Op::ExtractMin => return,
     };
     rec.record(HistEvent { thread, op: hop, key, ok: r.ok, value, inv, resp });
+}
+
+/// Drive `ops` through `index` on one host thread at the given pipeline
+/// depth, invoking `complete(op, result, invoke_time, response_time)` for
+/// every finished operation.
+fn drive<S: SimIndex>(
+    ctx: &mut ThreadCtx,
+    index: &Arc<S>,
+    ops: &[Op],
+    inflight: usize,
+    mut complete: impl FnMut(Op, OpResult, u64, u64),
+) {
+    if inflight <= 1 {
+        for &op in ops {
+            let inv = ctx.now();
+            let r = index.execute(ctx, op);
+            let resp = ctx.now();
+            complete(op, r, inv, resp);
+        }
+        return;
+    }
+    let mut lanes: Vec<Option<(Op, u64, S::Pending)>> = (0..inflight).map(|_| None).collect();
+    let mut next = 0;
+    let mut done = 0;
+    while done < ops.len() {
+        for (lane, slot) in lanes.iter_mut().enumerate() {
+            match slot.take() {
+                None if next < ops.len() => {
+                    let op = ops[next];
+                    next += 1;
+                    let inv = ctx.now();
+                    match index.issue(ctx, lane, op) {
+                        Issued::Done(r) => {
+                            let resp = ctx.now();
+                            complete(op, r, inv, resp);
+                            done += 1;
+                        }
+                        Issued::Pending(p) => *slot = Some((op, inv, p)),
+                    }
+                }
+                None => {}
+                Some((op, inv, mut p)) => match index.poll(ctx, &mut p) {
+                    PollOutcome::Done(r) => {
+                        let resp = ctx.now();
+                        complete(op, r, inv, resp);
+                        done += 1;
+                    }
+                    PollOutcome::Pending => *slot = Some((op, inv, p)),
+                },
+            }
+        }
+        ctx.idle(16);
+    }
 }
 
 /// Drive `index` with the contended mixed workload at the given pipeline
@@ -83,6 +143,7 @@ fn run_conformance<S: SimIndex>(
     inflight: usize,
     seed: u64,
     expect_offload: bool,
+    scans: bool,
     final_contents: impl FnOnce() -> BTreeMap<Key, Value>,
 ) -> OffloadStats {
     let analysis = machine.attach_analysis();
@@ -94,9 +155,9 @@ fn run_conformance<S: SimIndex>(
         let index = Arc::clone(index);
         let tallies = Arc::clone(&tallies);
         let recorder = Arc::clone(&recorder);
-        let ops = mixed_ops(seed + core as u64, &ks, 16, OPS_PER_THREAD);
+        let ops = mixed_ops(seed + core as u64, &ks, 16, OPS_PER_THREAD, scans);
         sim.spawn(format!("h{core}"), ThreadKind::Host { core }, move |ctx| {
-            let complete = |op: Op, r: OpResult, inv: u64, resp: u64| {
+            drive(ctx, &index, &ops, inflight, |op, r, inv, resp| {
                 record(&recorder, core, op, r, inv, resp);
                 if r.ok {
                     let mut t = tallies.lock();
@@ -107,46 +168,7 @@ fn run_conformance<S: SimIndex>(
                         _ => {}
                     }
                 }
-            };
-            if inflight <= 1 {
-                for &op in &ops {
-                    let inv = ctx.now();
-                    let r = index.execute(ctx, op);
-                    complete(op, r, inv, ctx.now());
-                }
-                return;
-            }
-            let mut lanes: Vec<Option<(Op, u64, S::Pending)>> =
-                (0..inflight).map(|_| None).collect();
-            let mut next = 0;
-            let mut done = 0;
-            while done < ops.len() {
-                for (lane, slot) in lanes.iter_mut().enumerate() {
-                    match slot.take() {
-                        None if next < ops.len() => {
-                            let op = ops[next];
-                            next += 1;
-                            let inv = ctx.now();
-                            match index.issue(ctx, lane, op) {
-                                Issued::Done(r) => {
-                                    complete(op, r, inv, ctx.now());
-                                    done += 1;
-                                }
-                                Issued::Pending(p) => *slot = Some((op, inv, p)),
-                            }
-                        }
-                        None => {}
-                        Some((op, inv, mut p)) => match index.poll(ctx, &mut p) {
-                            PollOutcome::Done(r) => {
-                                complete(op, r, inv, ctx.now());
-                                done += 1;
-                            }
-                            PollOutcome::Pending => *slot = Some((op, inv, p)),
-                        },
-                    }
-                }
-                ctx.idle(16);
-            }
+            });
         });
     }
     sim.run();
@@ -187,65 +209,183 @@ fn run_conformance<S: SimIndex>(
     offload
 }
 
-#[test]
-fn nmp_skiplist_conforms_blocking_and_pipelined() {
-    for inflight in [1usize, 4] {
-        let ks = keyspace();
-        let m = Machine::new(Config::tiny());
-        let sl = NmpSkipList::new(Arc::clone(&m), ks, 8, 3, inflight);
-        let initial = half_initial(&ks);
-        sl.populate(initial.clone());
-        let sl2 = Arc::clone(&sl);
-        run_conformance(&m, &sl, ks, &initial, inflight, 3100, true, move || {
-            sl2.check_invariants();
-            sl2.collect().into_iter().collect()
+/// Pqueue variant of the conformance contract. The queue is not a map, so
+/// contract 2 becomes: (a) the combiner event log replays exactly against
+/// a per-partition model (every successful pop took its partition's
+/// minimum, every failed extract saw genuinely empty partitions), and
+/// (b) `initial + successful inserts − popped keys` balances against the
+/// final contents per key. Contracts 1 (analysis clean) and 4 (telemetry
+/// conservation) are unchanged.
+fn pqueue_conformance(inflight: usize) {
+    let ks = keyspace();
+    let m = Machine::new(Config::tiny());
+    let pq = HybridPqueue::with_exec_log(Arc::clone(&m), ks, 8, 5, inflight);
+    let initial = half_initial(&ks);
+    pq.populate(&initial);
+    let analysis = m.attach_analysis();
+    let inserted: Arc<Mutex<Vec<Key>>> = Arc::new(Mutex::new(Vec::new()));
+    let popped: Arc<Mutex<Vec<Key>>> = Arc::new(Mutex::new(Vec::new()));
+    let mut sim = m.simulation();
+    pq.spawn_services(&mut sim);
+    for core in 0..THREADS {
+        let pq = Arc::clone(&pq);
+        let inserted = Arc::clone(&inserted);
+        let popped = Arc::clone(&popped);
+        let mut rng = Rng::new(3600 + core as u64);
+        let ops: Vec<Op> = (0..OPS_PER_THREAD)
+            .map(|_| {
+                if rng.below(2) == 0 {
+                    Op::ExtractMin
+                } else {
+                    let base = ks.initial_key(rng.below(ks.total_initial() as u64) as u32);
+                    Op::Insert(base + 1 + rng.below(6) as u32, rng.next_u32() | 1)
+                }
+            })
+            .collect();
+        sim.spawn(format!("h{core}"), ThreadKind::Host { core }, move |ctx| {
+            drive(ctx, &pq, &ops, inflight, |op, r, _inv, _resp| {
+                if !r.ok {
+                    return;
+                }
+                match op {
+                    Op::Insert(k, _) => inserted.lock().push(k),
+                    Op::ExtractMin => popped.lock().push(r.value),
+                    _ => unreachable!(),
+                }
+            });
         });
+    }
+    sim.run();
+
+    // Contract 1: no data races, no region-policy violations.
+    analysis.report().assert_clean();
+
+    // Contract 2 (pqueue form): structural invariants + pop-order replay.
+    pq.check_invariants();
+    pq.verify_extract_order(&initial);
+
+    // Per-key balance of inserts/pops against the final contents.
+    let mut balance: HashMap<Key, i64> = HashMap::new();
+    for &(k, _) in &initial {
+        *balance.entry(k).or_default() += 1;
+    }
+    for &k in inserted.lock().iter() {
+        *balance.entry(k).or_default() += 1;
+    }
+    for &k in popped.lock().iter() {
+        *balance.entry(k).or_default() -= 1;
+    }
+    let final_keys: HashSet<Key> = pq.collect().iter().map(|&(k, _)| k).collect();
+    for (k, c) in balance {
+        assert!((0..=1).contains(&c), "key {k} over-inserted or over-popped ({c})");
+        assert_eq!(final_keys.contains(&k), c == 1, "key {k} unbalanced");
+    }
+
+    // Contract 4: telemetry conservation.
+    let offload = m.mem().snapshot().offload;
+    assert_eq!(offload.completed_total(), offload.posted_total());
+    assert!(offload.posted_total() > 0, "pqueue must route through the runtime");
+}
+
+/// One registry entry per structure; the generic tests below iterate this
+/// slice, so adding a structure to the harness is one new line here.
+struct Entry {
+    name: &'static str,
+    run: fn(usize),
+}
+
+const REGISTRY: &[Entry] = &[
+    Entry {
+        name: "nmp-skiplist",
+        run: |inflight| {
+            let ks = keyspace();
+            let m = Machine::new(Config::tiny());
+            let sl = NmpSkipList::new(Arc::clone(&m), ks, 8, 3, inflight);
+            let initial = half_initial(&ks);
+            sl.populate(initial.clone());
+            let sl2 = Arc::clone(&sl);
+            run_conformance(&m, &sl, ks, &initial, inflight, 3100, true, true, move || {
+                sl2.check_invariants();
+                sl2.collect().into_iter().collect()
+            });
+        },
+    },
+    Entry {
+        name: "hybrid-skiplist",
+        run: |inflight| {
+            let ks = keyspace();
+            let m = Machine::new(Config::tiny());
+            let sl = HybridSkipList::new(Arc::clone(&m), ks, 10, 4, 3, inflight);
+            let initial = half_initial(&ks);
+            sl.populate(initial.clone());
+            let sl2 = Arc::clone(&sl);
+            run_conformance(&m, &sl, ks, &initial, inflight, 3200, true, true, move || {
+                sl2.check_invariants();
+                sl2.collect().into_iter().collect()
+            });
+        },
+    },
+    Entry {
+        name: "hybrid-btree",
+        run: |inflight| {
+            let ks = keyspace();
+            let m = Machine::new(Config::tiny());
+            let initial = half_initial(&ks);
+            let t =
+                HybridBTree::with_budget(Arc::clone(&m), &initial, 0.7, inflight.max(2), 2 * 1024);
+            let t2 = Arc::clone(&t);
+            run_conformance(&m, &t, ks, &initial, inflight, 3300, true, true, move || {
+                t2.check_invariants();
+                t2.collect().into_iter().collect()
+            });
+        },
+    },
+    Entry {
+        name: "host-btree",
+        run: |inflight| {
+            let ks = keyspace();
+            let m = Machine::new(Config::tiny());
+            let initial = half_initial(&ks);
+            let t = HostBTree::new(Arc::clone(&m), &initial, 0.7);
+            let t2 = Arc::clone(&t);
+            run_conformance(&m, &t, ks, &initial, inflight, 3400, false, true, move || {
+                t2.check_invariants();
+                t2.collect().into_iter().collect()
+            });
+        },
+    },
+    Entry {
+        name: "hybrid-hashmap",
+        run: |inflight| {
+            let ks = keyspace();
+            let m = Machine::new(Config::tiny());
+            let hm = HybridHashMap::new(Arc::clone(&m), 64, 99, inflight);
+            let initial = half_initial(&ks);
+            hm.populate(initial.clone());
+            let hm2 = Arc::clone(&hm);
+            // scans=false: a hash map has no key order to scan.
+            run_conformance(&m, &hm, ks, &initial, inflight, 3500, true, false, move || {
+                hm2.check_invariants();
+                hm2.collect().into_iter().collect()
+            });
+        },
+    },
+    Entry { name: "hybrid-pqueue", run: pqueue_conformance },
+];
+
+#[test]
+fn all_structures_conform_blocking() {
+    for e in REGISTRY {
+        eprintln!("conformance[blocking]: {}", e.name);
+        (e.run)(1);
     }
 }
 
 #[test]
-fn hybrid_skiplist_conforms_blocking_and_pipelined() {
-    for inflight in [1usize, 4] {
-        let ks = keyspace();
-        let m = Machine::new(Config::tiny());
-        let sl = HybridSkipList::new(Arc::clone(&m), ks, 10, 4, 3, inflight);
-        let initial = half_initial(&ks);
-        sl.populate(initial.clone());
-        let sl2 = Arc::clone(&sl);
-        run_conformance(&m, &sl, ks, &initial, inflight, 3200, true, move || {
-            sl2.check_invariants();
-            sl2.collect().into_iter().collect()
-        });
-    }
-}
-
-#[test]
-fn hybrid_btree_conforms_blocking_and_pipelined() {
-    for inflight in [1usize, 4] {
-        let ks = keyspace();
-        let m = Machine::new(Config::tiny());
-        let initial = half_initial(&ks);
-        let t = HybridBTree::with_budget(Arc::clone(&m), &initial, 0.7, inflight.max(2), 2 * 1024);
-        let t2 = Arc::clone(&t);
-        run_conformance(&m, &t, ks, &initial, inflight, 3300, true, move || {
-            t2.check_invariants();
-            t2.collect().into_iter().collect()
-        });
-    }
-}
-
-#[test]
-fn host_btree_conforms_and_posts_nothing() {
-    for inflight in [1usize, 4] {
-        let ks = keyspace();
-        let m = Machine::new(Config::tiny());
-        let initial = half_initial(&ks);
-        let t = HostBTree::new(Arc::clone(&m), &initial, 0.7);
-        let t2 = Arc::clone(&t);
-        run_conformance(&m, &t, ks, &initial, inflight, 3400, false, move || {
-            t2.check_invariants();
-            t2.collect().into_iter().collect()
-        });
+fn all_structures_conform_pipelined() {
+    for e in REGISTRY {
+        eprintln!("conformance[pipelined x4]: {}", e.name);
+        (e.run)(4);
     }
 }
 
@@ -347,4 +487,33 @@ fn telemetry_and_makespan_are_deterministic() {
     assert_eq!(a.0, b.0, "makespan must be bit-for-bit deterministic");
     assert_eq!(a.1, b.1);
     assert_eq!(a.2, b.2, "offload telemetry must be deterministic");
+}
+
+/// Same-seed driver runs over both *new* structures must reproduce
+/// makespan, op counts, and every offload counter bit-for-bit.
+#[test]
+fn new_structures_telemetry_deterministic() {
+    let ks = keyspace();
+    let hash_run = || {
+        let m = Machine::new(Config::tiny());
+        let hm = HybridHashMap::new(Arc::clone(&m), 64, 17, 4);
+        hm.populate(half_initial(&ks));
+        let spec = RunSpec::new(WorkloadSpec::hashmap_mixed(13, 3, 60, KeyDist::Uniform), 10, 4);
+        let r = run_index(&m, &hm, &ks, &spec);
+        (r.cycles, r.succeeded_ops, r.stats.offload.clone())
+    };
+    let pq_run = || {
+        let m = Machine::new(Config::tiny());
+        let pq = HybridPqueue::new(Arc::clone(&m), ks, 8, 5, 4);
+        pq.populate(&half_initial(&ks));
+        let spec = RunSpec::new(WorkloadSpec::pqueue(29, 3, 60, 50), 10, 4);
+        let r = run_index(&m, &pq, &ks, &spec);
+        (r.cycles, r.succeeded_ops, r.stats.offload.clone())
+    };
+    let (a, b) = (hash_run(), hash_run());
+    assert_eq!(a, b, "hash map runs must be bit-for-bit deterministic");
+    assert!(a.2.posted_total() > 0, "hash map must offload");
+    let (c, d) = (pq_run(), pq_run());
+    assert_eq!(c, d, "pqueue runs must be bit-for-bit deterministic");
+    assert!(c.2.posted_total() > 0, "pqueue must offload");
 }

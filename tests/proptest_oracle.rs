@@ -1,7 +1,9 @@
 //! Randomized oracle tests: seeded random operation sequences against a
 //! `BTreeMap` oracle, for each index structure (single simulated host
 //! thread, so the oracle order is exact). Deterministic xorshift sequences
-//! stand in for proptest, which is unavailable offline.
+//! stand in for proptest, which is unavailable offline. The hybrid hash
+//! map is additionally checked against `std::collections::HashMap` and the
+//! hybrid priority queue against `std::collections::BinaryHeap`.
 
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -92,6 +94,9 @@ fn oracle(ops: &[Op], initial: &[(Key, Value)]) -> (Vec<(bool, Value)>, BTreeMap
                 let n = model.range(k..).take(len as usize).count() as u32;
                 (n > 0, n)
             }
+            // prop_ops never generates extract-min; the pqueue has its own
+            // BinaryHeap oracle below.
+            Op::ExtractMin => unreachable!(),
         })
         .collect();
     (results, model)
@@ -107,7 +112,7 @@ fn drive<S: SimIndex>(machine: &Arc<Machine>, index: &Arc<S>, ops: Vec<Op>) -> V
         for &op in &ops {
             let r = index.execute(ctx, op);
             let v = match op {
-                Op::Read(_) | Op::Scan(..) => r.value,
+                Op::Read(_) | Op::Scan(..) | Op::ExtractMin => r.value,
                 _ => 0,
             };
             results2.lock().push((r.ok, v));
@@ -196,4 +201,119 @@ fn nmp_skiplist_matches_oracle() {
         sl.populate(init.to_vec());
         sl
     });
+}
+
+/// The hybrid hash map against `std::collections::HashMap`. Scans are
+/// remapped to reads (a hash map has no key order), so the whole sequence
+/// is point ops and the std oracle is exact.
+#[test]
+fn hybrid_hashmap_matches_std_hashmap() {
+    use std::collections::HashMap;
+    for case in 0..CASES {
+        let mut rng = 0x243F6A8885A308D3 ^ (case + 101).wrapping_mul(0x9E3779B97F4A7C15);
+        let seq = prop_ops(&mut rng);
+        let ks = keyspace();
+        let init = initial(&ks);
+        let ops: Vec<Op> = to_ops(&ks, &seq)
+            .into_iter()
+            .map(|op| match op {
+                Op::Scan(k, _) => Op::Read(k),
+                op => op,
+            })
+            .collect();
+        let mut model: HashMap<Key, Value> = init.iter().copied().collect();
+        let expect: Vec<(bool, Value)> = ops
+            .iter()
+            .map(|&op| match op {
+                Op::Read(k) => model.get(&k).map_or((false, 0), |&v| (true, v)),
+                Op::Insert(k, v) => {
+                    if let std::collections::hash_map::Entry::Vacant(e) = model.entry(k) {
+                        e.insert(v);
+                        (true, 0)
+                    } else {
+                        (false, 0)
+                    }
+                }
+                Op::Remove(k) => (model.remove(&k).is_some(), 0),
+                Op::Update(k, v) => match model.get_mut(&k) {
+                    Some(slot) => {
+                        *slot = v;
+                        (true, 0)
+                    }
+                    None => (false, 0),
+                },
+                Op::Scan(..) | Op::ExtractMin => unreachable!(),
+            })
+            .collect();
+        let m = Machine::new(Config::tiny());
+        let hm = HybridHashMap::new(Arc::clone(&m), 32, case ^ 0xABCD, 1);
+        hm.populate(init.clone());
+        let got = drive(&m, &hm, ops);
+        assert_eq!(got, expect, "case {case}: results diverge from HashMap oracle");
+        hm.check_invariants();
+        let mut want: Vec<(Key, Value)> = model.into_iter().collect();
+        want.sort_unstable();
+        assert_eq!(hm.collect(), want, "case {case}: final contents diverge");
+    }
+}
+
+/// The hybrid priority queue against `std::collections::BinaryHeap` (as a
+/// min-heap via `Reverse`, with a side map enforcing key uniqueness). On a
+/// single thread the minima cache is always exact, so every extract-min
+/// must pop the global minimum — the heap oracle is exact.
+#[test]
+fn hybrid_pqueue_matches_binary_heap() {
+    use std::cmp::Reverse;
+    use std::collections::{BinaryHeap, HashMap};
+    for case in 0..CASES {
+        let mut rng = 0x13198A2E03707344 ^ (case + 1).wrapping_mul(0x9E3779B97F4A7C15);
+        let ks = keyspace();
+        let init = initial(&ks);
+        let len = 1 + (xorshift(&mut rng) % 79) as usize;
+        let ops: Vec<Op> = (0..len)
+            .map(|_| {
+                if xorshift(&mut rng).is_multiple_of(3) {
+                    Op::ExtractMin
+                } else {
+                    let i = (xorshift(&mut rng) % N as u64) as u32;
+                    let off = 1 + (xorshift(&mut rng) % 7) as u32;
+                    Op::Insert(ks.initial_key(i) + off, (xorshift(&mut rng) as u32) | 1)
+                }
+            })
+            .collect();
+        let mut heap: BinaryHeap<Reverse<Key>> = init.iter().map(|&(k, _)| Reverse(k)).collect();
+        let mut values: HashMap<Key, Value> = init.iter().copied().collect();
+        let expect: Vec<(bool, Value)> = ops
+            .iter()
+            .map(|&op| match op {
+                Op::Insert(k, v) => {
+                    if let std::collections::hash_map::Entry::Vacant(e) = values.entry(k) {
+                        e.insert(v);
+                        heap.push(Reverse(k));
+                        (true, 0)
+                    } else {
+                        (false, 0)
+                    }
+                }
+                Op::ExtractMin => match heap.pop() {
+                    Some(Reverse(k)) => {
+                        values.remove(&k);
+                        (true, k)
+                    }
+                    None => (false, 0),
+                },
+                _ => unreachable!(),
+            })
+            .collect();
+        let m = Machine::new(Config::tiny());
+        let pq = HybridPqueue::with_exec_log(Arc::clone(&m), ks, 7, 5, 1);
+        pq.populate(&init);
+        let got = drive(&m, &pq, ops);
+        assert_eq!(got, expect, "case {case}: results diverge from BinaryHeap oracle");
+        pq.check_invariants();
+        pq.verify_extract_order(&init);
+        let mut want: Vec<(Key, Value)> = values.into_iter().collect();
+        want.sort_unstable();
+        assert_eq!(pq.collect(), want, "case {case}: final contents diverge");
+    }
 }
