@@ -1,7 +1,7 @@
 //! Run the figure/table harnesses from one binary:
 //!
 //! ```text
-//! cargo run --release -p hybrids-bench --bin figures -- [--scale smoke|ci|scaled|paper] [fig5 fig6 fig7 fig8 table2 fig4 newstructs | all]
+//! cargo run --release -p hybrids-bench --bin figures -- [--scale smoke|ci|scaled|paper] [fig5 fig6 fig7 fig8 table2 fig4 newstructs trace | all]
 //! ```
 //!
 //! Each experiment is the same code `cargo bench` runs (the bench targets
@@ -21,11 +21,21 @@ fn main() {
         }
     }
     if figs.is_empty() || figs.iter().any(|f| f == "all") {
-        figs =
-            ["fig4", "fig5", "fig6", "fig7", "fig8", "table2", "ablations", "ycsbe", "newstructs"]
-                .iter()
-                .map(|s| s.to_string())
-                .collect();
+        figs = [
+            "fig4",
+            "fig5",
+            "fig6",
+            "fig7",
+            "fig8",
+            "table2",
+            "ablations",
+            "ycsbe",
+            "newstructs",
+            "trace",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
     }
     let bench_name = |f: &str| {
         match f {
@@ -38,14 +48,22 @@ fn main() {
         "ablations" => "ablations",
         "ycsbe" | "ycsb_e" => "ycsb_e_scans",
         "newstructs" | "hashmap" | "pqueue" => "new_structures",
+        // Not a bench target: the trace-report bin (cycle attribution +
+        // Perfetto export); handled specially in the loop below.
+        "trace" | "trace-report" => "trace",
         other => panic!(
-            "unknown experiment '{other}' (fig4/fig5/fig6/fig7/fig8/fig9/table2/ablations/ycsbe/newstructs)"
+            "unknown experiment '{other}' (fig4/fig5/fig6/fig7/fig8/fig9/table2/ablations/ycsbe/newstructs/trace)"
         ),
     }
     };
     for f in &figs {
         let mut cmd = Command::new(std::env::var("CARGO").unwrap_or_else(|_| "cargo".into()));
-        cmd.args(["bench", "-p", "hybrids-bench", "--bench", bench_name(f)]);
+        let name = bench_name(f);
+        if name == "trace" {
+            cmd.args(["run", "--release", "-p", "hybrids-bench", "--bin", "trace-report"]);
+        } else {
+            cmd.args(["bench", "-p", "hybrids-bench", "--bench", name]);
+        }
         if let Some(s) = &scale {
             cmd.env("HYBRIDS_SCALE", s);
         }

@@ -292,6 +292,11 @@ pub struct Record {
     pub offload_retries: u64,
     pub offload_lock_path: u64,
     pub offload_mean_batch: f64,
+    /// End-to-end latency percentiles over the measured window (simulated
+    /// cycles, all op kinds). Zero when built without the `trace` feature.
+    pub lat_p50_cycles: f64,
+    pub lat_p95_cycles: f64,
+    pub lat_p99_cycles: f64,
 }
 
 impl Record {
@@ -323,6 +328,9 @@ impl Record {
             offload_retries: r.offload_retries,
             offload_lock_path: r.offload_lock_path,
             offload_mean_batch: r.offload_mean_batch,
+            lat_p50_cycles: r.lat_p50_cycles,
+            lat_p95_cycles: r.lat_p95_cycles,
+            lat_p99_cycles: r.lat_p99_cycles,
         }
     }
 }
@@ -532,13 +540,13 @@ pub fn save_records(experiment: &str, records: &[Record]) {
     let mut csv = String::new();
     if fresh {
         csv.push_str(
-            "experiment,scale,variant,workload,threads,mops,dram_reads_per_op,host_dram_reads_per_op,nmp_dram_reads_per_op,mmio_per_op,energy_nj_per_op,cycles,measured_ops,succeeded_ops,wall_ms,sim_cycles_per_sec,offload_posted,offload_retries,offload_lock_path,offload_mean_batch\n",
+            "experiment,scale,variant,workload,threads,mops,dram_reads_per_op,host_dram_reads_per_op,nmp_dram_reads_per_op,mmio_per_op,energy_nj_per_op,cycles,measured_ops,succeeded_ops,wall_ms,sim_cycles_per_sec,offload_posted,offload_retries,offload_lock_path,offload_mean_batch,lat_p50_cycles,lat_p95_cycles,lat_p99_cycles\n",
         );
     }
     for r in records {
         let _ = writeln!(
             csv,
-            "{},{},{},{},{},{:.6},{:.4},{:.4},{:.4},{:.4},{:.4},{},{},{},{:.3},{:.0},{},{},{},{:.3}",
+            "{},{},{},{},{},{:.6},{:.4},{:.4},{:.4},{:.4},{:.4},{},{},{},{:.3},{:.0},{},{},{},{:.3},{:.1},{:.1},{:.1}",
             r.experiment,
             r.scale,
             r.variant,
@@ -558,7 +566,10 @@ pub fn save_records(experiment: &str, records: &[Record]) {
             r.offload_posted,
             r.offload_retries,
             r.offload_lock_path,
-            r.offload_mean_batch
+            r.offload_mean_batch,
+            r.lat_p50_cycles,
+            r.lat_p95_cycles,
+            r.lat_p99_cycles
         );
     }
     use std::io::Write;

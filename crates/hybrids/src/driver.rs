@@ -18,6 +18,8 @@ use workloads::{KeySpace, Op, WorkloadSpec};
 
 #[cfg(feature = "analysis")]
 use nmp_sim::analysis::{HistEvent, HistOp, HistoryRecorder};
+#[cfg(feature = "trace")]
+use nmp_sim::trace::{kind_label, LatencyHist, OP_KINDS};
 
 use crate::api::{Issued, OpResult, PollOutcome, SimIndex};
 
@@ -51,6 +53,24 @@ fn record_completion(rec: RecorderHandle<'_>, op: Op, r: OpResult, inv: u64, res
 
 #[cfg(not(feature = "analysis"))]
 fn record_completion(_rec: RecorderHandle<'_>, _op: Op, _r: OpResult, _inv: u64, _resp: u64) {}
+
+/// Per-thread latency sink: one histogram per op kind, filled during the
+/// measured phase only. `None` (always, when `trace` is off) disables it.
+#[cfg(feature = "trace")]
+type LatSink<'a> = Option<&'a mut [LatencyHist; OP_KINDS]>;
+/// Stub when the `trace` feature is off; only `None` is constructible.
+#[cfg(not(feature = "trace"))]
+type LatSink<'a> = Option<&'a mut std::convert::Infallible>;
+
+#[cfg(feature = "trace")]
+fn note_latency(lat: &mut LatSink<'_>, op: Op, inv: u64, resp: u64) {
+    if let Some(h) = lat.as_deref_mut() {
+        h[crate::offload::op_kind(op) as usize].record(resp.saturating_sub(inv));
+    }
+}
+
+#[cfg(not(feature = "trace"))]
+fn note_latency(_lat: &mut LatSink<'_>, _op: Op, _inv: u64, _resp: u64) {}
 
 /// One experiment's execution parameters.
 #[derive(Debug, Clone, Copy)]
@@ -121,8 +141,31 @@ pub struct RunResult {
     /// Mean requests combined per non-idle combiner pass (>1 means the
     /// flat-combining batching is actually coalescing concurrent posts).
     pub offload_mean_batch: f64,
+    /// End-to-end operation latency percentiles over the measured window,
+    /// in simulated cycles across all op kinds. Zero when the `trace`
+    /// feature is disabled (collection lives behind it).
+    pub lat_p50_cycles: f64,
+    pub lat_p95_cycles: f64,
+    pub lat_p99_cycles: f64,
+    /// Per-op-kind latency breakdown (empty when `trace` is disabled).
+    pub op_latency: Vec<OpLatency>,
     /// Full counter snapshot of the measured window.
     pub stats: StatsSnapshot,
+}
+
+/// Measured-window latency summary for one op kind (Read, Insert, ...).
+#[derive(Debug, Clone, Serialize)]
+pub struct OpLatency {
+    /// Op-kind label (`read`, `insert`, `remove`, `update`, `scan`,
+    /// `extract_min`).
+    pub kind: String,
+    /// Completed operations of this kind in the measured window.
+    pub count: u64,
+    /// Mean end-to-end latency in simulated cycles.
+    pub mean_cycles: f64,
+    pub p50_cycles: f64,
+    pub p95_cycles: f64,
+    pub p99_cycles: f64,
 }
 
 struct Shared {
@@ -185,6 +228,9 @@ fn run_index_inner<S: SimIndex>(
         ends: (0..threads).map(|_| AtomicU64::new(0)).collect(),
         succeeded: AtomicU64::new(0),
     });
+    #[cfg(feature = "trace")]
+    let lat_shared: Arc<parking_lot::Mutex<Vec<[LatencyHist; OP_KINDS]>>> =
+        Arc::new(parking_lot::Mutex::new(Vec::new()));
 
     let mut sim = machine.simulation();
     index.spawn_services(&mut sim);
@@ -207,13 +253,15 @@ fn run_index_inner<S: SimIndex>(
             }
         });
         let recorder = recorder.clone();
+        #[cfg(feature = "trace")]
+        let lat_shared = Arc::clone(&lat_shared);
         sim.spawn(format!("host-{t}"), ThreadKind::Host { core: t }, move |ctx| {
             let mut footprint = footprint;
             #[cfg(feature = "analysis")]
             let rec: RecorderHandle<'_> = recorder.as_deref().map(|r| (r, t));
             #[cfg(not(feature = "analysis"))]
             let rec: RecorderHandle<'_> = recorder.as_deref();
-            run_stream(ctx, &*index, &warm, inflight, footprint.as_mut(), rec);
+            run_stream(ctx, &*index, &warm, inflight, footprint.as_mut(), rec, None);
             // Barrier: wait for everyone's warm-up to finish, then the last
             // arriver resets the counters (cache state stays warm).
             let n = shared.arrived.fetch_add(1, Ordering::Relaxed) + 1;
@@ -226,10 +274,18 @@ fn run_index_inner<S: SimIndex>(
                     ctx.idle(idle);
                 }
             }
+            #[cfg(feature = "trace")]
+            let mut lat: [LatencyHist; OP_KINDS] = std::array::from_fn(|_| LatencyHist::new());
+            #[cfg(feature = "trace")]
+            let sink: LatSink<'_> = Some(&mut lat);
+            #[cfg(not(feature = "trace"))]
+            let sink: LatSink<'_> = None;
             shared.starts[t].store(ctx.now(), Ordering::Relaxed);
-            let ok = run_stream(ctx, &*index, &meas, inflight, footprint.as_mut(), rec);
+            let ok = run_stream(ctx, &*index, &meas, inflight, footprint.as_mut(), rec, sink);
             shared.ends[t].store(ctx.now(), Ordering::Relaxed);
             shared.succeeded.fetch_add(ok, Ordering::Relaxed);
+            #[cfg(feature = "trace")]
+            lat_shared.lock().push(lat);
         });
     }
     let t0 = std::time::Instant::now();
@@ -246,6 +302,32 @@ fn run_index_inner<S: SimIndex>(
     // virtually every touch is a DRAM read; exclude them from the index's
     // per-op metric.
     let fp = spec.app_footprint_lines as f64;
+    #[cfg(feature = "trace")]
+    let (lat_all, op_latency) = {
+        let per_thread = lat_shared.lock();
+        let mut merged: [LatencyHist; OP_KINDS] = std::array::from_fn(|_| LatencyHist::new());
+        let mut all = LatencyHist::new();
+        for hists in per_thread.iter() {
+            for (k, h) in hists.iter().enumerate() {
+                merged[k].merge(h);
+                all.merge(h);
+            }
+        }
+        let op_latency: Vec<OpLatency> = merged
+            .iter()
+            .enumerate()
+            .filter(|(_, h)| h.count() > 0)
+            .map(|(k, h)| OpLatency {
+                kind: kind_label(k as u8).to_string(),
+                count: h.count(),
+                mean_cycles: h.mean(),
+                p50_cycles: h.percentile(0.50),
+                p95_cycles: h.percentile(0.95),
+                p99_cycles: h.percentile(0.99),
+            })
+            .collect();
+        (all, op_latency)
+    };
     RunResult {
         threads,
         measured_ops,
@@ -264,6 +346,22 @@ fn run_index_inner<S: SimIndex>(
         offload_retries: stats.offload.retries_total(),
         offload_lock_path: stats.offload.lock_path_total(),
         offload_mean_batch: stats.offload.mean_batch(),
+        #[cfg(feature = "trace")]
+        lat_p50_cycles: lat_all.percentile(0.50),
+        #[cfg(feature = "trace")]
+        lat_p95_cycles: lat_all.percentile(0.95),
+        #[cfg(feature = "trace")]
+        lat_p99_cycles: lat_all.percentile(0.99),
+        #[cfg(feature = "trace")]
+        op_latency,
+        #[cfg(not(feature = "trace"))]
+        lat_p50_cycles: 0.0,
+        #[cfg(not(feature = "trace"))]
+        lat_p95_cycles: 0.0,
+        #[cfg(not(feature = "trace"))]
+        lat_p99_cycles: 0.0,
+        #[cfg(not(feature = "trace"))]
+        op_latency: Vec::new(),
         stats,
     }
 }
@@ -297,6 +395,7 @@ fn run_stream<S: SimIndex>(
     inflight: usize,
     mut footprint: Option<&mut Footprint>,
     rec: RecorderHandle<'_>,
+    mut lat: LatSink<'_>,
 ) -> u64 {
     let mut ok = 0u64;
     if inflight <= 1 {
@@ -304,6 +403,7 @@ fn run_stream<S: SimIndex>(
             let inv = ctx.now();
             let r = index.execute(ctx, op);
             record_completion(rec, op, r, inv, ctx.now());
+            note_latency(&mut lat, op, inv, ctx.now());
             ok += r.ok as u64;
             if let Some(f) = footprint.as_deref_mut() {
                 f.touch(ctx);
@@ -331,6 +431,7 @@ fn run_stream<S: SimIndex>(
                             done += 1;
                             ok += r.ok as u64;
                             record_completion(rec, op, r, inv, ctx.now());
+                            note_latency(&mut lat, op, inv, ctx.now());
                             if let Some(f) = footprint.as_deref_mut() {
                                 f.touch(ctx);
                             }
@@ -349,6 +450,7 @@ fn run_stream<S: SimIndex>(
                         progressed = true;
                         let (op, inv) = issued[lane];
                         record_completion(rec, op, r, inv, ctx.now());
+                        note_latency(&mut lat, op, inv, ctx.now());
                         if let Some(f) = footprint.as_deref_mut() {
                             f.touch(ctx);
                         }

@@ -34,6 +34,68 @@ use workloads::Op;
 use crate::api::{host_core, Issued, OpResult, PollOutcome};
 use crate::publist::{self, NmpExec, PubLists, Request, Response};
 
+/// Op-kind byte used by the trace subsystem's per-kind aggregation (see
+/// `nmp_sim::trace::kind_label` for the label table).
+pub fn op_kind(op: Op) -> u8 {
+    match op {
+        Op::Read(_) => 0,
+        Op::Insert(_, _) => 1,
+        Op::Remove(_) => 2,
+        Op::Update(_, _) => 3,
+        Op::Scan(_, _) => 4,
+        Op::ExtractMin => 5,
+    }
+}
+
+/// Host-side cycle-attribution state for one in-flight op (feature `trace`).
+///
+/// A cursor (`cursor`) tracks the last attributed cycle; every runtime entry
+/// and exit moves it forward, crediting the elapsed segment to exactly one
+/// of `host` / `post` / `wait` — so the three always tile `[start, now]`
+/// with no gaps or double counting.
+#[cfg(feature = "trace")]
+struct OpTrace {
+    id: u64,
+    kind: u8,
+    start: u64,
+    cursor: u64,
+    host: u64,
+    post: u64,
+    wait: u64,
+    queue: u64,
+    exec: u64,
+    drain: u64,
+    legs: u32,
+}
+
+#[cfg(feature = "trace")]
+impl OpTrace {
+    /// Attribute the gap since the last runtime exit: queueing for a posted
+    /// op, host-side scheduling otherwise.
+    fn enter(&mut self, now: u64, posted: bool) {
+        if posted {
+            self.mark_wait(now);
+        } else {
+            self.mark_host(now);
+        }
+    }
+
+    fn mark_host(&mut self, now: u64) {
+        self.host += now - self.cursor;
+        self.cursor = now;
+    }
+
+    fn mark_post(&mut self, now: u64) {
+        self.post += now - self.cursor;
+        self.cursor = now;
+    }
+
+    fn mark_wait(&mut self, now: u64) {
+        self.wait += now - self.cursor;
+        self.cursor = now;
+    }
+}
+
 /// What a client wants the runtime to do next with an operation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Step {
@@ -83,6 +145,8 @@ pub struct PendingOp<S> {
     part: usize,
     posted: bool,
     state: S,
+    #[cfg(feature = "trace")]
+    tr: Option<OpTrace>,
 }
 
 /// The per-structure offload runtime: publication lists plus the shared
@@ -116,6 +180,66 @@ impl OffloadRuntime {
         publist::spawn_combiners(sim, Arc::clone(&self.lists), exec);
     }
 
+    fn new_pending<S: Default>(&self, _ctx: &ThreadCtx, op: Op, slot: usize) -> PendingOp<S> {
+        PendingOp {
+            op,
+            slot,
+            part: 0,
+            posted: false,
+            state: S::default(),
+            #[cfg(feature = "trace")]
+            tr: self.begin_trace(_ctx, op),
+        }
+    }
+
+    #[cfg(feature = "trace")]
+    fn begin_trace(&self, ctx: &ThreadCtx, op: Op) -> Option<OpTrace> {
+        let t = self.machine.mem().tracer()?;
+        let now = ctx.now();
+        let kind = op_kind(op);
+        let id = t.op_begin(host_core(ctx), kind, now);
+        Some(OpTrace {
+            id,
+            kind,
+            start: now,
+            cursor: now,
+            host: 0,
+            post: 0,
+            wait: 0,
+            queue: 0,
+            exec: 0,
+            drain: 0,
+            legs: 0,
+        })
+    }
+
+    /// Close the op's trace record at completion. The final cursor position
+    /// is the completion cycle: every lifecycle path marks the cursor up to
+    /// `ctx.now()` before a `Step::Done` can surface here.
+    fn finish_trace<S>(&self, _ctx: &ThreadCtx, _pend: &mut PendingOp<S>) {
+        #[cfg(feature = "trace")]
+        if let Some(tr) = _pend.tr.take() {
+            if let Some(t) = self.machine.mem().tracer() {
+                t.op_end(
+                    host_core(_ctx),
+                    nmp_sim::trace::OpRecord {
+                        op: tr.id,
+                        kind: tr.kind,
+                        start: tr.start,
+                        end: tr.cursor,
+                        host: tr.host,
+                        post: tr.post,
+                        wait: tr.wait,
+                        queue: tr.queue,
+                        exec: tr.exec,
+                        drain: tr.drain,
+                        legs: tr.legs,
+                    },
+                );
+            }
+        }
+    }
+
     fn apply_step<S>(
         &self,
         ctx: &mut ThreadCtx,
@@ -123,16 +247,42 @@ impl OffloadRuntime {
         step: Step,
     ) -> Option<OpResult> {
         match step {
-            Step::Done(r) => Some(r),
+            Step::Done(r) => {
+                #[cfg(feature = "trace")]
+                if let Some(tr) = pend.tr.as_mut() {
+                    tr.mark_host(ctx.now());
+                }
+                Some(r)
+            }
             Step::Stall => {
+                #[cfg(feature = "trace")]
+                if let Some(tr) = pend.tr.as_mut() {
+                    tr.mark_host(ctx.now());
+                }
                 pend.posted = false;
                 None
             }
             Step::Post { part, req } => {
+                #[cfg(feature = "trace")]
+                let post_start = {
+                    if let Some(tr) = pend.tr.as_mut() {
+                        tr.mark_host(ctx.now());
+                    }
+                    ctx.now()
+                };
                 self.lists.post(ctx, part, pend.slot, &req);
                 self.machine.mem().note_offload_post(part, pend.slot % self.lists.max_inflight());
                 pend.part = part;
                 pend.posted = true;
+                #[cfg(feature = "trace")]
+                if let Some(tr) = pend.tr.as_mut() {
+                    let now = ctx.now();
+                    tr.mark_post(now);
+                    tr.legs += 1;
+                    if let Some(t) = self.machine.mem().tracer() {
+                        t.note_post(host_core(ctx), part, pend.slot, tr.id, post_start, now);
+                    }
+                }
                 None
             }
         }
@@ -145,6 +295,21 @@ impl OffloadRuntime {
         pend: &mut PendingOp<C::OpState>,
         resp: &Response,
     ) -> Option<OpResult> {
+        #[cfg(feature = "trace")]
+        if let Some(tr) = pend.tr.as_mut() {
+            let now = ctx.now();
+            tr.mark_wait(now);
+            if let Some(t) = self.machine.mem().tracer() {
+                if let Some((q, e, d)) = t.leg_observed(pend.part, pend.slot, now) {
+                    tr.queue += q;
+                    tr.exec += e;
+                    tr.drain += d;
+                }
+                if resp.retry {
+                    t.instant(nmp_sim::trace::Track::Host(host_core(ctx)), "retry", now);
+                }
+            }
+        }
         let step = if resp.retry {
             self.machine.mem().note_offload_retry(pend.part);
             client.advance(ctx, pend.op, &mut pend.state)
@@ -160,9 +325,10 @@ impl OffloadRuntime {
     /// Execute `op` to completion with blocking NMP calls on lane 0.
     pub fn execute<C: OffloadClient>(&self, ctx: &mut ThreadCtx, client: &C, op: Op) -> OpResult {
         let slot = self.lists.slot_of(host_core(ctx), 0);
-        let mut pend = PendingOp { op, slot, part: 0, posted: false, state: C::OpState::default() };
+        let mut pend = self.new_pending::<C::OpState>(ctx, op, slot);
         let step = client.advance(ctx, op, &mut pend.state);
         if let Some(r) = self.apply_step(ctx, &mut pend, step) {
+            self.finish_trace(ctx, &mut pend);
             return r;
         }
         let interval = self.machine.config().host_poll_interval_cycles;
@@ -170,12 +336,14 @@ impl OffloadRuntime {
             if pend.posted {
                 let resp = self.lists.wait_response(ctx, pend.part, pend.slot);
                 if let Some(r) = self.on_response(ctx, client, &mut pend, &resp) {
+                    self.finish_trace(ctx, &mut pend);
                     return r;
                 }
             } else {
                 ctx.idle(interval);
                 let step = client.advance(ctx, pend.op, &mut pend.state);
                 if let Some(r) = self.apply_step(ctx, &mut pend, step) {
+                    self.finish_trace(ctx, &mut pend);
                     return r;
                 }
             }
@@ -191,10 +359,13 @@ impl OffloadRuntime {
         op: Op,
     ) -> Issued<PendingOp<C::OpState>> {
         let slot = self.lists.slot_of(host_core(ctx), lane);
-        let mut pend = PendingOp { op, slot, part: 0, posted: false, state: C::OpState::default() };
+        let mut pend = self.new_pending::<C::OpState>(ctx, op, slot);
         let step = client.advance(ctx, op, &mut pend.state);
         match self.apply_step(ctx, &mut pend, step) {
-            Some(r) => Issued::Done(r),
+            Some(r) => {
+                self.finish_trace(ctx, &mut pend);
+                Issued::Done(r)
+            }
             None => Issued::Pending(pend),
         }
     }
@@ -208,17 +379,33 @@ impl OffloadRuntime {
         client: &C,
         pend: &mut PendingOp<C::OpState>,
     ) -> PollOutcome {
+        #[cfg(feature = "trace")]
+        if let Some(tr) = pend.tr.as_mut() {
+            tr.enter(ctx.now(), pend.posted);
+        }
         if !pend.posted {
             let step = client.advance(ctx, pend.op, &mut pend.state);
             return match self.apply_step(ctx, pend, step) {
-                Some(r) => PollOutcome::Done(r),
+                Some(r) => {
+                    self.finish_trace(ctx, pend);
+                    PollOutcome::Done(r)
+                }
                 None => PollOutcome::Pending,
             };
         }
         match self.lists.try_response(ctx, pend.part, pend.slot) {
-            None => PollOutcome::Pending,
+            None => {
+                #[cfg(feature = "trace")]
+                if let Some(tr) = pend.tr.as_mut() {
+                    tr.mark_wait(ctx.now());
+                }
+                PollOutcome::Pending
+            }
             Some(resp) => match self.on_response(ctx, client, pend, &resp) {
-                Some(r) => PollOutcome::Done(r),
+                Some(r) => {
+                    self.finish_trace(ctx, pend);
+                    PollOutcome::Done(r)
+                }
                 None => PollOutcome::Pending,
             },
         }

@@ -423,6 +423,10 @@ impl OffloadClient for HybridPqueue {
                     // Extract-min reports the popped key.
                     Step::Done(OpResult { ok: true, value: resp.value })
                 } else {
+                    // The minima cache claimed this partition had (or might
+                    // have) a key, but the probe found it empty: a stale
+                    // probe (ROADMAP §4.6).
+                    self.machine.mem().note_pqueue_stale(st.target, ctx.now());
                     st.tried |= 1 << st.target;
                     self.merge_step(ctx, st)
                 }

@@ -313,6 +313,8 @@ pub fn spawn_combiners<E: NmpExec>(sim: &mut Simulation, lists: Arc<PubLists>, e
             let mut batch: Vec<(usize, Request)> = Vec::with_capacity(lists.slots_per_part());
             loop {
                 batch.clear();
+                #[cfg(feature = "trace")]
+                let pass_start = ctx.now();
                 for slot in 0..lists.slots_per_part() {
                     if let Some(req) = lists.scan(ctx, part, slot) {
                         batch.push((slot, req));
@@ -328,9 +330,19 @@ pub fn spawn_combiners<E: NmpExec>(sim: &mut Simulation, lists: Arc<PubLists>, e
                     continue;
                 }
                 for &(slot, ref req) in &batch {
+                    #[cfg(feature = "trace")]
+                    let exec_start = ctx.now();
                     let resp = exec.exec(ctx, part, req, &mut states[slot]);
                     lists.complete(ctx, part, slot, &resp);
+                    #[cfg(feature = "trace")]
+                    if let Some(t) = lists.machine.mem().tracer() {
+                        t.note_exec(part, slot, exec_start, ctx.now());
+                    }
                     ctx.step();
+                }
+                #[cfg(feature = "trace")]
+                if let Some(t) = lists.machine.mem().tracer() {
+                    t.note_batch(part, pass_start, ctx.now(), batch.len() as u64);
                 }
             }
         });

@@ -101,6 +101,12 @@ pub struct Config {
     pub host_heap_bytes: u32,
     /// Backed heap bytes per NMP partition.
     pub part_heap_bytes: u32,
+
+    /// Capacity (in events) of the `nmp_sim::trace` ring buffer when a
+    /// tracer is attached; the oldest events are dropped beyond this. Unused
+    /// (but still present, so configs serialize identically) when the
+    /// `trace` feature is off or no tracer is attached.
+    pub trace_buffer_events: usize,
 }
 
 impl Config {
@@ -137,6 +143,7 @@ impl Config {
             cpu_step_cycles: 1,
             host_heap_bytes: 192 * 1024 * 1024,
             part_heap_bytes: 64 * 1024 * 1024,
+            trace_buffer_events: 1 << 16,
         }
     }
 
@@ -214,6 +221,7 @@ impl Config {
                 && self.host_pipeline_idle_cycles >= 1,
             "poll/idle intervals must be at least one cycle"
         );
+        assert!(self.trace_buffer_events >= 1, "trace ring needs at least one slot");
     }
 }
 

@@ -545,6 +545,13 @@ impl Simulation {
             a.on_sim_start(&roster);
         }
 
+        #[cfg(feature = "trace")]
+        if let Some(t) = mem.tracer() {
+            let roster: Vec<(String, ThreadKind)> =
+                threads.iter().map(|t| (t.name.clone(), t.kind)).collect();
+            t.on_sim_start(&roster);
+        }
+
         let mut joins = Vec::with_capacity(bodies.len());
         for (id, (ts, body)) in threads.iter().cloned().zip(bodies).enumerate() {
             let eng2 = Arc::clone(&eng);

@@ -38,6 +38,20 @@
 //! [`StatsSnapshot`]). When nothing is attached the per-access overhead is
 //! a single atomic load, and benchmarks simply never attach.
 //!
+//! ## The `trace` feature
+//!
+//! With the `trace` cargo feature (also on by default), the [`trace`] module
+//! provides a cycle-level event tracer: op-lifecycle spans (host phase, MMIO
+//! post, combiner batch, NMP execution, response drain, retries), DRAM vault
+//! occupancy events, per-op-kind latency histograms, and a Perfetto /
+//! Chrome-trace JSON exporter ([`trace::TraceSink::chrome_json`]). Like
+//! `analysis` it is opt-in at runtime ([`Machine::attach_tracer`]) and
+//! untimed: attaching a tracer never changes simulated cycle counts, and the
+//! exported trace is byte-identical across runs of the same seed/config.
+//! Feature matrix: `analysis` and `trace` are independent — each adds its
+//! own `OnceLock` hook on [`MemorySystem`]; any of the four combinations
+//! builds and runs, with identical simulated timing in all of them.
+//!
 //! ## Quick tour
 //!
 //! ```
@@ -68,6 +82,8 @@ pub mod engine;
 pub mod machine;
 pub mod mem;
 pub mod stats;
+#[cfg(feature = "trace")]
+pub mod trace;
 
 pub use alloc::Arena;
 #[cfg(feature = "analysis")]
@@ -79,3 +95,5 @@ pub use mem::{
     Addr, MemMap, MemorySystem, Region, SimRam, NULL, OFFLOAD_HIST_BUCKETS, OFFLOAD_LANE_CAP,
 };
 pub use stats::{CacheStats, OffloadStats, StatsSnapshot, VaultStats};
+#[cfg(feature = "trace")]
+pub use trace::{LatencyHist, TraceSink, Tracer};

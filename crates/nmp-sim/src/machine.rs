@@ -92,6 +92,22 @@ impl Machine {
         }
         a
     }
+
+    /// Attach the cycle-level event tracer (see [`crate::trace`]) to this
+    /// machine and return it. Idempotent: a second call returns the
+    /// already-attached instance. Once attached, every subsequent simulation
+    /// over this machine records op-lifecycle spans and memory events —
+    /// untimed, so simulated cycle counts are unchanged.
+    #[cfg(feature = "trace")]
+    pub fn attach_tracer(&self) -> Arc<crate::trace::Tracer> {
+        if let Some(t) = self.mem.tracer() {
+            return Arc::clone(t);
+        }
+        let t = Arc::new(crate::trace::Tracer::new(self.config().trace_buffer_events));
+        self.mem.attach_tracer(t);
+        // `mem` may have raced another attach; return the winning instance.
+        Arc::clone(self.mem.tracer().expect("just attached"))
+    }
 }
 
 #[cfg(test)]

@@ -15,7 +15,7 @@
 //! [`crate::engine::ThreadCtx`] combines both.
 
 use std::sync::atomic::{AtomicU64, Ordering};
-#[cfg(feature = "analysis")]
+#[cfg(any(feature = "analysis", feature = "trace"))]
 use std::sync::{Arc, OnceLock};
 
 use parking_lot::Mutex;
@@ -26,6 +26,8 @@ use crate::cache::{Access, Cache};
 use crate::config::Config;
 use crate::dram::{DramTiming, Vault};
 use crate::stats::{OffloadStats, StatsSnapshot};
+#[cfg(feature = "trace")]
+use crate::trace::Tracer;
 
 /// Simulated 32-bit address.
 pub type Addr = u32;
@@ -201,6 +203,9 @@ struct OffloadCounters {
     lane_posted: Vec<AtomicU64>,
     /// parts × OFFLOAD_HIST_BUCKETS, row-major.
     combined_hist: Vec<AtomicU64>,
+    /// Pqueue minima-cache stale-empty probes per partition: extract-min legs
+    /// that targeted a partition and found it empty (ROADMAP §4.6 follow-up).
+    pq_stale: Vec<AtomicU64>,
 }
 
 impl OffloadCounters {
@@ -217,6 +222,7 @@ impl OffloadCounters {
             lock_path: zeros(parts),
             lane_posted: zeros(OFFLOAD_LANE_CAP),
             combined_hist: zeros(parts * OFFLOAD_HIST_BUCKETS),
+            pq_stale: zeros(parts),
         }
     }
 
@@ -229,11 +235,12 @@ impl OffloadCounters {
             lock_path: load(&self.lock_path),
             lane_posted: load(&self.lane_posted),
             combined_hist: load(&self.combined_hist),
+            pq_stale: load(&self.pq_stale),
         }
     }
 
     fn reset(&self) {
-        for v in [&self.posted, &self.completed, &self.retries, &self.lock_path] {
+        for v in [&self.posted, &self.completed, &self.retries, &self.lock_path, &self.pq_stale] {
             for a in v.iter() {
                 a.store(0, Ordering::Relaxed);
             }
@@ -271,6 +278,10 @@ pub struct MemorySystem {
     /// [`crate::analysis`]). Empty = zero checking overhead.
     #[cfg(feature = "analysis")]
     analysis: OnceLock<Arc<Analysis>>,
+    /// Cycle-level event tracer, attached at most once per machine (see
+    /// [`crate::trace`]). Empty = zero tracing overhead.
+    #[cfg(feature = "trace")]
+    tracer: OnceLock<Arc<Tracer>>,
 }
 
 impl MemorySystem {
@@ -301,6 +312,8 @@ impl MemorySystem {
             t: Mutex::new(t),
             #[cfg(feature = "analysis")]
             analysis: OnceLock::new(),
+            #[cfg(feature = "trace")]
+            tracer: OnceLock::new(),
         }
     }
 
@@ -316,6 +329,19 @@ impl MemorySystem {
     #[cfg(feature = "analysis")]
     pub fn analysis(&self) -> Option<&Arc<Analysis>> {
         self.analysis.get()
+    }
+
+    /// Attach the event tracer. The first attach wins; subsequent calls are
+    /// ignored (use [`MemorySystem::tracer`] to get the attached instance).
+    #[cfg(feature = "trace")]
+    pub fn attach_tracer(&self, t: Arc<Tracer>) {
+        let _ = self.tracer.set(t);
+    }
+
+    /// The attached tracer, if any.
+    #[cfg(feature = "trace")]
+    pub fn tracer(&self) -> Option<&Arc<Tracer>> {
+        self.tracer.get()
     }
 
     /// Raw backing storage (untimed data plane).
@@ -357,38 +383,51 @@ impl MemorySystem {
                 panic!("host access to scratchpad {addr:#x} must use the MMIO path")
             }
         }
-        let t = &mut *self.t.lock();
-        let mut lat = t.l1[core].latency;
-        match t.l1[core].access(addr, is_write) {
-            Access::Hit => {
-                if is_write {
-                    Self::invalidate_peers(&mut t.l1, core, addr);
-                }
-                return lat;
-            }
-            Access::Miss { writeback } => {
-                if let Some(wb) = writeback {
-                    // L1 dirty eviction drains into L2 off the critical path.
-                    if let Access::Miss { writeback: Some(wb2) } = t.l2.access(wb, true) {
-                        let (v, local) = self.host_vault(wb2);
-                        t.vaults[v].post_write(now, local, &t.dram);
+        // Vault busy window captured under the timing lock, recorded into the
+        // tracer after releasing it (the tracer lock never nests inside it).
+        let mut _vault_busy: Option<(usize, u64, u64)> = None;
+        let lat = {
+            let t = &mut *self.t.lock();
+            let mut lat = t.l1[core].latency;
+            let mut l1_hit = false;
+            match t.l1[core].access(addr, is_write) {
+                Access::Hit => l1_hit = true,
+                Access::Miss { writeback } => {
+                    if let Some(wb) = writeback {
+                        // L1 dirty eviction drains into L2 off the critical path.
+                        if let Access::Miss { writeback: Some(wb2) } = t.l2.access(wb, true) {
+                            let (v, local) = self.host_vault(wb2);
+                            t.vaults[v].post_write(now, local, &t.dram);
+                        }
                     }
                 }
             }
-        }
-        lat += t.l2.latency;
-        if let Access::Miss { writeback } = t.l2.access(addr, false) {
-            if let Some(wb2) = writeback {
-                let (v, local) = self.host_vault(wb2);
-                t.vaults[v].post_write(now, local, &t.dram);
+            if !l1_hit {
+                lat += t.l2.latency;
+                if let Access::Miss { writeback } = t.l2.access(addr, false) {
+                    if let Some(wb2) = writeback {
+                        let (v, local) = self.host_vault(wb2);
+                        t.vaults[v].post_write(now, local, &t.dram);
+                    }
+                    let (v, local) = self.host_vault(addr);
+                    // Off-chip link round trip: only host-side DRAM fills pay it.
+                    lat += self.host_link_cycles;
+                    let dlat = t.vaults[v].access(now + lat, local, false, &t.dram);
+                    _vault_busy = Some((v, now + lat, now + lat + dlat));
+                    lat += dlat;
+                }
             }
-            let (v, local) = self.host_vault(addr);
-            // Off-chip link round trip: only host-side DRAM fills pay it.
-            lat += self.host_link_cycles;
-            lat += t.vaults[v].access(now + lat, local, false, &t.dram);
-        }
-        if is_write {
-            Self::invalidate_peers(&mut t.l1, core, addr);
+            if is_write {
+                Self::invalidate_peers(&mut t.l1, core, addr);
+            }
+            lat
+        };
+        #[cfg(feature = "trace")]
+        if let Some(tr) = self.tracer.get() {
+            if let Some((v, start, end)) = _vault_busy {
+                tr.llc_miss(core, now);
+                tr.vault_busy(v, start, end);
+            }
         }
         lat
     }
@@ -410,22 +449,34 @@ impl MemorySystem {
             Region::Spad(p) if p == part => return 1,
             r => panic!("NMP core {part} accessed foreign region {r:?} at {addr:#x}"),
         }
-        let t = &mut *self.t.lock();
-        let block = addr & !(self.cfg.nmp_buffer_bytes - 1);
-        if !is_write && t.nmp_buf[part] == Some(block) {
-            t.nmp_buffer_hits += 1;
-            return 1;
-        }
-        let vault = self.cfg.main_vaults + part;
-        let local = addr - self.map.part_base(part);
-        let lat = t.vaults[vault].access(now, local, is_write, &t.dram);
-        if is_write {
-            // Write-through; keep the buffer coherent if it holds this block.
-            if t.nmp_buf[part] != Some(block) && t.nmp_buf[part].is_some() {
-                // leave buffer as-is: writes don't allocate
+        let mut _vault_busy: Option<(usize, u64, u64)> = None;
+        let lat = {
+            let t = &mut *self.t.lock();
+            let block = addr & !(self.cfg.nmp_buffer_bytes - 1);
+            if !is_write && t.nmp_buf[part] == Some(block) {
+                t.nmp_buffer_hits += 1;
+                1
+            } else {
+                let vault = self.cfg.main_vaults + part;
+                let local = addr - self.map.part_base(part);
+                let lat = t.vaults[vault].access(now, local, is_write, &t.dram);
+                _vault_busy = Some((vault, now, now + lat));
+                if is_write {
+                    // Write-through; keep the buffer coherent if it holds this block.
+                    if t.nmp_buf[part] != Some(block) && t.nmp_buf[part].is_some() {
+                        // leave buffer as-is: writes don't allocate
+                    }
+                } else {
+                    t.nmp_buf[part] = Some(block);
+                }
+                lat
             }
-        } else {
-            t.nmp_buf[part] = Some(block);
+        };
+        #[cfg(feature = "trace")]
+        if let Some(tr) = self.tracer.get() {
+            if let Some((v, start, end)) = _vault_busy {
+                tr.vault_busy(v, start, end);
+            }
         }
         lat
     }
@@ -470,6 +521,22 @@ impl MemorySystem {
         self.offload.combined_hist[part * OFFLOAD_HIST_BUCKETS + bucket]
             .fetch_add(1, Ordering::Relaxed);
         self.offload.completed[part].fetch_add(combined as u64, Ordering::Relaxed);
+    }
+
+    /// Record a pqueue minima-cache stale-empty probe: an extract-min leg
+    /// targeted partition `part` (the cache said, or forced a check that, it
+    /// might hold the minimum) and the partition turned out empty. `now` is
+    /// the cycle the host observed the empty response; it stamps the trace
+    /// counter track when a tracer is attached.
+    pub fn note_pqueue_stale(&self, part: usize, now: u64) {
+        self.offload.pq_stale[part].fetch_add(1, Ordering::Relaxed);
+        #[cfg(feature = "trace")]
+        if let Some(tr) = self.tracer.get() {
+            let total: u64 = self.offload.pq_stale.iter().map(|a| a.load(Ordering::Relaxed)).sum();
+            tr.counter("pq_stale_probes", now, total);
+        }
+        #[cfg(not(feature = "trace"))]
+        let _ = now;
     }
 
     /// Snapshot every counter. L1 counters are aggregated across cores.
@@ -768,7 +835,11 @@ mod tests {
         s.note_offload_pass(0, 2);
         s.note_offload_pass(0, 0);
         s.note_offload_pass(1, 40); // saturates into the last bucket
+        s.note_pqueue_stale(1, 123);
+        s.note_pqueue_stale(1, 456);
         let o = s.snapshot().offload;
+        assert_eq!(o.pq_stale, vec![0, 2]);
+        assert_eq!(o.pq_stale_total(), 2);
         assert_eq!(o.posted, vec![2, 1]);
         assert_eq!(o.completed, vec![2, 40]);
         assert_eq!(o.retries, vec![1, 0]);
@@ -789,6 +860,7 @@ mod tests {
         let o2 = s.snapshot().offload;
         assert_eq!(o2.posted_total(), 0);
         assert_eq!(o2.passes_with(1), 0);
+        assert_eq!(o2.pq_stale_total(), 0);
     }
 
     #[test]

@@ -102,6 +102,11 @@ pub struct OffloadStats {
     /// combined_hist.len() / posted.len()` and the last bucket saturates.
     /// Bucket 0 counts empty (idle) passes.
     pub combined_hist: Vec<u64>,
+    /// Pqueue minima-cache stale-empty probes per partition: extract-min
+    /// legs that probed a partition and found it empty (the host-side minima
+    /// cache was stale, or the merge forced an untried-partition check).
+    /// Empty/zero for non-pqueue structures.
+    pub pq_stale: Vec<u64>,
 }
 
 impl OffloadStats {
@@ -123,6 +128,11 @@ impl OffloadStats {
     /// Total LOCK_PATH responses across partitions.
     pub fn lock_path_total(&self) -> u64 {
         self.lock_path.iter().sum()
+    }
+
+    /// Total pqueue stale-empty probes across partitions.
+    pub fn pq_stale_total(&self) -> u64 {
+        self.pq_stale.iter().sum()
     }
 
     /// Histogram buckets tracked per partition (0 when no telemetry).
@@ -172,6 +182,7 @@ impl OffloadStats {
             lock_path: dv(&self.lock_path, &earlier.lock_path),
             lane_posted: dv(&self.lane_posted, &earlier.lane_posted),
             combined_hist: dv(&self.combined_hist, &earlier.combined_hist),
+            pq_stale: dv(&self.pq_stale, &earlier.pq_stale),
         }
     }
 }

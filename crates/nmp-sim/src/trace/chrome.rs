@@ -1,0 +1,213 @@
+//! Chrome-trace / Perfetto JSON export.
+//!
+//! Produces the Trace Event Format JSON (`{"traceEvents":[...]}`) that both
+//! `chrome://tracing` and [ui.perfetto.dev](https://ui.perfetto.dev) load
+//! directly. Tracks map to `(pid, tid)` pairs:
+//!
+//! | pid | process  | tid                       |
+//! |-----|----------|---------------------------|
+//! | 1   | `host`   | host core index           |
+//! | 2   | `nmp`    | partition index           |
+//! | 3   | `vaults` | global DRAM vault index   |
+//!
+//! Timestamps are raw simulated cycles written as integers (Perfetto renders
+//! them as microseconds: 1 cycle displays as 1 µs). The export is built by
+//! string formatting of integers only, so identical event sequences yield
+//! byte-identical JSON — the property the determinism test pins down.
+
+use super::buffer::{TraceEvent, Track};
+use super::{kind_label, Tracer};
+use crate::engine::ThreadKind;
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+
+const PID_HOST: u32 = 1;
+const PID_NMP: u32 = 2;
+const PID_VAULT: u32 = 3;
+
+fn pid_tid(track: Track) -> (u32, usize) {
+    match track {
+        Track::Host(core) => (PID_HOST, core),
+        Track::Nmp(part) => (PID_NMP, part),
+        Track::Vault(v) => (PID_VAULT, v),
+    }
+}
+
+/// Escape a thread name for embedding in a JSON string literal.
+fn esc(name: &str) -> String {
+    let mut out = String::with_capacity(name.len());
+    for c in name.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push(' '),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Exporter for recorded traces. Stateless; see [`TraceSink::chrome_json`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TraceSink;
+
+impl TraceSink {
+    /// Serialize `tracer`'s surviving events as Chrome-trace JSON.
+    ///
+    /// Emits `process_name`/`thread_name` metadata first (host threads and
+    /// NMP combiners named from the simulation roster, vault tracks from the
+    /// vault ids that actually appear in events), then the events in record
+    /// order. Deterministic: byte-identical across runs of the same
+    /// seed/config.
+    pub fn chrome_json(tracer: &Tracer) -> String {
+        let events = tracer.events();
+        let roster = tracer.roster();
+        let mut out = String::with_capacity(events.len() * 96 + 1024);
+        out.push_str("{\"traceEvents\":[\n");
+        let mut first = true;
+        let mut push = |out: &mut String, line: &str| {
+            if !std::mem::take(&mut first) {
+                out.push_str(",\n");
+            }
+            out.push_str(line);
+        };
+
+        for (pid, name) in [(PID_HOST, "host"), (PID_NMP, "nmp"), (PID_VAULT, "vaults")] {
+            push(
+                &mut out,
+                &format!(
+                    "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{pid},\"tid\":0,\"args\":{{\"name\":\"{name}\"}}}}"
+                ),
+            );
+        }
+        for (name, kind) in &roster {
+            let (pid, tid) = match kind {
+                ThreadKind::Host { core } => (PID_HOST, *core),
+                ThreadKind::Nmp { part } => (PID_NMP, *part),
+            };
+            push(
+                &mut out,
+                &format!(
+                    "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":{pid},\"tid\":{tid},\"args\":{{\"name\":\"{}\"}}}}",
+                    esc(name)
+                ),
+            );
+        }
+        let vaults: BTreeSet<usize> = events
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::Span { track: Track::Vault(v), .. }
+                | TraceEvent::Instant { track: Track::Vault(v), .. } => Some(*v),
+                _ => None,
+            })
+            .collect();
+        for v in vaults {
+            push(
+                &mut out,
+                &format!(
+                    "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":{PID_VAULT},\"tid\":{v},\"args\":{{\"name\":\"vault-{v}\"}}}}"
+                ),
+            );
+        }
+
+        let mut line = String::new();
+        for ev in &events {
+            line.clear();
+            match *ev {
+                TraceEvent::Span { track, name, start, end, arg } => {
+                    let (pid, tid) = pid_tid(track);
+                    let dur = end.saturating_sub(start);
+                    let _ = write!(
+                        line,
+                        "{{\"name\":\"{name}\",\"ph\":\"X\",\"pid\":{pid},\"tid\":{tid},\"ts\":{start},\"dur\":{dur},\"args\":{{\"v\":{arg}}}}}"
+                    );
+                }
+                TraceEvent::OpBegin { core, kind, op, ts } => {
+                    let _ = write!(
+                        line,
+                        "{{\"name\":\"{}\",\"cat\":\"op\",\"ph\":\"b\",\"id\":{op},\"pid\":{PID_HOST},\"tid\":{core},\"ts\":{ts}}}",
+                        kind_label(kind)
+                    );
+                }
+                TraceEvent::OpEnd { core, kind, op, ts } => {
+                    let _ = write!(
+                        line,
+                        "{{\"name\":\"{}\",\"cat\":\"op\",\"ph\":\"e\",\"id\":{op},\"pid\":{PID_HOST},\"tid\":{core},\"ts\":{ts}}}",
+                        kind_label(kind)
+                    );
+                }
+                TraceEvent::Instant { track, name, ts } => {
+                    let (pid, tid) = pid_tid(track);
+                    let _ = write!(
+                        line,
+                        "{{\"name\":\"{name}\",\"ph\":\"i\",\"s\":\"t\",\"pid\":{pid},\"tid\":{tid},\"ts\":{ts}}}"
+                    );
+                }
+                TraceEvent::Counter { name, ts, value } => {
+                    let _ = write!(
+                        line,
+                        "{{\"name\":\"{name}\",\"ph\":\"C\",\"pid\":{PID_HOST},\"tid\":0,\"ts\":{ts},\"args\":{{\"value\":{value}}}}}"
+                    );
+                }
+            }
+            push(&mut out, &line);
+        }
+        out.push_str("\n],\"displayTimeUnit\":\"ns\"}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn export_is_valid_json_and_deterministic() {
+        let make = || {
+            let t = Tracer::new(32);
+            t.on_sim_start(&[
+                ("host-0".to_string(), ThreadKind::Host { core: 0 }),
+                ("combiner-0".to_string(), ThreadKind::Nmp { part: 0 }),
+            ]);
+            let op = t.op_begin(0, 1, 5);
+            t.note_post(0, 0, 0, op, 6, 9);
+            t.note_exec(0, 0, 12, 20);
+            t.leg_observed(0, 0, 25);
+            t.op_end(
+                0,
+                super::super::OpRecord {
+                    op,
+                    kind: 1,
+                    start: 5,
+                    end: 25,
+                    host: 1,
+                    post: 3,
+                    wait: 16,
+                    queue: 3,
+                    exec: 8,
+                    drain: 5,
+                    legs: 1,
+                },
+            );
+            t.vault_busy(2, 13, 18);
+            t.counter("pq_stale_probes", 22, 1);
+            TraceSink::chrome_json(&t)
+        };
+        let a = make();
+        let b = make();
+        assert_eq!(a, b, "export must be byte-identical");
+        let v = serde_json::parse_value_str(&a).expect("valid JSON");
+        let evs = v.field("traceEvents").expect("traceEvents field");
+        match evs {
+            serde::Value::Array(items) => {
+                assert!(items.len() >= 8, "expected metadata + events, got {}", items.len())
+            }
+            other => panic!("traceEvents is {}", other.kind()),
+        }
+    }
+
+    #[test]
+    fn names_are_escaped() {
+        assert_eq!(esc("a\"b\\c\nd"), "a\\\"b\\\\c d");
+    }
+}

@@ -1,0 +1,167 @@
+//! Log-bucketed latency histogram.
+//!
+//! Power-of-two buckets over `u64` cycle counts: bucket `0` covers `[0, 2)`,
+//! bucket `b >= 1` covers `[2^b, 2^(b+1))`. Recording is O(1) and allocation
+//! free; percentile queries linearly interpolate inside the winning bucket,
+//! so results are deterministic (pure integer/f64 arithmetic, no sampling).
+
+/// Number of power-of-two buckets; covers the full `u64` range.
+const BUCKETS: usize = 64;
+
+/// Log-bucketed histogram of per-op latencies in cycles.
+#[derive(Debug, Clone)]
+pub struct LatencyHist {
+    counts: [u64; BUCKETS],
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for LatencyHist {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHist {
+    /// Empty histogram.
+    pub fn new() -> Self {
+        Self { counts: [0; BUCKETS], count: 0, sum: 0, min: u64::MAX, max: 0 }
+    }
+
+    fn bucket(v: u64) -> usize {
+        (63 - v.max(1).leading_zeros()) as usize
+    }
+
+    /// Bucket bounds `[lo, hi)` for bucket `b`.
+    fn bounds(b: usize) -> (u64, u64) {
+        if b == 0 {
+            (0, 2)
+        } else {
+            (1u64 << b, (1u64 << b).saturating_mul(2))
+        }
+    }
+
+    /// Record one latency sample (cycles).
+    pub fn record(&mut self, v: u64) {
+        self.counts[Self::bucket(v)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Total number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean latency in cycles (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Largest recorded sample (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Smallest recorded sample (0 when empty).
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Estimated `q`-quantile (`q` in `[0, 1]`), interpolated linearly within
+    /// the winning log bucket and clamped to the observed min/max. 0.0 when
+    /// the histogram is empty.
+    pub fn percentile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let target = (q * self.count as f64).ceil().clamp(1.0, self.count as f64) as u64;
+        let mut cum = 0u64;
+        for (b, &c) in self.counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            if cum + c >= target {
+                let (lo, hi) = Self::bounds(b);
+                let frac = (target - cum) as f64 / c as f64;
+                let est = lo as f64 + frac * (hi - lo) as f64;
+                return est.clamp(self.min as f64, self.max as f64);
+            }
+            cum += c;
+        }
+        self.max as f64
+    }
+
+    /// Fold another histogram into this one.
+    pub fn merge(&mut self, other: &LatencyHist) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_hist_is_zeroes() {
+        let h = LatencyHist::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.percentile(0.5), 0.0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+    }
+
+    #[test]
+    fn percentiles_bracket_samples() {
+        let mut h = LatencyHist::new();
+        for v in [10u64, 20, 30, 40, 1000] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 5);
+        let p50 = h.percentile(0.5);
+        let p99 = h.percentile(0.99);
+        assert!((10.0..=1000.0).contains(&p50), "p50={p50}");
+        assert!(p99 >= p50, "p99={p99} < p50={p50}");
+        assert!(p99 <= 1000.0);
+        assert_eq!(h.max(), 1000);
+        assert_eq!(h.min(), 10);
+    }
+
+    #[test]
+    fn merge_matches_recording_all() {
+        let mut a = LatencyHist::new();
+        let mut b = LatencyHist::new();
+        let mut all = LatencyHist::new();
+        for v in [3u64, 5, 9] {
+            a.record(v);
+            all.record(v);
+        }
+        for v in [100u64, 200] {
+            b.record(v);
+            all.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), all.count());
+        assert_eq!(a.percentile(0.95), all.percentile(0.95));
+        assert_eq!(a.mean(), all.mean());
+    }
+}

@@ -1,0 +1,208 @@
+//! Integration: the `trace` subsystem end to end.
+//!
+//! * **Determinism** — attaching a tracer never perturbs simulated time,
+//!   and the exported Chrome-trace JSON is byte-identical across runs of
+//!   the same seed/config (skiplist and B+ tree, blocking and pipelined).
+//! * **Span accounting** — per completed op, the host/post/wait phases
+//!   tile the end-to-end latency exactly, and the wait decomposes into
+//!   queue/exec/drain over observed publication-list legs; at quiescence
+//!   every begun op completed and every posted leg was executed and
+//!   observed.
+//! * **Staleness counter** — extract-min probes that find an empty
+//!   partition increment the `pq_stale` offload counter.
+
+use std::sync::Arc;
+
+use hybrids::driver::{run_index, RunResult, RunSpec};
+use hybrids_repro::prelude::*;
+use nmp_sim::trace::{TraceSink, Tracer};
+
+fn spec(seed: u64, inflight: usize) -> RunSpec {
+    RunSpec {
+        workload: WorkloadSpec {
+            seed,
+            threads: 4,
+            ops_per_thread: 60,
+            mix: Mix::read_insert_remove(50, 30, 20),
+            read_dist: KeyDist::Zipfian,
+            insert_dist: InsertDist::UniformGap,
+        },
+        warmup_per_thread: 15,
+        inflight,
+        app_footprint_lines: 0,
+    }
+}
+
+/// Run the hybrid skiplist with a tracer attached; return the run result,
+/// the tracer, and the exported trace.
+fn traced_skiplist(seed: u64, inflight: usize) -> (RunResult, Arc<Tracer>, String) {
+    let ks = KeySpace::new(512, 2, 256);
+    let m = Machine::new(Config::tiny());
+    let tracer = m.attach_tracer();
+    let sl = HybridSkipList::new(Arc::clone(&m), ks, 10, 4, seed, inflight.max(1));
+    sl.populate((0..ks.total_initial()).map(|i| (ks.initial_key(i), i)));
+    let r = run_index(&m, &sl, &ks, &spec(seed, inflight));
+    let json = TraceSink::chrome_json(&tracer);
+    (r, tracer, json)
+}
+
+fn traced_btree(seed: u64, inflight: usize) -> (RunResult, Arc<Tracer>, String) {
+    let ks = KeySpace::new(512, 2, 512);
+    let m = Machine::new(Config::tiny());
+    let tracer = m.attach_tracer();
+    let pairs: Vec<(Key, Value)> =
+        (0..ks.total_initial()).map(|i| (ks.initial_key(i), i)).collect();
+    let t = HybridBTree::new(Arc::clone(&m), &pairs, 0.5, inflight.max(1));
+    let r = run_index(&m, &t, &ks, &spec(seed, inflight));
+    let json = TraceSink::chrome_json(&tracer);
+    (r, tracer, json)
+}
+
+fn assert_valid_chrome_trace(json: &str) {
+    let v = serde_json::parse_value_str(json).expect("exported trace must parse as JSON");
+    match v.field("traceEvents").expect("traceEvents field") {
+        serde::Value::Array(items) => {
+            assert!(!items.is_empty(), "trace must contain events")
+        }
+        _ => panic!("traceEvents is not an array"),
+    }
+}
+
+#[test]
+fn skiplist_blocking_trace_is_byte_identical() {
+    let (ra, _, ja) = traced_skiplist(42, 1);
+    let (rb, _, jb) = traced_skiplist(42, 1);
+    assert_eq!(ra.cycles, rb.cycles);
+    assert_eq!(ja, jb, "same seed/config must export byte-identical traces");
+    assert_valid_chrome_trace(&ja);
+}
+
+#[test]
+fn skiplist_pipelined_trace_is_byte_identical() {
+    let (ra, _, ja) = traced_skiplist(43, 4);
+    let (rb, _, jb) = traced_skiplist(43, 4);
+    assert_eq!(ra.cycles, rb.cycles);
+    assert_eq!(ja, jb);
+    assert_valid_chrome_trace(&ja);
+}
+
+#[test]
+fn btree_traces_are_byte_identical_blocking_and_pipelined() {
+    for inflight in [1, 2] {
+        let (ra, _, ja) = traced_btree(7, inflight);
+        let (rb, _, jb) = traced_btree(7, inflight);
+        assert_eq!(ra.cycles, rb.cycles, "inflight={inflight}");
+        assert_eq!(ja, jb, "inflight={inflight}");
+        assert_valid_chrome_trace(&ja);
+    }
+}
+
+#[test]
+fn attaching_a_tracer_does_not_change_simulated_time() {
+    let untraced = || {
+        let ks = KeySpace::new(512, 2, 256);
+        let m = Machine::new(Config::tiny());
+        let sl = HybridSkipList::new(Arc::clone(&m), ks, 10, 4, 42, 1);
+        sl.populate((0..ks.total_initial()).map(|i| (ks.initial_key(i), i)));
+        let r = run_index(&m, &sl, &ks, &spec(42, 1));
+        (r.cycles, r.succeeded_ops, r.stats.dram_reads())
+    };
+    let (traced, _, _) = traced_skiplist(42, 1);
+    assert_eq!(
+        (traced.cycles, traced.succeeded_ops, traced.stats.dram_reads()),
+        untraced(),
+        "tracing must be invisible to the simulation"
+    );
+}
+
+fn check_span_accounting(tracer: &Tracer) {
+    let records = tracer.op_records();
+    assert!(!records.is_empty(), "run must complete traced ops");
+    for r in &records {
+        assert!(r.end >= r.start, "op {} ends before it starts", r.op);
+        assert_eq!(
+            r.host + r.post + r.wait,
+            r.end - r.start,
+            "op {} phases must tile its end-to-end latency exactly",
+            r.op
+        );
+        assert_eq!(
+            r.queue + r.exec + r.drain,
+            r.wait,
+            "op {} wait must decompose into queue/exec/drain over its {} legs",
+            r.op,
+            r.legs
+        );
+        if r.legs == 0 {
+            assert_eq!(r.wait, 0, "op {} waited without posting", r.op);
+        }
+    }
+    let s = tracer.summary();
+    assert_eq!(s.ops_begun, s.ops_completed, "every begun op completed at quiescence");
+    assert_eq!(s.legs_posted, s.legs_executed, "every posted leg executed");
+    assert_eq!(s.legs_posted, s.legs_observed, "every executed leg was observed");
+    assert!(s.legs_posted >= s.ops_completed.min(1), "offloaded runs post legs");
+}
+
+#[test]
+fn skiplist_span_accounting_blocking_and_pipelined() {
+    for inflight in [1, 4] {
+        let (_, tracer, _) = traced_skiplist(99, inflight);
+        check_span_accounting(&tracer);
+    }
+}
+
+#[test]
+fn btree_span_accounting_blocking_and_pipelined() {
+    for inflight in [1, 2] {
+        let (_, tracer, _) = traced_btree(99, inflight);
+        check_span_accounting(&tracer);
+    }
+}
+
+#[test]
+fn latency_percentiles_surface_in_run_result() {
+    let (r, _, _) = traced_skiplist(42, 1);
+    assert!(r.lat_p50_cycles > 0.0);
+    assert!(r.lat_p50_cycles <= r.lat_p95_cycles);
+    assert!(r.lat_p95_cycles <= r.lat_p99_cycles);
+    assert!(!r.op_latency.is_empty(), "per-kind breakdown must be populated");
+    let total: u64 = r.op_latency.iter().map(|k| k.count).sum();
+    assert_eq!(total, r.measured_ops, "every measured op lands in exactly one kind");
+    for k in &r.op_latency {
+        assert!(k.p50_cycles <= k.p99_cycles, "{} percentiles out of order", k.kind);
+        assert!(k.mean_cycles > 0.0);
+    }
+}
+
+#[test]
+fn extract_min_on_empty_partitions_counts_stale_probes() {
+    let ks = KeySpace::new(64, 2, 64);
+    let m = Machine::new(Config::tiny());
+    let tracer = m.attach_tracer();
+    let pq = HybridPqueue::new(Arc::clone(&m), ks, 6, 42, 1);
+    // No populate: every partition is empty, so the cache-guided probe of
+    // each partition is stale by construction.
+    let mut sim = m.simulation();
+    pq.spawn_services(&mut sim);
+    let pq2 = Arc::clone(&pq);
+    sim.spawn("host-0", ThreadKind::Host { core: 0 }, move |ctx| {
+        let r = pq2.execute(ctx, Op::ExtractMin);
+        assert!(!r.ok, "extract from an empty queue must fail");
+    });
+    sim.run();
+    let stale = m.mem().snapshot().offload.pq_stale_total();
+    assert_eq!(stale, 2, "one stale probe per empty partition");
+    // The tracer's counter track mirrors the running total.
+    let counters: Vec<u64> = tracer
+        .events()
+        .iter()
+        .filter_map(|e| match e {
+            nmp_sim::trace::TraceEvent::Counter { name: "pq_stale_probes", value, .. } => {
+                Some(*value)
+            }
+            _ => None,
+        })
+        .collect();
+    assert_eq!(counters, vec![1, 2], "counter track records each increment");
+}
