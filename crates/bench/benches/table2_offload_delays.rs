@@ -28,6 +28,12 @@ impl NmpExec for Probe {
         self.finished.store(ctx.now(), Ordering::Relaxed);
         Response::ok_value(0)
     }
+
+    fn effect_spec(&self) -> nmp_sim::EffectSpec {
+        // Pure protocol probe: no data-structure memory is touched.
+        nmp_sim::EffectSpec::new("offload-probe")
+            .op(hybrids::effects::protocol_op(OpCode::Read, "Read"))
+    }
 }
 
 fn main() {

@@ -266,6 +266,28 @@ impl SimIndex for LockFreeIndex {
         hybrids::PollOutcome::Done(*p)
     }
 
+    fn effect_spec(&self) -> nmp_sim::EffectSpec {
+        use hybrids::effects::AccessDecl;
+        use hybrids::publist::OpCode;
+        use nmp_sim::analysis::RegionClass;
+        // Entirely host-resident: traversals read host memory and may
+        // help-unlink with a CAS; updates release-store the value word.
+        let walk =
+            [AccessDecl::read(RegionClass::Host), AccessDecl::write(RegionClass::Host).cas()];
+        let mutate = [
+            AccessDecl::read(RegionClass::Host),
+            AccessDecl::write(RegionClass::Host),
+            AccessDecl::write(RegionClass::Host).cas(),
+            AccessDecl::write(RegionClass::Host).release(),
+        ];
+        nmp_sim::EffectSpec::new("lockfree-skiplist")
+            .op(nmp_sim::OpSpec::new(OpCode::Read as u8, "Read").host_all(&walk))
+            .op(nmp_sim::OpSpec::new(OpCode::Scan as u8, "Scan").host_all(&walk))
+            .op(nmp_sim::OpSpec::new(OpCode::Update as u8, "Update").host_all(&mutate))
+            .op(nmp_sim::OpSpec::new(OpCode::Insert as u8, "Insert").host_all(&mutate))
+            .op(nmp_sim::OpSpec::new(OpCode::Remove as u8, "Remove").host_all(&mutate))
+    }
+
     fn spawn_services(self: &Arc<Self>, _sim: &mut nmp_sim::Simulation) {}
 }
 

@@ -9,7 +9,7 @@
 
 use std::sync::Arc;
 
-use nmp_sim::{Simulation, ThreadCtx, ThreadKind};
+use nmp_sim::{EffectSpec, Simulation, ThreadCtx, ThreadKind};
 use workloads::{Op, Value};
 
 /// Result of one completed data-structure operation.
@@ -20,15 +20,19 @@ use workloads::{Op, Value};
 /// successful reads.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct OpResult {
+    /// The 1-bit success/failure return (see type docs).
     pub ok: bool,
+    /// Associated value for successful reads; 0 otherwise.
     pub value: Value,
 }
 
 impl OpResult {
+    /// Successful result carrying `value`.
     pub fn ok(value: Value) -> Self {
         OpResult { ok: true, value }
     }
 
+    /// Failed result (`ok == false`).
     pub fn fail() -> Self {
         OpResult { ok: false, value: 0 }
     }
@@ -71,8 +75,16 @@ pub trait SimIndex: Send + Sync + 'static {
     /// dance) and internally re-issues on retry.
     fn poll(&self, ctx: &mut ThreadCtx, pending: &mut Self::Pending) -> PollOutcome;
 
+    /// The structure's declared memory-effect plan: per operation code, the
+    /// regions each thread class may read and write, with what ordering and
+    /// via which channel. Verified statically at registration time
+    /// ([`crate::effects::register_effect_spec`]) and enforced dynamically
+    /// in spec-conformance mode.
+    fn effect_spec(&self) -> EffectSpec;
+
     /// Spawn this structure's NMP-core service loops (flat combiners) as
-    /// daemon threads of `sim`. Host-only structures spawn nothing.
+    /// daemon threads of `sim`, after registering [`Self::effect_spec`].
+    /// Host-only structures spawn nothing but still register their spec.
     fn spawn_services(self: &Arc<Self>, sim: &mut Simulation);
 
     /// Publication-list lanes provisioned per host thread.

@@ -168,9 +168,7 @@ fn copy_subtree(
     let ram = machine.ram();
     let arena = machine.part_arena(part);
     let new = node::alloc_node(arena);
-    for w in 0..16 {
-        ram.write_u64(new + w * 8, ram.read_u64(old + w * 8));
-    }
+    node::raw_copy_node(ram, old, new);
     node::raw_set_seq(ram, new, 0);
     let m = node::raw_meta(ram, old);
     if m.is_leaf() {

@@ -10,10 +10,13 @@
 
 use std::sync::Arc;
 
-use nmp_sim::{Addr, Machine, Simulation, ThreadCtx};
+use nmp_sim::analysis::RegionClass;
+use nmp_sim::{Addr, EffectSpec, Machine, OpSpec, Simulation, ThreadCtx};
 use workloads::{Key, Op, Value};
 
 use crate::api::{Issued, OpResult, PollOutcome, SimIndex};
+use crate::effects::AccessDecl;
+use crate::publist::OpCode;
 
 use super::build;
 use super::node::{self, INNER_MAX, LEAF_MAX};
@@ -38,18 +41,21 @@ impl HostBTree {
     pub fn new(machine: Arc<Machine>, pairs: &[(Key, Value)], fill: f64) -> Arc<Self> {
         let (root, _height) = build::bulk_build(&machine, machine.host_arena(), pairs, fill);
         let root_word = machine.host_arena().alloc(8);
-        machine.ram().write_u32(root_word, root);
+        node::raw_set_root(machine.ram(), root_word, root);
         Arc::new(HostBTree { machine, root_word })
     }
 
+    /// The machine the tree lives on.
     pub fn machine(&self) -> &Arc<Machine> {
         &self.machine
     }
 
+    /// Current root node address.
     pub fn root(&self) -> Addr {
-        self.machine.ram().read_u32(self.root_word)
+        node::raw_root(self.machine.ram(), self.root_word)
     }
 
+    /// Current tree height (levels, root included).
     pub fn height(&self) -> u32 {
         node::raw_meta(self.machine.ram(), self.root()).level + 1
     }
@@ -209,10 +215,12 @@ impl HostBTree {
 
     // ---- untimed inspection ----
 
+    /// Untimed in-order dump of all `(key, value)` pairs.
     pub fn collect(&self) -> Vec<(Key, Value)> {
         build::check_and_collect(&self.machine, self.root(), 0, 0)
     }
 
+    /// Untimed structural check (panics on a broken tree).
     pub fn check_invariants(&self) {
         let ram = self.machine.ram();
         let root = self.root();
@@ -335,7 +343,34 @@ impl SimIndex for HostBTree {
         PollOutcome::Done(*pending)
     }
 
-    fn spawn_services(self: &Arc<Self>, _sim: &mut Simulation) {}
+    fn effect_spec(&self) -> EffectSpec {
+        // Entirely host-resident: no publication-list protocol, no NMP
+        // declarations. Readers descend optimistically (acquire seqnum
+        // reads + speculative content reads); writers add the seqnum CAS
+        // lock, plain critical-section accesses, and the release unlock.
+        let descend = [
+            AccessDecl::read(RegionClass::Host).acquire(),
+            AccessDecl::read(RegionClass::Host).speculative(),
+        ];
+        let mutate = [
+            AccessDecl::read(RegionClass::Host).acquire(),
+            AccessDecl::read(RegionClass::Host).speculative(),
+            AccessDecl::read(RegionClass::Host),
+            AccessDecl::write(RegionClass::Host),
+            AccessDecl::write(RegionClass::Host).cas(),
+            AccessDecl::write(RegionClass::Host).release(),
+        ];
+        EffectSpec::new("host-btree")
+            .op(OpSpec::new(OpCode::Read as u8, "Read").host_all(&descend))
+            .op(OpSpec::new(OpCode::Scan as u8, "Scan").host_all(&descend))
+            .op(OpSpec::new(OpCode::Update as u8, "Update").host_all(&mutate))
+            .op(OpSpec::new(OpCode::Insert as u8, "Insert").host_all(&mutate))
+            .op(OpSpec::new(OpCode::Remove as u8, "Remove").host_all(&mutate))
+    }
+
+    fn spawn_services(self: &Arc<Self>, _sim: &mut Simulation) {
+        crate::effects::register_effect_spec(&self.machine, &self.effect_spec());
+    }
 }
 
 #[cfg(test)]

@@ -22,10 +22,12 @@
 
 use std::sync::Arc;
 
-use nmp_sim::{Addr, Machine, Region, Simulation, ThreadCtx, NULL};
+use nmp_sim::analysis::RegionClass;
+use nmp_sim::{Addr, EffectSpec, Machine, Region, Simulation, ThreadCtx, NULL};
 use workloads::{Key, Op, Value};
 
 use crate::api::{Issued, OpResult, PollOutcome, SimIndex};
+use crate::effects::{protocol_op, AccessDecl};
 use crate::offload::{OffloadClient, OffloadRuntime, PendingOp, Step};
 use crate::publist::{NmpExec, OpCode, Request, Response};
 
@@ -91,6 +93,42 @@ impl NmpExec for BtreeExec {
             }
             _ => self.exec_main(ctx, part, req, state),
         }
+    }
+
+    fn effect_spec(&self) -> EffectSpec {
+        // NMP half: non-scan ops acquire-read the begin node's parent
+        // seqnum and may release-store it back on sibling-split adoption;
+        // mutators additionally write node contents (Part regions are
+        // single-core, so the annotations are same-thread no-ops).
+        let check = [
+            AccessDecl::read(RegionClass::Part).acquire(),
+            AccessDecl::read(RegionClass::Part),
+            AccessDecl::write(RegionClass::Part).release(),
+        ];
+        let mutate = [
+            AccessDecl::read(RegionClass::Part).acquire(),
+            AccessDecl::read(RegionClass::Part),
+            AccessDecl::write(RegionClass::Part),
+            AccessDecl::write(RegionClass::Part).release(),
+        ];
+        let walk = [AccessDecl::read(RegionClass::Part)];
+        // Splits replicate the original's seq word (acquire read + release
+        // store), so the resumed insert reads seqnums as well as contents.
+        let resume = [
+            AccessDecl::read(RegionClass::Part).acquire(),
+            AccessDecl::read(RegionClass::Part),
+            AccessDecl::write(RegionClass::Part),
+            AccessDecl::write(RegionClass::Part).release(),
+        ];
+        let unlock = [AccessDecl::read(RegionClass::Part), AccessDecl::write(RegionClass::Part)];
+        EffectSpec::new("hybrid-btree")
+            .op(protocol_op(OpCode::Read, "Read").nmp_all(&check))
+            .op(protocol_op(OpCode::Scan, "Scan").nmp_all(&walk))
+            .op(protocol_op(OpCode::Update, "Update").nmp_all(&mutate))
+            .op(protocol_op(OpCode::Insert, "Insert").nmp_all(&mutate))
+            .op(protocol_op(OpCode::Remove, "Remove").nmp_all(&mutate))
+            .op(protocol_op(OpCode::ResumeInsert, "ResumeInsert").nmp_all(&resume))
+            .op(protocol_op(OpCode::UnlockPath, "UnlockPath").nmp_all(&unlock))
     }
 }
 
@@ -292,20 +330,23 @@ impl HybridBTree {
         let last_host_level = build::choose_split(&counts, budget_bytes);
         build::push_down(&machine, root, height, last_host_level);
         let root_word = machine.host_arena().alloc(8);
-        machine.ram().write_u32(root_word, root);
+        node::raw_set_root(machine.ram(), root_word, root);
         let runtime = OffloadRuntime::new(Arc::clone(&machine), max_inflight);
         let exec = Arc::new(BtreeExec { machine: Arc::clone(&machine) });
         Arc::new(HybridBTree { machine, runtime, exec, root_word, last_host_level })
     }
 
+    /// The machine the tree lives on.
     pub fn machine(&self) -> &Arc<Machine> {
         &self.machine
     }
 
+    /// Current root node address.
     pub fn root(&self) -> Addr {
-        self.machine.ram().read_u32(self.root_word)
+        node::raw_root(self.machine.ram(), self.root_word)
     }
 
+    /// Current tree height (levels, root included).
     pub fn height(&self) -> u32 {
         node::raw_meta(self.machine.ram(), self.root()).level + 1
     }
@@ -599,6 +640,39 @@ impl OffloadClient for HybridBTree {
             }
         }
     }
+
+    fn effect_spec(&self) -> EffectSpec {
+        // Host half: every op performs the optimistic seqlock descent
+        // (acquire seqnum reads + speculative content reads); inserts may
+        // additionally seqnum-CAS-lock the host path, graft the split-off
+        // child (plain reads/writes) and release-publish a new root.
+        let descend = [
+            AccessDecl::read(RegionClass::Host).acquire(),
+            AccessDecl::read(RegionClass::Host).speculative(),
+        ];
+        let graft = [
+            AccessDecl::read(RegionClass::Host).acquire(),
+            AccessDecl::read(RegionClass::Host).speculative(),
+            AccessDecl::read(RegionClass::Host),
+            AccessDecl::write(RegionClass::Host),
+            AccessDecl::write(RegionClass::Host).cas(),
+            AccessDecl::write(RegionClass::Host).release(),
+        ];
+        let resume = [
+            AccessDecl::read(RegionClass::Host).acquire(),
+            AccessDecl::read(RegionClass::Host),
+            AccessDecl::write(RegionClass::Host),
+            AccessDecl::write(RegionClass::Host).release(),
+        ];
+        EffectSpec::new("hybrid-btree")
+            .op(protocol_op(OpCode::Read, "Read").host_all(&descend))
+            .op(protocol_op(OpCode::Scan, "Scan").host_all(&descend))
+            .op(protocol_op(OpCode::Update, "Update").host_all(&descend))
+            .op(protocol_op(OpCode::Insert, "Insert").host_all(&graft))
+            .op(protocol_op(OpCode::Remove, "Remove").host_all(&descend))
+            .op(protocol_op(OpCode::ResumeInsert, "ResumeInsert").host_all(&resume))
+            .op(protocol_op(OpCode::UnlockPath, "UnlockPath").host_all(&descend))
+    }
 }
 
 impl SimIndex for HybridBTree {
@@ -616,7 +690,12 @@ impl SimIndex for HybridBTree {
         self.runtime.poll(ctx, self, pending)
     }
 
+    fn effect_spec(&self) -> EffectSpec {
+        OffloadClient::effect_spec(self).merged(NmpExec::effect_spec(&*self.exec))
+    }
+
     fn spawn_services(self: &Arc<Self>, sim: &mut Simulation) {
+        self.runtime.register_spec(&SimIndex::effect_spec(&**self));
         self.runtime.spawn_combiners(sim, Arc::clone(&self.exec));
     }
 

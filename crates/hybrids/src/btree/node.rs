@@ -15,6 +15,9 @@
 //! to 14 dividing keys and 15 children. The subtree left of `keys[i]`
 //! contains keys `<= keys[i]`; to the right, `> keys[i]`.
 
+// xtask: accessor-module — all raw (untimed) B+ tree memory access lives
+// here; other modules go through these helpers.
+
 use nmp_sim::{Addr, Arena, SimRam, ThreadCtx};
 use workloads::{Key, Value};
 
@@ -34,14 +37,19 @@ pub fn alloc_node(arena: &Arena) -> Addr {
     arena.alloc_aligned(NODE_BYTES, 128)
 }
 
+/// Return a node's 128 bytes to the arena (merge/relocation cleanup).
 pub fn free_node(arena: &Arena, node: Addr) {
     arena.free(node, NODE_BYTES, 128);
 }
 
+/// Unpacked node metadata word (`node + 4`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Meta {
+    /// Height in the tree: `0` for leaves, parents one more than children.
     pub level: u32,
+    /// Number of keys currently stored in the node.
     pub slotuse: u32,
+    /// NMP-side node lock bit (host nodes use the seqlock word instead).
     pub locked: bool,
 }
 
@@ -54,6 +62,7 @@ impl Meta {
         Meta { level: v & 0xFF, slotuse: (v >> 8) & 0xFF, locked: (v >> 16) & 1 != 0 }
     }
 
+    /// Whether this node is a leaf (`level == 0`).
     pub fn is_leaf(self) -> bool {
         self.level == 0
     }
@@ -61,6 +70,7 @@ impl Meta {
 
 // ---- untimed (population / inspection) ----
 
+/// Untimed node initialization: zero everything, then write the header.
 pub fn raw_init(ram: &SimRam, node: Addr, level: u32, slotuse: u32) {
     ram.write_u64(node, (Meta { level, slotuse, locked: false }.pack() as u64) << 32);
     for w in 1..16 {
@@ -68,27 +78,50 @@ pub fn raw_init(ram: &SimRam, node: Addr, level: u32, slotuse: u32) {
     }
 }
 
+/// Untimed read of the metadata word.
 pub fn raw_meta(ram: &SimRam, node: Addr) -> Meta {
     Meta::unpack(ram.read_u32(node + 4))
 }
 
+/// Untimed write of the metadata word.
 pub fn raw_set_meta(ram: &SimRam, node: Addr, m: Meta) {
     ram.write_u32(node + 4, m.pack());
 }
 
+/// Untimed read of the seqlock word.
 pub fn raw_seq(ram: &SimRam, node: Addr) -> u32 {
     ram.read_u32(node)
 }
 
+/// Untimed write of the seqlock word.
 pub fn raw_set_seq(ram: &SimRam, node: Addr, seq: u32) {
     ram.write_u32(node, seq);
 }
 
+/// Untimed read of key slot `i`.
 pub fn raw_key(ram: &SimRam, node: Addr, i: u32) -> Key {
     debug_assert!(i < INNER_MAX);
     ram.read_u32(node + KEYS_OFF + 4 * i)
 }
 
+/// Untimed read of a tree's root-word cell.
+pub fn raw_root(ram: &SimRam, root_word: Addr) -> Addr {
+    ram.read_u32(root_word)
+}
+
+/// Untimed initialization of a tree's root-word cell (structure build).
+pub fn raw_set_root(ram: &SimRam, root_word: Addr, root: Addr) {
+    ram.write_u32(root_word, root);
+}
+
+/// Untimed word-for-word node copy (push-down subtree relocation).
+pub fn raw_copy_node(ram: &SimRam, old: Addr, new: Addr) {
+    for w in 0..NODE_BYTES / 8 {
+        ram.write_u64(new + w * 8, ram.read_u64(old + w * 8));
+    }
+}
+
+/// Untimed write of key slot `i`.
 pub fn raw_set_key(ram: &SimRam, node: Addr, i: u32, k: Key) {
     ram.write_u32(node + KEYS_OFF + 4 * i, k);
 }
@@ -100,6 +133,7 @@ pub fn raw_payload(ram: &SimRam, node: Addr, i: u32) -> u32 {
     ram.read_u32(node + PAYLOAD_OFF + 4 * i)
 }
 
+/// Untimed write of payload slot `i` (see [`raw_payload`]).
 pub fn raw_set_payload(ram: &SimRam, node: Addr, i: u32, v: u32) {
     debug_assert!(i <= INNER_MAX);
     ram.write_u32(node + PAYLOAD_OFF + 4 * i, v);
@@ -107,12 +141,14 @@ pub fn raw_set_payload(ram: &SimRam, node: Addr, i: u32, v: u32) {
 
 // ---- timed ----
 
+/// Timed read of the seqlock word.
 pub fn read_seq(ctx: &mut ThreadCtx, node: Addr) -> u32 {
     // Acquire: the seqnum is the node's synchronization word — observing an
     // even value must order the reader after the writer's release below.
     ctx.read_u32_acquire(node)
 }
 
+/// Timed write of the seqlock word.
 pub fn write_seq(ctx: &mut ThreadCtx, node: Addr, seq: u32) {
     // Release: publishes the critical section's writes (or, when a split
     // replicates a seqnum into a fresh node, publishes the new node).
@@ -132,26 +168,32 @@ pub fn unlock_seq(ctx: &mut ThreadCtx, node: Addr) {
     write_seq(ctx, node, s + 1);
 }
 
+/// Timed read of the metadata word.
 pub fn read_meta(ctx: &mut ThreadCtx, node: Addr) -> Meta {
     Meta::unpack(ctx.read_u32(node + 4))
 }
 
+/// Timed write of the metadata word.
 pub fn write_meta(ctx: &mut ThreadCtx, node: Addr, m: Meta) {
     ctx.write_u32(node + 4, m.pack())
 }
 
+/// Timed read of key slot `i`.
 pub fn read_key(ctx: &mut ThreadCtx, node: Addr, i: u32) -> Key {
     ctx.read_u32(node + KEYS_OFF + 4 * i)
 }
 
+/// Timed write of key slot `i`.
 pub fn write_key(ctx: &mut ThreadCtx, node: Addr, i: u32, k: Key) {
     ctx.write_u32(node + KEYS_OFF + 4 * i, k)
 }
 
+/// Timed read of payload slot `i` (see [`raw_payload`]).
 pub fn read_payload(ctx: &mut ThreadCtx, node: Addr, i: u32) -> u32 {
     ctx.read_u32(node + PAYLOAD_OFF + 4 * i)
 }
 
+/// Timed write of payload slot `i` (see [`raw_payload`]).
 pub fn write_payload(ctx: &mut ThreadCtx, node: Addr, i: u32, v: u32) {
     ctx.write_u32(node + PAYLOAD_OFF + 4 * i, v)
 }
@@ -363,6 +405,7 @@ pub fn raw_next_leaf(ram: &SimRam, node: Addr) -> Addr {
     ram.read_u32(node + 120)
 }
 
+/// Untimed write of the leaf next-pointer (see [`raw_next_leaf`]).
 pub fn raw_set_next_leaf(ram: &SimRam, node: Addr, next: Addr) {
     ram.write_u32(node + 120, next);
 }

@@ -21,8 +21,11 @@ use super::node;
 /// A recorded traversal: `path[level]` = `(node, observed even seqnum)` for
 /// `stop_level <= level <= root_level`.
 pub struct Descent {
+    /// `(node, seqnum)` per level, bottom (`stop_level`) first.
     pub path: Vec<(Addr, u32)>,
+    /// Level of the root node when the descent started.
     pub root_level: u32,
+    /// Lowest level recorded (0 for host-only, `last_host_level` hybrid).
     pub stop_level: u32,
     /// For hybrid traversals (`stop_level > 0`): the NMP child picked at
     /// the stop-level node, and its slot index.
@@ -34,10 +37,12 @@ pub struct Descent {
 }
 
 impl Descent {
+    /// The `(node, seqnum)` recorded at `level`.
     pub fn at(&self, level: u32) -> (Addr, u32) {
         self.path[(level - self.stop_level) as usize]
     }
 
+    /// The `(node, seqnum)` at the descent's lowest recorded level.
     pub fn bottom(&self) -> (Addr, u32) {
         self.path[0]
     }

@@ -9,6 +9,10 @@
 //! `inflight > 1` each host thread keeps up to that many non-blocking NMP
 //! calls outstanding (§3.5, e.g. *hybrid-nonblocking4*).
 
+// xtask: allow(atomic-ordering) — the measurement barrier and the result
+// counters below coordinate *simulation worker threads*, not simulated
+// memory; they are harness state outside the modeled machine.
+
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -93,10 +97,12 @@ pub struct RunSpec {
 }
 
 impl RunSpec {
+    /// Spec with the given workload, warm-up, and lane depth; no app footprint.
     pub fn new(workload: WorkloadSpec, warmup_per_thread: u32, inflight: usize) -> Self {
         RunSpec { workload, warmup_per_thread, inflight, app_footprint_lines: 0 }
     }
 
+    /// Set [`RunSpec::app_footprint_lines`].
     pub fn with_footprint(mut self, lines: u32) -> Self {
         self.app_footprint_lines = lines;
         self
@@ -109,7 +115,9 @@ const FOOTPRINT_REGION_BYTES: u32 = 2 * 1024 * 1024;
 /// Measured results of one run.
 #[derive(Debug, Clone, Serialize)]
 pub struct RunResult {
+    /// Host threads that executed the workload.
     pub threads: u32,
+    /// Operations completed in the measured window.
     pub measured_ops: u64,
     /// Operations whose success bit was set.
     pub succeeded_ops: u64,
@@ -119,8 +127,9 @@ pub struct RunResult {
     pub mops: f64,
     /// DRAM read bursts per operation (the Fig. 5b/6b/9 metric).
     pub dram_reads_per_op: f64,
-    /// ... split by who issued them.
+    /// [`RunResult::dram_reads_per_op`] issued by host cores.
     pub host_dram_reads_per_op: f64,
+    /// [`RunResult::dram_reads_per_op`] issued by NMP cores.
     pub nmp_dram_reads_per_op: f64,
     /// MMIO transactions per operation (offload traffic).
     pub mmio_per_op: f64,
@@ -145,7 +154,9 @@ pub struct RunResult {
     /// in simulated cycles across all op kinds. Zero when the `trace`
     /// feature is disabled (collection lives behind it).
     pub lat_p50_cycles: f64,
+    /// 95th-percentile latency; see [`RunResult::lat_p50_cycles`].
     pub lat_p95_cycles: f64,
+    /// 99th-percentile latency; see [`RunResult::lat_p50_cycles`].
     pub lat_p99_cycles: f64,
     /// Per-op-kind latency breakdown (empty when `trace` is disabled).
     pub op_latency: Vec<OpLatency>,
@@ -163,8 +174,11 @@ pub struct OpLatency {
     pub count: u64,
     /// Mean end-to-end latency in simulated cycles.
     pub mean_cycles: f64,
+    /// Median latency in simulated cycles.
     pub p50_cycles: f64,
+    /// 95th-percentile latency in simulated cycles.
     pub p95_cycles: f64,
+    /// 99th-percentile latency in simulated cycles.
     pub p99_cycles: f64,
 }
 

@@ -25,10 +25,12 @@
 
 use std::sync::Arc;
 
-use nmp_sim::{Addr, Machine, Region, Simulation, ThreadCtx, NULL};
+use nmp_sim::analysis::RegionClass;
+use nmp_sim::{Addr, EffectSpec, Machine, Region, Simulation, ThreadCtx, NULL};
 use workloads::{mix64, Key, Op, Value};
 
 use crate::api::{Issued, OpResult, PollOutcome, SimIndex};
+use crate::effects::{protocol_op, AccessDecl};
 use crate::offload::{OffloadClient, OffloadRuntime, PendingOp, Step};
 use crate::publist::{NmpExec, OpCode, Request, Response};
 
@@ -104,6 +106,18 @@ impl NmpExec for HashMapExec {
             op => panic!("hash map executor received opcode {op:?}"),
         }
     }
+
+    fn effect_spec(&self) -> EffectSpec {
+        // NMP half: head-slot and chain-node traffic is partition-local;
+        // mutating ops additionally store (head slot, node fields).
+        let chase = [AccessDecl::read(RegionClass::Part)];
+        let mutate = [AccessDecl::read(RegionClass::Part), AccessDecl::write(RegionClass::Part)];
+        EffectSpec::new("hybrid-hashmap")
+            .op(protocol_op(OpCode::Read, "Read").nmp_all(&chase))
+            .op(protocol_op(OpCode::Update, "Update").nmp_all(&mutate))
+            .op(protocol_op(OpCode::Insert, "Insert").nmp_all(&mutate))
+            .op(protocol_op(OpCode::Remove, "Remove").nmp_all(&mutate))
+    }
 }
 
 /// Directory word: head-slot address (lo 32) | owning partition (hi 32).
@@ -144,7 +158,7 @@ impl HybridHashMap {
             .map(|p| {
                 let base = machine.part_arena(p).alloc_aligned(buckets_per_part * 8, 128);
                 for i in 0..buckets_per_part {
-                    ram.write_u64(base + i * 8, NULL as u64);
+                    node::raw_set_head(ram, base + i * 8, NULL);
                 }
                 base
             })
@@ -153,7 +167,7 @@ impl HybridHashMap {
         for b in 0..buckets {
             let part = (b / buckets_per_part) as usize;
             let slot = part_heads[part] + (b % buckets_per_part) * 8;
-            ram.write_u64(dir + b * 8, pack_dir(slot, part));
+            node::raw_set_route(ram, dir, b, pack_dir(slot, part));
         }
         let runtime = OffloadRuntime::new(Arc::clone(&machine), max_inflight);
         let exec = Arc::new(HashMapExec { machine: Arc::clone(&machine) });
@@ -169,6 +183,7 @@ impl HybridHashMap {
         })
     }
 
+    /// Number of buckets (fixed at construction).
     pub fn buckets(&self) -> u32 {
         self.buckets
     }
@@ -188,10 +203,10 @@ impl HybridHashMap {
         let ram = self.machine.ram();
         for (key, value) in pairs {
             let (part, slot) = self.slot_of_bucket(self.bucket_of(key));
-            let head = ram.read_u64(slot) as Addr;
+            let head = node::raw_head(ram, slot);
             let n = node::alloc_node(self.machine.part_arena(part));
             node::raw_init(ram, n, key, value, head);
-            ram.write_u64(slot, n as u64);
+            node::raw_set_head(ram, slot, n);
         }
     }
 
@@ -201,7 +216,7 @@ impl HybridHashMap {
         let mut out = Vec::new();
         for b in 0..self.buckets {
             let (_, slot) = self.slot_of_bucket(b);
-            let mut cur = ram.read_u64(slot) as Addr;
+            let mut cur = node::raw_head(ram, slot);
             while cur != NULL {
                 out.push((node::raw_key(ram, cur), node::raw_value(ram, cur)));
                 cur = node::raw_next(ram, cur);
@@ -221,7 +236,7 @@ impl HybridHashMap {
         for b in 0..self.buckets {
             let (part, slot) = self.slot_of_bucket(b);
             assert_eq!(self.machine.map().region_of(slot), Region::Part(part));
-            let mut cur = ram.read_u64(slot) as Addr;
+            let mut cur = node::raw_head(ram, slot);
             while cur != NULL {
                 assert!(seen_nodes.insert(cur), "node {cur:#x} linked twice (cycle?)");
                 assert_eq!(self.machine.map().region_of(cur), Region::Part(part));
@@ -262,6 +277,17 @@ impl OffloadClient for HybridHashMap {
             _ => OpResult { ok: resp.ok, value: 0 },
         })
     }
+
+    fn effect_spec(&self) -> EffectSpec {
+        // Host half: the entire host phase is one directory routing read in
+        // host memory (LLC-resident), then the protocol round trip.
+        let route = [AccessDecl::read(RegionClass::Host)];
+        EffectSpec::new("hybrid-hashmap")
+            .op(protocol_op(OpCode::Read, "Read").host_all(&route))
+            .op(protocol_op(OpCode::Update, "Update").host_all(&route))
+            .op(protocol_op(OpCode::Insert, "Insert").host_all(&route))
+            .op(protocol_op(OpCode::Remove, "Remove").host_all(&route))
+    }
 }
 
 impl SimIndex for HybridHashMap {
@@ -279,7 +305,12 @@ impl SimIndex for HybridHashMap {
         self.runtime.poll(ctx, self, pending)
     }
 
+    fn effect_spec(&self) -> EffectSpec {
+        OffloadClient::effect_spec(self).merged(self.exec.effect_spec())
+    }
+
     fn spawn_services(self: &Arc<Self>, sim: &mut Simulation) {
+        self.runtime.register_spec(&SimIndex::effect_spec(&**self));
         self.runtime.spawn_combiners(sim, Arc::clone(&self.exec));
     }
 

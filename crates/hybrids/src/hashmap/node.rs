@@ -11,6 +11,9 @@
 //! 128-byte vault/cache block and the NMP core's node-size register buffer
 //! holds a whole node after one fill.
 
+// xtask: accessor-module — all raw (untimed) hash-map memory access lives
+// here; other modules go through these helpers.
+
 use nmp_sim::{Addr, Arena, SimRam, ThreadCtx};
 use workloads::{Key, Value};
 
@@ -31,6 +34,7 @@ pub fn free_node(arena: &Arena, node: Addr) {
 
 // ---- untimed (population / invariant checking) ----
 
+/// Untimed full-node initialization.
 pub fn raw_init(ram: &SimRam, node: Addr, key: Key, value: Value, next: Addr) {
     ram.write_u64(node, key as u64);
     ram.write_u64(node + 8, value as u64);
@@ -38,36 +42,59 @@ pub fn raw_init(ram: &SimRam, node: Addr, key: Key, value: Value, next: Addr) {
     ram.write_u64(node + 24, 0);
 }
 
+/// Untimed key read.
 pub fn raw_key(ram: &SimRam, node: Addr) -> Key {
     ram.read_u64(node) as u32
 }
 
+/// Untimed value read.
 pub fn raw_value(ram: &SimRam, node: Addr) -> Value {
     ram.read_u64(node + 8) as u32
 }
 
+/// Untimed next-pointer read.
 pub fn raw_next(ram: &SimRam, node: Addr) -> Addr {
     ram.read_u64(node + 16) as u32
 }
 
+/// Untimed read of a bucket head slot.
+pub fn raw_head(ram: &SimRam, slot: Addr) -> Addr {
+    ram.read_u64(slot) as u32
+}
+
+/// Untimed write of a bucket head slot.
+pub fn raw_set_head(ram: &SimRam, slot: Addr, head: Addr) {
+    ram.write_u64(slot, head as u64);
+}
+
+/// Untimed write of one packed directory routing word.
+pub fn raw_set_route(ram: &SimRam, dir: Addr, bucket: u32, word: u64) {
+    ram.write_u64(dir + bucket * 8, word);
+}
+
 // ---- timed (combiner execution) ----
 
+/// Timed key read.
 pub fn read_key(ctx: &mut ThreadCtx, node: Addr) -> Key {
     ctx.read_u64(node) as u32
 }
 
+/// Timed value read.
 pub fn read_value(ctx: &mut ThreadCtx, node: Addr) -> Value {
     ctx.read_u64(node + 8) as u32
 }
 
+/// Timed value write.
 pub fn write_value(ctx: &mut ThreadCtx, node: Addr, value: Value) {
     ctx.write_u64(node + 8, value as u64);
 }
 
+/// Timed next-pointer read.
 pub fn read_next(ctx: &mut ThreadCtx, node: Addr) -> Addr {
     ctx.read_u64(node + 16) as u32
 }
 
+/// Timed next-pointer write.
 pub fn write_next(ctx: &mut ThreadCtx, node: Addr, next: Addr) {
     ctx.write_u64(node + 16, next as u64);
 }

@@ -42,9 +42,12 @@
 //! sl.check_invariants();
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod api;
 pub mod btree;
 pub mod driver;
+pub mod effects;
 pub mod hashmap;
 pub mod offload;
 pub mod pqueue;
@@ -55,4 +58,5 @@ pub use api::{Issued, OpResult, PollOutcome, SimIndex};
 #[cfg(feature = "analysis")]
 pub use driver::run_index_recorded;
 pub use driver::{run_index, RunResult, RunSpec};
+pub use effects::{register_effect_spec, topology};
 pub use offload::{OffloadClient, OffloadRuntime, PendingOp, Step};

@@ -28,7 +28,7 @@
 
 use std::sync::Arc;
 
-use nmp_sim::{Machine, Simulation, ThreadCtx};
+use nmp_sim::{EffectSpec, Machine, Simulation, ThreadCtx};
 use workloads::Op;
 
 use crate::api::{host_core, Issued, OpResult, PollOutcome};
@@ -135,6 +135,13 @@ pub trait OffloadClient: Send + Sync + 'static {
         resp: &Response,
         st: &mut Self::OpState,
     ) -> Step;
+
+    /// The host half of the structure's declared memory-effect plan: per
+    /// op code, everything `advance`/`complete` may touch (on top of the
+    /// publication-list protocol itself,
+    /// [`crate::effects::HOST_PROTOCOL`]). Merged with the executor's
+    /// [`NmpExec::effect_spec`] half at registration time.
+    fn effect_spec(&self) -> EffectSpec;
 }
 
 /// A pending offloaded operation: the paper's "operation ID" (§3.5), owned
@@ -172,6 +179,14 @@ impl OffloadRuntime {
     /// Publication-list lanes per host thread.
     pub fn max_inflight(&self) -> usize {
         self.lists.max_inflight()
+    }
+
+    /// Statically verify `spec` against this runtime's machine topology
+    /// (panicking on failure, with zero simulation cycles) and install it
+    /// for spec-conformance checking. Structures call this from
+    /// `spawn_services` with their merged client + executor spec.
+    pub fn register_spec(&self, spec: &EffectSpec) {
+        crate::effects::register_effect_spec(&self.machine, spec);
     }
 
     /// Spawn the flat-combining daemons (one per partition) executing
@@ -446,6 +461,9 @@ mod tests {
             }
             Response::ok_value(req.key + 1)
         }
+        fn effect_spec(&self) -> EffectSpec {
+            EffectSpec::new("echo").op(crate::effects::protocol_op(OpCode::Read, "Read"))
+        }
     }
 
     /// Client routing every op to partition key % parts.
@@ -460,6 +478,9 @@ mod tests {
         }
         fn complete(&self, _ctx: &mut ThreadCtx, _op: Op, resp: &Response, _st: &mut ()) -> Step {
             Step::Done(OpResult { ok: resp.ok, value: resp.value })
+        }
+        fn effect_spec(&self) -> EffectSpec {
+            EffectSpec::new("mod-client").op(crate::effects::protocol_op(OpCode::Read, "Read"))
         }
     }
 

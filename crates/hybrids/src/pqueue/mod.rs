@@ -32,28 +32,41 @@
 //! operation value. Point reads, removes, updates, and scans are outside
 //! the interface and fail host-side.
 
+pub mod cells;
+
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use parking_lot::Mutex;
 
-use nmp_sim::{Addr, Machine, Region, Simulation, ThreadCtx, NULL};
+use nmp_sim::analysis::RegionClass;
+use nmp_sim::{Addr, EffectSpec, Machine, Region, Simulation, ThreadCtx, NULL};
 use workloads::{Key, KeySpace, Op, Value};
 
 use crate::api::{Issued, OpResult, PollOutcome, SimIndex};
+use crate::effects::{protocol_op, AccessDecl};
 use crate::offload::{OffloadClient, OffloadRuntime, PendingOp, Step};
 use crate::publist::{NmpExec, OpCode, Request, Response};
 use crate::skiplist::{node, seq};
-
-/// Minimum-cache word: bit 32 = partition non-empty, low 32 bits = min key.
-const PRESENT: u64 = 1 << 32;
 
 /// One combiner-ordered event, recorded when the queue is built with
 /// [`HybridPqueue::with_exec_log`]; consumed by `verify_extract_order`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum PqEvent {
-    Insert { key: Key, value: Value, ok: bool },
-    Pop { popped: Option<(Key, Value)> },
+    /// An `INSERT` the combiner applied.
+    Insert {
+        /// Inserted key.
+        key: Key,
+        /// Inserted value.
+        value: Value,
+        /// Whether the insert took effect (false = duplicate).
+        ok: bool,
+    },
+    /// A `POP_MIN` the combiner applied.
+    Pop {
+        /// The extracted minimum, or `None` on an empty partition.
+        popped: Option<(Key, Value)>,
+    },
 }
 
 /// NMP-side executor: applies `INSERT` / `POP_MIN` to the partition's
@@ -146,6 +159,14 @@ impl NmpExec for PqExec {
             op => panic!("pqueue executor received opcode {op:?}"),
         }
     }
+
+    fn effect_spec(&self) -> EffectSpec {
+        // NMP half: both ops walk and splice the partition's sorted run.
+        let run = [AccessDecl::read(RegionClass::Part), AccessDecl::write(RegionClass::Part)];
+        EffectSpec::new("hybrid-pqueue")
+            .op(protocol_op(OpCode::Insert, "Insert").nmp_all(&run))
+            .op(protocol_op(OpCode::PopMin, "PopMin").nmp_all(&run))
+    }
 }
 
 /// Host-side per-op state of an in-flight `extract_min`.
@@ -172,6 +193,8 @@ pub struct HybridPqueue {
 }
 
 impl HybridPqueue {
+    /// Build an empty queue with `levels` skiplist levels per partition
+    /// run and `max_inflight` offload lanes per host core.
     pub fn new(
         machine: Arc<Machine>,
         ks: KeySpace,
@@ -210,8 +233,8 @@ impl HybridPqueue {
         let heads: Vec<Addr> =
             (0..parts).map(|p| seq::make_sentinel(machine.part_arena(p), ram, levels)).collect();
         let minima = machine.host_arena().alloc_aligned(parts as u32 * 8, 128);
-        for p in 0..parts as u32 {
-            ram.write_u64(minima + p * 8, 0);
+        for p in 0..parts {
+            cells::raw_set(ram, minima, p, cells::pack(0, false));
         }
         let runtime = OffloadRuntime::new(Arc::clone(&machine), max_inflight);
         let exec = Arc::new(PqExec {
@@ -225,8 +248,7 @@ impl HybridPqueue {
 
     /// Publish a combiner-reported partition minimum to the host cache.
     fn refresh_cache(&self, ctx: &mut ThreadCtx, part: usize, resp: &Response) {
-        let word = if resp.new_child != 0 { PRESENT | resp.split_key as u64 } else { 0 };
-        ctx.write_u64_release(self.minima + part as u32 * 8, word);
+        cells::publish(ctx, self.minima, part, cells::pack(resp.split_key, resp.new_child != 0));
         ctx.step();
     }
 
@@ -245,9 +267,9 @@ impl HybridPqueue {
             if first_untried.is_none() {
                 first_untried = Some(p);
             }
-            let w = ctx.read_u64_acquire(self.minima + p as u32 * 8);
+            let w = cells::load(ctx, self.minima, p);
             ctx.step();
-            if w & PRESENT != 0 {
+            if w & cells::PRESENT != 0 {
                 let k = w as u32;
                 if best.is_none_or(|(bk, _)| k < bk) {
                     best = Some((k, p));
@@ -286,9 +308,12 @@ impl HybridPqueue {
         }
         for p in 0..self.ks.parts as usize {
             let (first, _) = node::raw_next(ram, self.heads[p], 0);
-            let word =
-                if first == NULL { 0 } else { PRESENT | node::raw_header(ram, first).key as u64 };
-            ram.write_u64(self.minima + p as u32 * 8, word);
+            let word = if first == NULL {
+                cells::pack(0, false)
+            } else {
+                cells::pack(node::raw_header(ram, first).key, true)
+            };
+            cells::raw_set(ram, self.minima, p, word);
         }
     }
 
@@ -434,6 +459,16 @@ impl OffloadClient for HybridPqueue {
             op => unreachable!("pqueue completed unsupported op {op:?}"),
         }
     }
+
+    fn effect_spec(&self) -> EffectSpec {
+        // Host half: completions publish the partition's new minimum with a
+        // release store; the merge step acquire-loads every untried cell.
+        let refresh = AccessDecl::write(RegionClass::Host).release().sync("minima");
+        let merge = AccessDecl::read(RegionClass::Host).acquire().sync("minima");
+        EffectSpec::new("hybrid-pqueue")
+            .op(protocol_op(OpCode::Insert, "Insert").host(refresh))
+            .op(protocol_op(OpCode::PopMin, "PopMin").host_all(&[merge, refresh]))
+    }
 }
 
 impl SimIndex for HybridPqueue {
@@ -451,7 +486,12 @@ impl SimIndex for HybridPqueue {
         self.runtime.poll(ctx, self, pending)
     }
 
+    fn effect_spec(&self) -> EffectSpec {
+        OffloadClient::effect_spec(self).merged(self.exec.effect_spec())
+    }
+
     fn spawn_services(self: &Arc<Self>, sim: &mut Simulation) {
+        self.runtime.register_spec(&SimIndex::effect_spec(&**self));
         self.runtime.spawn_combiners(sim, Arc::clone(&self.exec));
     }
 

@@ -23,7 +23,7 @@
 
 use std::sync::Arc;
 
-use nmp_sim::{Addr, Machine, Simulation, ThreadCtx, ThreadKind, NULL};
+use nmp_sim::{Addr, EffectSpec, Machine, Simulation, ThreadCtx, ThreadKind, NULL};
 use workloads::{Key, Value};
 
 /// Slot size in bytes (one NMP-buffer block would be 2 slots; slots are
@@ -34,9 +34,13 @@ pub const SLOT_BYTES: u32 = 64;
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 #[repr(u8)]
 pub enum OpCode {
+    /// Point lookup.
     Read = 0,
+    /// In-place value update of an existing key.
     Update = 1,
+    /// Insert a new key (fails if present).
     Insert = 2,
+    /// Remove a key.
     Remove = 3,
     /// B+ tree: complete an insert whose host-side path is now locked.
     ResumeInsert = 4,
@@ -71,8 +75,11 @@ const CTRL_LOCK_PATH: u64 = 1 << 3;
 /// An offloaded operation request, as written by the host thread.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Request {
+    /// Requested operation.
     pub op: OpCode,
+    /// Target key.
     pub key: Key,
+    /// Value to insert/update (ignored by reads and removes).
     pub value: Value,
     /// Begin-NMP-traversal node (§3.2 item 3); NULL = partition sentinel.
     pub begin: Addr,
@@ -83,6 +90,7 @@ pub struct Request {
 }
 
 impl Request {
+    /// Request with no begin pointer, host pointer, or aux word.
     pub fn new(op: OpCode, key: Key, value: Value) -> Self {
         Request { op, key, value, begin: NULL, host_ptr: NULL, aux: 0 }
     }
@@ -108,18 +116,22 @@ pub struct Response {
 }
 
 impl Response {
+    /// Stale begin pointer: host must retry from scratch.
     pub fn retry() -> Self {
         Response { retry: true, ..Default::default() }
     }
 
+    /// Success carrying `value`.
     pub fn ok_value(value: u32) -> Self {
         Response { ok: true, value, ..Default::default() }
     }
 
+    /// Completed without effect (key absent on read/remove, present on insert).
     pub fn fail() -> Self {
         Response::default()
     }
 
+    /// B+ tree: ask the host to lock its path and send `ResumeInsert`.
     pub fn lock_path() -> Self {
         Response { lock_path: true, ..Default::default() }
     }
@@ -148,6 +160,7 @@ impl PubLists {
             for s in 0..slots {
                 let a = machine.map().spad_base(p) + s as u32 * SLOT_BYTES;
                 for w in 0..8 {
+                    // xtask: allow(raw-mem) — pre-simulation zeroing of the runtime's own slots
                     machine.ram().write_u64(a + w * 8, 0);
                 }
             }
@@ -156,14 +169,17 @@ impl PubLists {
     }
 
     /// The machine these lists live on.
+    /// The machine these lists live on.
     pub fn machine(&self) -> &Arc<Machine> {
         &self.machine
     }
 
+    /// Per-core lane count (§3.5 non-blocking depth).
     pub fn max_inflight(&self) -> usize {
         self.max_inflight
     }
 
+    /// Slots in each partition's list (`host_cores * max_inflight`).
     pub fn slots_per_part(&self) -> usize {
         self.slots_per_part
     }
@@ -286,6 +302,8 @@ pub trait NmpExec: Send + Sync + 'static {
     /// path of a B+ tree insert awaiting RESUME_INSERT).
     type SlotState: Default + Send;
 
+    /// Apply one published request to partition `part`'s portion of the
+    /// structure.
     fn exec(
         &self,
         ctx: &mut ThreadCtx,
@@ -293,6 +311,13 @@ pub trait NmpExec: Send + Sync + 'static {
         req: &Request,
         state: &mut Self::SlotState,
     ) -> Response;
+
+    /// The NMP half of the structure's declared memory-effect plan: per
+    /// op code, everything `exec` may touch (on top of the publication-list
+    /// protocol itself, [`crate::effects::NMP_PROTOCOL`]). The combiner
+    /// scopes conformance checking to the op being served, so an executor
+    /// straying outside this plan is blamed with the exact op and site.
+    fn effect_spec(&self) -> EffectSpec;
 }
 
 /// Spawn one flat-combining daemon per partition. Each combiner runs the
@@ -311,6 +336,8 @@ pub fn spawn_combiners<E: NmpExec>(sim: &mut Simulation, lists: Arc<PubLists>, e
             let mut states: Vec<E::SlotState> = Vec::new();
             states.resize_with(lists.slots_per_part(), Default::default);
             let mut batch: Vec<(usize, Request)> = Vec::with_capacity(lists.slots_per_part());
+            #[cfg(feature = "analysis")]
+            let analysis = lists.machine.mem().analysis().cloned();
             loop {
                 batch.clear();
                 #[cfg(feature = "trace")]
@@ -332,8 +359,19 @@ pub fn spawn_combiners<E: NmpExec>(sim: &mut Simulation, lists: Arc<PubLists>, e
                 for &(slot, ref req) in &batch {
                     #[cfg(feature = "trace")]
                     let exec_start = ctx.now();
+                    // Scope conformance checking to the op being served so
+                    // blame reports name it; the scan pass above runs
+                    // unscoped (checked against the protocol union).
+                    #[cfg(feature = "analysis")]
+                    if let Some(a) = &analysis {
+                        a.set_current_op(ctx.id(), Some(req.op as u8));
+                    }
                     let resp = exec.exec(ctx, part, req, &mut states[slot]);
                     lists.complete(ctx, part, slot, &resp);
+                    #[cfg(feature = "analysis")]
+                    if let Some(a) = &analysis {
+                        a.set_current_op(ctx.id(), None);
+                    }
                     #[cfg(feature = "trace")]
                     if let Some(t) = lists.machine.mem().tracer() {
                         t.note_exec(part, slot, exec_start, ctx.now());
@@ -376,12 +414,23 @@ mod tests {
         let _ = PubLists::new(machine(), 64);
     }
 
+    /// Protocol-only spec for executors that touch no data region.
+    fn protocol_only(name: &'static str) -> EffectSpec {
+        EffectSpec::new(name)
+            .op(crate::effects::protocol_op(OpCode::Read, "Read"))
+            .op(crate::effects::protocol_op(OpCode::Update, "Update"))
+            .op(crate::effects::protocol_op(OpCode::Insert, "Insert"))
+    }
+
     /// Echo executor: replies with ok and value = key + 1.
     struct Echo;
     impl NmpExec for Echo {
         type SlotState = ();
         fn exec(&self, _ctx: &mut ThreadCtx, _part: usize, req: &Request, _s: &mut ()) -> Response {
             Response::ok_value(req.key + 1)
+        }
+        fn effect_spec(&self) -> EffectSpec {
+            protocol_only("echo")
         }
     }
 
@@ -436,6 +485,9 @@ mod tests {
             fn exec(&self, _: &mut ThreadCtx, _: usize, _: &Request, _: &mut ()) -> Response {
                 Response::retry()
             }
+            fn effect_spec(&self) -> EffectSpec {
+                protocol_only("always-retry")
+            }
         }
         let m = machine();
         let lists = Arc::new(PubLists::new(Arc::clone(&m), 1));
@@ -472,6 +524,9 @@ mod tests {
                     new_child: 0x4000,
                     ..Default::default()
                 }
+            }
+            fn effect_spec(&self) -> EffectSpec {
+                protocol_only("check")
             }
         }
         let mut sim = m.simulation();

@@ -24,12 +24,14 @@
 
 use std::sync::Arc;
 
-use nmp_sim::{Addr, Machine, Simulation, ThreadCtx, NULL};
+use nmp_sim::analysis::RegionClass;
+use nmp_sim::{Addr, EffectSpec, Machine, Simulation, ThreadCtx, NULL};
 use workloads::{Key, KeySpace, Op, Value};
 
 use crate::api::{Issued, OpResult, PollOutcome, SimIndex};
+use crate::effects::{protocol_op, AccessDecl};
 use crate::offload::{OffloadClient, OffloadRuntime, PendingOp, Step};
-use crate::publist::{OpCode, Request, Response};
+use crate::publist::{NmpExec, OpCode, Request, Response};
 
 use super::nmp_based::SkiplistExec;
 use super::{node, seq, LockFreeSkipList};
@@ -61,6 +63,9 @@ pub fn split_for(n: u64, llc_bytes: u64) -> (u32, u32) {
 }
 
 impl HybridSkipList {
+    /// Build an empty hybrid skiplist: keys of height `> total_levels -
+    /// nmp_height` get a host portion; every key gets an NMP node in the
+    /// partition `ks` maps it to.
     pub fn new(
         machine: Arc<Machine>,
         ks: KeySpace,
@@ -90,14 +95,17 @@ impl HybridSkipList {
         })
     }
 
+    /// Levels managed by the NMP side (the paper's split point).
     pub fn nmp_height(&self) -> u32 {
         self.nmp_height
     }
 
+    /// Total levels across both portions.
     pub fn total_levels(&self) -> u32 {
         self.total_levels
     }
 
+    /// Levels managed by the host side (`total - nmp_height`).
     pub fn host_levels(&self) -> u32 {
         self.total_levels - self.nmp_height
     }
@@ -390,6 +398,31 @@ impl OffloadClient for HybridSkipList {
         }
         Step::Done(self.finish(ctx, op, resp, &mut st.host_node))
     }
+
+    fn effect_spec(&self) -> EffectSpec {
+        // Host half: every op traverses the lock-free host portion, whose
+        // find may help-unlink marked nodes with a CAS; inserts build and
+        // link the host counterpart; updates release-store its value word
+        // (observed by the CAS-carrying traversals, hence untagged pairing).
+        let walk =
+            [AccessDecl::read(RegionClass::Host), AccessDecl::write(RegionClass::Host).cas()];
+        let link = [
+            AccessDecl::read(RegionClass::Host),
+            AccessDecl::write(RegionClass::Host),
+            AccessDecl::write(RegionClass::Host).cas(),
+        ];
+        let publish = [
+            AccessDecl::read(RegionClass::Host),
+            AccessDecl::write(RegionClass::Host).cas(),
+            AccessDecl::write(RegionClass::Host).release(),
+        ];
+        EffectSpec::new("hybrid-skiplist")
+            .op(protocol_op(OpCode::Read, "Read").host_all(&walk))
+            .op(protocol_op(OpCode::Scan, "Scan").host_all(&walk))
+            .op(protocol_op(OpCode::Update, "Update").host_all(&publish))
+            .op(protocol_op(OpCode::Insert, "Insert").host_all(&link))
+            .op(protocol_op(OpCode::Remove, "Remove").host_all(&walk))
+    }
 }
 
 impl SimIndex for HybridSkipList {
@@ -407,7 +440,12 @@ impl SimIndex for HybridSkipList {
         self.runtime.poll(ctx, self, pending)
     }
 
+    fn effect_spec(&self) -> EffectSpec {
+        OffloadClient::effect_spec(self).merged(NmpExec::effect_spec(&*self.exec))
+    }
+
     fn spawn_services(self: &Arc<Self>, sim: &mut Simulation) {
+        self.runtime.register_spec(&SimIndex::effect_spec(&**self));
         self.runtime.spawn_combiners(sim, Arc::clone(&self.exec));
     }
 

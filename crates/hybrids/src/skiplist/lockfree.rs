@@ -21,8 +21,11 @@ use super::node;
 /// Traversal result: predecessors and successors at every level, plus the
 /// node holding the target key if present (Listing 1's `find`).
 pub struct LfFind {
+    /// Predecessor node per level.
     pub preds: Vec<Addr>,
+    /// Successor node per level.
     pub succs: Vec<Addr>,
+    /// Node holding the target key, if present and unmarked.
     pub found: Option<Addr>,
 }
 
@@ -88,18 +91,22 @@ impl LockFreeSkipList {
         }
     }
 
+    /// Head sentinel address.
     pub fn head(&self) -> Addr {
         self.head
     }
 
+    /// Maximum levels (head height).
     pub fn levels(&self) -> u32 {
         self.levels
     }
 
+    /// Height-derivation seed.
     pub fn seed(&self) -> u64 {
         self.seed
     }
 
+    /// The machine the list lives on.
     pub fn machine(&self) -> &Arc<Machine> {
         &self.machine
     }

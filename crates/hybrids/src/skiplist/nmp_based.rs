@@ -11,10 +11,12 @@
 
 use std::sync::Arc;
 
-use nmp_sim::{Addr, Machine, Simulation, ThreadCtx, NULL};
+use nmp_sim::analysis::RegionClass;
+use nmp_sim::{Addr, EffectSpec, Machine, Simulation, ThreadCtx, NULL};
 use workloads::{Key, KeySpace, Op, Value};
 
 use crate::api::{Issued, OpResult, PollOutcome, SimIndex};
+use crate::effects::{protocol_op, AccessDecl};
 use crate::offload::{OffloadClient, OffloadRuntime, PendingOp, Step};
 use crate::publist::{NmpExec, OpCode, Request, Response};
 
@@ -29,6 +31,7 @@ pub struct SkiplistExec {
 }
 
 impl SkiplistExec {
+    /// Executor over the per-partition head sentinels in `heads`.
     pub fn new(machine: Arc<Machine>, heads: Vec<Addr>, levels: u32) -> Self {
         SkiplistExec { machine, heads, levels }
     }
@@ -96,6 +99,23 @@ impl NmpExec for SkiplistExec {
             op => panic!("skiplist executor received B+ tree opcode {op:?}"),
         }
     }
+
+    fn effect_spec(&self) -> EffectSpec {
+        // NMP half, shared by the baseline and the hybrid's bottom portion:
+        // every op walks the partition-local run; insert/remove splice it,
+        // update release-stores the value word (paired host-side in the
+        // hybrid, partition-exempt here).
+        let walk = [AccessDecl::read(RegionClass::Part)];
+        let splice = [AccessDecl::read(RegionClass::Part), AccessDecl::write(RegionClass::Part)];
+        let publish =
+            [AccessDecl::read(RegionClass::Part), AccessDecl::write(RegionClass::Part).release()];
+        EffectSpec::new("skiplist-exec")
+            .op(protocol_op(OpCode::Read, "Read").nmp_all(&walk))
+            .op(protocol_op(OpCode::Scan, "Scan").nmp_all(&walk))
+            .op(protocol_op(OpCode::Update, "Update").nmp_all(&publish))
+            .op(protocol_op(OpCode::Insert, "Insert").nmp_all(&splice))
+            .op(protocol_op(OpCode::Remove, "Remove").nmp_all(&splice))
+    }
 }
 
 /// Per-operation offload state: only scans carry state (their
@@ -138,6 +158,7 @@ impl NmpSkipList {
         Arc::new(NmpSkipList { machine, runtime, exec, heads, levels, ks, seed })
     }
 
+    /// Levels of every per-partition skiplist.
     pub fn levels(&self) -> u32 {
         self.levels
     }
@@ -276,6 +297,17 @@ impl OffloadClient for NmpSkipList {
         }
         Step::Done(Self::to_result(op, resp))
     }
+
+    fn effect_spec(&self) -> EffectSpec {
+        // Host half: the baseline does no host-side traversal at all — the
+        // host phase is exactly the publication-list protocol round trip.
+        EffectSpec::new("nmp-skiplist")
+            .op(protocol_op(OpCode::Read, "Read"))
+            .op(protocol_op(OpCode::Scan, "Scan"))
+            .op(protocol_op(OpCode::Update, "Update"))
+            .op(protocol_op(OpCode::Insert, "Insert"))
+            .op(protocol_op(OpCode::Remove, "Remove"))
+    }
 }
 
 impl SimIndex for NmpSkipList {
@@ -293,7 +325,12 @@ impl SimIndex for NmpSkipList {
         self.runtime.poll(ctx, self, pending)
     }
 
+    fn effect_spec(&self) -> EffectSpec {
+        OffloadClient::effect_spec(self).merged(self.exec.effect_spec())
+    }
+
     fn spawn_services(self: &Arc<Self>, sim: &mut Simulation) {
+        self.runtime.register_spec(&SimIndex::effect_spec(&**self));
         self.runtime.spawn_combiners(sim, Arc::clone(&self.exec));
     }
 

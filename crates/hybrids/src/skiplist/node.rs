@@ -17,6 +17,9 @@
 //! * Mark bits on next pointers are the lock-free (host-side) deletion
 //!   marks of the Herlihy–Lev–Shavit algorithm.
 
+// xtask: accessor-module — all raw (untimed) skiplist memory access lives
+// here; everything else must go through these typed helpers.
+
 use nmp_sim::{Addr, SimRam, ThreadCtx};
 use workloads::{mix64, Key, Value};
 
@@ -67,8 +70,11 @@ fn pack_w2(cross: Addr, levels: u32) -> u64 {
 /// Decoded header word.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Header {
+    /// The node's key.
     pub key: Key,
+    /// Full geometric height (shared across a hybrid node's two halves).
     pub height: u32,
+    /// NMP-side logical-deletion flag (§3.3).
     pub deleted: bool,
 }
 
@@ -83,6 +89,7 @@ pub fn unpack_next(w: u64) -> (Addr, bool) {
     ((w as u32) & !1, w & 1 != 0)
 }
 
+/// Encode a next pointer (mark in bit 0; inverse of [`unpack_next`]).
 #[inline]
 pub fn pack_next(ptr: Addr, mark: bool) -> u64 {
     debug_assert_eq!(ptr & 1, 0);
@@ -100,6 +107,7 @@ pub fn height_for_key(key: Key, seed: u64, max: u32) -> u32 {
 
 // ---- untimed (population / invariant checking) ----
 
+/// Untimed node initialization: header, value, cross word, null nexts.
 pub fn raw_init(
     ram: &SimRam,
     node: Addr,
@@ -117,37 +125,46 @@ pub fn raw_init(
     }
 }
 
+/// Untimed read of the header word.
 pub fn raw_header(ram: &SimRam, node: Addr) -> Header {
     unpack_w0(ram.read_u64(node))
 }
 
+/// Untimed read of the value word.
 pub fn raw_value(ram: &SimRam, node: Addr) -> Value {
     ram.read_u64(node + 8) as u32
 }
 
+/// Untimed read of the stored-levels count (this portion's level count,
+/// not the full height).
 pub fn raw_levels(ram: &SimRam, node: Addr) -> u32 {
     ((ram.read_u64(node + 16) >> 32) & 0xFF) as u32
 }
 
+/// Untimed read of the cross pointer (host `nmp_ptr` / NMP `host_ptr`).
 pub fn raw_cross(ram: &SimRam, node: Addr) -> Addr {
     ram.read_u64(node + 16) as u32
 }
 
+/// Untimed write of the cross pointer (preserves the levels field).
 pub fn raw_set_cross(ram: &SimRam, node: Addr, cross: Addr) {
     let levels = raw_levels(ram, node);
     ram.write_u64(node + 16, pack_w2(cross, levels));
 }
 
+/// Untimed read of the level-`l` next pointer.
 pub fn raw_next(ram: &SimRam, node: Addr, l: u32) -> (Addr, bool) {
     unpack_next(ram.read_u64(node + next_off(l)))
 }
 
+/// Untimed write of the level-`l` next pointer.
 pub fn raw_set_next(ram: &SimRam, node: Addr, l: u32, ptr: Addr, mark: bool) {
     ram.write_u64(node + next_off(l), pack_next(ptr, mark));
 }
 
 // ---- timed (operation execution) ----
 
+/// Timed read of the header word.
 pub fn read_header(ctx: &mut ThreadCtx, node: Addr) -> Header {
     unpack_w0(ctx.read_u64(node))
 }
@@ -158,10 +175,12 @@ pub fn mark_deleted(ctx: &mut ThreadCtx, node: Addr) {
     ctx.write_u64(node, w | DELETED_BIT);
 }
 
+/// Timed read of the value word.
 pub fn read_value(ctx: &mut ThreadCtx, node: Addr) -> Value {
     ctx.read_u64(node + 8) as u32
 }
 
+/// Timed in-place value update (release).
 pub fn write_value(ctx: &mut ThreadCtx, node: Addr, value: Value) {
     // Release: in-place updates publish the new value to unsynchronized
     // concurrent readers (reads of the value word are plain and race-free
@@ -169,19 +188,24 @@ pub fn write_value(ctx: &mut ThreadCtx, node: Addr, value: Value) {
     ctx.write_u64_release(node + 8, value as u64);
 }
 
+/// Timed read of the cross pointer.
 pub fn read_cross(ctx: &mut ThreadCtx, node: Addr) -> Addr {
     ctx.read_u64(node + 16) as u32
 }
 
+/// Timed write of the cross pointer (preserves the levels field).
 pub fn write_cross(ctx: &mut ThreadCtx, node: Addr, cross: Addr) {
     let levels = ((ctx.read_u64(node + 16) >> 32) & 0xFF) as u32;
     ctx.write_u64(node + 16, pack_w2(cross, levels));
 }
 
+/// Timed read of the level-`l` next pointer.
 pub fn read_next(ctx: &mut ThreadCtx, node: Addr, l: u32) -> (Addr, bool) {
     unpack_next(ctx.read_u64(node + next_off(l)))
 }
 
+/// Timed write of the level-`l` next pointer (single-owner paths only;
+/// contended updates go through [`cas_next`]).
 pub fn write_next(ctx: &mut ThreadCtx, node: Addr, l: u32, ptr: Addr, mark: bool) {
     ctx.write_u64(node + next_off(l), pack_next(ptr, mark));
 }

@@ -1,0 +1,96 @@
+//! Smoke test: every structure's declared access plan passes static
+//! verification against its machine's topology with ZERO simulation
+//! cycles — no `Simulation` is ever built here, only the specs are
+//! inspected. This is the registration-time guarantee (`spawn_services`
+//! calls `register_effect_spec`, which panics on a bad plan before any
+//! cycle runs) exercised directly for all six structures.
+
+use std::sync::Arc;
+
+use hybrids::api::SimIndex;
+use hybrids::btree::{HostBTree, HybridBTree};
+use hybrids::hashmap::HybridHashMap;
+use hybrids::pqueue::HybridPqueue;
+use hybrids::publist::OpCode;
+use hybrids::skiplist::{HybridSkipList, NmpSkipList};
+use hybrids::topology;
+use nmp_sim::analysis::verify_spec;
+use nmp_sim::{Config, EffectSpec, Machine};
+use workloads::KeySpace;
+
+fn keyspace() -> KeySpace {
+    KeySpace::new(256, 2, 64)
+}
+
+/// Verify `spec` against `machine` and assert it covers exactly `ops`.
+fn assert_plan(machine: &Machine, spec: &EffectSpec, name: &str, ops: &[OpCode]) {
+    let errs = verify_spec(spec, topology(machine));
+    assert!(errs.is_empty(), "{name}: {errs:?}");
+    for &op in ops {
+        assert!(spec.op_spec(op as u8).is_some(), "{name}: spec is missing op {op:?}");
+    }
+}
+
+#[test]
+fn all_six_structures_ship_verified_specs() {
+    let ks = keyspace();
+    let initial: Vec<(u32, u32)> = (0..64).map(|i| (ks.initial_key(i), 1)).collect();
+    let point_ops = [OpCode::Read, OpCode::Update, OpCode::Insert, OpCode::Remove];
+
+    let m = Machine::new(Config::tiny());
+    let sl = NmpSkipList::new(Arc::clone(&m), ks, 8, 3, 1);
+    assert_plan(&m, &sl.effect_spec(), "nmp-skiplist", &point_ops);
+    assert_plan(&m, &sl.effect_spec(), "nmp-skiplist", &[OpCode::Scan]);
+
+    let m = Machine::new(Config::tiny());
+    let sl = HybridSkipList::new(Arc::clone(&m), ks, 10, 4, 3, 1);
+    assert_plan(&m, &sl.effect_spec(), "hybrid-skiplist", &point_ops);
+    assert_plan(&m, &sl.effect_spec(), "hybrid-skiplist", &[OpCode::Scan]);
+
+    let m = Machine::new(Config::tiny());
+    let t = HybridBTree::with_budget(Arc::clone(&m), &initial, 0.7, 2, 2 * 1024);
+    assert_plan(
+        &m,
+        &t.effect_spec(),
+        "hybrid-btree",
+        &[
+            OpCode::Read,
+            OpCode::Update,
+            OpCode::Insert,
+            OpCode::Remove,
+            OpCode::Scan,
+            OpCode::ResumeInsert,
+            OpCode::UnlockPath,
+        ],
+    );
+
+    let m = Machine::new(Config::tiny());
+    let t = HostBTree::new(Arc::clone(&m), &initial, 0.7);
+    assert_plan(&m, &t.effect_spec(), "host-btree", &point_ops);
+
+    let m = Machine::new(Config::tiny());
+    let hm = HybridHashMap::new(Arc::clone(&m), 64, 99, 1);
+    assert_plan(&m, &hm.effect_spec(), "hybrid-hashmap", &point_ops);
+
+    let m = Machine::new(Config::tiny());
+    let pq = HybridPqueue::new(Arc::clone(&m), ks, 8, 5, 1);
+    assert_plan(&m, &pq.effect_spec(), "hybrid-pqueue", &[OpCode::Insert, OpCode::PopMin]);
+}
+
+/// The merged (host + NMP) spec is what registration verifies: for the
+/// offloading structures both thread classes must appear, with the
+/// publication-list protocol on each side.
+#[test]
+fn offloading_specs_declare_both_protocol_halves() {
+    use nmp_sim::analysis::{RegionClass, ThreadClass};
+
+    let m = Machine::new(Config::tiny());
+    let hm = HybridHashMap::new(Arc::clone(&m), 64, 99, 1);
+    let spec = hm.effect_spec();
+    for class in [ThreadClass::Host, ThreadClass::Nmp] {
+        assert!(
+            spec.all_decls(class).any(|d| d.region == RegionClass::Spad),
+            "hybrid-hashmap: {class:?} side must declare the publication-list channel"
+        );
+    }
+}

@@ -1,0 +1,300 @@
+//! Exhaustive interleaving check of the two cross-thread-class word
+//! protocols the structures rely on, in the style of `loom` but
+//! hand-rolled (no dependencies): every schedule of two model threads is
+//! enumerated by DFS, and each schedule is checked with the same
+//! vector-clock happens-before rules as `nmp_sim::analysis::race`:
+//!
+//! * a cell becomes a *sync cell* the first time it sees an
+//!   acquire/release access; sync loads join the thread clock with the
+//!   cell clock, sync stores join the cell clock with the thread clock and
+//!   bump the thread's epoch;
+//! * plain accesses to data cells race when two threads touch the cell,
+//!   at least one writes, and neither happens-before the other.
+//!
+//! Protocols under test:
+//!
+//! 1. the publication-list ctrl word (`publist.rs`): payload words are
+//!    written plain, then the ctrl word is release-written; the other side
+//!    acquire-reads ctrl until it observes the flag, then reads the
+//!    payload plain — including the full round trip where the same slot
+//!    words are reused for the response;
+//! 2. the pqueue minima cells (`pqueue/cells.rs`): the packed
+//!    key|present word *is* the sync cell — release-written by
+//!    `refresh_cache`, acquire-read by `merge_step`.
+//!
+//! For each protocol a demoted variant (release downgraded to a plain
+//! write, or the guard skipped) must race in at least one schedule —
+//! establishing that the test can actually see the bug the annotations
+//! prevent.
+//!
+//! Spinning is modeled exactly but boundedly: while a `SpinAcq` has not
+//! observed its expected value, the scheduler may run it as a *failed
+//! poll* — the acquire read happens (promoting the cell, joining clocks)
+//! but the program counter does not advance — up to a fixed per-thread
+//! poll budget, which keeps the schedule space finite while still
+//! interleaving polls with the other thread's stores.
+
+/// One model-thread instruction over a tiny cell-indexed memory.
+#[derive(Debug, Clone, Copy)]
+enum Step {
+    /// Plain data write of `1` (values only matter for spin guards).
+    Write(usize, u64),
+    /// Release write.
+    WriteRel(usize, u64),
+    /// Plain data read.
+    Read(usize),
+    /// Acquire read (no guard).
+    ReadAcq(usize),
+    /// Acquire read that only executes once the cell holds `expected`.
+    SpinAcq(usize, u64),
+}
+
+const THREADS: usize = 2;
+
+/// Per-cell access history, as in `race.rs`: the last write plus the reads
+/// since it, at most one per thread; `(tid, epoch)` pairs.
+#[derive(Debug, Clone, Default)]
+struct CellHistory {
+    last_write: Option<(usize, u32)>,
+    reads: Vec<(usize, u32)>,
+}
+
+/// Failed polls a spinning thread may issue before it parks until its
+/// guard can succeed.
+const POLL_BUDGET: u8 = 2;
+
+#[derive(Debug, Clone)]
+struct State {
+    pcs: [usize; THREADS],
+    mem: Vec<u64>,
+    /// `Some(clock)` once the cell is promoted to a sync cell.
+    sync: Vec<Option<[u32; THREADS]>>,
+    vc: [[u32; THREADS]; THREADS],
+    cells: Vec<CellHistory>,
+    polls: [u8; THREADS],
+    races: u32,
+}
+
+impl State {
+    fn new(num_cells: usize) -> State {
+        let mut vc = [[0u32; THREADS]; THREADS];
+        for (t, clock) in vc.iter_mut().enumerate() {
+            clock[t] = 1; // as after `on_sim_start`
+        }
+        State {
+            pcs: [0; THREADS],
+            mem: vec![0; num_cells],
+            sync: vec![None; num_cells],
+            vc,
+            cells: vec![CellHistory::default(); num_cells],
+            polls: [0; THREADS],
+            races: 0,
+        }
+    }
+}
+
+fn join(into: &mut [u32; THREADS], other: &[u32; THREADS]) {
+    for (a, b) in into.iter_mut().zip(other) {
+        *a = (*a).max(*b);
+    }
+}
+
+/// Apply one step for thread `tid`, mirroring `RaceDetector::on_access`.
+fn apply(s: &mut State, tid: usize, step: Step) {
+    let (c, is_write, is_sync_op, value) = match step {
+        Step::Write(c, v) => (c, true, false, Some(v)),
+        Step::WriteRel(c, v) => (c, true, true, Some(v)),
+        Step::Read(c) => (c, false, false, None),
+        Step::ReadAcq(c) | Step::SpinAcq(c, _) => (c, false, true, None),
+    };
+
+    // Promotion: the first annotated access makes the cell a sync cell and
+    // drops its plain-access history.
+    if is_sync_op && s.sync[c].is_none() {
+        s.sync[c] = Some([0; THREADS]);
+        s.cells[c] = CellHistory::default();
+    }
+
+    if let Some(clock) = &mut s.sync[c] {
+        // Sync cell: loads acquire, stores release (plain or annotated).
+        if is_write {
+            join(clock, &s.vc[tid]);
+            s.vc[tid][tid] += 1;
+        } else {
+            let clock = *clock;
+            join(&mut s.vc[tid], &clock);
+        }
+    } else {
+        // Plain access to a data cell: happens-before race check.
+        let epoch = s.vc[tid][tid];
+        let hist = &mut s.cells[c];
+        if let Some((wt, we)) = hist.last_write {
+            if wt != tid && s.vc[tid][wt] < we {
+                s.races += 1;
+            }
+        }
+        if is_write {
+            for &(rt, re) in &hist.reads {
+                if rt != tid && s.vc[tid][rt] < re {
+                    s.races += 1;
+                }
+            }
+            hist.last_write = Some((tid, epoch));
+            hist.reads.clear();
+        } else if let Some(slot) = hist.reads.iter_mut().find(|(rt, _)| *rt == tid) {
+            *slot = (tid, epoch);
+        } else {
+            hist.reads.push((tid, epoch));
+        }
+    }
+
+    if let Some(v) = value {
+        s.mem[c] = v;
+    }
+}
+
+/// How a thread may be scheduled next.
+#[derive(Debug, Clone, Copy)]
+enum Transition {
+    /// Execute the step at the current pc and advance.
+    Advance(usize),
+    /// A `SpinAcq` whose guard is not yet satisfied performs the acquire
+    /// read without advancing (bounded by [`POLL_BUDGET`]).
+    FailedPoll(usize),
+}
+
+/// DFS over every schedule. Returns `(schedules, schedules_with_races)`.
+fn explore(progs: [&[Step]; THREADS], num_cells: usize) -> (u64, u64) {
+    fn rec(s: &State, progs: [&[Step]; THREADS], out: &mut (u64, u64)) {
+        let mut enabled: Vec<Transition> = Vec::new();
+        let mut parked = false;
+        for (t, prog) in progs.iter().enumerate() {
+            let pc = s.pcs[t];
+            if pc >= prog.len() {
+                continue;
+            }
+            match prog[pc] {
+                Step::SpinAcq(c, want) if s.mem[c] != want => {
+                    parked = true;
+                    if s.polls[t] < POLL_BUDGET {
+                        enabled.push(Transition::FailedPoll(t));
+                    }
+                }
+                _ => enabled.push(Transition::Advance(t)),
+            }
+        }
+        if enabled.is_empty() {
+            // Spinners whose budget ran out with no thread able to unblock
+            // them would show up here as a deadlock.
+            assert!(!parked, "schedule deadlocked on a spin guard: {s:?}");
+            for (t, prog) in progs.iter().enumerate() {
+                assert_eq!(s.pcs[t], prog.len(), "schedule deadlocked in thread {t}: {s:?}");
+            }
+            out.0 += 1;
+            out.1 += u64::from(s.races > 0);
+            return;
+        }
+        for tr in enabled {
+            let mut next = s.clone();
+            match tr {
+                Transition::Advance(t) => {
+                    apply(&mut next, t, progs[t][s.pcs[t]]);
+                    next.pcs[t] += 1;
+                }
+                Transition::FailedPoll(t) => {
+                    let Step::SpinAcq(c, _) = progs[t][s.pcs[t]] else { unreachable!() };
+                    apply(&mut next, t, Step::ReadAcq(c));
+                    next.polls[t] += 1;
+                }
+            }
+            rec(&next, progs, out);
+        }
+    }
+    let mut out = (0, 0);
+    rec(&State::new(num_cells), progs, &mut out);
+    out
+}
+
+// Cell roles for the publication-list slot model.
+const CTRL: usize = 0;
+const W1: usize = 1;
+const W2: usize = 2;
+
+#[test]
+fn publist_post_scan_protocol_is_race_free_in_all_schedules() {
+    // Host `post`: payload plain, ctrl release. NMP `scan`: ctrl acquire
+    // (spin), payload plain.
+    let host = [Step::Write(W1, 1), Step::Write(W2, 1), Step::WriteRel(CTRL, 1)];
+    let nmp = [Step::SpinAcq(CTRL, 1), Step::Read(W1), Step::Read(W2)];
+    let (schedules, racy) = explore([&host, &nmp], 3);
+    assert!(schedules > 1, "expected multiple schedules, got {schedules}");
+    assert_eq!(racy, 0, "{racy} of {schedules} schedules raced");
+}
+
+#[test]
+fn publist_full_round_trip_reusing_slot_words_is_race_free() {
+    // The real slot protocol reuses the same words for the response: the
+    // NMP side overwrites the payload words it just read and
+    // release-writes DONE into ctrl; the host acquire-spins on ctrl and
+    // reads the result words back.
+    let host = [
+        Step::Write(W1, 1),
+        Step::Write(W2, 1),
+        Step::WriteRel(CTRL, 1),
+        Step::SpinAcq(CTRL, 2),
+        Step::Read(W1),
+        Step::Read(W2),
+    ];
+    let nmp = [
+        Step::SpinAcq(CTRL, 1),
+        Step::Read(W1),
+        Step::Read(W2),
+        Step::Write(W1, 2),
+        Step::Write(W2, 2),
+        Step::WriteRel(CTRL, 2),
+    ];
+    let (schedules, racy) = explore([&host, &nmp], 3);
+    assert!(schedules > 1);
+    assert_eq!(racy, 0, "{racy} of {schedules} schedules raced");
+}
+
+#[test]
+fn publist_demoted_ctrl_release_races() {
+    // Downgrade the host's ctrl release to a plain write: in schedules
+    // where the NMP side's acquire promotes the ctrl cell only after the
+    // plain write, no happens-before edge covers the payload words.
+    let host = [Step::Write(W1, 1), Step::Write(W2, 1), Step::Write(CTRL, 1)];
+    let nmp = [Step::SpinAcq(CTRL, 1), Step::Read(W1), Step::Read(W2)];
+    let (schedules, racy) = explore([&host, &nmp], 3);
+    assert!(racy > 0, "demoted release should race in some of the {schedules} schedules");
+}
+
+#[test]
+fn publist_unguarded_payload_read_races() {
+    // Reading the payload without waiting on ctrl races even though the
+    // ctrl word itself is properly release/acquire.
+    let host = [Step::Write(W1, 1), Step::Write(W2, 1), Step::WriteRel(CTRL, 1)];
+    let nmp = [Step::Read(W1), Step::Read(W2), Step::ReadAcq(CTRL)];
+    let (schedules, racy) = explore([&host, &nmp], 3);
+    assert!(racy > 0, "unguarded reads should race in some of the {schedules} schedules");
+}
+
+#[test]
+fn pqueue_minima_cell_is_race_free_in_all_schedules() {
+    // `refresh_cache` release-writes the packed key|present word;
+    // `merge_step` acquire-reads it. The word is its own sync cell, so
+    // repeated refreshes against repeated merges never race.
+    let refresher = [Step::WriteRel(0, 7), Step::WriteRel(0, 9)];
+    let merger = [Step::ReadAcq(0), Step::ReadAcq(0)];
+    let (schedules, racy) = explore([&refresher, &merger], 1);
+    assert!(schedules > 1);
+    assert_eq!(racy, 0, "{racy} of {schedules} schedules raced");
+}
+
+#[test]
+fn pqueue_minima_cell_demoted_to_plain_races() {
+    let refresher = [Step::Write(0, 7)];
+    let merger = [Step::Read(0)];
+    let (schedules, racy) = explore([&refresher, &merger], 1);
+    assert_eq!(racy, schedules, "plain write vs plain read races in every schedule");
+}

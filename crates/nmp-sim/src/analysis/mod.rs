@@ -19,6 +19,15 @@
 //! 3. **Linearizability checker** ([`history`]): records completed index
 //!    operations and verifies the concurrent history against a sequential
 //!    map oracle with a Wing & Gong search.
+//! 4. **Spec-conformance mode** ([`conformance`]): checks every observed
+//!    access against the running structures' declared memory-effect plans
+//!    ([`effects::EffectSpec`]), producing declared-vs-observed blame
+//!    reports. Opt-in via [`Analysis::enable_conformance`].
+//!
+//! The [`effects`] module itself — the declaration vocabulary and its
+//! static verifier [`effects::verify_specs`] — is compiled unconditionally
+//! (no cargo feature needed): specs are validated at structure-registration
+//! time with zero simulation cycles, in every build configuration.
 //!
 //! Attach an [`Analysis`] with [`crate::Machine::attach_analysis`]; without
 //! one the simulator behaves exactly as before (wild region accesses
@@ -26,24 +35,47 @@
 //! [`Analysis::report`] and the `races_detected` / `policy_violations`
 //! fields of [`crate::stats::StatsSnapshot`].
 
+pub mod effects;
+
+#[cfg(feature = "analysis")]
+pub mod conformance;
+#[cfg(feature = "analysis")]
 pub mod history;
+#[cfg(feature = "analysis")]
 pub mod policy;
+#[cfg(feature = "analysis")]
 pub mod race;
 
+#[cfg(feature = "analysis")]
 use std::fmt;
+#[cfg(feature = "analysis")]
 use std::panic::Location;
+#[cfg(feature = "analysis")]
 use std::sync::Arc;
 
+#[cfg(feature = "analysis")]
 use parking_lot::Mutex;
 
+#[cfg(feature = "analysis")]
 use crate::engine::ThreadKind;
+#[cfg(feature = "analysis")]
 use crate::mem::{Addr, MemMap};
 
+#[cfg(feature = "analysis")]
+pub use conformance::ConformanceViolation;
+pub use effects::{
+    verify_spec, verify_specs, AccessDecl, Channel, Dir, EffectSpec, OpSpec, OrderClass,
+    RegionClass, SpecError, ThreadClass, Topology,
+};
+#[cfg(feature = "analysis")]
 pub use history::{HistEvent, HistOp, HistoryRecorder, LinearizabilityError};
+#[cfg(feature = "analysis")]
 pub use policy::{PolicyRule, PolicyViolation};
+#[cfg(feature = "analysis")]
 pub use race::{AccessSite, RaceKind, RaceReport};
 
 /// How a timed memory operation participates in the happens-before model.
+#[cfg(feature = "analysis")]
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum MemOp {
     /// Plain load: race-checked unless the cell is a sync cell (then it is
@@ -69,6 +101,7 @@ pub enum MemOp {
 }
 
 /// Aggregated results of the engine-integrated checkers.
+#[cfg(feature = "analysis")]
 #[derive(Debug, Clone, Default)]
 pub struct Report {
     /// Deduplicated race reports (capped at [`race::MAX_STORED_REPORTS`]).
@@ -79,12 +112,19 @@ pub struct Report {
     pub policy_violations: Vec<PolicyViolation>,
     /// Total number of policy-violating accesses observed (uncapped).
     pub policy_total: u64,
+    /// Deduplicated spec-conformance violations (capped); empty unless
+    /// conformance mode is enabled ([`Analysis::enable_conformance`]).
+    pub conformance: Vec<ConformanceViolation>,
+    /// Total number of undeclared accesses observed (uncapped).
+    pub conformance_total: u64,
 }
 
+#[cfg(feature = "analysis")]
 impl Report {
-    /// True when no races and no policy violations were observed.
+    /// True when no races, policy violations, or conformance violations
+    /// were observed.
     pub fn is_clean(&self) -> bool {
-        self.races_total == 0 && self.policy_total == 0
+        self.races_total == 0 && self.policy_total == 0 && self.conformance_total == 0
     }
 
     /// Panic with a readable listing if the report is not clean.
@@ -93,32 +133,44 @@ impl Report {
     }
 }
 
+#[cfg(feature = "analysis")]
 impl fmt::Display for Report {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "{} race(s), {} policy violation(s)", self.races_total, self.policy_total)?;
+        writeln!(
+            f,
+            "{} race(s), {} policy violation(s), {} conformance violation(s)",
+            self.races_total, self.policy_total, self.conformance_total
+        )?;
         for r in &self.races {
             writeln!(f, "  {r}")?;
         }
         for v in &self.policy_violations {
             writeln!(f, "  {v}")?;
         }
+        for v in &self.conformance {
+            writeln!(f, "  {v}")?;
+        }
         Ok(())
     }
 }
 
+#[cfg(feature = "analysis")]
 struct Inner {
     race: race::RaceDetector,
     policy: policy::PolicyChecker,
+    conf: conformance::ConformanceChecker,
 }
 
 /// The attached checker state of one simulated machine. One logical thread
 /// executes at a time, so the mutex is uncontended; it exists because
 /// logical threads live on distinct OS threads.
+#[cfg(feature = "analysis")]
 pub struct Analysis {
     map: MemMap,
     inner: Mutex<Inner>,
 }
 
+#[cfg(feature = "analysis")]
 impl Analysis {
     /// Build an analysis over the given address map.
     pub fn new(map: MemMap) -> Arc<Self> {
@@ -127,6 +179,7 @@ impl Analysis {
             inner: Mutex::new(Inner {
                 race: race::RaceDetector::new(),
                 policy: policy::PolicyChecker::new(),
+                conf: conformance::ConformanceChecker::new(),
             }),
         })
     }
@@ -135,10 +188,13 @@ impl Analysis {
     /// the engine; joins all prior clocks so that sequential simulations on
     /// one machine are ordered before the new threads.
     pub(crate) fn on_sim_start(&self, roster: &[(String, ThreadKind)]) {
-        self.inner.lock().race.on_sim_start(roster);
+        let mut g = self.inner.lock();
+        g.race.on_sim_start(roster);
+        g.conf.on_sim_start(roster.len());
     }
 
     /// Record one timed memory access (the engine's serialization point).
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn on_access(
         &self,
         tid: usize,
@@ -146,9 +202,47 @@ impl Analysis {
         addr: Addr,
         bytes: u32,
         op: MemOp,
+        mmio: bool,
         site: &'static Location<'static>,
     ) {
-        self.inner.lock().race.on_access(&self.map, tid, at, addr, bytes, op, site);
+        let mut g = self.inner.lock();
+        g.race.on_access(&self.map, tid, at, addr, bytes, op, site);
+        let kind = g.race.thread_kind(tid);
+        let region = self.map.region_of(addr);
+        let Inner { race, conf, .. } = &mut *g;
+        conf.check(
+            tid,
+            || race.thread_name(tid),
+            kind,
+            addr,
+            region,
+            op,
+            mmio,
+            at,
+            site.file(),
+            site.line(),
+            site.column(),
+        );
+    }
+
+    /// Install a structure's declared [`EffectSpec`] for conformance
+    /// checking. Re-installing a spec with the same structure name replaces
+    /// the previous one. Inert until [`Analysis::enable_conformance`].
+    pub fn install_spec(&self, spec: EffectSpec) {
+        self.inner.lock().conf.install(spec);
+    }
+
+    /// Turn on spec-conformance mode: every subsequent observed access is
+    /// checked against the installed specs.
+    pub fn enable_conformance(&self) {
+        self.inner.lock().conf.enable();
+    }
+
+    /// Scope thread `tid`'s subsequent accesses to declared operation `op`
+    /// (`None` clears the scope). NMP combiners call this around request
+    /// execution so blame reports name the op being served.
+    pub fn set_current_op(&self, tid: usize, op: Option<u8>) {
+        self.inner.lock().conf.set_current_op(tid, op);
     }
 
     /// Check the region policy for an access about to be routed. Returns
@@ -204,6 +298,11 @@ impl Analysis {
         self.inner.lock().policy.total()
     }
 
+    /// Total undeclared (spec-nonconforming) accesses observed so far.
+    pub fn conformance_count(&self) -> u64 {
+        self.inner.lock().conf.total()
+    }
+
     /// Snapshot the current findings.
     pub fn report(&self) -> Report {
         let g = self.inner.lock();
@@ -212,6 +311,8 @@ impl Analysis {
             races_total: g.race.total(),
             policy_violations: g.policy.violations().to_vec(),
             policy_total: g.policy.total(),
+            conformance: g.conf.violations().to_vec(),
+            conformance_total: g.conf.total(),
         }
     }
 }

@@ -170,6 +170,10 @@ impl RaceDetector {
         self.threads.get(tid).map_or_else(|| format!("thread-{tid}"), |t| t.name.clone())
     }
 
+    pub(crate) fn thread_kind(&self, tid: usize) -> ThreadKind {
+        self.threads.get(tid).map_or(ThreadKind::Host { core: 0 }, |t| t.kind)
+    }
+
     /// Register the threads of a simulation about to run. Everything that
     /// happened in earlier simulations on this machine happens-before the
     /// new threads: each starts from the join of all prior clocks.

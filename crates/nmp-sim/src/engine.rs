@@ -207,9 +207,16 @@ impl ThreadCtx {
     /// access's completion time — the engine's single serialization point —
     /// so the race detector sees the global sequentially-consistent order.
     #[cfg(feature = "analysis")]
-    fn trace(&self, addr: Addr, bytes: u32, op: MemOp, site: &'static Location<'static>) {
+    fn trace(
+        &self,
+        addr: Addr,
+        bytes: u32,
+        op: MemOp,
+        mmio: bool,
+        site: &'static Location<'static>,
+    ) {
         if let Some(a) = self.mem.analysis() {
-            a.on_access(self.id, self.clock, addr, bytes, op, site);
+            a.on_access(self.id, self.clock, addr, bytes, op, mmio, site);
         }
     }
 
@@ -220,7 +227,7 @@ impl ThreadCtx {
         let lat = self.route(addr, false, site);
         self.sleep(lat);
         #[cfg(feature = "analysis")]
-        self.trace(addr, 8, MemOp::Read, site);
+        self.trace(addr, 8, MemOp::Read, false, site);
         self.mem.ram().read_u64(addr)
     }
 
@@ -231,7 +238,7 @@ impl ThreadCtx {
         let lat = self.route(addr, true, site);
         self.sleep(lat);
         #[cfg(feature = "analysis")]
-        self.trace(addr, 8, MemOp::Write, site);
+        self.trace(addr, 8, MemOp::Write, false, site);
         self.mem.ram().write_u64(addr, value);
     }
 
@@ -242,7 +249,7 @@ impl ThreadCtx {
         let lat = self.route(addr, false, site);
         self.sleep(lat);
         #[cfg(feature = "analysis")]
-        self.trace(addr, 4, MemOp::Read, site);
+        self.trace(addr, 4, MemOp::Read, false, site);
         self.mem.ram().read_u32(addr)
     }
 
@@ -253,7 +260,7 @@ impl ThreadCtx {
         let lat = self.route(addr, true, site);
         self.sleep(lat);
         #[cfg(feature = "analysis")]
-        self.trace(addr, 4, MemOp::Write, site);
+        self.trace(addr, 4, MemOp::Write, false, site);
         self.mem.ram().write_u32(addr, value);
     }
 
@@ -267,7 +274,7 @@ impl ThreadCtx {
         let lat = self.route(addr, false, site);
         self.sleep(lat);
         #[cfg(feature = "analysis")]
-        self.trace(addr, 8, MemOp::ReadAcquire, site);
+        self.trace(addr, 8, MemOp::ReadAcquire, false, site);
         self.mem.ram().read_u64(addr)
     }
 
@@ -279,7 +286,7 @@ impl ThreadCtx {
         let lat = self.route(addr, true, site);
         self.sleep(lat);
         #[cfg(feature = "analysis")]
-        self.trace(addr, 8, MemOp::WriteRelease, site);
+        self.trace(addr, 8, MemOp::WriteRelease, false, site);
         self.mem.ram().write_u64(addr, value);
     }
 
@@ -290,7 +297,7 @@ impl ThreadCtx {
         let lat = self.route(addr, false, site);
         self.sleep(lat);
         #[cfg(feature = "analysis")]
-        self.trace(addr, 4, MemOp::ReadAcquire, site);
+        self.trace(addr, 4, MemOp::ReadAcquire, false, site);
         self.mem.ram().read_u32(addr)
     }
 
@@ -301,7 +308,7 @@ impl ThreadCtx {
         let lat = self.route(addr, true, site);
         self.sleep(lat);
         #[cfg(feature = "analysis")]
-        self.trace(addr, 4, MemOp::WriteRelease, site);
+        self.trace(addr, 4, MemOp::WriteRelease, false, site);
         self.mem.ram().write_u32(addr, value);
     }
 
@@ -314,7 +321,7 @@ impl ThreadCtx {
         let lat = self.route(addr, false, site);
         self.sleep(lat);
         #[cfg(feature = "analysis")]
-        self.trace(addr, 8, MemOp::ReadSpeculative, site);
+        self.trace(addr, 8, MemOp::ReadSpeculative, false, site);
         self.mem.ram().read_u64(addr)
     }
 
@@ -326,7 +333,7 @@ impl ThreadCtx {
         let lat = self.route(addr, false, site);
         self.sleep(lat);
         #[cfg(feature = "analysis")]
-        self.trace(addr, 4, MemOp::ReadSpeculative, site);
+        self.trace(addr, 4, MemOp::ReadSpeculative, false, site);
         self.mem.ram().read_u32(addr)
     }
 
@@ -342,7 +349,7 @@ impl ThreadCtx {
         let cur = self.mem.ram().read_u64(addr);
         let success = cur == expect;
         #[cfg(feature = "analysis")]
-        self.trace(addr, 8, MemOp::Cas { success }, site);
+        self.trace(addr, 8, MemOp::Cas { success }, false, site);
         if success {
             self.mem.ram().write_u64(addr, new);
             Ok(())
@@ -360,7 +367,7 @@ impl ThreadCtx {
         let cur = self.mem.ram().read_u32(addr);
         let success = cur == expect;
         #[cfg(feature = "analysis")]
-        self.trace(addr, 4, MemOp::Cas { success }, site);
+        self.trace(addr, 4, MemOp::Cas { success }, false, site);
         if success {
             self.mem.ram().write_u32(addr, new);
             Ok(())
@@ -376,7 +383,7 @@ impl ThreadCtx {
         let lat = self.mmio_route(addr, false, site);
         self.sleep(lat);
         #[cfg(feature = "analysis")]
-        self.trace(addr, 8, MemOp::Read, site);
+        self.trace(addr, 8, MemOp::Read, true, site);
         self.mem.ram().read_u64(addr)
     }
 
@@ -387,7 +394,7 @@ impl ThreadCtx {
         let lat = self.mmio_route(addr, true, site);
         self.sleep(lat);
         #[cfg(feature = "analysis")]
-        self.trace(addr, 8, MemOp::Write, site);
+        self.trace(addr, 8, MemOp::Write, true, site);
         self.mem.ram().write_u64(addr, value);
     }
 
@@ -399,7 +406,7 @@ impl ThreadCtx {
         let lat = self.mmio_route(addr, false, site);
         self.sleep(lat);
         #[cfg(feature = "analysis")]
-        self.trace(addr, 8, MemOp::ReadAcquire, site);
+        self.trace(addr, 8, MemOp::ReadAcquire, true, site);
         self.mem.ram().read_u64(addr)
     }
 
@@ -411,7 +418,7 @@ impl ThreadCtx {
         let lat = self.mmio_route(addr, true, site);
         self.sleep(lat);
         #[cfg(feature = "analysis")]
-        self.trace(addr, 8, MemOp::WriteRelease, site);
+        self.trace(addr, 8, MemOp::WriteRelease, true, site);
         self.mem.ram().write_u64(addr, value);
     }
 }

@@ -73,7 +73,6 @@
 #![warn(missing_docs)]
 
 pub mod alloc;
-#[cfg(feature = "analysis")]
 pub mod analysis;
 pub mod cache;
 pub mod config;
@@ -86,6 +85,7 @@ pub mod stats;
 pub mod trace;
 
 pub use alloc::Arena;
+pub use analysis::{AccessDecl, EffectSpec, OpSpec, SpecError, Topology};
 #[cfg(feature = "analysis")]
 pub use analysis::{Analysis, HistEvent, HistOp, HistoryRecorder, Report};
 pub use config::{CacheConfig, Config};

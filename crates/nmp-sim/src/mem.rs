@@ -669,12 +669,46 @@ mod tests {
             assert_eq!(m.region_of(sb + m.spad_size - 1), Region::Spad(p));
         }
         // Regions tile the address space with no gaps: one past the last
-        // host byte is partition 0, one past partition p is partition p+1.
+        // host byte is partition 0, one past partition p is partition p+1,
+        // one past the last partition is scratchpad 0, one past scratchpad
+        // p is scratchpad p+1 (and one past the last scratchpad is out of
+        // range — covered by `out_of_range_detected`).
         assert_eq!(m.region_of(m.host_base + m.host_size), Region::Part(0));
         for p in 0..m.parts - 1 {
             assert_eq!(m.region_of(m.part_base(p) + m.part_size), Region::Part(p + 1));
+            assert_eq!(m.region_of(m.spad_base(p) + m.spad_size), Region::Spad(p + 1));
         }
         assert_eq!(m.region_of(m.part_base(m.parts - 1) + m.part_size), Region::Spad(0));
+        assert_eq!(m.spad_base(m.parts - 1) + m.spad_size, m.total_bytes);
+    }
+
+    /// The same edge classification must hold for every stock
+    /// configuration, not just `tiny` — the paper-scale map exercises much
+    /// larger region sizes where 32-bit arithmetic overflows would hide.
+    #[test]
+    fn region_edges_classify_exactly_in_all_stock_configs() {
+        for cfg in [Config::tiny(), Config::default_scaled(), Config::paper()] {
+            let m = MemMap::new(&cfg);
+            assert_eq!(m.region_of(m.host_base), Region::Host);
+            assert_eq!(m.region_of(m.host_base + m.host_size - 1), Region::Host);
+            for p in 0..m.parts {
+                assert_eq!(m.region_of(m.part_base(p)), Region::Part(p));
+                assert_eq!(m.region_of(m.part_base(p) + m.part_size - 1), Region::Part(p));
+                assert_eq!(m.region_of(m.spad_base(p)), Region::Spad(p));
+                assert_eq!(m.region_of(m.spad_base(p) + m.spad_size - 1), Region::Spad(p));
+            }
+            assert_eq!(m.spad_base(m.parts - 1) + m.spad_size, m.total_bytes);
+        }
+    }
+
+    /// Classification is byte-granular: an address in the middle of a
+    /// region (not block- or word-aligned) still classifies to it.
+    #[test]
+    fn region_of_is_byte_granular() {
+        let m = MemMap::new(&Config::tiny());
+        assert_eq!(m.region_of(m.host_base + 1), Region::Host);
+        assert_eq!(m.region_of(m.part_base(1) + 3), Region::Part(1));
+        assert_eq!(m.region_of(m.spad_base(0) + m.spad_size / 2 + 1), Region::Spad(0));
     }
 
     /// Every region base must be block-aligned so a cache block (and an NMP

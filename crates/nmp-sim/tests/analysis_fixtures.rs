@@ -269,3 +269,158 @@ fn attach_is_idempotent() {
     let b = machine.attach_analysis();
     assert!(Arc::ptr_eq(&a, &b));
 }
+
+// ---------------------------------------------------------------------------
+// Effect-spec fixtures: mis-declared plans are rejected by the static
+// verifier with ZERO simulation cycles (note no `Machine` or `Simulation`
+// is ever constructed below — `verify_spec` is pure plan inspection), and
+// a mis-behaving executor is caught by conformance mode through the real
+// engine.
+// ---------------------------------------------------------------------------
+
+mod spec_fixtures {
+    use nmp_sim::analysis::{verify_spec, verify_specs, RegionClass, ThreadClass};
+    use nmp_sim::{AccessDecl, EffectSpec, OpSpec, SpecError, Topology};
+
+    const TOPO: Topology = Topology { parts: 4, host_cores: 4 };
+
+    fn errs(spec: EffectSpec) -> Vec<SpecError> {
+        verify_spec(&spec, TOPO)
+    }
+
+    #[test]
+    fn empty_spec_is_rejected() {
+        assert_eq!(errs(EffectSpec::new("empty")), [SpecError::EmptySpec { structure: "empty" }]);
+    }
+
+    #[test]
+    fn duplicate_op_code_is_rejected() {
+        let spec = EffectSpec::new("dup")
+            .op(OpSpec::new(0, "Read").nmp(AccessDecl::read(RegionClass::Part)))
+            .op(OpSpec::new(0, "AlsoRead").nmp(AccessDecl::read(RegionClass::Part)));
+        assert!(errs(spec).iter().any(|e| matches!(e, SpecError::DuplicateOp { code: 0, .. })));
+    }
+
+    #[test]
+    fn host_declaring_partition_access_is_rejected() {
+        let spec = EffectSpec::new("greedy-host")
+            .op(OpSpec::new(0, "Read").host(AccessDecl::read(RegionClass::Part)));
+        assert!(errs(spec).iter().any(|e| matches!(e, SpecError::HostPartAccess { .. })));
+    }
+
+    #[test]
+    fn foreign_region_declaration_is_rejected() {
+        let spec = EffectSpec::new("tourist")
+            .op(OpSpec::new(0, "Read").nmp(AccessDecl::read(RegionClass::Foreign)));
+        assert!(errs(spec)
+            .iter()
+            .any(|e| matches!(e, SpecError::ForeignAccess { class: ThreadClass::Nmp, .. })));
+    }
+
+    #[test]
+    fn wrong_channel_is_rejected_both_ways() {
+        // Host→scratchpad without MMIO…
+        let spec = EffectSpec::new("no-mmio")
+            .op(OpSpec::new(0, "Read").host(AccessDecl::read(RegionClass::Spad)));
+        assert!(errs(spec).iter().any(|e| matches!(e, SpecError::ChannelMismatch { .. })));
+        // …and MMIO into a partition from the NMP side.
+        let spec = EffectSpec::new("mmio-part")
+            .op(OpSpec::new(0, "Read").nmp(AccessDecl::read(RegionClass::Part).mmio()));
+        assert!(errs(spec).iter().any(|e| matches!(e, SpecError::ChannelMismatch { .. })));
+    }
+
+    #[test]
+    fn unpaired_release_and_acquire_are_rejected() {
+        let spec = EffectSpec::new("shout") // release nobody acquires
+            .op(OpSpec::new(0, "Update").host(AccessDecl::write(RegionClass::Host).release()));
+        assert!(errs(spec).iter().any(|e| matches!(e, SpecError::UnpairedRelease { .. })));
+        let spec = EffectSpec::new("listen") // acquire nobody releases
+            .op(OpSpec::new(0, "Read").host(AccessDecl::read(RegionClass::Host).acquire()));
+        assert!(errs(spec).iter().any(|e| matches!(e, SpecError::UnpairedAcquire { .. })));
+    }
+
+    #[test]
+    fn partition_work_needs_partitions() {
+        let spec = EffectSpec::new("nmp-only")
+            .op(OpSpec::new(0, "Read").nmp(AccessDecl::read(RegionClass::Part)));
+        let no_parts = Topology { parts: 0, host_cores: 4 };
+        assert!(verify_spec(&spec, no_parts)
+            .iter()
+            .any(|e| matches!(e, SpecError::NoPartitions { .. })));
+        // The same spec is fine on a machine that has partitions.
+        assert!(verify_spec(&spec, TOPO).is_empty());
+    }
+
+    #[test]
+    fn verify_specs_aggregates_across_structures() {
+        let good = EffectSpec::new("good")
+            .op(OpSpec::new(0, "Read").nmp(AccessDecl::read(RegionClass::Part)));
+        let bad = EffectSpec::new("bad");
+        let errs = verify_specs(&[&good, &bad], TOPO);
+        assert_eq!(errs, [SpecError::EmptySpec { structure: "bad" }]);
+    }
+}
+
+/// A mis-behaving executor — one that writes where its spec only declares
+/// reads — is caught by conformance mode through the real engine, with the
+/// op scope named in the blame report.
+#[test]
+fn conformance_catches_misbehaving_exec() {
+    use nmp_sim::analysis::RegionClass;
+    use nmp_sim::{AccessDecl, EffectSpec, OpSpec};
+
+    let machine = Machine::new(Config::tiny());
+    let analysis = machine.attach_analysis();
+    analysis.install_spec(
+        EffectSpec::new("read-only-fixture")
+            .op(OpSpec::new(0, "Read").nmp(AccessDecl::read(RegionClass::Part))),
+    );
+    analysis.enable_conformance();
+
+    let addr = machine.part_arena(0).alloc(8);
+    let a = Arc::clone(&analysis);
+    let mut sim = machine.simulation();
+    sim.spawn("nmp-0", ThreadKind::Nmp { part: 0 }, move |ctx| {
+        a.set_current_op(ctx.id(), Some(0));
+        let _ = ctx.read_u64(addr); // declared: fine
+        ctx.write_u64(addr, 1); // NOT declared: must be blamed
+        a.set_current_op(ctx.id(), None);
+    });
+    sim.run();
+
+    let report = analysis.report();
+    assert_eq!(report.conformance_total, 1, "exactly the write should be blamed");
+    let v = &report.conformance[0];
+    assert_eq!(v.op, Some((0, "Read")));
+    assert_eq!(v.consulted, ["read-only-fixture"]);
+    assert!(v.observed.to_string().contains("write"), "observed: {}", v.observed);
+    assert!(v.file.ends_with("analysis_fixtures.rs"));
+    assert!(!report.is_clean());
+}
+
+/// The same program is NOT blamed while conformance mode stays disabled:
+/// installed specs are inert until opted in.
+#[test]
+fn conformance_is_opt_in() {
+    use nmp_sim::analysis::RegionClass;
+    use nmp_sim::{AccessDecl, EffectSpec, OpSpec};
+
+    let machine = Machine::new(Config::tiny());
+    let analysis = machine.attach_analysis();
+    analysis.install_spec(
+        EffectSpec::new("read-only-fixture")
+            .op(OpSpec::new(0, "Read").nmp(AccessDecl::read(RegionClass::Part))),
+    );
+
+    let addr = machine.part_arena(0).alloc(8);
+    let a = Arc::clone(&analysis);
+    let mut sim = machine.simulation();
+    sim.spawn("nmp-0", ThreadKind::Nmp { part: 0 }, move |ctx| {
+        a.set_current_op(ctx.id(), Some(0));
+        ctx.write_u64(addr, 1);
+        a.set_current_op(ctx.id(), None);
+    });
+    sim.run();
+    assert_eq!(analysis.conformance_count(), 0);
+    analysis.report().assert_clean();
+}

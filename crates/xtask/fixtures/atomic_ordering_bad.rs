@@ -1,0 +1,12 @@
+//! Known-bad fixture: host atomics in data-structure code. The string and
+//! comment below must NOT count; only the live uses must be flagged.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+// Ordering::Relaxed in a comment is fine.
+pub const DOC: &str = "Ordering::Relaxed in a string is fine";
+
+pub fn sneak_sync(flag: &AtomicU64) -> u64 {
+    flag.store(1, Ordering::Release);
+    flag.load(Ordering::Acquire)
+}

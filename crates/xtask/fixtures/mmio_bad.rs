@@ -1,0 +1,10 @@
+//! Known-bad fixture: a data structure opening its own MMIO side channel
+//! instead of posting through the offload runtime.
+
+use nmp_sim::{Addr, ThreadCtx};
+
+pub fn sneak_request(ctx: &mut ThreadCtx, slot: Addr, payload: u64) -> u64 {
+    ctx.mmio_write_u64(slot + 8, payload);
+    ctx.mmio_write_u64_release(slot, 1);
+    ctx.mmio_read_u64_acquire(slot + 16)
+}

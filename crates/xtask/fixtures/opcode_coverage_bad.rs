@@ -1,0 +1,26 @@
+//! Known-bad fixture: an NmpExec that handles `OpCode::Remove` but whose
+//! effect spec only declares `OpCode::Read`.
+
+use hybrids::publist::{NmpExec, OpCode, Request, Response};
+use nmp_sim::{EffectSpec, ThreadCtx};
+
+pub struct Partial;
+
+impl NmpExec for Partial {
+    type SlotState = ();
+
+    fn exec(&self, ctx: &mut ThreadCtx, _part: usize, req: &Request, _s: &mut ()) -> Response {
+        match req.op_code() {
+            OpCode::Read => Response::ok_value(0),
+            OpCode::Remove => {
+                ctx.advance(1);
+                Response::ok_value(1)
+            }
+            _ => Response::fail(),
+        }
+    }
+
+    fn effect_spec(&self) -> EffectSpec {
+        EffectSpec::new("partial").op(hybrids::effects::protocol_op(OpCode::Read, "Read"))
+    }
+}

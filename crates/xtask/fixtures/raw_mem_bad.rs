@@ -1,0 +1,24 @@
+//! Known-bad fixture: raw SimRam access outside an accessor module.
+
+use nmp_sim::{Addr, SimRam};
+
+pub fn peek(ram: &SimRam, addr: Addr) -> u64 {
+    // untimed read, invisible to the race detector — must be flagged
+    ram.read_u64(addr)
+}
+
+pub fn poke(ram: &SimRam, addr: Addr, w: u64) {
+    ram.write_u64(addr, w);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn raw_access_in_tests_is_fine() {
+        let ram = SimRam::new(4096);
+        ram.write_u64(0, 7);
+        assert_eq!(ram.read_u64(0), 7);
+    }
+}

@@ -1,0 +1,48 @@
+//! `cargo xtask lint` — run the repository's memory-effect source lint.
+//!
+//! Exit status 0 when clean, 1 when violations are found (or on usage
+//! errors), so CI can gate on it directly.
+
+use std::path::Path;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => lint(),
+        Some(other) => {
+            eprintln!("unknown xtask command `{other}`\n\nusage: cargo xtask lint");
+            ExitCode::FAILURE
+        }
+        None => {
+            eprintln!("usage: cargo xtask lint");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn lint() -> ExitCode {
+    // crates/xtask/ -> repo root, independent of the invocation directory.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crates/xtask has a grandparent")
+        .to_path_buf();
+    match xtask::lint_tree(&root) {
+        Ok(violations) if violations.is_empty() => {
+            println!("xtask lint: clean");
+            ExitCode::SUCCESS
+        }
+        Ok(violations) => {
+            for v in &violations {
+                println!("{v}");
+            }
+            println!("xtask lint: {} violation(s)", violations.len());
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("xtask lint: i/o error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

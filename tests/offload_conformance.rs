@@ -147,6 +147,9 @@ fn run_conformance<S: SimIndex>(
     final_contents: impl FnOnce() -> BTreeMap<Key, Value>,
 ) -> OffloadStats {
     let analysis = machine.attach_analysis();
+    // Spec-conformance mode: every observed access must match the effect
+    // spec the structure registers in `spawn_services` below.
+    analysis.enable_conformance();
     let recorder = Arc::new(HistoryRecorder::new());
     let tallies: Arc<Mutex<HashMap<Key, (i64, i64)>>> = Arc::new(Mutex::new(HashMap::new()));
     let mut sim = machine.simulation();
@@ -223,6 +226,7 @@ fn pqueue_conformance(inflight: usize) {
     let initial = half_initial(&ks);
     pq.populate(&initial);
     let analysis = m.attach_analysis();
+    analysis.enable_conformance();
     let inserted: Arc<Mutex<Vec<Key>>> = Arc::new(Mutex::new(Vec::new()));
     let popped: Arc<Mutex<Vec<Key>>> = Arc::new(Mutex::new(Vec::new()));
     let mut sim = m.simulation();
@@ -399,6 +403,7 @@ fn forced_retries_and_lock_path_are_counted() {
     let pairs: Vec<(Key, Value)> = (1..=500u32).map(|k| (k * 8, k)).collect();
     let t = HybridBTree::with_budget(Arc::clone(&m), &pairs, 1.0, 4, 4 * 1024);
     let analysis = m.attach_analysis();
+    analysis.enable_conformance();
     let mut sim = m.simulation();
     t.spawn_services(&mut sim);
     for core in 0..4usize {
