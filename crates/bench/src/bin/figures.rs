@@ -1,7 +1,7 @@
 //! Run the figure/table harnesses from one binary:
 //!
 //! ```text
-//! cargo run --release -p hybrids-bench --bin figures -- [--scale smoke|ci|scaled|paper] [fig5 fig6 fig7 fig8 table2 fig4 newstructs trace | all]
+//! cargo run --release -p hybrids-bench --bin figures -- [--scale smoke|ci|scaled|paper] [--shards N] [fig5 fig6 fig7 fig8 table2 fig4 newstructs trace | all]
 //! ```
 //!
 //! Each experiment is the same code `cargo bench` runs (the bench targets
@@ -12,11 +12,17 @@ use std::process::Command;
 
 fn main() {
     let mut scale = None;
+    let mut shards = None;
     let mut figs: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
             "--scale" => scale = args.next(),
+            "--shards" => {
+                let n = args.next().expect("--shards needs a value");
+                let _: usize = n.parse().expect("--shards must be an integer");
+                shards = Some(n);
+            }
             other => figs.push(other.to_string()),
         }
     }
@@ -66,6 +72,9 @@ fn main() {
         }
         if let Some(s) = &scale {
             cmd.env("HYBRIDS_SCALE", s);
+        }
+        if let Some(n) = &shards {
+            cmd.env("HYBRIDS_SHARDS", n);
         }
         eprintln!("== running {f} ==");
         let status = cmd.status().expect("failed to spawn cargo bench");

@@ -1,0 +1,130 @@
+//! Simulator-throughput scaling across engine shard counts.
+//!
+//! Runs the six-structure conformance workload (nmp-skiplist,
+//! hybrid-skiplist, hybrid-btree, host-btree, hybrid-hashmap,
+//! hybrid-pqueue) at shards ∈ {1, 2, 4, 8} (clamped to the partition
+//! count) and records `sim_cycles_per_sec` — simulated cycles advanced per
+//! wall-clock second, the simulator's own speed — per structure and in
+//! aggregate, plus each point's speedup over the shards=1 legacy engine.
+//!
+//! Output goes to `BENCH_7.json` at the repo root (override with
+//! `HYBRIDS_BENCH_OUT`); the schema below is the repo's perf-trajectory
+//! record that later PRs append alongside.
+//!
+//! ```text
+//! cargo run --release -p hybrids-bench --bin shard-scaling
+//! HYBRIDS_SCALE=smoke cargo run --release -p hybrids-bench --bin shard-scaling  # CI schema check
+//! ```
+
+use hybrids_bench::{
+    hashmap_workload, pqueue_workload, run_btree, run_hashmap, run_pqueue, run_skiplist,
+    sensitivity, Scale, Variant,
+};
+use serde::Serialize;
+use workloads::{InsertDist, Mix};
+
+/// One structure's throughput at one shard count.
+#[derive(Debug, Clone, Serialize)]
+struct StructurePoint {
+    structure: String,
+    sim_cycles_per_sec: f64,
+    sim_cycles: u64,
+    wall_ms: f64,
+}
+
+/// All six structures at one shard count.
+#[derive(Debug, Clone, Serialize)]
+struct ShardPoint {
+    shards: u32,
+    /// Aggregate simulator speed: Σ simulated cycles / Σ wall seconds.
+    sim_cycles_per_sec: f64,
+    /// Aggregate speed relative to the shards=1 point.
+    speedup_vs_shards1: f64,
+    structures: Vec<StructurePoint>,
+}
+
+/// The BENCH_7.json payload.
+#[derive(Debug, Clone, Serialize)]
+struct BenchFile {
+    bench: String,
+    pr: u32,
+    metric: String,
+    scale: String,
+    workload: String,
+    points: Vec<ShardPoint>,
+}
+
+fn run_point(scale: &Scale) -> Vec<StructurePoint> {
+    let map_mix = sensitivity(scale, Mix::read_insert_remove(50, 25, 25), InsertDist::UniformGap);
+    let runs: Vec<(&str, hybrids::driver::RunResult)> = vec![
+        ("nmp-skiplist", run_skiplist(scale, Variant::NmpBased, map_mix)),
+        ("hybrid-skiplist", run_skiplist(scale, Variant::HybridBlocking, map_mix)),
+        ("hybrid-btree", run_btree(scale, Variant::HybridBtBlocking, map_mix)),
+        ("host-btree", run_btree(scale, Variant::HostOnly, map_mix)),
+        (
+            "hybrid-hashmap",
+            run_hashmap(
+                scale,
+                Variant::HashMapBlocking,
+                hashmap_workload(scale, workloads::KeyDist::Uniform),
+            ),
+        ),
+        ("hybrid-pqueue", run_pqueue(scale, Variant::PqueueBlocking, pqueue_workload(scale, 50))),
+    ];
+    runs.into_iter()
+        .map(|(name, r)| StructurePoint {
+            structure: name.to_string(),
+            sim_cycles_per_sec: r.sim_cycles_per_sec,
+            sim_cycles: r.cycles,
+            wall_ms: r.wall_ms,
+        })
+        .collect()
+}
+
+fn main() {
+    let base = Scale::from_env();
+    let parts = base.cfg.nmp_partitions();
+    let mut counts: Vec<usize> = [1usize, 2, 4, 8].iter().map(|&n| n.min(parts)).collect();
+    counts.dedup();
+    println!(
+        "shard scaling: six-structure workload at shards {:?} (scale = {}, {} partitions)",
+        counts, base.name, parts
+    );
+    println!("{:<8} {:>18} {:>10}", "shards", "sim cycles/sec", "speedup");
+
+    let mut points: Vec<ShardPoint> = Vec::new();
+    let mut base_speed = 0.0f64;
+    for &n in &counts {
+        let scale = base.clone().with_shards(n);
+        let structures = run_point(&scale);
+        let total_cycles: u64 = structures.iter().map(|s| s.sim_cycles).sum();
+        let total_wall_ms: f64 = structures.iter().map(|s| s.wall_ms).sum();
+        let agg = total_cycles as f64 / (total_wall_ms / 1000.0).max(1e-9);
+        if n == 1 {
+            base_speed = agg;
+        }
+        let speedup = if base_speed > 0.0 { agg / base_speed } else { 0.0 };
+        println!("{:<8} {:>18.0} {:>9.2}x", n, agg, speedup);
+        points.push(ShardPoint {
+            shards: n as u32,
+            sim_cycles_per_sec: agg,
+            speedup_vs_shards1: speedup,
+            structures,
+        });
+    }
+
+    let payload = BenchFile {
+        bench: "shard_scaling".to_string(),
+        pr: 7,
+        metric: "sim_cycles_per_sec".to_string(),
+        scale: base.name.to_string(),
+        workload: "six-structure-conformance".to_string(),
+        points,
+    };
+    let path = std::env::var("HYBRIDS_BENCH_OUT").unwrap_or_else(|_| {
+        format!("{}/BENCH_7.json", env!("CARGO_MANIFEST_DIR").trim_end_matches("/crates/bench"))
+    });
+    std::fs::write(&path, serde_json::to_string(&payload).expect("serialize bench payload"))
+        .expect("write BENCH json");
+    println!("[shard-scaling] wrote {path}");
+}

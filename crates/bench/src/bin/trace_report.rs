@@ -90,7 +90,20 @@ mod report {
     }
 
     pub fn run() {
-        let scale = Scale::from_env();
+        let mut scale = Scale::from_env();
+        // `--shards N` overrides the engine shard knob (0 = per-vault,
+        // 1 = legacy loop) for this report only.
+        let mut args = std::env::args().skip(1);
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--shards" => {
+                    let n = args.next().expect("--shards needs a value");
+                    scale = scale.with_shards(n.parse().expect("--shards must be an integer"));
+                }
+                other => panic!("unknown trace-report flag `{other}` (supported: --shards N)"),
+            }
+        }
+        eprintln!("[trace-report] engine vault shards: {}", scale.cfg.resolved_vault_shards());
         let threads = scale.cfg.host_cores as u32;
         let map_mix =
             sensitivity(&scale, Mix::read_insert_remove(50, 25, 25), InsertDist::UniformGap);

@@ -122,7 +122,7 @@ impl Scale {
         }
     }
 
-    /// Resolve from `HYBRIDS_SCALE` / `HYBRIDS_OPS`.
+    /// Resolve from `HYBRIDS_SCALE` / `HYBRIDS_OPS` / `HYBRIDS_SHARDS`.
     pub fn from_env() -> Self {
         let mut s = match std::env::var("HYBRIDS_SCALE").as_deref() {
             Ok("paper") => Self::paper(),
@@ -133,7 +133,17 @@ impl Scale {
         if let Ok(ops) = std::env::var("HYBRIDS_OPS") {
             s.ops_per_thread = ops.parse().expect("HYBRIDS_OPS must be an integer");
         }
+        if let Ok(shards) = std::env::var("HYBRIDS_SHARDS") {
+            s.cfg.shards = shards.parse().expect("HYBRIDS_SHARDS must be an integer");
+        }
         s
+    }
+
+    /// Engine shard knob (`0` = one shard per vault, `1` = legacy loop);
+    /// see `Config::with_shards`.
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.cfg = self.cfg.with_shards(shards);
+        self
     }
 
     /// In-order host cores variant (sensitivity experiments, §5.2).
@@ -319,6 +329,11 @@ pub struct Record {
     pub lat_p50_cycles: f64,
     pub lat_p95_cycles: f64,
     pub lat_p99_cycles: f64,
+    /// Engine vault shards the run resolved to (`1` = legacy single loop).
+    pub shards: u32,
+    /// Priority-queue stale minima-cache probes in the measured window
+    /// (zero for non-pqueue structures).
+    pub pq_stale_probes: u64,
 }
 
 impl Record {
@@ -353,6 +368,8 @@ impl Record {
             lat_p50_cycles: r.lat_p50_cycles,
             lat_p95_cycles: r.lat_p95_cycles,
             lat_p99_cycles: r.lat_p99_cycles,
+            shards: scale.cfg.resolved_vault_shards() as u32,
+            pq_stale_probes: r.stats.offload.pq_stale_total(),
         }
     }
 }
@@ -467,7 +484,17 @@ pub fn run_hashmap(scale: &Scale, variant: Variant, workload: WorkloadSpec) -> R
 /// Run one hybrid priority queue variant on a fresh machine. Per-partition
 /// run levels follow the NMP-based sizing: log2 of the partition's share.
 pub fn run_pqueue(scale: &Scale, variant: Variant, workload: WorkloadSpec) -> RunResult {
-    let ks = scale.skiplist_keyspace();
+    run_pqueue_on(scale, variant, workload, scale.skiplist_keyspace())
+}
+
+/// [`run_pqueue`] with an explicit key space — the contention sweep uses a
+/// deliberately small one so extract-mins can actually drain partitions.
+pub fn run_pqueue_on(
+    scale: &Scale,
+    variant: Variant,
+    workload: WorkloadSpec,
+    ks: KeySpace,
+) -> RunResult {
     let machine = Machine::new(scale.cfg.clone());
     let pairs = initial_pairs(&ks);
     let spec = RunSpec {
@@ -507,6 +534,34 @@ pub fn pqueue_workload(scale: &Scale, insert_pct: u8) -> WorkloadSpec {
         scale.cfg.host_cores as u32,
         scale.ops_per_thread,
         insert_pct,
+    )
+}
+
+/// Key space for the minima-cache contention sweep: deliberately tiny (16
+/// initial keys per partition) so the sweep's net-draining mix actually
+/// empties partitions within the measured window — a full-size pqueue never
+/// drains at bench op counts, and a partition that never empties can never
+/// serve a stale-empty probe.
+pub fn pqueue_contention_keyspace(scale: &Scale) -> KeySpace {
+    KeySpace::new(16 * scale.partitions(), scale.partitions(), 4096)
+}
+
+/// Skew-contended priority-queue workload at an explicit thread count:
+/// zipfian(θ)-gap inserts pile onto hot partitions while extract-mins drain
+/// globally, so cold partitions empty out and the host minima cache takes
+/// stale probes (`pq_stale_probes` in the results files).
+pub fn pqueue_skewed_workload(
+    scale: &Scale,
+    insert_pct: u8,
+    theta_x100: u32,
+    threads: u32,
+) -> WorkloadSpec {
+    WorkloadSpec::pqueue_skewed(
+        SEED ^ 0x9017,
+        threads.min(scale.cfg.host_cores as u32).max(1),
+        scale.ops_per_thread,
+        insert_pct,
+        theta_x100,
     )
 }
 
@@ -562,13 +617,13 @@ pub fn save_records(experiment: &str, records: &[Record]) {
     let mut csv = String::new();
     if fresh {
         csv.push_str(
-            "experiment,scale,variant,workload,threads,mops,dram_reads_per_op,host_dram_reads_per_op,nmp_dram_reads_per_op,mmio_per_op,energy_nj_per_op,cycles,measured_ops,succeeded_ops,wall_ms,sim_cycles_per_sec,offload_posted,offload_retries,offload_lock_path,offload_mean_batch,lat_p50_cycles,lat_p95_cycles,lat_p99_cycles\n",
+            "experiment,scale,variant,workload,threads,mops,dram_reads_per_op,host_dram_reads_per_op,nmp_dram_reads_per_op,mmio_per_op,energy_nj_per_op,cycles,measured_ops,succeeded_ops,wall_ms,sim_cycles_per_sec,offload_posted,offload_retries,offload_lock_path,offload_mean_batch,lat_p50_cycles,lat_p95_cycles,lat_p99_cycles,shards,pq_stale_probes\n",
         );
     }
     for r in records {
         let _ = writeln!(
             csv,
-            "{},{},{},{},{},{:.6},{:.4},{:.4},{:.4},{:.4},{:.4},{},{},{},{:.3},{:.0},{},{},{},{:.3},{:.1},{:.1},{:.1}",
+            "{},{},{},{},{},{:.6},{:.4},{:.4},{:.4},{:.4},{:.4},{},{},{},{:.3},{:.0},{},{},{},{:.3},{:.1},{:.1},{:.1},{},{}",
             r.experiment,
             r.scale,
             r.variant,
@@ -591,7 +646,9 @@ pub fn save_records(experiment: &str, records: &[Record]) {
             r.offload_mean_batch,
             r.lat_p50_cycles,
             r.lat_p95_cycles,
-            r.lat_p99_cycles
+            r.lat_p99_cycles,
+            r.shards,
+            r.pq_stale_probes
         );
     }
     use std::io::Write;

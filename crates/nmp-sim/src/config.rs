@@ -107,6 +107,15 @@ pub struct Config {
     /// (but still present, so configs serialize identically) when the
     /// `trace` feature is off or no tracer is attached.
     pub trace_buffer_events: usize,
+
+    /// Simulation-engine shard workers: `0` = auto (one vault shard per NMP
+    /// partition plus a host shard), `1` = the legacy single event loop, `n`
+    /// = at most `n` vault shards (clamped to the partition count) plus the
+    /// host shard. Results are byte-identical across all values; this knob
+    /// only trades simulator wall-clock speed (see DESIGN.md §4.9). The
+    /// `NMP_SIM_SHARDS` environment variable overrides it at run time.
+    #[serde(default)]
+    pub shards: usize,
 }
 
 impl Config {
@@ -144,6 +153,7 @@ impl Config {
             host_heap_bytes: 192 * 1024 * 1024,
             part_heap_bytes: 64 * 1024 * 1024,
             trace_buffer_events: 1 << 16,
+            shards: 0,
         }
     }
 
@@ -186,6 +196,35 @@ impl Config {
     pub fn nmp_partitions(&self) -> usize {
         assert!(self.main_vaults < self.num_vaults, "need at least one NMP vault");
         self.num_vaults - self.main_vaults
+    }
+
+    /// Set the engine shard knob (`0` = auto, `1` = legacy single loop).
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards;
+        self
+    }
+
+    /// Resolve the `shards` knob to the number of *vault* shards the engine
+    /// will run (the host shard is extra): `0` maps to one per NMP
+    /// partition, anything else is clamped to the partition count. A result
+    /// of `0` vault shards cannot occur (`shards == 1` selects the legacy
+    /// loop before this is consulted).
+    pub fn vault_shards(&self) -> usize {
+        match self.shards {
+            0 => self.nmp_partitions(),
+            n => n.min(self.nmp_partitions()),
+        }
+    }
+
+    /// Like [`Config::vault_shards`] but honoring the `NMP_SIM_SHARDS`
+    /// environment override the engine consults, so harnesses can report
+    /// the shard count a run will actually use. `1` = legacy single loop.
+    pub fn resolved_vault_shards(&self) -> usize {
+        match std::env::var("NMP_SIM_SHARDS").ok().and_then(|v| v.parse::<usize>().ok()) {
+            Some(0) => self.nmp_partitions(),
+            Some(n) => n.min(self.nmp_partitions()),
+            None => self.vault_shards(),
+        }
     }
 
     /// Convert nanoseconds to clock cycles (rounded to nearest, min 1).
@@ -314,5 +353,17 @@ mod tests {
         let c = Config::tiny();
         c.validate();
         assert_eq!(c.nmp_partitions(), 2);
+    }
+
+    #[test]
+    fn shards_knob_defaults_and_clamps() {
+        // Configs serialized before the knob existed deserialize to auto.
+        let j = serde_json::to_string(&Config::paper()).unwrap();
+        let pruned = j.replace(",\"shards\":0", "");
+        let back: Config = serde_json::from_str(&pruned).unwrap();
+        assert_eq!(back.shards, 0);
+        assert_eq!(Config::paper().vault_shards(), 8);
+        assert_eq!(Config::paper().with_shards(4).vault_shards(), 4);
+        assert_eq!(Config::tiny().with_shards(8).vault_shards(), 2);
     }
 }

@@ -17,7 +17,7 @@
 
 use std::panic::{self, AssertUnwindSafe, Location};
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::thread::{self, Thread};
 
 use parking_lot::Mutex;
@@ -25,7 +25,11 @@ use parking_lot::Mutex;
 #[cfg(feature = "analysis")]
 use crate::analysis::MemOp;
 use crate::config::Config;
-use crate::mem::{Addr, MemorySystem};
+use crate::mem::{Addr, MemorySystem, Region};
+
+use super::barrier;
+use super::inbox;
+use super::shard::{self, ShardedRt};
 
 /// Latency charged to an access that violates the region policy while an
 /// analysis is attached (the real machine path does not exist; this keeps
@@ -33,10 +37,10 @@ use crate::mem::{Addr, MemorySystem};
 #[cfg(feature = "analysis")]
 const POLICY_FALLBACK_LAT: u64 = 100;
 
-const ST_INIT: u32 = 0;
-const ST_GO: u32 = 1;
-const ST_YIELD: u32 = 2;
-const ST_DONE: u32 = 3;
+pub(super) const ST_INIT: u32 = 0;
+pub(super) const ST_GO: u32 = 1;
+pub(super) const ST_YIELD: u32 = 2;
+pub(super) const ST_DONE: u32 = 3;
 
 /// What kind of processor a logical thread models; decides how its memory
 /// accesses are routed and priced.
@@ -54,29 +58,51 @@ pub enum ThreadKind {
     },
 }
 
-struct ThreadShared {
-    name: String,
-    kind: ThreadKind,
-    daemon: bool,
-    state: AtomicU32,
-    clock: AtomicU64,
-    handle: Mutex<Option<Thread>>,
-    panicked: AtomicBool,
+pub(super) struct ThreadShared {
+    pub(super) name: String,
+    pub(super) kind: ThreadKind,
+    pub(super) daemon: bool,
+    pub(super) state: AtomicU32,
+    pub(super) clock: AtomicU64,
+    pub(super) handle: Mutex<Option<Thread>>,
+    pub(super) panicked: AtomicBool,
     /// "'name' panicked at simulated cycle N: message", captured by the
     /// worker wrapper for the engine to surface in its own panic.
-    panic_note: Mutex<Option<String>>,
+    pub(super) panic_note: Mutex<Option<String>>,
+    /// Cross-shard gate of the pending (yet-to-apply) effect; read by the
+    /// shard scheduler before resuming this thread. Unused by the legacy
+    /// loop.
+    pub(super) gate: AtomicU32,
+    /// Deferred trace/analysis log, stashed by the sharded worker wrapper
+    /// and merged after the run drains.
+    pub(super) deferred: Mutex<Option<inbox::ThreadLog>>,
 }
 
-struct EngineShared {
-    engine_thread: Mutex<Option<Thread>>,
-    stop: AtomicBool,
+pub(super) struct EngineShared {
+    pub(super) engine_thread: Mutex<Option<Thread>>,
+    pub(super) stop: AtomicBool,
 }
 
-fn spin_wait<F: Fn() -> bool>(cond: F) {
+/// How long to busy-spin before parking/yielding. On a single-CPU machine a
+/// spin can never observe the other thread's store, so spinning is pure
+/// waste — park immediately instead.
+pub(super) fn spin_budget() -> u32 {
+    static BUDGET: OnceLock<u32> = OnceLock::new();
+    *BUDGET.get_or_init(|| {
+        if thread::available_parallelism().map_or(1, |n| n.get()) > 1 {
+            128
+        } else {
+            0
+        }
+    })
+}
+
+pub(super) fn spin_wait<F: Fn() -> bool>(cond: F) {
+    let budget = spin_budget();
     let mut spins = 0u32;
     while !cond() {
         spins += 1;
-        if spins < 128 {
+        if spins < budget {
             std::hint::spin_loop();
         } else {
             thread::park();
@@ -84,7 +110,7 @@ fn spin_wait<F: Fn() -> bool>(cond: F) {
     }
 }
 
-fn unpark(slot: &Mutex<Option<Thread>>) {
+pub(super) fn unpark(slot: &Mutex<Option<Thread>>) {
     if let Some(t) = slot.lock().as_ref() {
         t.unpark();
     }
@@ -92,7 +118,7 @@ fn unpark(slot: &Mutex<Option<Thread>>) {
 
 /// Best-effort extraction of a panic payload's message (the payload itself
 /// cannot cross the engine boundary usefully, but its text can).
-fn panic_message(p: &(dyn std::any::Any + Send)) -> String {
+pub(super) fn panic_message(p: &(dyn std::any::Any + Send)) -> String {
     if let Some(s) = p.downcast_ref::<&str>() {
         (*s).to_string()
     } else if let Some(s) = p.downcast_ref::<String>() {
@@ -105,14 +131,21 @@ fn panic_message(p: &(dyn std::any::Any + Send)) -> String {
 /// Execution context handed to each logical thread's closure. All timed
 /// memory operations go through here.
 pub struct ThreadCtx {
-    kind: ThreadKind,
-    id: usize,
-    ts: Arc<ThreadShared>,
-    eng: Arc<EngineShared>,
-    mem: Arc<MemorySystem>,
-    clock: u64,
-    pending: u64,
-    cpu_step: u64,
+    pub(super) kind: ThreadKind,
+    pub(super) id: usize,
+    pub(super) ts: Arc<ThreadShared>,
+    pub(super) eng: Arc<EngineShared>,
+    pub(super) mem: Arc<MemorySystem>,
+    pub(super) clock: u64,
+    pub(super) pending: u64,
+    pub(super) cpu_step: u64,
+    /// Sharded-run context (`None` under the legacy loop).
+    pub(super) sharded: Option<Arc<ShardedRt>>,
+    /// Index of the shard that owns this thread (0 under the legacy loop).
+    pub(super) my_shard: usize,
+    /// Gate of the effect the next `sleep` leaves pending; consumed by the
+    /// yield and handed to the shard scheduler through `ThreadShared::gate`.
+    pub(super) next_gate: u32,
 }
 
 impl ThreadCtx {
@@ -154,11 +187,27 @@ impl ThreadCtx {
         debug_assert!(extra_lat >= 1, "timed ops must advance time");
         self.clock += self.pending + extra_lat;
         self.pending = 0;
+        let gate = std::mem::replace(&mut self.next_gate, barrier::GATE_NONE);
         self.ts.clock.store(self.clock, Ordering::Release);
-        self.ts.state.store(ST_YIELD, Ordering::Release);
-        unpark(&self.eng.engine_thread);
-        let ts = Arc::clone(&self.ts);
-        spin_wait(move || ts.state.load(Ordering::Acquire) == ST_GO);
+        if let Some(rt) = &self.sharded {
+            // Sharded path: peer-to-peer handoff. The yielding thread runs
+            // its shard's scheduling step itself — when its own new key is
+            // still the shard minimum it resumes immediately with no OS
+            // round-trip at all (the common case for vault-local bursts).
+            self.ts.gate.store(gate, Ordering::Relaxed);
+            self.ts.state.store(ST_YIELD, Ordering::Release);
+            let rt = Arc::clone(rt);
+            if rt.sched_step(self.my_shard, Some(self.id)) != Some(self.id) {
+                let ts = Arc::clone(&self.ts);
+                spin_wait(move || ts.state.load(Ordering::Acquire) == ST_GO);
+            }
+            inbox::set_clock(self.clock);
+        } else {
+            self.ts.state.store(ST_YIELD, Ordering::Release);
+            unpark(&self.eng.engine_thread);
+            let ts = Arc::clone(&self.ts);
+            spin_wait(move || ts.state.load(Ordering::Acquire) == ST_GO);
+        }
     }
 
     /// Yield a full poll interval (used by spin/poll loops so they always
@@ -170,7 +219,27 @@ impl ThreadCtx {
     /// True once every non-daemon thread has finished; daemon loops (NMP
     /// cores) should exit promptly when they observe this.
     pub fn stop_requested(&self) -> bool {
-        self.eng.stop.load(Ordering::Acquire)
+        if self.eng.stop.load(Ordering::Acquire) {
+            return true;
+        }
+        match &self.sharded {
+            // Sharded path: the keyed stop query answers "would the legacy
+            // loop's stop flag be set when this turn was scheduled?".
+            Some(rt) => rt.ctl().stop_query(barrier::pack(self.clock, self.id)),
+            None => false,
+        }
+    }
+
+    /// Cross-shard gate for a policy-clean access about to be issued. The
+    /// scratchpads are the only region shared between shards (host MMIO on
+    /// one side, the owning NMP core on the other); everything else is
+    /// shard-local.
+    fn gate_for(&self, rt: &ShardedRt, addr: Addr) -> u32 {
+        match (self.kind, self.mem.map().region_of(addr)) {
+            (ThreadKind::Host { .. }, Region::Spad(p)) => barrier::gate_on(rt.shard_of_part(p)),
+            (ThreadKind::Nmp { .. }, Region::Spad(_)) => barrier::gate_on(shard::HOST_SHARD),
+            _ => barrier::GATE_NONE,
+        }
     }
 
     /// Route a direct (non-MMIO) access: with an analysis attached,
@@ -181,13 +250,20 @@ impl ThreadCtx {
         #[cfg(feature = "analysis")]
         if let Some(a) = self.mem.analysis() {
             if a.check_policy(self.id, self.kind, addr, is_write, false, now, _site) {
+                // The access escapes the ownership map; gate on every shard
+                // so the effect is still applied in global key order.
+                self.next_gate = barrier::GATE_ALL;
                 return POLICY_FALLBACK_LAT;
             }
         }
-        match self.kind {
+        let lat = match self.kind {
             ThreadKind::Host { core } => self.mem.host_access(core, now, addr, is_write),
             ThreadKind::Nmp { part } => self.mem.nmp_access(part, now, addr, is_write),
+        };
+        if let Some(rt) = &self.sharded {
+            self.next_gate = self.gate_for(rt, addr);
         }
+        lat
     }
 
     /// Route an MMIO access, with the same policy interception as [`route`].
@@ -197,10 +273,15 @@ impl ThreadCtx {
         #[cfg(feature = "analysis")]
         if let Some(a) = self.mem.analysis() {
             if a.check_policy(self.id, self.kind, addr, is_write, true, now, _site) {
+                self.next_gate = barrier::GATE_ALL;
                 return POLICY_FALLBACK_LAT;
             }
         }
-        self.mem.mmio_access(now, addr, is_write)
+        let lat = self.mem.mmio_access(now, addr, is_write);
+        if let Some(rt) = &self.sharded {
+            self.next_gate = self.gate_for(rt, addr);
+        }
+        lat
     }
 
     /// Feed one completed access to the attached analysis. Fires at the
@@ -423,7 +504,7 @@ impl ThreadCtx {
     }
 }
 
-type ThreadFn = Box<dyn FnOnce(&mut ThreadCtx) + Send + 'static>;
+pub(super) type ThreadFn = Box<dyn FnOnce(&mut ThreadCtx) + Send + 'static>;
 
 /// Outcome of a completed simulation.
 #[derive(Debug, Clone)]
@@ -534,13 +615,28 @@ impl Simulation {
             handle: Mutex::new(None),
             panicked: AtomicBool::new(false),
             panic_note: Mutex::new(None),
+            gate: AtomicU32::new(barrier::GATE_NONE),
+            deferred: Mutex::new(None),
         }));
         self.bodies.push(f);
     }
 
+    /// Resolve how many vault shards this run uses: the config knob (or the
+    /// `NMP_SIM_SHARDS` environment override), clamped to the partition
+    /// count, with `0` meaning one shard per partition. `1` selects the
+    /// legacy single-loop engine.
+    fn resolved_vault_shards(&self) -> usize {
+        self.mem.config().resolved_vault_shards()
+    }
+
     /// Run to completion on the calling thread; returns per-thread clocks.
     /// Propagates the first panic raised inside any logical thread.
+    ///
+    /// Dispatches to the legacy single-loop engine (`shards == 1`) or the
+    /// sharded per-vault loops (`shards != 1`); both produce byte-identical
+    /// results (see `DESIGN.md` §4.9).
     pub fn run(self) -> SimOutcome {
+        let vault_shards = self.resolved_vault_shards();
         let Simulation { mem, eng, threads, bodies, cpu_step } = self;
         assert!(!threads.is_empty(), "no threads spawned");
         *eng.engine_thread.lock() = Some(thread::current());
@@ -559,134 +655,201 @@ impl Simulation {
             t.on_sim_start(&roster);
         }
 
-        let mut joins = Vec::with_capacity(bodies.len());
-        for (id, (ts, body)) in threads.iter().cloned().zip(bodies).enumerate() {
-            let eng2 = Arc::clone(&eng);
-            let mem2 = Arc::clone(&mem);
-            joins.push(
-                thread::Builder::new()
-                    .name(format!("sim-{}", ts.name))
-                    .spawn(move || {
-                        *ts.handle.lock() = Some(thread::current());
-                        // Announce readiness and wait for the first GO.
-                        ts.state.store(ST_YIELD, Ordering::Release);
-                        unpark(&eng2.engine_thread);
-                        {
-                            let ts2 = Arc::clone(&ts);
-                            spin_wait(move || ts2.state.load(Ordering::Acquire) == ST_GO);
+        if vault_shards > 1 {
+            return shard::run_sharded(mem, eng, threads, bodies, cpu_step, vault_shards);
+        }
+        run_legacy(mem, eng, threads, bodies, cpu_step)
+    }
+}
+
+/// Spawn one OS thread per logical thread. Shared by both engines; `rt`
+/// selects the sharded worker protocol (deferral context, peer-to-peer
+/// handoff on exit) when present.
+pub(super) fn spawn_workers(
+    mem: &Arc<MemorySystem>,
+    eng: &Arc<EngineShared>,
+    threads: &[Arc<ThreadShared>],
+    bodies: Vec<ThreadFn>,
+    cpu_step: u64,
+    rt: Option<Arc<ShardedRt>>,
+) -> Vec<thread::JoinHandle<()>> {
+    let mut joins = Vec::with_capacity(bodies.len());
+    for (id, (ts, body)) in threads.iter().cloned().zip(bodies).enumerate() {
+        let eng2 = Arc::clone(eng);
+        let mem2 = Arc::clone(mem);
+        let rt2 = rt.clone();
+        joins.push(
+            thread::Builder::new()
+                .name(format!("sim-{}", ts.name))
+                .spawn(move || {
+                    *ts.handle.lock() = Some(thread::current());
+                    // Announce readiness and wait for the first GO.
+                    ts.state.store(ST_YIELD, Ordering::Release);
+                    unpark(&eng2.engine_thread);
+                    {
+                        let ts2 = Arc::clone(&ts);
+                        spin_wait(move || ts2.state.load(Ordering::Acquire) == ST_GO);
+                    }
+                    let my_shard = rt2.as_ref().map_or(0, |rt| rt.shard_of(ts.kind));
+                    if let Some(rt) = &rt2 {
+                        inbox::begin_thread(id, my_shard, rt.ctl_arc());
+                    }
+                    let mut ctx = ThreadCtx {
+                        kind: ts.kind,
+                        id,
+                        ts: Arc::clone(&ts),
+                        eng: Arc::clone(&eng2),
+                        mem: mem2,
+                        clock: ts.clock.load(Ordering::Acquire),
+                        pending: 0,
+                        cpu_step,
+                        sharded: rt2.clone(),
+                        my_shard,
+                        next_gate: barrier::GATE_NONE,
+                    };
+                    if rt2.is_some() {
+                        inbox::set_clock(ctx.clock);
+                    }
+                    let result = panic::catch_unwind(AssertUnwindSafe(|| body(&mut ctx)));
+                    // Start cycle of the turn the body returned in: the key
+                    // at which the legacy scheduler would observe ST_DONE.
+                    let final_turn = ctx.clock;
+                    let final_clock = ctx.clock + ctx.pending;
+                    ctx.ts.clock.store(final_clock, Ordering::Release);
+                    if let Err(p) = result {
+                        let msg = panic_message(p.as_ref());
+                        *ts.panic_note.lock() = Some(format!(
+                            "'{}' panicked at simulated cycle {final_clock}: {msg}",
+                            ts.name
+                        ));
+                        ts.panicked.store(true, Ordering::Release);
+                        if let Some(rt) = &rt2 {
+                            rt.ctl().flag_panic();
                         }
-                        let mut ctx = ThreadCtx {
-                            kind: ts.kind,
-                            id,
-                            ts: Arc::clone(&ts),
-                            eng: Arc::clone(&eng2),
-                            mem: mem2,
-                            clock: ts.clock.load(Ordering::Acquire),
-                            pending: 0,
-                            cpu_step,
-                        };
-                        let result = panic::catch_unwind(AssertUnwindSafe(|| body(&mut ctx)));
-                        let final_clock = ctx.clock + ctx.pending;
-                        ctx.ts.clock.store(final_clock, Ordering::Release);
-                        if let Err(p) = result {
-                            let msg = panic_message(p.as_ref());
-                            *ts.panic_note.lock() = Some(format!(
-                                "'{}' panicked at simulated cycle {final_clock}: {msg}",
-                                ts.name
-                            ));
-                            ts.panicked.store(true, Ordering::Release);
+                    }
+                    if let Some(rt) = &rt2 {
+                        if !ts.daemon {
+                            rt.ctl().non_daemon_done(barrier::pack(final_turn, id));
                         }
                         ts.state.store(ST_DONE, Ordering::Release);
+                        // Hand the shard's scheduling token to the next
+                        // pending thread (and republish the frontiers).
+                        rt.sched_step(my_shard, Some(id));
+                        *ts.deferred.lock() = Some(inbox::end_thread());
+                    } else {
+                        ts.state.store(ST_DONE, Ordering::Release);
                         unpark(&eng2.engine_thread);
-                    })
-                    .expect("spawn sim thread"),
+                    }
+                })
+                .expect("spawn sim thread"),
+        );
+    }
+    joins
+}
+
+/// Wait until every worker has announced readiness (left `ST_INIT`).
+pub(super) fn await_announcements(threads: &[Arc<ThreadShared>]) {
+    for ts in threads {
+        let ts2 = Arc::clone(ts);
+        spin_wait(move || ts2.state.load(Ordering::Acquire) != ST_INIT);
+    }
+}
+
+/// Join all workers, propagate the first panic, and build the outcome.
+/// Shared by both engines.
+pub(super) fn join_and_finish(
+    threads: &[Arc<ThreadShared>],
+    joins: Vec<thread::JoinHandle<()>>,
+) -> SimOutcome {
+    for j in joins {
+        let _ = j.join();
+    }
+    if threads.iter().any(|t| t.panicked.load(Ordering::Acquire)) {
+        let notes: Vec<String> = threads
+            .iter()
+            .filter(|t| t.panicked.load(Ordering::Acquire))
+            .map(|t| {
+                t.panic_note.lock().take().unwrap_or_else(|| format!("'{}' (message lost)", t.name))
+            })
+            .collect();
+        panic!("simulated thread(s) panicked: {}", notes.join("; "));
+    }
+    SimOutcome {
+        clocks: threads.iter().map(|t| t.clock.load(Ordering::Acquire)).collect(),
+        names: threads.iter().map(|t| t.name.clone()).collect(),
+        daemons: threads.iter().map(|t| t.daemon).collect(),
+    }
+}
+
+/// The original single-scheduler event loop: one engine thread resumes the
+/// globally minimum-key logical thread, one at a time.
+fn run_legacy(
+    mem: Arc<MemorySystem>,
+    eng: Arc<EngineShared>,
+    threads: Vec<Arc<ThreadShared>>,
+    bodies: Vec<ThreadFn>,
+    cpu_step: u64,
+) -> SimOutcome {
+    let joins = spawn_workers(&mem, &eng, &threads, bodies, cpu_step, None);
+    await_announcements(&threads);
+
+    let mut schedules_after_stop = 0u64;
+    loop {
+        let mut best: Option<(u64, usize)> = None;
+        let mut all_workers_done = true;
+        let mut live_panic = false;
+        for (i, ts) in threads.iter().enumerate() {
+            match ts.state.load(Ordering::Acquire) {
+                ST_YIELD => {
+                    all_workers_done = false;
+                    let c = ts.clock.load(Ordering::Acquire);
+                    if best.is_none_or(|(bc, bi)| (c, i) < (bc, bi)) {
+                        best = Some((c, i));
+                    }
+                }
+                ST_DONE => {
+                    if ts.panicked.load(Ordering::Acquire) {
+                        live_panic = true;
+                    }
+                }
+                _ => all_workers_done = false,
+            }
+        }
+        if live_panic {
+            // Release everything so remaining threads can be joined.
+            eng.stop.store(true, Ordering::Release);
+        }
+        let non_daemons_done = threads
+            .iter()
+            .filter(|t| !t.daemon)
+            .all(|t| t.state.load(Ordering::Acquire) == ST_DONE);
+        if non_daemons_done {
+            eng.stop.store(true, Ordering::Release);
+        }
+        if all_workers_done {
+            break;
+        }
+        let Some((_, i)) = best else {
+            // Threads exist that are neither YIELD nor DONE: still
+            // starting up; give them a moment.
+            thread::yield_now();
+            continue;
+        };
+        if eng.stop.load(Ordering::Acquire) {
+            schedules_after_stop += 1;
+            assert!(
+                schedules_after_stop < 1_000_000,
+                "daemon threads are not honoring stop_requested()"
             );
         }
-
-        // Wait for all workers to announce readiness.
-        for ts in &threads {
-            let ts2 = Arc::clone(ts);
-            spin_wait(move || ts2.state.load(Ordering::Acquire) != ST_INIT);
-        }
-
-        let mut schedules_after_stop = 0u64;
-        loop {
-            let mut best: Option<(u64, usize)> = None;
-            let mut all_workers_done = true;
-            let mut live_panic = false;
-            for (i, ts) in threads.iter().enumerate() {
-                match ts.state.load(Ordering::Acquire) {
-                    ST_YIELD => {
-                        all_workers_done = false;
-                        let c = ts.clock.load(Ordering::Acquire);
-                        if best.is_none_or(|(bc, bi)| (c, i) < (bc, bi)) {
-                            best = Some((c, i));
-                        }
-                    }
-                    ST_DONE => {
-                        if ts.panicked.load(Ordering::Acquire) {
-                            live_panic = true;
-                        }
-                    }
-                    _ => all_workers_done = false,
-                }
-            }
-            if live_panic {
-                // Release everything so remaining threads can be joined.
-                eng.stop.store(true, Ordering::Release);
-            }
-            let non_daemons_done = threads
-                .iter()
-                .filter(|t| !t.daemon)
-                .all(|t| t.state.load(Ordering::Acquire) == ST_DONE);
-            if non_daemons_done {
-                eng.stop.store(true, Ordering::Release);
-            }
-            if all_workers_done {
-                break;
-            }
-            let Some((_, i)) = best else {
-                // Threads exist that are neither YIELD nor DONE: still
-                // starting up; give them a moment.
-                thread::yield_now();
-                continue;
-            };
-            if eng.stop.load(Ordering::Acquire) {
-                schedules_after_stop += 1;
-                assert!(
-                    schedules_after_stop < 1_000_000,
-                    "daemon threads are not honoring stop_requested()"
-                );
-            }
-            let ts = &threads[i];
-            ts.state.store(ST_GO, Ordering::Release);
-            unpark(&ts.handle);
-            let ts2 = Arc::clone(ts);
-            spin_wait(move || ts2.state.load(Ordering::Acquire) != ST_GO);
-        }
-
-        for j in joins {
-            let _ = j.join();
-        }
-        if threads.iter().any(|t| t.panicked.load(Ordering::Acquire)) {
-            let notes: Vec<String> = threads
-                .iter()
-                .filter(|t| t.panicked.load(Ordering::Acquire))
-                .map(|t| {
-                    t.panic_note
-                        .lock()
-                        .take()
-                        .unwrap_or_else(|| format!("'{}' (message lost)", t.name))
-                })
-                .collect();
-            panic!("simulated thread(s) panicked: {}", notes.join("; "));
-        }
-        SimOutcome {
-            clocks: threads.iter().map(|t| t.clock.load(Ordering::Acquire)).collect(),
-            names: threads.iter().map(|t| t.name.clone()).collect(),
-            daemons: threads.iter().map(|t| t.daemon).collect(),
-        }
+        let ts = &threads[i];
+        ts.state.store(ST_GO, Ordering::Release);
+        unpark(&ts.handle);
+        let ts2 = Arc::clone(ts);
+        spin_wait(move || ts2.state.load(Ordering::Acquire) != ST_GO);
     }
+
+    join_and_finish(&threads, joins)
 }
 
 #[cfg(test)]

@@ -239,31 +239,62 @@ impl OffloadCounters {
         }
     }
 
-    fn reset(&self) {
-        for v in [&self.posted, &self.completed, &self.retries, &self.lock_path, &self.pq_stale] {
+    /// Zero the host-recorded counters (posts, retries, lock-path falls,
+    /// lane occupancy, pqueue stale probes). Counters bumped by NMP
+    /// combiners are reset per partition by
+    /// [`OffloadCounters::reset_part_side`], so a sharded engine can apply
+    /// each side's reset at its own canonical stream position.
+    fn reset_host_side(&self) {
+        for v in [&self.posted, &self.retries, &self.lock_path, &self.pq_stale] {
             for a in v.iter() {
                 a.store(0, Ordering::Relaxed);
             }
         }
-        for a in self.lane_posted.iter().chain(self.combined_hist.iter()) {
+        for a in self.lane_posted.iter() {
             a.store(0, Ordering::Relaxed);
+        }
+    }
+
+    /// Zero the combiner-recorded counters of partition `part` (completed
+    /// requests and the combined-per-pass histogram row).
+    fn reset_part_side(&self, part: usize) {
+        self.completed[part].store(0, Ordering::Relaxed);
+        for b in 0..OFFLOAD_HIST_BUCKETS {
+            self.combined_hist[part * OFFLOAD_HIST_BUCKETS + b].store(0, Ordering::Relaxed);
         }
     }
 }
 
-struct Timing {
+/// Timing state owned by the host shard: the cache hierarchy, the host
+/// main-memory vaults, and the host-side MMIO issue counters. Exactly one
+/// shard (the host shard, or the single legacy loop) mutates this.
+struct HostTiming {
     l1: Vec<Cache>,
     l2: Cache,
+    /// The `main_vaults` host main-memory vaults (block-interleaved).
     vaults: Vec<Vault>,
-    dram: DramTiming,
-    /// Last block resident in each NMP core's node-register buffer.
-    nmp_buf: Vec<Option<Addr>>,
-    nmp_buffer_hits: u64,
     mmio_reads: u64,
     mmio_writes: u64,
 }
 
+/// Timing state owned by one NMP partition's vault shard: its DRAM vault
+/// and the NMP core's single-block node-register buffer. Only the shard
+/// that owns partition `p` (or the single legacy loop) mutates entry `p`.
+struct PartTiming {
+    vault: Vault,
+    /// Last block resident in this NMP core's node-register buffer.
+    nmp_buf: Option<Addr>,
+    nmp_buffer_hits: u64,
+}
+
 /// The timed memory system shared by all logical threads of a simulation.
+///
+/// Timing state is partitioned by shard ownership: `HostTiming` behind one
+/// lock, one `PartTiming` lock per NMP partition, and the immutable
+/// [`DramTiming`] shared read-only. Under the legacy single loop the finer
+/// locks are simply uncontended; under the sharded engine each shard only
+/// ever takes the locks it owns, so cross-shard timing state is never
+/// touched directly (cross-shard *data* travels through the engine inbox).
 pub struct MemorySystem {
     ram: SimRam,
     map: MemMap,
@@ -273,7 +304,9 @@ pub struct MemorySystem {
     host_link_cycles: u64,
     block_bytes: u32,
     offload: OffloadCounters,
-    t: Mutex<Timing>,
+    dram: DramTiming,
+    host_t: Mutex<HostTiming>,
+    parts_t: Vec<Mutex<PartTiming>>,
     /// Correctness checkers, attached at most once per machine (see
     /// [`crate::analysis`]). Empty = zero checking overhead.
     #[cfg(feature = "analysis")]
@@ -290,16 +323,22 @@ impl MemorySystem {
         cfg.validate();
         let map = MemMap::new(&cfg);
         let dram = DramTiming::from_config(&cfg);
-        let t = Timing {
+        let host_t = HostTiming {
             l1: (0..cfg.host_cores).map(|_| Cache::new(&cfg.l1)).collect(),
             l2: Cache::new(&cfg.l2),
-            vaults: (0..cfg.num_vaults).map(|_| Vault::new(&dram)).collect(),
-            dram,
-            nmp_buf: vec![None; cfg.nmp_partitions()],
-            nmp_buffer_hits: 0,
+            vaults: (0..cfg.main_vaults).map(|_| Vault::new(&dram)).collect(),
             mmio_reads: 0,
             mmio_writes: 0,
         };
+        let parts_t = (0..cfg.nmp_partitions())
+            .map(|_| {
+                Mutex::new(PartTiming {
+                    vault: Vault::new(&dram),
+                    nmp_buf: None,
+                    nmp_buffer_hits: 0,
+                })
+            })
+            .collect();
         MemorySystem {
             ram: SimRam::new(map.total_bytes),
             map,
@@ -309,7 +348,9 @@ impl MemorySystem {
             block_bytes: cfg.l1.block_bytes,
             offload: OffloadCounters::new(cfg.nmp_partitions()),
             cfg,
-            t: Mutex::new(t),
+            dram,
+            host_t: Mutex::new(host_t),
+            parts_t,
             #[cfg(feature = "analysis")]
             analysis: OnceLock::new(),
             #[cfg(feature = "trace")]
@@ -387,7 +428,7 @@ impl MemorySystem {
         // tracer after releasing it (the tracer lock never nests inside it).
         let mut _vault_busy: Option<(usize, u64, u64)> = None;
         let lat = {
-            let t = &mut *self.t.lock();
+            let t = &mut *self.host_t.lock();
             let mut lat = t.l1[core].latency;
             let mut l1_hit = false;
             match t.l1[core].access(addr, is_write) {
@@ -397,7 +438,7 @@ impl MemorySystem {
                         // L1 dirty eviction drains into L2 off the critical path.
                         if let Access::Miss { writeback: Some(wb2) } = t.l2.access(wb, true) {
                             let (v, local) = self.host_vault(wb2);
-                            t.vaults[v].post_write(now, local, &t.dram);
+                            t.vaults[v].post_write(now, local, &self.dram);
                         }
                     }
                 }
@@ -407,12 +448,12 @@ impl MemorySystem {
                 if let Access::Miss { writeback } = t.l2.access(addr, false) {
                     if let Some(wb2) = writeback {
                         let (v, local) = self.host_vault(wb2);
-                        t.vaults[v].post_write(now, local, &t.dram);
+                        t.vaults[v].post_write(now, local, &self.dram);
                     }
                     let (v, local) = self.host_vault(addr);
                     // Off-chip link round trip: only host-side DRAM fills pay it.
                     lat += self.host_link_cycles;
-                    let dlat = t.vaults[v].access(now + lat, local, false, &t.dram);
+                    let dlat = t.vaults[v].access(now + lat, local, false, &self.dram);
                     _vault_busy = Some((v, now + lat, now + lat + dlat));
                     lat += dlat;
                 }
@@ -451,23 +492,22 @@ impl MemorySystem {
         }
         let mut _vault_busy: Option<(usize, u64, u64)> = None;
         let lat = {
-            let t = &mut *self.t.lock();
+            let t = &mut *self.parts_t[part].lock();
             let block = addr & !(self.cfg.nmp_buffer_bytes - 1);
-            if !is_write && t.nmp_buf[part] == Some(block) {
+            if !is_write && t.nmp_buf == Some(block) {
                 t.nmp_buffer_hits += 1;
                 1
             } else {
-                let vault = self.cfg.main_vaults + part;
                 let local = addr - self.map.part_base(part);
-                let lat = t.vaults[vault].access(now, local, is_write, &t.dram);
-                _vault_busy = Some((vault, now, now + lat));
+                let lat = t.vault.access(now, local, is_write, &self.dram);
+                _vault_busy = Some((self.cfg.main_vaults + part, now, now + lat));
                 if is_write {
                     // Write-through; keep the buffer coherent if it holds this block.
-                    if t.nmp_buf[part] != Some(block) && t.nmp_buf[part].is_some() {
+                    if t.nmp_buf != Some(block) && t.nmp_buf.is_some() {
                         // leave buffer as-is: writes don't allocate
                     }
                 } else {
-                    t.nmp_buf[part] = Some(block);
+                    t.nmp_buf = Some(block);
                 }
                 lat
             }
@@ -487,7 +527,7 @@ impl MemorySystem {
             Region::Spad(_) => {}
             r => panic!("MMIO access to non-scratchpad region {r:?} at {addr:#x}"),
         }
-        let t = &mut *self.t.lock();
+        let t = &mut *self.host_t.lock();
         if is_write {
             t.mmio_writes += 1;
             self.mmio_write_cycles
@@ -544,23 +584,37 @@ impl MemorySystem {
     /// cumulative over the machine's lifetime — [`MemorySystem::reset_stats`]
     /// deliberately does not clear them.
     pub fn snapshot(&self) -> StatsSnapshot {
+        // Under the sharded engine, wait until every other shard has run
+        // past the caller's current cycle so the counters read here reflect
+        // the same prefix of work the sequential engine would have applied.
+        crate::engine::quiesce_for_global_mutation();
         #[cfg(feature = "analysis")]
         let (races_detected, policy_violations) =
             self.analysis.get().map_or((0, 0), |a| (a.race_count(), a.policy_count()));
         #[cfg(not(feature = "analysis"))]
         let (races_detected, policy_violations) = (0, 0);
-        let t = self.t.lock();
-        let mut l1 = crate::stats::CacheStats::default();
-        for c in &t.l1 {
-            l1.add(&c.stats);
+        let (l1, l2, mut vaults, mmio_reads, mmio_writes) = {
+            let t = self.host_t.lock();
+            let mut l1 = crate::stats::CacheStats::default();
+            for c in &t.l1 {
+                l1.add(&c.stats);
+            }
+            let vaults: Vec<_> = t.vaults.iter().map(|v| v.stats).collect();
+            (l1, t.l2.stats, vaults, t.mmio_reads, t.mmio_writes)
+        };
+        let mut nmp_buffer_hits = 0;
+        for pt in &self.parts_t {
+            let pt = pt.lock();
+            vaults.push(pt.vault.stats);
+            nmp_buffer_hits += pt.nmp_buffer_hits;
         }
         StatsSnapshot {
             l1,
-            l2: t.l2.stats,
-            vaults: t.vaults.iter().map(|v| v.stats).collect(),
-            mmio_reads: t.mmio_reads,
-            mmio_writes: t.mmio_writes,
-            nmp_buffer_hits: t.nmp_buffer_hits,
+            l2,
+            vaults,
+            mmio_reads,
+            mmio_writes,
+            nmp_buffer_hits,
             main_vaults: self.cfg.main_vaults,
             races_detected,
             policy_violations,
@@ -568,10 +622,12 @@ impl MemorySystem {
         }
     }
 
-    /// Zero all counters while *keeping* cache/buffer/row state warm.
-    /// Used to discard warm-up traffic before a measurement window.
-    pub fn reset_stats(&self) {
-        let t = &mut *self.t.lock();
+    /// Zero the host-owned counters (caches, host vaults, MMIO issue counts,
+    /// host-side offload counters) while keeping cache/row state warm. Part
+    /// of [`MemorySystem::reset_stats`], split out so a sharded engine can
+    /// apply it at the host shard's canonical stream position.
+    pub fn reset_host_stats(&self) {
+        let t = &mut *self.host_t.lock();
         for c in &mut t.l1 {
             c.stats = Default::default();
         }
@@ -581,8 +637,34 @@ impl MemorySystem {
         }
         t.mmio_reads = 0;
         t.mmio_writes = 0;
+        self.offload.reset_host_side();
+    }
+
+    /// Zero the counters owned by partition `part`'s vault shard (its vault,
+    /// its NMP-buffer hit count, its combiner-side offload counters) while
+    /// keeping buffer/row state warm. Part of [`MemorySystem::reset_stats`],
+    /// split out so a sharded engine can apply it at the owning shard's
+    /// canonical stream position.
+    pub fn reset_part_stats(&self, part: usize) {
+        let t = &mut *self.parts_t[part].lock();
+        t.vault.stats = Default::default();
         t.nmp_buffer_hits = 0;
-        self.offload.reset();
+        self.offload.reset_part_side(part);
+    }
+
+    /// Zero all counters while *keeping* cache/buffer/row state warm.
+    /// Used to discard warm-up traffic before a measurement window.
+    pub fn reset_stats(&self) {
+        // Sharded engine: this mutates every shard's timing counters, so it
+        // is only legal at quiescent points (the driver's measurement
+        // barrier, where no offload is in flight). Wait for all other
+        // shards to pass the caller's cycle first, which makes the reset
+        // land at the same stream position as under the sequential engine.
+        crate::engine::quiesce_for_global_mutation();
+        self.reset_host_stats();
+        for p in 0..self.parts_t.len() {
+            self.reset_part_stats(p);
+        }
     }
 
     /// Pre-load the block containing `addr` into the shared L2 (and the
@@ -593,7 +675,7 @@ impl MemorySystem {
         if self.map.region_of(addr) != Region::Host {
             return;
         }
-        let t = &mut *self.t.lock();
+        let t = &mut *self.host_t.lock();
         let _ = t.l2.access(addr, false);
         let _ = t.l1[core].access(addr, false);
         for c in &mut t.l1 {

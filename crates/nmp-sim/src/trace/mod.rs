@@ -218,13 +218,34 @@ impl Tracer {
         self.inner.lock().roster = roster.to_vec();
     }
 
+    /// Route an event into the ring — or, under the sharded engine, into the
+    /// calling logical thread's deferred log, to be merged and replayed in
+    /// global key order after the run (keeps the exported stream
+    /// byte-identical to the legacy loop's).
+    fn emit(&self, g: &mut Inner, ev: TraceEvent) {
+        if !crate::engine::defer_trace(ev, self.cap) {
+            g.events.push(ev);
+        }
+    }
+
+    /// Feed the merged deferred event stream back into the ring after a
+    /// sharded run; `early_dropped` counts events already evicted from the
+    /// per-thread logs by the same drop-oldest bound the ring applies.
+    pub(crate) fn replay(&self, events: Vec<TraceEvent>, early_dropped: u64) {
+        let mut g = self.inner.lock();
+        for ev in events {
+            g.events.push(ev);
+        }
+        g.events.add_dropped(early_dropped);
+    }
+
     /// Begin an op umbrella on `core`'s track; returns the op id.
     pub fn op_begin(&self, core: usize, kind: u8, now: u64) -> u64 {
         let mut g = self.inner.lock();
         let op = g.next_op;
         g.next_op += 1;
         g.ops_begun += 1;
-        g.events.push(TraceEvent::OpBegin { core, kind, op, ts: now });
+        self.emit(&mut g, TraceEvent::OpBegin { core, kind, op, ts: now });
         op
     }
 
@@ -239,7 +260,7 @@ impl Tracer {
         if g.records.len() < self.cap {
             g.records.push(rec);
         }
-        g.events.push(TraceEvent::OpEnd { core, kind: rec.kind, op: rec.op, ts: rec.end });
+        self.emit(&mut g, TraceEvent::OpEnd { core, kind: rec.kind, op: rec.op, ts: rec.end });
     }
 
     /// Record a publication post: a `post` span on the host track and an open
@@ -247,13 +268,10 @@ impl Tracer {
     pub fn note_post(&self, core: usize, part: usize, slot: usize, op: u64, start: u64, end: u64) {
         let mut g = self.inner.lock();
         g.legs_posted += 1;
-        g.events.push(TraceEvent::Span {
-            track: Track::Host(core),
-            name: "post",
-            start,
-            end,
-            arg: op,
-        });
+        self.emit(
+            &mut g,
+            TraceEvent::Span { track: Track::Host(core), name: "post", start, end, arg: op },
+        );
         g.legs.insert(
             (part, slot),
             Leg { op, posted: end, exec_start: 0, exec_end: 0, executed: false },
@@ -273,24 +291,19 @@ impl Tracer {
         } else {
             0
         };
-        g.events.push(TraceEvent::Span {
-            track: Track::Nmp(part),
-            name: "exec",
-            start,
-            end,
-            arg: op,
-        });
+        self.emit(
+            &mut g,
+            TraceEvent::Span { track: Track::Nmp(part), name: "exec", start, end, arg: op },
+        );
     }
 
     /// Record a combiner batch pass over `part` that executed `n` requests.
     pub fn note_batch(&self, part: usize, start: u64, end: u64, n: u64) {
-        self.inner.lock().events.push(TraceEvent::Span {
-            track: Track::Nmp(part),
-            name: "batch",
-            start,
-            end,
-            arg: n,
-        });
+        let mut g = self.inner.lock();
+        self.emit(
+            &mut g,
+            TraceEvent::Span { track: Track::Nmp(part), name: "batch", start, end, arg: n },
+        );
     }
 
     /// The host observed the response for `(part, slot)` at cycle `now`:
@@ -309,23 +322,23 @@ impl Tracer {
 
     /// Emit a zero-duration marker on `track`.
     pub fn instant(&self, track: Track, name: &'static str, ts: u64) {
-        self.inner.lock().events.push(TraceEvent::Instant { track, name, ts });
+        let mut g = self.inner.lock();
+        self.emit(&mut g, TraceEvent::Instant { track, name, ts });
     }
 
     /// Emit a counter-track sample.
     pub fn counter(&self, name: &'static str, ts: u64, value: u64) {
-        self.inner.lock().events.push(TraceEvent::Counter { name, ts, value });
+        let mut g = self.inner.lock();
+        self.emit(&mut g, TraceEvent::Counter { name, ts, value });
     }
 
     /// Record a DRAM vault busy window (one per vault access).
     pub fn vault_busy(&self, vault: usize, start: u64, end: u64) {
-        self.inner.lock().events.push(TraceEvent::Span {
-            track: Track::Vault(vault),
-            name: "busy",
-            start,
-            end,
-            arg: 0,
-        });
+        let mut g = self.inner.lock();
+        self.emit(
+            &mut g,
+            TraceEvent::Span { track: Track::Vault(vault), name: "busy", start, end, arg: 0 },
+        );
     }
 
     /// Record a host last-level-cache miss on `core` at cycle `ts`.

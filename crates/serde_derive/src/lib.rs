@@ -12,20 +12,29 @@
 //!   matching real serde's default representation: a unit variant encodes
 //!   as its name string, a struct variant as `{"Variant": {fields...}}`).
 //!
-//! `#[serde(...)]` attributes are not interpreted; tuple variants, tuple
-//! structs, and generics produce a compile error naming the limitation.
+//! Of the `#[serde(...)]` attributes, only `#[serde(default)]` on a named
+//! struct field is interpreted (a missing field deserializes via
+//! `Default::default()`); others are ignored. Tuple variants, tuple structs,
+//! and generics produce a compile error naming the limitation.
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
+/// A named struct field: its name, and whether `#[serde(default)]` lets it
+/// fall back to `Default::default()` when absent from the input.
+struct Field {
+    name: String,
+    default: bool,
+}
+
 enum Shape {
-    /// Named-field struct: field names in declaration order.
-    Struct { name: String, fields: Vec<String> },
+    /// Named-field struct: fields in declaration order.
+    Struct { name: String, fields: Vec<Field> },
     /// Enum of unit and struct variants.
-    Enum { name: String, variants: Vec<(String, Option<Vec<String>>)> },
+    Enum { name: String, variants: Vec<(String, Option<Vec<Field>>)> },
 }
 
 /// Derive `serde::Serialize` (the vendored Value-tree trait).
-#[proc_macro_derive(Serialize)]
+#[proc_macro_derive(Serialize, attributes(serde))]
 pub fn derive_serialize(input: TokenStream) -> TokenStream {
     match parse_shape(input) {
         Ok(shape) => gen_serialize(&shape).parse().unwrap(),
@@ -34,7 +43,7 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
 }
 
 /// Derive `serde::Deserialize` (the vendored Value-tree trait).
-#[proc_macro_derive(Deserialize)]
+#[proc_macro_derive(Deserialize, attributes(serde))]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     match parse_shape(input) {
         Ok(shape) => gen_deserialize(&shape).parse().unwrap(),
@@ -59,6 +68,33 @@ fn skip_attrs(tokens: &[TokenTree], mut i: usize) -> usize {
         }
     }
     i
+}
+
+/// Like [`skip_attrs`], but also reports whether one of the skipped
+/// attributes is `#[serde(default)]`.
+fn scan_attrs(tokens: &[TokenTree], mut i: usize) -> (usize, bool) {
+    let mut default = false;
+    while i + 1 < tokens.len() {
+        match (&tokens[i], &tokens[i + 1]) {
+            (TokenTree::Punct(p), TokenTree::Group(g))
+                if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket =>
+            {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                if let (Some(TokenTree::Ident(id)), Some(TokenTree::Group(args))) =
+                    (inner.first(), inner.get(1))
+                {
+                    if id.to_string() == "serde" && args.delimiter() == Delimiter::Parenthesis {
+                        default |= args.stream().into_iter().any(
+                            |t| matches!(&t, TokenTree::Ident(a) if a.to_string() == "default"),
+                        );
+                    }
+                }
+                i += 2;
+            }
+            _ => break,
+        }
+    }
+    (i, default)
 }
 
 /// Skip a `pub` / `pub(...)` visibility prefix at `i`; returns the new index.
@@ -113,13 +149,15 @@ fn parse_shape(input: TokenStream) -> Result<Shape, String> {
     }
 }
 
-/// Parse `name: Type, ...` named fields, returning the names.
-fn parse_named_fields(body: TokenStream) -> Result<Vec<String>, String> {
+/// Parse `name: Type, ...` named fields, returning name plus whether the
+/// field carries `#[serde(default)]`.
+fn parse_named_fields(body: TokenStream) -> Result<Vec<Field>, String> {
     let tokens: Vec<TokenTree> = body.into_iter().collect();
     let mut fields = Vec::new();
     let mut i = 0;
     while i < tokens.len() {
-        i = skip_vis(&tokens, skip_attrs(&tokens, i));
+        let (j, default) = scan_attrs(&tokens, i);
+        i = skip_vis(&tokens, j);
         if i >= tokens.len() {
             break;
         }
@@ -148,13 +186,13 @@ fn parse_named_fields(body: TokenStream) -> Result<Vec<String>, String> {
             }
             i += 1;
         }
-        fields.push(fname);
+        fields.push(Field { name: fname, default });
     }
     Ok(fields)
 }
 
 /// A parsed variant: name plus `Some(fields)` for struct variants.
-type Variant = (String, Option<Vec<String>>);
+type Variant = (String, Option<Vec<Field>>);
 
 /// Parse enum variants: `Name` (unit) or `Name { fields }` (struct variant).
 fn parse_variants(body: TokenStream) -> Result<Vec<Variant>, String> {
@@ -204,6 +242,7 @@ fn gen_serialize(shape: &Shape) -> String {
         Shape::Struct { name, fields } => {
             let mut pushes = String::new();
             for f in fields {
+                let f = &f.name;
                 pushes.push_str(&format!(
                     "fields.push((::std::string::String::from({f:?}), \
                      ::serde::Serialize::to_value(&self.{f})));\n"
@@ -228,9 +267,11 @@ fn gen_serialize(shape: &Shape) -> String {
                         "{name}::{vname} => ::serde::Value::Str(::std::string::String::from({vname:?})),\n"
                     )),
                     Some(fs) => {
-                        let binds = fs.join(", ");
+                        let binds =
+                            fs.iter().map(|f| f.name.as_str()).collect::<Vec<_>>().join(", ");
                         let mut pushes = String::new();
                         for f in fs {
+                            let f = &f.name;
                             pushes.push_str(&format!(
                                 "fields.push((::std::string::String::from({f:?}), \
                                  ::serde::Serialize::to_value({f})));\n"
@@ -265,9 +306,21 @@ fn gen_deserialize(shape: &Shape) -> String {
         Shape::Struct { name, fields } => {
             let mut inits = String::new();
             for f in fields {
-                inits.push_str(&format!(
-                    "{f}: ::serde::Deserialize::from_value(v.field({f:?})?)?,\n"
-                ));
+                let (f, default) = (&f.name, f.default);
+                if default {
+                    inits.push_str(&format!(
+                        "{f}: match v.field({f:?}) {{\n\
+                             ::std::result::Result::Ok(fv) => \
+                                 ::serde::Deserialize::from_value(fv)?,\n\
+                             ::std::result::Result::Err(_) => \
+                                 ::std::default::Default::default(),\n\
+                         }},\n"
+                    ));
+                } else {
+                    inits.push_str(&format!(
+                        "{f}: ::serde::Deserialize::from_value(v.field({f:?})?)?,\n"
+                    ));
+                }
             }
             format!(
                 "impl ::serde::Deserialize for {name} {{\n\
@@ -289,6 +342,7 @@ fn gen_deserialize(shape: &Shape) -> String {
                     Some(fs) => {
                         let mut inits = String::new();
                         for f in fs {
+                            let f = &f.name;
                             inits.push_str(&format!(
                                 "{f}: ::serde::Deserialize::from_value(inner.field({f:?})?)?,\n"
                             ));

@@ -121,6 +121,16 @@ impl KeySpace {
     pub fn uniform_initial(&self, rng: &mut Rng) -> Key {
         self.initial_key(rng.below(self.total_initial() as u64) as u32)
     }
+
+    /// A gap key adjacent to the `i`-th initial key (same partition).
+    /// With a zipfian `i`, insertions concentrate on hot partitions —
+    /// the skew knob of the pqueue minima-cache contention sweep. Keys may
+    /// repeat across calls, so only duplicate-tolerant structures (the
+    /// priority queue) should be driven with it.
+    pub fn gap_key_near(&self, i: u32, rng: &mut Rng) -> Key {
+        let off = 1 + rng.below((KEY_STRIDE - 1) as u64) as u32;
+        self.initial_key(i % self.total_initial()) + off
+    }
 }
 
 #[cfg(test)]

@@ -133,6 +133,11 @@ pub enum InsertDist {
     /// Incrementing keys at the tail of each partition, rotating across
     /// partitions: maximum node splits, evenly spread over NMP partitions.
     PartitionTail,
+    /// Gap keys adjacent to keys drawn from the read distribution's
+    /// zipfian: insertions concentrate on hot partitions. Keys may repeat,
+    /// so only duplicate-tolerant structures (the priority queue) may use
+    /// this — it drives the minima-cache contention sweep.
+    ZipfianGap,
 }
 
 /// Everything needed to deterministically generate an experiment's
@@ -173,6 +178,29 @@ impl WorkloadSpec {
         }
     }
 
+    /// Skewed priority-queue workload: `insert_pct`% inserts at gap keys
+    /// adjacent to scrambled-zipfian(θ = `theta_x100`/100) initial keys,
+    /// the rest extract-mins. Hot partitions absorb most inserts while
+    /// extract-min drains globally, so cold partitions empty out and the
+    /// host's minima cache takes stale-probe misses — the contention the
+    /// sweep measures.
+    pub fn pqueue_skewed(
+        seed: u64,
+        threads: u32,
+        ops_per_thread: u32,
+        insert_pct: u8,
+        theta_x100: u32,
+    ) -> Self {
+        WorkloadSpec {
+            seed,
+            threads,
+            ops_per_thread,
+            mix: Mix::pqueue(insert_pct, 100 - insert_pct),
+            read_dist: KeyDist::ZipfianTheta { theta_x100 },
+            insert_dist: InsertDist::ZipfianGap,
+        }
+    }
+
     /// Hash-map workload: a read-dominated point-op mix (60-20-10 plus 10%
     /// updates, no scans) over the chosen key distribution.
     pub fn hashmap_mixed(seed: u64, threads: u32, ops_per_thread: u32, dist: KeyDist) -> Self {
@@ -195,6 +223,13 @@ impl WorkloadSpec {
             }
             _ => ScrambledZipfian::ycsb(ks.total_initial() as u64),
         };
+        let plain_zipf = (self.insert_dist == InsertDist::ZipfianGap).then(|| {
+            let theta = match self.read_dist {
+                KeyDist::ZipfianTheta { theta_x100 } => theta_x100 as f64 / 100.0,
+                _ => crate::zipf::YCSB_THETA,
+            };
+            crate::zipf::Zipfian::new(ks.total_initial() as u64, theta)
+        });
         let root = Rng::new(self.seed);
         let lane = ks.headroom / self.threads.max(1);
         (0..self.threads)
@@ -210,6 +245,21 @@ impl WorkloadSpec {
                     } else if roll < self.mix.read + self.mix.insert {
                         let key = match self.insert_dist {
                             InsertDist::UniformGap => ks.gap_key(&mut rng),
+                            InsertDist::ZipfianGap => {
+                                // Unscrambled ranks mapped top-down: rank 0
+                                // is the HIGHEST key, so insert heat
+                                // concentrates on the last partition while
+                                // extract-min drains the low partitions
+                                // empty — that drain is what sends the
+                                // minima cache stale.
+                                let r = plain_zipf
+                                    .as_ref()
+                                    .expect("ZipfianGap builds a rank generator")
+                                    .next_rank(&mut rng)
+                                    as u32;
+                                let i = ks.total_initial() - 1 - (r % ks.total_initial());
+                                ks.gap_key_near(i, &mut rng)
+                            }
                             InsertDist::PartitionTail => {
                                 let p = next_part;
                                 next_part = (next_part + 1) % ks.parts;
@@ -410,6 +460,30 @@ mod tests {
         let inserts: usize =
             spec.generate(&ks()).iter().flatten().filter(|o| matches!(o, Op::Insert(..))).count();
         assert!((650..=800).contains(&inserts), "80% of 900 ops, got {inserts}");
+    }
+
+    #[test]
+    fn pqueue_skewed_concentrates_inserts() {
+        let space = ks();
+        let hot = |theta_x100: u32| {
+            let spec = WorkloadSpec::pqueue_skewed(13, 1, 20_000, 50, theta_x100);
+            assert_eq!(spec.generate(&space), spec.generate(&space), "must be deterministic");
+            let mut per_part = vec![0u32; space.parts as usize];
+            for op in &spec.generate(&space)[0] {
+                if let Op::Insert(k, _) = op {
+                    assert!(k % KEY_STRIDE != 0, "gap key expected, got {k}");
+                    per_part[space.partition_of(*k) as usize] += 1;
+                }
+            }
+            let total: u32 = per_part.iter().sum();
+            per_part.iter().copied().max().unwrap() as f64 / total as f64
+        };
+        // Higher θ (< 1, the generator's domain) concentrates a larger
+        // insert share on the hottest partition; near-uniform θ spreads it.
+        let near_uniform = hot(10);
+        let skewed = hot(99);
+        assert!(near_uniform < 0.45, "θ=0.10 hottest-partition share {near_uniform}");
+        assert!(skewed > near_uniform + 0.1, "θ=0.99 share {skewed} vs {near_uniform}");
     }
 
     #[test]

@@ -1,0 +1,24 @@
+//! Known-bad fixture: simulator code reaching into another shard's state
+//! instead of going through the owner module's accessor API.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub struct PeerPeek<'a> {
+    /// Direct alias of `ShardCtl`'s frontier words — must be flagged.
+    pub frontiers: &'a [AtomicU64],
+}
+
+pub fn spin_on_peer(p: &PeerPeek<'_>, shard: usize) -> u64 {
+    // reading a foreign shard's frontier directly bypasses gate_wait()
+    p.frontiers[shard].load(Ordering::Acquire)
+}
+
+pub fn fake_stop(nd_live: &AtomicU64) -> bool {
+    // hand-rolled stop check instead of ShardCtl::stop_query
+    nd_live.load(Ordering::Acquire) == 0
+}
+
+pub struct VaultPoke {
+    /// Alias of the memory system's per-vault timing lock vector.
+    pub parts_t: Vec<u64>,
+}

@@ -23,6 +23,14 @@
 //!   `OpCode::X` variant mentioned outside `fn effect_spec` must also be
 //!   mentioned inside one, so an op handled (or posted) by the file cannot
 //!   silently miss its effect declaration.
+//! * **shard-ownership** — the sharded engine's cross-shard state is only
+//!   touchable through its accessor modules: per-vault DRAM timing state
+//!   (`parts_t` / `host_t` / `PartTiming` / `HostTiming`) belongs to
+//!   `mem.rs`, and the scheduler's frontier/stop words (`frontiers`,
+//!   `nd_live`, `nd_last_key`, `after_stop`) belong to `engine/barrier.rs`
+//!   (`ShardCtl`'s methods are the API). Any other simulator file naming
+//!   these fields is bypassing the ownership discipline that makes sharded
+//!   runs byte-identical to sequential ones (DESIGN.md §4.9).
 //! * **marker-location** — the `// xtask:` markers above may only appear in
 //!   an explicit allow-list of files, so the lint cannot be silenced by
 //!   sprinkling new markers.
@@ -80,9 +88,21 @@ pub const RAW_MEM_EXCEPTIONS: &[&str] = &["crates/hybrids/src/publist.rs"];
 /// The one file allowed to perform MMIO (the offload runtime).
 pub const MMIO_MODULE: &str = "crates/hybrids/src/publist.rs";
 
+/// The one file allowed to name the per-vault DRAM timing state (`parts_t`
+/// / `host_t` and the `PartTiming` / `HostTiming` types): the memory system
+/// that owns those locks and routes every access through the owning shard.
+pub const VAULT_STATE_MODULE: &str = "crates/nmp-sim/src/mem.rs";
+
+/// The one file allowed to name the cross-shard scheduler words
+/// (`frontiers`, `nd_live`, `nd_last_key`, `after_stop`): the barrier
+/// module whose `ShardCtl` methods are the sanctioned accessor API.
+pub const SHARD_CTL_MODULE: &str = "crates/nmp-sim/src/engine/barrier.rs";
+
 /// Directories scanned by [`lint_tree`], relative to the repo root. The
-/// simulator crate itself (`nmp-sim` implements `SimRam` and the memory
-/// model) and the vendored stand-in crates are deliberately out of scope.
+/// simulator crate (`nmp-sim` implements `SimRam` and the memory model) is
+/// exempt from the effect-discipline rules but IS scanned for the
+/// `shard-ownership` rule; the vendored stand-in crates are out of scope
+/// entirely.
 pub const SCAN_ROOTS: &[&str] = &[
     "src",
     "examples",
@@ -91,6 +111,7 @@ pub const SCAN_ROOTS: &[&str] = &[
     "crates/workloads/src",
     "crates/bench/src",
     "crates/bench/benches",
+    "crates/nmp-sim/src",
 ];
 
 // ---------------------------------------------------------------------------
@@ -367,6 +388,35 @@ const RAW_MEM_TOKENS: &[&str] =
 /// MMIO channel tokens (matches `mmio_write_u64_release` etc.).
 const MMIO_TOKENS: &[&str] = &["mmio_read_u", "mmio_write_u"];
 
+/// Per-vault DRAM timing state: fields and types owned by
+/// [`VAULT_STATE_MODULE`].
+const VAULT_STATE_TOKENS: &[&str] = &["parts_t", "host_t", "PartTiming", "HostTiming"];
+
+/// Cross-shard scheduler words owned by [`SHARD_CTL_MODULE`]; everything
+/// else goes through `ShardCtl`'s publish/gate/stop methods.
+const SHARD_CTL_TOKENS: &[&str] =
+    &["frontiers", "nd_frontier", "nd_live", "nd_last_key", "after_stop"];
+
+fn is_ident_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Like [`find_from`] but requiring identifier boundaries on both sides, so
+/// `host_t` does not match inside `host_total`.
+fn find_ident_from(haystack: &[u8], needle: &[u8], from: usize) -> Option<usize> {
+    let mut at = from;
+    while let Some(pos) = find_from(haystack, needle, at) {
+        at = pos + 1;
+        let before_ok = pos == 0 || !is_ident_byte(haystack[pos - 1]);
+        let after = pos + needle.len();
+        let after_ok = after >= haystack.len() || !is_ident_byte(haystack[after]);
+        if before_ok && after_ok {
+            return Some(pos);
+        }
+    }
+    None
+}
+
 fn in_ordering_scope(rel: &str) -> bool {
     rel.starts_with("crates/hybrids/src") || rel.starts_with("crates/workloads/src")
 }
@@ -409,6 +459,42 @@ pub fn check_source(rel: &str, src: &str) -> Vec<Violation> {
     let ordering_ok = markers.has_module("allow(atomic-ordering)")
         && marker_allowed(&rel, "allow(atomic-ordering)");
     let raw_lines_ok = RAW_MEM_EXCEPTIONS.contains(&rel.as_str());
+
+    // The simulator crate implements SimRam, the MMIO channel and the
+    // memory model, so the effect-discipline rules don't apply to it; it is
+    // scanned only for shard-ownership (below).
+    let sim_internal = rel.starts_with("crates/nmp-sim/");
+
+    // shard-ownership: cross-shard state only in its accessor modules.
+    if sim_internal {
+        let checks: [(&[&str], &str, &str); 2] = [
+            (VAULT_STATE_TOKENS, VAULT_STATE_MODULE, "per-vault DRAM timing state"),
+            (SHARD_CTL_TOKENS, SHARD_CTL_MODULE, "cross-shard scheduler state"),
+        ];
+        for (tokens, owner, what) in checks {
+            if rel == owner {
+                continue;
+            }
+            for tok in tokens {
+                let b = masked.as_bytes();
+                let mut from = 0usize;
+                while let Some(pos) = find_ident_from(b, tok.as_bytes(), from) {
+                    from = pos + 1;
+                    out.push(Violation {
+                        rule: "shard-ownership",
+                        path: rel.clone(),
+                        line: line_of(&masked, pos),
+                        msg: format!(
+                            "`{tok}` ({what}) referenced outside its owner module {owner}; go \
+                             through that module's accessor API so shard ownership stays \
+                             auditable"
+                        ),
+                    });
+                }
+            }
+        }
+        return out;
+    }
 
     // raw-mem: raw SimRam access only inside accessor modules.
     if !is_accessor {

@@ -1,0 +1,179 @@
+//! Whole-stack byte-identity across engine shard counts.
+//!
+//! The sharded engine (`Config::with_shards`) must be observationally
+//! indistinguishable from the legacy sequential scheduler for real hybrid
+//! structures, not just hand-rolled engine workloads: same `RunResult`
+//! (minus wall-clock fields), same stats snapshot, same analysis report,
+//! and a byte-identical Chrome-trace export, for the skip list, B+ tree,
+//! and priority queue in both blocking (`inflight = 1`) and lane-pipelined
+//! (`inflight = 4`) modes.
+//!
+//! This is the acceptance gate for the shard refactor: if any conservative
+//! barrier, deferred-replay merge, or frontier rule is wrong, some counter
+//! or trace byte here diverges.
+
+use std::sync::Arc;
+
+use hybrids::driver::{run_index, RunResult, RunSpec};
+use hybrids_repro::prelude::*;
+use nmp_sim::trace::TraceSink;
+
+/// Workload shared by the index structures (skip list, B+ tree).
+fn spec(seed: u64, inflight: usize) -> RunSpec {
+    RunSpec {
+        workload: WorkloadSpec {
+            seed,
+            threads: 4,
+            ops_per_thread: 50,
+            mix: Mix::read_insert_remove(50, 30, 20),
+            read_dist: KeyDist::Zipfian,
+            insert_dist: InsertDist::UniformGap,
+        },
+        warmup_per_thread: 10,
+        inflight,
+        app_footprint_lines: 0,
+    }
+}
+
+/// Fold one run's observable artifacts into a comparison string, dropping
+/// the two wall-clock-derived `RunResult` fields (everything else is
+/// simulated-time and must reproduce exactly).
+fn fold(m: &Arc<Machine>, tracer: &Arc<nmp_sim::trace::Tracer>, r: Option<RunResult>) -> String {
+    let mut fp = String::new();
+    if let Some(mut r) = r {
+        r.wall_ms = 0.0;
+        r.sim_cycles_per_sec = 0.0;
+        fp.push_str(&format!("result={r:?}\n"));
+    }
+    fp.push_str(&format!("snapshot={:?}\n", m.mem().snapshot()));
+    fp.push_str(&format!("summary={:?}\n", tracer.summary()));
+    fp.push_str(&TraceSink::chrome_json(tracer));
+    fp.push('\n');
+    fp
+}
+
+fn skiplist_fp(shards: usize, inflight: usize) -> String {
+    let ks = KeySpace::new(512, 2, 256);
+    let m = Machine::new(Config::tiny().with_shards(shards));
+    let tracer = m.attach_tracer();
+    let analysis = m.attach_analysis();
+    let sl = HybridSkipList::new(Arc::clone(&m), ks, 10, 4, 42, inflight.max(1));
+    sl.populate((0..ks.total_initial()).map(|i| (ks.initial_key(i), i)));
+    let r = run_index(&m, &sl, &ks, &spec(42, inflight));
+    let mut fp = fold(&m, &tracer, Some(r));
+    fp.push_str(&format!("report={:?}\n", analysis.report()));
+    fp
+}
+
+fn btree_fp(shards: usize, inflight: usize) -> String {
+    let ks = KeySpace::new(512, 2, 384);
+    let m = Machine::new(Config::tiny().with_shards(shards));
+    let tracer = m.attach_tracer();
+    let analysis = m.attach_analysis();
+    let pairs: Vec<(Key, Value)> =
+        (0..ks.total_initial()).map(|i| (ks.initial_key(i), i)).collect();
+    let t = HybridBTree::new(Arc::clone(&m), &pairs, 0.5, inflight.max(1));
+    let r = run_index(&m, &t, &ks, &spec(77, inflight));
+    t.check_invariants();
+    let mut fp = fold(&m, &tracer, Some(r));
+    fp.push_str(&format!("report={:?}\n", analysis.report()));
+    fp
+}
+
+fn pqueue_fp(shards: usize, inflight: usize) -> String {
+    let ks = KeySpace::new(256, 2, 128);
+    let m = Machine::new(Config::tiny().with_shards(shards));
+    let tracer = m.attach_tracer();
+    let analysis = m.attach_analysis();
+    let pq = HybridPqueue::new(Arc::clone(&m), ks, 8, 5, inflight.max(1));
+    let initial: Vec<(Key, Value)> =
+        (0..ks.total_initial() / 2).map(|i| (ks.initial_key(i * 2), i)).collect();
+    pq.populate(&initial);
+    let mut sim = m.simulation();
+    pq.spawn_services(&mut sim);
+    for core in 0..4usize {
+        let pq = Arc::clone(&pq);
+        let ks2 = ks;
+        let mut rng = workloads::Rng::new(900 + core as u64);
+        let ops: Vec<Op> = (0..40)
+            .map(|_| {
+                if rng.below(2) == 0 {
+                    Op::ExtractMin
+                } else {
+                    let base = ks2.initial_key(rng.below(ks2.total_initial() as u64) as u32);
+                    Op::Insert(base + 1 + rng.below(6) as u32, rng.next_u32() | 1)
+                }
+            })
+            .collect();
+        sim.spawn(format!("h{core}"), ThreadKind::Host { core }, move |ctx| {
+            if inflight <= 1 {
+                for &op in &ops {
+                    let _ = pq.execute(ctx, op);
+                }
+                return;
+            }
+            // Lane-pipelined issue/poll, same shape as the conformance
+            // harness's driver.
+            let mut lanes: Vec<Option<<HybridPqueue as SimIndex>::Pending>> =
+                (0..inflight).map(|_| None).collect();
+            let mut next = 0;
+            let mut done = 0;
+            while done < ops.len() {
+                for (lane, slot) in lanes.iter_mut().enumerate() {
+                    match slot.take() {
+                        None if next < ops.len() => {
+                            let op = ops[next];
+                            next += 1;
+                            match pq.issue(ctx, lane, op) {
+                                Issued::Done(_) => done += 1,
+                                Issued::Pending(p) => *slot = Some(p),
+                            }
+                        }
+                        None => {}
+                        Some(mut p) => match pq.poll(ctx, &mut p) {
+                            PollOutcome::Done(_) => done += 1,
+                            PollOutcome::Pending => *slot = Some(p),
+                        },
+                    }
+                }
+                ctx.idle(16);
+            }
+        });
+    }
+    let out = sim.run();
+    pq.check_invariants();
+    let mut fp = format!("clocks={:?}\n", out.clocks);
+    fp.push_str(&fold(&m, &tracer, None));
+    fp.push_str(&format!("report={:?}\n", analysis.report()));
+    fp
+}
+
+#[test]
+fn skiplist_blocking_is_shard_invariant() {
+    assert_eq!(skiplist_fp(1, 1), skiplist_fp(2, 1));
+}
+
+#[test]
+fn skiplist_pipelined_is_shard_invariant() {
+    assert_eq!(skiplist_fp(1, 4), skiplist_fp(2, 4));
+}
+
+#[test]
+fn btree_blocking_is_shard_invariant() {
+    assert_eq!(btree_fp(1, 1), btree_fp(2, 1));
+}
+
+#[test]
+fn btree_pipelined_is_shard_invariant() {
+    assert_eq!(btree_fp(1, 4), btree_fp(2, 4));
+}
+
+#[test]
+fn pqueue_blocking_is_shard_invariant() {
+    assert_eq!(pqueue_fp(1, 1), pqueue_fp(2, 1));
+}
+
+#[test]
+fn pqueue_pipelined_is_shard_invariant() {
+    assert_eq!(pqueue_fp(1, 4), pqueue_fp(2, 4));
+}
