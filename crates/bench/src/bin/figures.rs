@@ -1,7 +1,7 @@
 //! Run the figure/table harnesses from one binary:
 //!
 //! ```text
-//! cargo run --release -p hybrids-bench --bin figures -- [--scale smoke|ci|scaled|paper] [--shards N] [fig5 fig6 fig7 fig8 table2 fig4 newstructs trace | all]
+//! cargo run --release -p hybrids-bench --bin figures -- [--scale smoke|ci|scaled|paper] [--shards N] [--policy fixed|adaptive] [fig5 fig6 fig7 fig8 table2 fig4 newstructs trace | all]
 //! ```
 //!
 //! Each experiment is the same code `cargo bench` runs (the bench targets
@@ -13,6 +13,7 @@ use std::process::Command;
 fn main() {
     let mut scale = None;
     let mut shards = None;
+    let mut policy = None;
     let mut figs: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -22,6 +23,11 @@ fn main() {
                 let n = args.next().expect("--shards needs a value");
                 let _: usize = n.parse().expect("--shards must be an integer");
                 shards = Some(n);
+            }
+            "--policy" => {
+                let p = args.next().expect("--policy needs a value");
+                nmp_sim::Policy::parse(&p).expect("--policy must be 'fixed' or 'adaptive'");
+                policy = Some(p);
             }
             other => figs.push(other.to_string()),
         }
@@ -75,6 +81,9 @@ fn main() {
         }
         if let Some(n) = &shards {
             cmd.env("HYBRIDS_SHARDS", n);
+        }
+        if let Some(p) = &policy {
+            cmd.env("HYBRIDS_POLICY", p);
         }
         eprintln!("== running {f} ==");
         let status = cmd.status().expect("failed to spawn cargo bench");

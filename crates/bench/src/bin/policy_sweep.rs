@@ -1,0 +1,199 @@
+//! Fixed-vs-adaptive offload-policy sweep (the PR 8 acceptance artifact).
+//!
+//! For the two policy-sensitive workloads — the zipfian hash map (hot keys
+//! coalesce) and the insert/extract priority queue (idle tuning) — this
+//! runs every hand-tuned fixed configuration (`inflight` ∈ {1, 2, 4}) and
+//! one `Policy::Adaptive` run, then repeats the adaptive run twice each at
+//! engine shards 1 and 4 and asserts all four stats fingerprints are
+//! byte-identical (adaptivity must be a pure function of simulated state).
+//!
+//! Output goes to `BENCH_8.json` at the repo root (override with
+//! `HYBRIDS_BENCH_OUT`):
+//!
+//! ```text
+//! cargo run --release -p hybrids-bench --bin policy-sweep
+//! HYBRIDS_SCALE=smoke cargo run --release -p hybrids-bench --bin policy-sweep  # CI schema check
+//! ```
+
+use hybrids::driver::RunResult;
+use hybrids_bench::{hashmap_workload, pqueue_workload, run_hashmap, run_pqueue, Scale, Variant};
+use nmp_sim::Policy;
+use serde::Serialize;
+use workloads::KeyDist;
+
+/// One (workload, policy, inflight) throughput measurement.
+#[derive(Debug, Clone, Serialize)]
+struct Point {
+    workload: String,
+    policy: String,
+    inflight: u32,
+    mops: f64,
+    offload_coalesced: u64,
+    offload_mean_batch: f64,
+    cycles: u64,
+}
+
+/// Per-workload adaptive-vs-best-fixed verdict.
+#[derive(Debug, Clone, Serialize)]
+struct Verdict {
+    workload: String,
+    best_fixed_mops: f64,
+    best_fixed_inflight: u32,
+    adaptive_mops: f64,
+    adaptive_vs_best_fixed: f64,
+}
+
+/// Adaptive-run determinism evidence: repeated runs at each shard count
+/// must produce byte-identical stats fingerprints.
+#[derive(Debug, Clone, Serialize)]
+struct Determinism {
+    shards: Vec<u32>,
+    runs_per_shard_count: u32,
+    byte_identical: bool,
+}
+
+/// The BENCH_8.json payload.
+#[derive(Debug, Clone, Serialize)]
+struct BenchFile {
+    bench: String,
+    pr: u32,
+    metric: String,
+    scale: String,
+    workload: String,
+    points: Vec<Point>,
+    summary: Vec<Verdict>,
+    determinism: Determinism,
+}
+
+const FIXED_INFLIGHTS: [usize; 3] = [1, 2, 4];
+const ADAPTIVE_INFLIGHT: usize = 4;
+
+fn run_workload(scale: &Scale, name: &str, inflight: usize) -> RunResult {
+    match name {
+        "hashmap-zipfian" => {
+            let v = if inflight == 1 {
+                Variant::HashMapBlocking
+            } else {
+                Variant::HashMapNonblocking(inflight)
+            };
+            run_hashmap(scale, v, hashmap_workload(scale, KeyDist::Zipfian))
+        }
+        "pqueue-mixed" => {
+            let v = if inflight == 1 {
+                Variant::PqueueBlocking
+            } else {
+                Variant::PqueueNonblocking(inflight)
+            };
+            run_pqueue(scale, v, pqueue_workload(scale, 50))
+        }
+        other => panic!("unknown sweep workload {other}"),
+    }
+}
+
+/// Simulated-state fingerprint of a run: every counter the machine
+/// produced, plus the measured window. Wall-clock fields live outside
+/// `stats`, so two identical simulations serialize identically.
+fn fingerprint(r: &RunResult) -> String {
+    format!(
+        "cycles={} ok={} stats={}",
+        r.cycles,
+        r.succeeded_ops,
+        serde_json::to_string(&r.stats).expect("stats serialize")
+    )
+}
+
+fn point(scale: &Scale, workload: &str, inflight: usize, r: &RunResult) -> Point {
+    Point {
+        workload: workload.to_string(),
+        policy: scale.cfg.policy.label().to_string(),
+        inflight: inflight as u32,
+        mops: r.mops,
+        offload_coalesced: r.offload_coalesced,
+        offload_mean_batch: r.offload_mean_batch,
+        cycles: r.cycles,
+    }
+}
+
+fn main() {
+    let base = Scale::from_env();
+    let workloads = ["hashmap-zipfian", "pqueue-mixed"];
+    let mut points: Vec<Point> = Vec::new();
+    let mut summary: Vec<Verdict> = Vec::new();
+    let mut deterministic = true;
+
+    for wl in workloads {
+        println!("== {wl} (scale = {}) ==", base.name);
+        let mut best_fixed = (0usize, f64::MIN);
+        for &k in &FIXED_INFLIGHTS {
+            let scale = base.clone().with_policy(Policy::Fixed);
+            let r = run_workload(&scale, wl, k);
+            println!("  fixed    inflight={k} -> {:.4} Mops", r.mops);
+            if r.mops > best_fixed.1 {
+                best_fixed = (k, r.mops);
+            }
+            points.push(point(&scale, wl, k, &r));
+        }
+
+        let scale = base.clone().with_policy(Policy::Adaptive);
+        let r = run_workload(&scale, wl, ADAPTIVE_INFLIGHT);
+        println!(
+            "  adaptive inflight<={ADAPTIVE_INFLIGHT} -> {:.4} Mops ({} coalesced)",
+            r.mops, r.offload_coalesced
+        );
+        points.push(point(&scale, wl, ADAPTIVE_INFLIGHT, &r));
+        summary.push(Verdict {
+            workload: wl.to_string(),
+            best_fixed_mops: best_fixed.1,
+            best_fixed_inflight: best_fixed.0 as u32,
+            adaptive_mops: r.mops,
+            adaptive_vs_best_fixed: r.mops / best_fixed.1,
+        });
+
+        // Determinism: two adaptive runs at shards=1 and two at shards=4
+        // must agree byte-for-byte on every simulated counter — across
+        // repeats *and* across shard counts.
+        let mut fps: Vec<String> = Vec::new();
+        for shards in [1usize, 4] {
+            for _ in 0..2 {
+                let s = base.clone().with_policy(Policy::Adaptive).with_shards(shards);
+                fps.push(fingerprint(&run_workload(&s, wl, ADAPTIVE_INFLIGHT)));
+            }
+        }
+        let ok = fps.windows(2).all(|w| w[0] == w[1]);
+        println!("  adaptive determinism (2x shards=1, 2x shards=4): {}", ok);
+        deterministic &= ok;
+    }
+
+    for v in &summary {
+        println!(
+            "{}: adaptive {:.4} vs best fixed {:.4} (inflight={}) -> {:.3}x",
+            v.workload,
+            v.adaptive_mops,
+            v.best_fixed_mops,
+            v.best_fixed_inflight,
+            v.adaptive_vs_best_fixed
+        );
+    }
+    assert!(deterministic, "adaptive runs must be byte-identical across repeats and shards");
+
+    let payload = BenchFile {
+        bench: "policy_sweep".to_string(),
+        pr: 8,
+        metric: "mops".to_string(),
+        scale: base.name.to_string(),
+        workload: "hashmap-zipfian+pqueue-mixed".to_string(),
+        points,
+        summary,
+        determinism: Determinism {
+            shards: vec![1, 4],
+            runs_per_shard_count: 2,
+            byte_identical: deterministic,
+        },
+    };
+    let path = std::env::var("HYBRIDS_BENCH_OUT").unwrap_or_else(|_| {
+        format!("{}/BENCH_8.json", env!("CARGO_MANIFEST_DIR").trim_end_matches("/crates/bench"))
+    });
+    std::fs::write(&path, serde_json::to_string(&payload).expect("serialize bench payload"))
+        .expect("write BENCH json");
+    println!("[policy-sweep] wrote {path}");
+}

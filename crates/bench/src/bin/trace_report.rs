@@ -92,7 +92,8 @@ mod report {
     pub fn run() {
         let mut scale = Scale::from_env();
         // `--shards N` overrides the engine shard knob (0 = per-vault,
-        // 1 = legacy loop) for this report only.
+        // 1 = legacy loop); `--policy fixed|adaptive` selects the offload
+        // policy — both for this report only.
         let mut args = std::env::args().skip(1);
         while let Some(a) = args.next() {
             match a.as_str() {
@@ -100,10 +101,23 @@ mod report {
                     let n = args.next().expect("--shards needs a value");
                     scale = scale.with_shards(n.parse().expect("--shards must be an integer"));
                 }
-                other => panic!("unknown trace-report flag `{other}` (supported: --shards N)"),
+                "--policy" => {
+                    let p = args.next().expect("--policy needs a value");
+                    scale = scale.with_policy(
+                        nmp_sim::Policy::parse(&p).expect("--policy must be 'fixed' or 'adaptive'"),
+                    );
+                }
+                other => panic!(
+                    "unknown trace-report flag `{other}` \
+                     (supported: --shards N, --policy fixed|adaptive)"
+                ),
             }
         }
-        eprintln!("[trace-report] engine vault shards: {}", scale.cfg.resolved_vault_shards());
+        eprintln!(
+            "[trace-report] engine vault shards: {}, policy: {}",
+            scale.cfg.resolved_vault_shards(),
+            scale.cfg.policy.label()
+        );
         let threads = scale.cfg.host_cores as u32;
         let map_mix =
             sensitivity(&scale, Mix::read_insert_remove(50, 25, 25), InsertDist::UniformGap);

@@ -28,7 +28,7 @@ use hybrids::pqueue::HybridPqueue;
 use hybrids::skiplist::{
     hybrid::split_for, lockfree::NodeLayout, HybridSkipList, LockFreeSkipList, NmpSkipList,
 };
-use nmp_sim::{Config, Machine};
+use nmp_sim::{Config, Machine, Policy};
 use serde::Serialize;
 use workloads::{InsertDist, Key, KeyDist, KeySpace, Mix, Op, Value, WorkloadSpec};
 
@@ -136,7 +136,18 @@ impl Scale {
         if let Ok(shards) = std::env::var("HYBRIDS_SHARDS") {
             s.cfg.shards = shards.parse().expect("HYBRIDS_SHARDS must be an integer");
         }
+        if let Ok(p) = std::env::var("HYBRIDS_POLICY") {
+            s.cfg.policy = Policy::parse(&p).expect("HYBRIDS_POLICY must be 'fixed' or 'adaptive'");
+        }
         s
+    }
+
+    /// Offload policy variant (`fixed` keeps the hand-tuned knobs,
+    /// `adaptive` enables the self-tuning runtime); see
+    /// `hybrids::offload::policy`.
+    pub fn with_policy(mut self, policy: Policy) -> Self {
+        self.cfg = self.cfg.with_policy(policy);
+        self
     }
 
     /// Engine shard knob (`0` = one shard per vault, `1` = legacy loop);
@@ -334,6 +345,11 @@ pub struct Record {
     /// Priority-queue stale minima-cache probes in the measured window
     /// (zero for non-pqueue structures).
     pub pq_stale_probes: u64,
+    /// Offload policy the run used (`fixed` or `adaptive`).
+    pub policy: String,
+    /// Requests served by coalesced-response replication in the measured
+    /// window (always 0 under the fixed policy).
+    pub offload_coalesced: u64,
 }
 
 impl Record {
@@ -370,6 +386,8 @@ impl Record {
             lat_p99_cycles: r.lat_p99_cycles,
             shards: scale.cfg.resolved_vault_shards() as u32,
             pq_stale_probes: r.stats.offload.pq_stale_total(),
+            policy: scale.cfg.policy.label().into(),
+            offload_coalesced: r.offload_coalesced,
         }
     }
 }
@@ -617,13 +635,13 @@ pub fn save_records(experiment: &str, records: &[Record]) {
     let mut csv = String::new();
     if fresh {
         csv.push_str(
-            "experiment,scale,variant,workload,threads,mops,dram_reads_per_op,host_dram_reads_per_op,nmp_dram_reads_per_op,mmio_per_op,energy_nj_per_op,cycles,measured_ops,succeeded_ops,wall_ms,sim_cycles_per_sec,offload_posted,offload_retries,offload_lock_path,offload_mean_batch,lat_p50_cycles,lat_p95_cycles,lat_p99_cycles,shards,pq_stale_probes\n",
+            "experiment,scale,variant,workload,threads,mops,dram_reads_per_op,host_dram_reads_per_op,nmp_dram_reads_per_op,mmio_per_op,energy_nj_per_op,cycles,measured_ops,succeeded_ops,wall_ms,sim_cycles_per_sec,offload_posted,offload_retries,offload_lock_path,offload_mean_batch,lat_p50_cycles,lat_p95_cycles,lat_p99_cycles,shards,pq_stale_probes,policy,offload_coalesced\n",
         );
     }
     for r in records {
         let _ = writeln!(
             csv,
-            "{},{},{},{},{},{:.6},{:.4},{:.4},{:.4},{:.4},{:.4},{},{},{},{:.3},{:.0},{},{},{},{:.3},{:.1},{:.1},{:.1},{},{}",
+            "{},{},{},{},{},{:.6},{:.4},{:.4},{:.4},{:.4},{:.4},{},{},{},{:.3},{:.0},{},{},{},{:.3},{:.1},{:.1},{:.1},{},{},{},{}",
             r.experiment,
             r.scale,
             r.variant,
@@ -648,7 +666,9 @@ pub fn save_records(experiment: &str, records: &[Record]) {
             r.lat_p95_cycles,
             r.lat_p99_cycles,
             r.shards,
-            r.pq_stale_probes
+            r.pq_stale_probes,
+            r.policy,
+            r.offload_coalesced
         );
     }
     use std::io::Write;

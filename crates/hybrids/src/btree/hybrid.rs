@@ -54,6 +54,13 @@ pub struct ParkedInsert {
 impl NmpExec for BtreeExec {
     type SlotState = Option<ParkedInsert>;
 
+    // Deliberately NOT coalescible (the `NmpExec` default, `&[]`): even
+    // the Read path may write partition memory — sequence-number adoption
+    // stores `req.aux` into the node when the recorded seqnum lags — so
+    // replicating a response across requests would skip a state change.
+    // `effects::assert_coalescible_ops` would reject a Read declaration
+    // here anyway.
+
     fn exec(
         &self,
         ctx: &mut ThreadCtx,
@@ -701,6 +708,10 @@ impl SimIndex for HybridBTree {
 
     fn max_inflight(&self) -> usize {
         self.runtime.max_inflight()
+    }
+
+    fn occupancy_feedback(&self, core: usize) -> u32 {
+        self.runtime.occupancy_feedback(core)
     }
 }
 

@@ -26,6 +26,7 @@ use nmp_sim::analysis::{HistEvent, HistOp, HistoryRecorder};
 use nmp_sim::trace::{kind_label, LatencyHist, OP_KINDS};
 
 use crate::api::{Issued, OpResult, PollOutcome, SimIndex};
+use crate::offload::policy::LaneGovernor;
 
 /// Per-thread view of a history recorder: the recorder plus the recording
 /// thread's id. `None` disables recording (the normal benchmarking path).
@@ -150,6 +151,10 @@ pub struct RunResult {
     /// Mean requests combined per non-idle combiner pass (>1 means the
     /// flat-combining batching is actually coalescing concurrent posts).
     pub offload_mean_batch: f64,
+    /// Requests served by replicating a coalesced sibling's response
+    /// instead of their own NMP descent (`Policy::Adaptive` key-range
+    /// coalescing; always 0 under `Policy::Fixed`).
+    pub offload_coalesced: u64,
     /// End-to-end operation latency percentiles over the measured window,
     /// in simulated cycles across all op kinds. Zero when the `trace`
     /// feature is disabled (collection lives behind it).
@@ -360,6 +365,7 @@ fn run_index_inner<S: SimIndex>(
         offload_retries: stats.offload.retries_total(),
         offload_lock_path: stats.offload.lock_path_total(),
         offload_mean_batch: stats.offload.mean_batch(),
+        offload_coalesced: stats.offload.coalesced_total(),
         #[cfg(feature = "trace")]
         lat_p50_cycles: lat_all.percentile(0.50),
         #[cfg(feature = "trace")]
@@ -425,7 +431,14 @@ fn run_stream<S: SimIndex>(
         }
         return ok;
     }
-    let idle = ctx.mem().config().host_pipeline_idle_cycles;
+    let policy = ctx.mem().config().policy;
+    let base_idle = ctx.mem().config().host_pipeline_idle_cycles;
+    let core = crate::api::host_core(ctx);
+    // Fixed: constant depth (= inflight) and constant stall idle, exactly
+    // the pre-policy pipeline. Adaptive: the governor tunes both online
+    // from this thread's own completions and the combiner's in-band
+    // ctrl-word occupancy feedback.
+    let mut gov = LaneGovernor::new(policy, base_idle, inflight);
     let mut lanes: Vec<Option<S::Pending>> = (0..inflight).map(|_| None).collect();
     // Invocation metadata per lane, kept for the completion record.
     let mut issued: Vec<(Op, u64)> = vec![(Op::Read(0), 0); inflight];
@@ -433,9 +446,12 @@ fn run_stream<S: SimIndex>(
     let mut done = 0usize;
     while done < ops.len() {
         let mut progressed = false;
+        let depth = gov.depth();
         for lane in 0..inflight {
             match lanes[lane].take() {
-                None if next < ops.len() => {
+                // Lanes at or above the governed depth stop taking new
+                // work (they still drain below).
+                None if lane < depth && next < ops.len() => {
                     let op = ops[next];
                     next += 1;
                     progressed = true;
@@ -444,6 +460,7 @@ fn run_stream<S: SimIndex>(
                         Issued::Done(r) => {
                             done += 1;
                             ok += r.ok as u64;
+                            gov.note_completion(index.occupancy_feedback(core), ctx.now());
                             record_completion(rec, op, r, inv, ctx.now());
                             note_latency(&mut lat, op, inv, ctx.now());
                             if let Some(f) = footprint.as_deref_mut() {
@@ -462,6 +479,7 @@ fn run_stream<S: SimIndex>(
                         done += 1;
                         ok += r.ok as u64;
                         progressed = true;
+                        gov.note_completion(index.occupancy_feedback(core), ctx.now());
                         let (op, inv) = issued[lane];
                         record_completion(rec, op, r, inv, ctx.now());
                         note_latency(&mut lat, op, inv, ctx.now());
@@ -473,8 +491,10 @@ fn run_stream<S: SimIndex>(
                 },
             }
         }
-        if !progressed {
-            ctx.idle(idle);
+        if progressed {
+            gov.note_progress();
+        } else {
+            ctx.idle(gov.idle_on_stall());
         }
     }
     ok

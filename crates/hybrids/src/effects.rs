@@ -62,3 +62,28 @@ pub fn register_effect_spec(machine: &Arc<Machine>, spec: &EffectSpec) {
         a.install_spec(spec.clone());
     }
 }
+
+/// Statically prove that every op an executor declares coalescible
+/// ([`crate::publist::NmpExec::coalescible_ops`]) is safe to coalesce:
+/// the op must appear in the executor's effect spec and its NMP plan must
+/// contain no partition-memory write. A read path with a hidden mutation
+/// (e.g. the B+ tree's sequence-number adoption) would make a replicated
+/// response unsound — this check turns that mistake into a panic at
+/// combiner-spawn time, before any simulation cycle executes.
+pub fn assert_coalescible_ops(spec: &EffectSpec, ops: &[OpCode]) {
+    use nmp_sim::analysis::Dir;
+    for &op in ops {
+        let s = spec.op_spec(op as u8).unwrap_or_else(|| {
+            panic!("spec '{}': coalescible op {op:?} has no declared effect plan", spec.structure)
+        });
+        for d in &s.nmp {
+            assert!(
+                !(d.dir == Dir::Write && d.region == R::Part),
+                "spec '{}': op {op:?} declared coalescible but its NMP plan \
+                 writes partition memory ({d:?}) — coalescing would replicate \
+                 a response across a state change",
+                spec.structure
+            );
+        }
+    }
+}

@@ -63,6 +63,12 @@ impl HashMapExec {
 impl NmpExec for HashMapExec {
     type SlotState = ();
 
+    // Reads are a pure bucket-chain walk (`find` + value load): no
+    // partition writes, no slot state — safe to key-range coalesce.
+    fn coalescible_ops(&self) -> &'static [OpCode] {
+        &[OpCode::Read]
+    }
+
     fn exec(&self, ctx: &mut ThreadCtx, part: usize, req: &Request, _s: &mut ()) -> Response {
         let slot = req.begin;
         match req.op {
@@ -316,6 +322,10 @@ impl SimIndex for HybridHashMap {
 
     fn max_inflight(&self) -> usize {
         self.runtime.max_inflight()
+    }
+
+    fn occupancy_feedback(&self, core: usize) -> u32 {
+        self.runtime.occupancy_feedback(core)
     }
 }
 

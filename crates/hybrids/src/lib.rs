@@ -59,4 +59,5 @@ pub use api::{Issued, OpResult, PollOutcome, SimIndex};
 pub use driver::run_index_recorded;
 pub use driver::{run_index, RunResult, RunSpec};
 pub use effects::{register_effect_spec, topology};
+pub use offload::policy::Policy;
 pub use offload::{OffloadClient, OffloadRuntime, PendingOp, Step};

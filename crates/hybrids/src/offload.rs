@@ -26,6 +26,9 @@
 //! [`nmp_sim::OffloadStats`] as a side effect of driving the lifecycle —
 //! structures cannot forget to count.
 
+pub mod policy;
+
+use parking_lot::Mutex;
 use std::sync::Arc;
 
 use nmp_sim::{EffectSpec, Machine, Simulation, ThreadCtx};
@@ -161,6 +164,11 @@ pub struct PendingOp<S> {
 pub struct OffloadRuntime {
     machine: Arc<Machine>,
     lists: Arc<PubLists>,
+    /// Latest batch-occupancy feedback per host core (the ctrl-word high
+    /// half), stored by `on_response` and read back by the same host thread
+    /// through [`OffloadRuntime::occupancy_feedback`] — a same-thread
+    /// mailbox, so the value is a pure function of simulated state.
+    occupancy: Vec<Mutex<u32>>,
 }
 
 impl OffloadRuntime {
@@ -168,7 +176,14 @@ impl OffloadRuntime {
     /// thread on `machine`.
     pub fn new(machine: Arc<Machine>, max_inflight: usize) -> Self {
         let lists = Arc::new(PubLists::new(Arc::clone(&machine), max_inflight));
-        OffloadRuntime { machine, lists }
+        let occupancy = (0..machine.config().host_cores).map(|_| Mutex::new(0)).collect();
+        OffloadRuntime { machine, lists, occupancy }
+    }
+
+    /// Batch occupancy observed by host `core`'s most recent completed
+    /// response (the combiner's in-band feedback; 0 under `Policy::Fixed`).
+    pub fn occupancy_feedback(&self, core: usize) -> u32 {
+        *self.occupancy[core].lock()
     }
 
     /// The machine this runtime posts to.
@@ -329,6 +344,9 @@ impl OffloadRuntime {
             self.machine.mem().note_offload_retry(pend.part);
             client.advance(ctx, pend.op, &mut pend.state)
         } else {
+            if resp.combined != 0 {
+                *self.occupancy[host_core(ctx)].lock() = resp.combined;
+            }
             if resp.lock_path {
                 self.machine.mem().note_offload_lock_path(pend.part);
             }

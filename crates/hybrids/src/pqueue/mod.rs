@@ -101,6 +101,10 @@ impl PqExec {
 impl NmpExec for PqExec {
     type SlotState = ();
 
+    // Deliberately NOT coalescible (the `NmpExec` default, `&[]`): every
+    // pqueue op mutates the partition (Insert links nodes, PopMin unlinks
+    // the minimum), so two identical requests must run two descents.
+
     fn exec(&self, ctx: &mut ThreadCtx, part: usize, req: &Request, _s: &mut ()) -> Response {
         let arena = self.machine.part_arena(part);
         match req.op {
@@ -497,6 +501,10 @@ impl SimIndex for HybridPqueue {
 
     fn max_inflight(&self) -> usize {
         self.runtime.max_inflight()
+    }
+
+    fn occupancy_feedback(&self, core: usize) -> u32 {
+        self.runtime.occupancy_feedback(core)
     }
 }
 

@@ -13,18 +13,23 @@
 //!
 //! ```text
 //! w0  ctrl: VALID | RETRY | RET_OK | LOCK_PATH | opcode<<8
+//!     (on completion the high half carries batch-occupancy feedback:
+//!      occupancy<<32, Policy::Adaptive only; see offload::policy)
 //! w1  key (lo) | value (hi)
 //! w2  begin-NMP-traversal ptr (lo) | host node ptr (hi)
 //! w3  aux: parent seqnum (B+ tree) or node height (skiplist)
 //! w4  result: value (lo) | new NMP node ptr (hi)
 //! w5  result: split key (lo) | new child ptr (hi)
-//! w6, w7  reserved
+//! w6  reserved
+//! w7  reserved
 //! ```
 
 use std::sync::Arc;
 
-use nmp_sim::{Addr, EffectSpec, Machine, Simulation, ThreadCtx, ThreadKind, NULL};
+use nmp_sim::{Addr, EffectSpec, Machine, Policy, Simulation, ThreadCtx, ThreadKind, NULL};
 use workloads::{Key, Value};
+
+use crate::offload::policy::{coalesce_run_len, sort_batch, CombinerControl};
 
 /// Slot size in bytes (one NMP-buffer block would be 2 slots; slots are
 /// scratchpad-resident so only MMIO pricing applies).
@@ -113,6 +118,11 @@ pub struct Response {
     pub split_key: u32,
     /// B+ tree RESUME_INSERT: new child (split-off NMP node).
     pub new_child: Addr,
+    /// Occupancy of the combining pass that served this response, carried
+    /// in the high half of the control word so the feedback costs no extra
+    /// MMIO. Nonzero only under `Policy::Adaptive`; feeds the driver's
+    /// [`crate::offload::policy::LaneGovernor`].
+    pub combined: u32,
 }
 
 impl Response {
@@ -222,6 +232,9 @@ impl PubLists {
             retry: ctrl & CTRL_RETRY != 0,
             ok: ctrl & CTRL_RET_OK != 0,
             lock_path: ctrl & CTRL_LOCK_PATH != 0,
+            // Batch-occupancy feedback rides the ctrl word's high half
+            // (zero under Policy::Fixed), so reading it is free.
+            combined: (ctrl >> 32) as u32,
             ..Default::default()
         };
         if resp.retry || resp.lock_path {
@@ -280,7 +293,10 @@ impl PubLists {
             ctx.write_u64(a + 32, (resp.value as u64) | ((resp.new_ptr as u64) << 32));
             ctx.write_u64(a + 40, (resp.split_key as u64) | ((resp.new_child as u64) << 32));
         }
-        let mut ctrl = 0u64;
+        // Occupancy feedback in the high half; 0 under Policy::Fixed, so
+        // the fixed-policy control word is bit-identical to the original
+        // protocol.
+        let mut ctrl = (resp.combined as u64) << 32;
         if resp.retry {
             ctrl |= CTRL_RETRY;
         }
@@ -318,6 +334,18 @@ pub trait NmpExec: Send + Sync + 'static {
     /// scopes conformance checking to the op being served, so an executor
     /// straying outside this plan is blamed with the exact op and site.
     fn effect_spec(&self) -> EffectSpec;
+
+    /// Op codes whose `exec` is a pure function of the request and the
+    /// partition state — no partition-memory writes, no slot-state use —
+    /// and may therefore be key-range coalesced under `Policy::Adaptive`:
+    /// identical concurrent requests share one descent, followers receive
+    /// a replica of the lead's response.
+    /// [`crate::effects::assert_coalescible_ops`] statically cross-checks
+    /// every declared op against the effect spec at combiner-spawn time.
+    /// Default: nothing coalesces.
+    fn coalescible_ops(&self) -> &'static [OpCode] {
+        &[]
+    }
 }
 
 /// Spawn one flat-combining daemon per partition. Each combiner runs the
@@ -328,7 +356,18 @@ pub trait NmpExec: Send + Sync + 'static {
 /// combined-per-pass histogram in [`nmp_sim::OffloadStats`].
 pub fn spawn_combiners<E: NmpExec>(sim: &mut Simulation, lists: Arc<PubLists>, exec: Arc<E>) {
     let parts = lists.machine.partitions();
-    let idle = lists.machine.config().nmp_idle_poll_cycles;
+    let base_idle = lists.machine.config().nmp_idle_poll_cycles;
+    let policy = lists.machine.config().policy;
+    // Under the adaptive policy the loop below replicates responses across
+    // coalesced runs; statically prove every declared-coalescible op's NMP
+    // plan is partition-read-only before any daemon runs.
+    let coalescible: &'static [OpCode] = match policy {
+        Policy::Fixed => &[],
+        Policy::Adaptive => {
+            crate::effects::assert_coalescible_ops(&exec.effect_spec(), exec.coalescible_ops());
+            exec.coalescible_ops()
+        }
+    };
     for part in 0..parts {
         let lists = Arc::clone(&lists);
         let exec = Arc::clone(&exec);
@@ -336,6 +375,7 @@ pub fn spawn_combiners<E: NmpExec>(sim: &mut Simulation, lists: Arc<PubLists>, e
             let mut states: Vec<E::SlotState> = Vec::new();
             states.resize_with(lists.slots_per_part(), Default::default);
             let mut batch: Vec<(usize, Request)> = Vec::with_capacity(lists.slots_per_part());
+            let mut ctl = CombinerControl::new(policy, base_idle);
             #[cfg(feature = "analysis")]
             let analysis = lists.machine.mem().analysis().cloned();
             loop {
@@ -353,10 +393,22 @@ pub fn spawn_combiners<E: NmpExec>(sim: &mut Simulation, lists: Arc<PubLists>, e
                     if ctx.stop_requested() {
                         return;
                     }
-                    ctx.idle(idle);
+                    ctx.idle(ctl.idle_after_empty());
                     continue;
                 }
-                for &(slot, ref req) in &batch {
+                ctl.note_busy();
+                if policy == Policy::Adaptive {
+                    // Key-range coalescing: order the pass by (key, slot)
+                    // so identical requests form contiguous runs; the run
+                    // order is the serve order, preserving a deterministic
+                    // per-request response mapping.
+                    sort_batch(&mut batch);
+                }
+                let occupancy = batch.len() as u32;
+                let mut i = 0;
+                while i < batch.len() {
+                    let (slot, req) = batch[i];
+                    let run = coalesce_run_len(&batch, i, coalescible);
                     #[cfg(feature = "trace")]
                     let exec_start = ctx.now();
                     // Scope conformance checking to the op being served so
@@ -366,7 +418,10 @@ pub fn spawn_combiners<E: NmpExec>(sim: &mut Simulation, lists: Arc<PubLists>, e
                     if let Some(a) = &analysis {
                         a.set_current_op(ctx.id(), Some(req.op as u8));
                     }
-                    let resp = exec.exec(ctx, part, req, &mut states[slot]);
+                    let mut resp = exec.exec(ctx, part, &req, &mut states[slot]);
+                    if policy == Policy::Adaptive {
+                        resp.combined = occupancy;
+                    }
                     lists.complete(ctx, part, slot, &resp);
                     #[cfg(feature = "analysis")]
                     if let Some(a) = &analysis {
@@ -377,6 +432,29 @@ pub fn spawn_combiners<E: NmpExec>(sim: &mut Simulation, lists: Arc<PubLists>, e
                         t.note_exec(part, slot, exec_start, ctx.now());
                     }
                     ctx.step();
+                    // Followers of a coalesced run: identical request,
+                    // unchanged partition state -> replicate the lead's
+                    // response without a second descent.
+                    for &(fslot, _) in &batch[i + 1..i + run] {
+                        #[cfg(feature = "trace")]
+                        let repl_start = ctx.now();
+                        #[cfg(feature = "analysis")]
+                        if let Some(a) = &analysis {
+                            a.set_current_op(ctx.id(), Some(req.op as u8));
+                        }
+                        lists.complete(ctx, part, fslot, &resp);
+                        lists.machine.mem().note_offload_coalesced(part);
+                        #[cfg(feature = "analysis")]
+                        if let Some(a) = &analysis {
+                            a.set_current_op(ctx.id(), None);
+                        }
+                        #[cfg(feature = "trace")]
+                        if let Some(t) = lists.machine.mem().tracer() {
+                            t.note_exec(part, fslot, repl_start, ctx.now());
+                        }
+                        ctx.step();
+                    }
+                    i += run;
                 }
                 #[cfg(feature = "trace")]
                 if let Some(t) = lists.machine.mem().tracer() {

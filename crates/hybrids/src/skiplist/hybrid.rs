@@ -452,6 +452,10 @@ impl SimIndex for HybridSkipList {
     fn max_inflight(&self) -> usize {
         self.runtime.max_inflight()
     }
+
+    fn occupancy_feedback(&self, core: usize) -> u32 {
+        self.runtime.occupancy_feedback(core)
+    }
 }
 
 #[cfg(test)]

@@ -40,6 +40,13 @@ impl SkiplistExec {
 impl NmpExec for SkiplistExec {
     type SlotState = ();
 
+    // Reads are a pure tower descent (`seq::read`); the begin-node
+    // deleted check only turns into a retry response, never a partition
+    // write — safe to key-range coalesce.
+    fn coalescible_ops(&self) -> &'static [OpCode] {
+        &[OpCode::Read]
+    }
+
     fn exec(&self, ctx: &mut ThreadCtx, part: usize, req: &Request, _s: &mut ()) -> Response {
         // Resolve the traversal start: the begin-NMP-traversal node if the
         // host supplied one (and it is still alive), else the sentinel.
@@ -336,6 +343,10 @@ impl SimIndex for NmpSkipList {
 
     fn max_inflight(&self) -> usize {
         self.runtime.max_inflight()
+    }
+
+    fn occupancy_feedback(&self, core: usize) -> u32 {
+        self.runtime.occupancy_feedback(core)
     }
 }
 

@@ -11,6 +11,44 @@
 
 use serde::{Deserialize, Serialize};
 
+/// Offload-runtime tuning policy (consumed by `hybrids::offload::policy`).
+///
+/// The simulator itself never branches on this knob: it only carries the
+/// selection so every layer (driver, combiners, benches, serialized configs)
+/// agrees on one value. `Fixed` runs the hand-tuned constants exactly as
+/// configured (`host_pipeline_idle_cycles`, `nmp_idle_poll_cycles`, the
+/// driver's `inflight`); `Adaptive` lets the offload runtime retune those
+/// levers online — as a pure function of simulated state, so determinism
+/// (including byte-identity across engine shard counts) is preserved.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum Policy {
+    /// Hand-tuned constants from the config, unchanged at run time.
+    #[default]
+    Fixed,
+    /// Online self-tuning (batch coalescing, lane-depth and idle-cycle
+    /// adaptation) driven by observed combiner occupancy.
+    Adaptive,
+}
+
+impl Policy {
+    /// Lower-case label used in CSV/JSONL columns and CLI flags.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Policy::Fixed => "fixed",
+            Policy::Adaptive => "adaptive",
+        }
+    }
+
+    /// Parse a CLI/env spelling (`fixed` / `adaptive`, case-insensitive).
+    pub fn parse(s: &str) -> Option<Policy> {
+        match s.to_ascii_lowercase().as_str() {
+            "fixed" => Some(Policy::Fixed),
+            "adaptive" => Some(Policy::Adaptive),
+            _ => None,
+        }
+    }
+}
+
 /// Geometry and latency of one cache level.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct CacheConfig {
@@ -116,6 +154,12 @@ pub struct Config {
     /// `NMP_SIM_SHARDS` environment variable overrides it at run time.
     #[serde(default)]
     pub shards: usize,
+
+    /// Offload-runtime tuning policy ([`Policy::Fixed`] reproduces the
+    /// hand-tuned constants; [`Policy::Adaptive`] self-tunes online).
+    /// Configs serialized before the knob existed deserialize to `Fixed`.
+    #[serde(default)]
+    pub policy: Policy,
 }
 
 impl Config {
@@ -154,6 +198,7 @@ impl Config {
             part_heap_bytes: 64 * 1024 * 1024,
             trace_buffer_events: 1 << 16,
             shards: 0,
+            policy: Policy::Fixed,
         }
     }
 
@@ -202,6 +247,25 @@ impl Config {
     pub fn with_shards(mut self, shards: usize) -> Self {
         self.shards = shards;
         self
+    }
+
+    /// Set the offload-runtime tuning policy.
+    pub fn with_policy(mut self, policy: Policy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Every stock preset this crate ships, by name. Harnesses iterate this
+    /// to prove all presets validate and serde-round-trip (the validation
+    /// contract: every poll/idle knob is at least one cycle, which is also
+    /// the floor the adaptive policy layer clamps its online choices to).
+    pub fn stock_configs() -> Vec<(&'static str, Config)> {
+        vec![
+            ("paper", Config::paper()),
+            ("paper-in-order", Config::paper().with_in_order_hosts()),
+            ("scaled", Config::default_scaled()),
+            ("tiny", Config::tiny()),
+        ]
     }
 
     /// Resolve the `shards` knob to the number of *vault* shards the engine
@@ -353,6 +417,55 @@ mod tests {
         let c = Config::tiny();
         c.validate();
         assert_eq!(c.nmp_partitions(), 2);
+    }
+
+    #[test]
+    fn policy_knob_defaults_parses_and_roundtrips() {
+        // Configs serialized before the knob existed deserialize to Fixed.
+        let j = serde_json::to_string(&Config::paper()).unwrap();
+        let pruned = j.replace(",\"policy\":\"Fixed\"", "");
+        assert_ne!(j, pruned, "serialized config must carry the policy knob");
+        let back: Config = serde_json::from_str(&pruned).unwrap();
+        assert_eq!(back.policy, Policy::Fixed);
+        // Adaptive survives a round trip.
+        let a = Config::tiny().with_policy(Policy::Adaptive);
+        let j = serde_json::to_string(&a).unwrap();
+        let back: Config = serde_json::from_str(&j).unwrap();
+        assert_eq!(back, a);
+        // Label / parse are inverses, for CLI flags and CSV columns.
+        for p in [Policy::Fixed, Policy::Adaptive] {
+            assert_eq!(Policy::parse(p.label()), Some(p));
+        }
+        assert_eq!(Policy::parse("ADAPTIVE"), Some(Policy::Adaptive));
+        assert_eq!(Policy::parse("bogus"), None);
+        assert_eq!(Policy::default(), Policy::Fixed);
+    }
+
+    /// The satellite contract: every stock preset validates, serializes,
+    /// deserializes back to itself, and keeps every poll/idle knob at or
+    /// above the one-cycle floor `validate` enforces — under both policies.
+    /// (The adaptive layer clamps its online idle choices to the same floor,
+    /// so a valid config can never be driven invalid at run time.)
+    #[test]
+    fn stock_configs_validate_and_roundtrip() {
+        let stock = Config::stock_configs();
+        assert!(stock.len() >= 4);
+        for (name, cfg) in stock {
+            for policy in [Policy::Fixed, Policy::Adaptive] {
+                let c = cfg.clone().with_policy(policy);
+                c.validate();
+                assert!(
+                    c.host_poll_interval_cycles >= 1
+                        && c.nmp_idle_poll_cycles >= 1
+                        && c.host_pipeline_idle_cycles >= 1,
+                    "stock config {name} has a sub-cycle idle knob"
+                );
+                let j = serde_json::to_string(&c).unwrap();
+                let back: Config = serde_json::from_str(&j).unwrap();
+                assert_eq!(back, c, "stock config {name} must round-trip");
+                back.validate();
+            }
+        }
     }
 
     #[test]

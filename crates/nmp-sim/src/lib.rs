@@ -88,7 +88,7 @@ pub use alloc::Arena;
 pub use analysis::{AccessDecl, EffectSpec, OpSpec, SpecError, Topology};
 #[cfg(feature = "analysis")]
 pub use analysis::{Analysis, HistEvent, HistOp, HistoryRecorder, Report};
-pub use config::{CacheConfig, Config};
+pub use config::{CacheConfig, Config, Policy};
 pub use engine::{SimOutcome, Simulation, ThreadCtx, ThreadKind};
 pub use machine::Machine;
 pub use mem::{

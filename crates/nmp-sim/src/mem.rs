@@ -206,6 +206,9 @@ struct OffloadCounters {
     /// Pqueue minima-cache stale-empty probes per partition: extract-min legs
     /// that targeted a partition and found it empty (ROADMAP §4.6 follow-up).
     pq_stale: Vec<AtomicU64>,
+    /// Requests served per partition by replicating a coalesced sibling's
+    /// response (key-range coalescing, adaptive policy only).
+    coalesced: Vec<AtomicU64>,
 }
 
 impl OffloadCounters {
@@ -223,6 +226,7 @@ impl OffloadCounters {
             lane_posted: zeros(OFFLOAD_LANE_CAP),
             combined_hist: zeros(parts * OFFLOAD_HIST_BUCKETS),
             pq_stale: zeros(parts),
+            coalesced: zeros(parts),
         }
     }
 
@@ -236,6 +240,7 @@ impl OffloadCounters {
             lane_posted: load(&self.lane_posted),
             combined_hist: load(&self.combined_hist),
             pq_stale: load(&self.pq_stale),
+            coalesced: load(&self.coalesced),
         }
     }
 
@@ -256,9 +261,11 @@ impl OffloadCounters {
     }
 
     /// Zero the combiner-recorded counters of partition `part` (completed
-    /// requests and the combined-per-pass histogram row).
+    /// requests, coalesced completions, and the combined-per-pass histogram
+    /// row).
     fn reset_part_side(&self, part: usize) {
         self.completed[part].store(0, Ordering::Relaxed);
+        self.coalesced[part].store(0, Ordering::Relaxed);
         for b in 0..OFFLOAD_HIST_BUCKETS {
             self.combined_hist[part * OFFLOAD_HIST_BUCKETS + b].store(0, Ordering::Relaxed);
         }
@@ -561,6 +568,13 @@ impl MemorySystem {
         self.offload.combined_hist[part * OFFLOAD_HIST_BUCKETS + bucket]
             .fetch_add(1, Ordering::Relaxed);
         self.offload.completed[part].fetch_add(combined as u64, Ordering::Relaxed);
+    }
+
+    /// Record a request of partition `part` served by replicating a
+    /// coalesced sibling's response instead of its own NMP descent
+    /// (key-range coalescing, adaptive policy only).
+    pub fn note_offload_coalesced(&self, part: usize) {
+        self.offload.coalesced[part].fetch_add(1, Ordering::Relaxed);
     }
 
     /// Record a pqueue minima-cache stale-empty probe: an extract-min leg

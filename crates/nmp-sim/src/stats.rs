@@ -107,6 +107,12 @@ pub struct OffloadStats {
     /// cache was stale, or the merge forced an untried-partition check).
     /// Empty/zero for non-pqueue structures.
     pub pq_stale: Vec<u64>,
+    /// Requests served per partition by replicating another request's
+    /// response within the same combining pass (key-range coalescing,
+    /// `Policy::Adaptive` only): each counted request still completes, but
+    /// without its own NMP descent. Always zero under `Policy::Fixed`.
+    #[serde(default)]
+    pub coalesced: Vec<u64>,
 }
 
 impl OffloadStats {
@@ -133,6 +139,12 @@ impl OffloadStats {
     /// Total pqueue stale-empty probes across partitions.
     pub fn pq_stale_total(&self) -> u64 {
         self.pq_stale.iter().sum()
+    }
+
+    /// Total requests served by response replication (coalesced descents)
+    /// across partitions.
+    pub fn coalesced_total(&self) -> u64 {
+        self.coalesced.iter().sum()
     }
 
     /// Histogram buckets tracked per partition (0 when no telemetry).
@@ -183,6 +195,7 @@ impl OffloadStats {
             lane_posted: dv(&self.lane_posted, &earlier.lane_posted),
             combined_hist: dv(&self.combined_hist, &earlier.combined_hist),
             pq_stale: dv(&self.pq_stale, &earlier.pq_stale),
+            coalesced: dv(&self.coalesced, &earlier.coalesced),
         }
     }
 }

@@ -139,6 +139,107 @@ fn sharded_engine_is_self_deterministic() {
     }
 }
 
+/// Adaptive-back-off variant of the handshake workload: every idle
+/// duration is a pure function of *observed simulated state* — daemons
+/// double their poll interval on each empty mailbox check and re-arm it on
+/// work (the combiner-control pattern of the hybrids offload policy), and
+/// host threads double their ack-wait interval per empty poll (the lane
+/// governor's stall back-off pattern). Because the intervals derive only
+/// from values the threads read out of simulated memory, the conservative
+/// sharded scheduler must reproduce them bit-for-bit.
+fn fingerprint_adaptive_backoff(shards: usize) -> String {
+    let machine = Machine::new(Config::tiny().with_shards(shards));
+    let tracer = machine.attach_tracer();
+    let analysis = machine.attach_analysis();
+
+    let parts = machine.partitions();
+    let results = machine.host_arena().alloc(8 * parts as u32);
+    let heap: Vec<_> = (0..parts).map(|p| machine.part_arena(p).alloc(64)).collect();
+
+    let mut sim = machine.simulation();
+
+    // Daemons: exponential poll back-off (8, 16, ... 128) while the
+    // mailbox is empty, re-armed to 8 by every served request.
+    for (p, &h) in heap.iter().enumerate() {
+        let spad = machine.map().spad_base(p);
+        sim.spawn_daemon(format!("nmp{p}"), ThreadKind::Nmp { part: p }, move |ctx| {
+            let mut sum = 0u64;
+            let mut idle = 8u64;
+            while !ctx.stop_requested() {
+                let v = ctx.read_u64_acquire(spad);
+                if v != 0 {
+                    sum = sum.wrapping_add(v);
+                    ctx.write_u64(h, sum);
+                    ctx.write_u64(spad + 8, sum);
+                    ctx.write_u64_release(spad, 0);
+                    idle = 8;
+                } else {
+                    ctx.idle(idle);
+                    idle = (idle * 2).min(128);
+                }
+            }
+        });
+    }
+
+    // Hosts: post to alternating partitions; the wait for each ack backs
+    // off exponentially per empty poll and re-arms on progress.
+    for core in 0..3usize {
+        let m = Arc::clone(&machine);
+        let out = results;
+        sim.spawn(format!("h{core}"), ThreadKind::Host { core }, move |ctx| {
+            let mut last = 0u64;
+            for i in 0..10u64 {
+                let p = (core + i as usize) % m.partitions();
+                let spad = m.map().spad_base(p);
+                let mut idle = 4u64;
+                while ctx.mmio_read_u64_acquire(spad) != 0 {
+                    ctx.idle(idle);
+                    idle = (idle * 2).min(64);
+                }
+                ctx.mmio_write_u64_release(spad, 1 + core as u64 * 100 + i);
+                let mut idle = 4u64;
+                loop {
+                    let s = ctx.mmio_read_u64_acquire(spad + 8);
+                    if s != last && s != 0 {
+                        last = s;
+                        break;
+                    }
+                    ctx.idle(idle);
+                    idle = (idle * 2).min(64);
+                }
+            }
+            ctx.write_u64(out + core as u32 * 8, last);
+        });
+    }
+
+    let outcome = sim.run();
+
+    let mut fp = String::new();
+    fp.push_str(&format!("clocks={:?}\n", outcome.clocks));
+    fp.push_str(&format!("makespan={}\n", outcome.makespan()));
+    for core in 0..3u32 {
+        fp.push_str(&format!("r{core}={}\n", machine.ram().read_u64(results + core * 8)));
+    }
+    for (p, h) in heap.iter().enumerate() {
+        fp.push_str(&format!("heap{p}={}\n", machine.ram().read_u64(*h)));
+    }
+    fp.push_str(&format!("snapshot={:?}\n", machine.mem().snapshot()));
+    fp.push_str(&format!("summary={:?}\n", tracer.summary()));
+    fp.push_str(&format!("events={:?}\n", tracer.events()));
+    fp.push_str(&format!("report={:?}\n", analysis.report()));
+    fp.push_str(&nmp_sim::trace::TraceSink::chrome_json(&tracer));
+    fp
+}
+
+/// State-driven adaptive back-off is shard-invariant: shards=1, 2, and an
+/// oversubscribed 4 (clamped to the vault count) agree byte-for-byte.
+#[test]
+fn adaptive_backoff_is_shard_invariant() {
+    let legacy = fingerprint_adaptive_backoff(1);
+    assert_eq!(legacy, fingerprint_adaptive_backoff(2), "shards=2 diverged");
+    assert_eq!(legacy, fingerprint_adaptive_backoff(4), "shards=4 (clamped) diverged");
+}
+
 /// A worker panic inside a sharded run still propagates with the original
 /// message (gates open so no peer deadlocks waiting on the dead shard).
 #[test]

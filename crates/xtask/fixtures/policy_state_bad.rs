@@ -1,0 +1,24 @@
+//! Known-bad fixture: a data structure embedding adaptive-policy state and
+//! branching on the configured policy instead of leaving tuning to the
+//! offload layer. Mentions of LaneGovernor in comments or strings must not
+//! count.
+
+use crate::offload::policy::LaneGovernor;
+
+pub struct Widget {
+    gov: LaneGovernor,
+}
+
+impl Widget {
+    pub fn tune(&mut self, m: &Machine) -> bool {
+        // the name "LaneGovernor" in a comment or string is fine:
+        let label = "LaneGovernor";
+        let _ = label;
+        m.config().policy == Policy::Adaptive
+    }
+
+    pub fn serve(&self, batch: &mut Vec<(usize, Request)>) {
+        sort_batch(batch);
+        let _ = coalesce_run_len(batch, 0, &[]);
+    }
+}

@@ -31,6 +31,14 @@
 //!   (`ShardCtl`'s methods are the API). Any other simulator file naming
 //!   these fields is bypassing the ownership discipline that makes sharded
 //!   runs byte-identical to sequential ones (DESIGN.md §4.9).
+//! * **policy-confinement** — the self-tuning offload policy's state
+//!   machines (`CombinerControl`, `LaneGovernor`) and decisions
+//!   (`sort_batch`, `coalesce_run_len`, `config().policy` branches) live
+//!   only in the offload layer (`offload/policy.rs`, `publist.rs`,
+//!   `driver.rs`). Data structures declare *what* may be coalesced
+//!   (`NmpExec::coalescible_ops`) and forward occupancy feedback; they
+//!   never embed tuning state, so `Policy::Fixed` runs stay bit-identical
+//!   to the pre-policy protocol by construction.
 //! * **marker-location** — the `// xtask:` markers above may only appear in
 //!   an explicit allow-list of files, so the lint cannot be silenced by
 //!   sprinkling new markers.
@@ -49,7 +57,7 @@ use std::path::Path;
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Violation {
     /// Which rule fired (`raw-mem`, `atomic-ordering`, `mmio-confinement`,
-    /// `opcode-coverage`, `marker-location`).
+    /// `opcode-coverage`, `policy-confinement`, `marker-location`).
     pub rule: &'static str,
     /// Repo-relative path of the offending file.
     pub path: String,
@@ -87,6 +95,16 @@ pub const RAW_MEM_EXCEPTIONS: &[&str] = &["crates/hybrids/src/publist.rs"];
 
 /// The one file allowed to perform MMIO (the offload runtime).
 pub const MMIO_MODULE: &str = "crates/hybrids/src/publist.rs";
+
+/// The offload policy layer: the only hybrids files allowed to hold
+/// adaptive-policy state or branch on the configured `Policy`: the policy
+/// module itself, the combiner loop that applies coalescing, and the driver
+/// pipeline that hosts the lane governor.
+pub const POLICY_MODULES: &[&str] = &[
+    "crates/hybrids/src/offload/policy.rs",
+    "crates/hybrids/src/publist.rs",
+    "crates/hybrids/src/driver.rs",
+];
 
 /// The one file allowed to name the per-vault DRAM timing state (`parts_t`
 /// / `host_t` and the `PartTiming` / `HostTiming` types): the memory system
@@ -397,6 +415,10 @@ const VAULT_STATE_TOKENS: &[&str] = &["parts_t", "host_t", "PartTiming", "HostTi
 const SHARD_CTL_TOKENS: &[&str] =
     &["frontiers", "nd_frontier", "nd_live", "nd_last_key", "after_stop"];
 
+/// Adaptive-policy state machines and helpers owned by [`POLICY_MODULES`].
+const POLICY_TOKENS: &[&str] =
+    &["CombinerControl", "LaneGovernor", "sort_batch", "coalesce_run_len"];
+
 fn is_ident_byte(b: u8) -> bool {
     b.is_ascii_alphanumeric() || b == b'_'
 }
@@ -554,6 +576,47 @@ pub fn check_source(rel: &str, src: &str) -> Vec<Violation> {
                     ),
                 });
             }
+        }
+    }
+
+    // policy-confinement: tuning state stays in the offload policy layer.
+    if rel.starts_with("crates/hybrids/src") && !POLICY_MODULES.contains(&rel.as_str()) {
+        let b = masked.as_bytes();
+        for tok in POLICY_TOKENS {
+            let mut from = 0usize;
+            while let Some(pos) = find_ident_from(b, tok.as_bytes(), from) {
+                from = pos + 1;
+                out.push(Violation {
+                    rule: "policy-confinement",
+                    path: rel.clone(),
+                    line: line_of(&masked, pos),
+                    msg: format!(
+                        "`{tok}` (adaptive-policy state) outside the offload policy layer; \
+                         structures declare coalescible ops and forward occupancy feedback, \
+                         tuning lives in offload/policy.rs / publist.rs / driver.rs"
+                    ),
+                });
+            }
+        }
+        // `.policy` field reads: branching a structure on the configured
+        // policy smuggles tuning decisions out of the policy layer (and
+        // breaks the Fixed-mode bit-identity argument).
+        let mut from = 0usize;
+        while let Some(pos) = find_from(b, b".policy", from) {
+            from = pos + 1;
+            let after = pos + ".policy".len();
+            if after < b.len() && is_ident_byte(b[after]) {
+                continue;
+            }
+            out.push(Violation {
+                rule: "policy-confinement",
+                path: rel.clone(),
+                line: line_of(&masked, pos),
+                msg: "`.policy` read outside the offload policy layer; only \
+                      offload/policy.rs, publist.rs, and driver.rs may branch on the \
+                      configured policy"
+                    .to_string(),
+            });
         }
     }
 

@@ -113,6 +113,27 @@ fn simulator_files_are_exempt_from_effect_rules() {
 }
 
 #[test]
+fn policy_state_fixture_fails_outside_the_policy_layer() {
+    let src = include_str!("../fixtures/policy_state_bad.rs");
+    // In structure code every embedded-tuning token fires: the use path,
+    // the field type, the two helper calls, and the `.policy` read —
+    // comment/string mentions do not count.
+    let v = lint_as("crates/hybrids/src/hashmap/mod.rs", src);
+    assert_eq!(rules(&v), ["policy-confinement"], "{v:?}");
+    assert_eq!(v.len(), 5, "{v:?}");
+    assert!(v.iter().any(|v| v.msg.contains(".policy")), "{v:?}");
+    // The same source is the policy layer's job in its own modules.
+    for ok in ["crates/hybrids/src/offload/policy.rs", "crates/hybrids/src/driver.rs"] {
+        let v = lint_as(ok, src);
+        assert!(v.is_empty(), "{ok}: {v:?}");
+    }
+    // Outside the hybrids crate the rule does not apply (bench code
+    // selects policies legitimately).
+    let v = lint_as("crates/bench/src/lib.rs", src);
+    assert!(v.is_empty(), "{v:?}");
+}
+
+#[test]
 fn clean_fixture_passes_in_strictest_scope() {
     let v = lint_as("crates/hybrids/src/widget.rs", include_str!("../fixtures/clean.rs"));
     assert!(v.is_empty(), "{v:?}");

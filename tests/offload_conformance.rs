@@ -30,7 +30,7 @@ use std::sync::Arc;
 
 use hybrids_repro::prelude::*;
 use nmp_sim::analysis::{HistEvent, HistOp, HistoryRecorder};
-use nmp_sim::OffloadStats;
+use nmp_sim::{OffloadStats, Policy};
 use parking_lot::Mutex;
 use workloads::Rng;
 
@@ -219,9 +219,9 @@ fn run_conformance<S: SimIndex>(
 /// (b) `initial + successful inserts − popped keys` balances against the
 /// final contents per key. Contracts 1 (analysis clean) and 4 (telemetry
 /// conservation) are unchanged.
-fn pqueue_conformance(inflight: usize) {
+fn pqueue_conformance(inflight: usize, policy: Policy) {
     let ks = keyspace();
-    let m = Machine::new(Config::tiny());
+    let m = Machine::new(Config::tiny().with_policy(policy));
     let pq = HybridPqueue::with_exec_log(Arc::clone(&m), ks, 8, 5, inflight);
     let initial = half_initial(&ks);
     pq.populate(&initial);
@@ -292,18 +292,19 @@ fn pqueue_conformance(inflight: usize) {
 }
 
 /// One registry entry per structure; the generic tests below iterate this
-/// slice, so adding a structure to the harness is one new line here.
+/// slice (crossed with both offload policies), so adding a structure to
+/// the harness is one new line here.
 struct Entry {
     name: &'static str,
-    run: fn(usize),
+    run: fn(usize, Policy),
 }
 
 const REGISTRY: &[Entry] = &[
     Entry {
         name: "nmp-skiplist",
-        run: |inflight| {
+        run: |inflight, policy| {
             let ks = keyspace();
-            let m = Machine::new(Config::tiny());
+            let m = Machine::new(Config::tiny().with_policy(policy));
             let sl = NmpSkipList::new(Arc::clone(&m), ks, 8, 3, inflight);
             let initial = half_initial(&ks);
             sl.populate(initial.clone());
@@ -316,9 +317,9 @@ const REGISTRY: &[Entry] = &[
     },
     Entry {
         name: "hybrid-skiplist",
-        run: |inflight| {
+        run: |inflight, policy| {
             let ks = keyspace();
-            let m = Machine::new(Config::tiny());
+            let m = Machine::new(Config::tiny().with_policy(policy));
             let sl = HybridSkipList::new(Arc::clone(&m), ks, 10, 4, 3, inflight);
             let initial = half_initial(&ks);
             sl.populate(initial.clone());
@@ -331,9 +332,9 @@ const REGISTRY: &[Entry] = &[
     },
     Entry {
         name: "hybrid-btree",
-        run: |inflight| {
+        run: |inflight, policy| {
             let ks = keyspace();
-            let m = Machine::new(Config::tiny());
+            let m = Machine::new(Config::tiny().with_policy(policy));
             let initial = half_initial(&ks);
             let t =
                 HybridBTree::with_budget(Arc::clone(&m), &initial, 0.7, inflight.max(2), 2 * 1024);
@@ -346,9 +347,9 @@ const REGISTRY: &[Entry] = &[
     },
     Entry {
         name: "host-btree",
-        run: |inflight| {
+        run: |inflight, policy| {
             let ks = keyspace();
-            let m = Machine::new(Config::tiny());
+            let m = Machine::new(Config::tiny().with_policy(policy));
             let initial = half_initial(&ks);
             let t = HostBTree::new(Arc::clone(&m), &initial, 0.7);
             let t2 = Arc::clone(&t);
@@ -360,9 +361,9 @@ const REGISTRY: &[Entry] = &[
     },
     Entry {
         name: "hybrid-hashmap",
-        run: |inflight| {
+        run: |inflight, policy| {
             let ks = keyspace();
-            let m = Machine::new(Config::tiny());
+            let m = Machine::new(Config::tiny().with_policy(policy));
             let hm = HybridHashMap::new(Arc::clone(&m), 64, 99, inflight);
             let initial = half_initial(&ks);
             hm.populate(initial.clone());
@@ -381,7 +382,7 @@ const REGISTRY: &[Entry] = &[
 fn all_structures_conform_blocking() {
     for e in REGISTRY {
         eprintln!("conformance[blocking]: {}", e.name);
-        (e.run)(1);
+        (e.run)(1, Policy::Fixed);
     }
 }
 
@@ -389,7 +390,29 @@ fn all_structures_conform_blocking() {
 fn all_structures_conform_pipelined() {
     for e in REGISTRY {
         eprintln!("conformance[pipelined x4]: {}", e.name);
-        (e.run)(4);
+        (e.run)(4, Policy::Fixed);
+    }
+}
+
+/// Full conformance contract under the self-tuning policy: coalescing,
+/// adaptive lane depth, and tuned idle cycles must not cost linearizability
+/// or telemetry conservation for any structure in blocking mode.
+#[test]
+fn all_structures_conform_blocking_adaptive() {
+    for e in REGISTRY {
+        eprintln!("conformance[blocking, adaptive]: {}", e.name);
+        (e.run)(1, Policy::Adaptive);
+    }
+}
+
+/// Pipelined conformance under the self-tuning policy — the mode where
+/// batches actually form, so sorted passes, coalesced runs, and occupancy
+/// feedback are all live.
+#[test]
+fn all_structures_conform_pipelined_adaptive() {
+    for e in REGISTRY {
+        eprintln!("conformance[pipelined x4, adaptive]: {}", e.name);
+        (e.run)(4, Policy::Adaptive);
     }
 }
 
@@ -397,9 +420,8 @@ fn all_structures_conform_pipelined() {
 /// inserts force the NMP side to answer RETRY, and splits reaching the
 /// host levels force the lock path. Both must be visible in telemetry and
 /// leave the tree consistent.
-#[test]
-fn forced_retries_and_lock_path_are_counted() {
-    let m = Machine::new(Config::tiny());
+fn forced_retries_and_lock_path(policy: Policy) {
+    let m = Machine::new(Config::tiny().with_policy(policy));
     let pairs: Vec<(Key, Value)> = (1..=500u32).map(|k| (k * 8, k)).collect();
     let t = HybridBTree::with_budget(Arc::clone(&m), &pairs, 1.0, 4, 4 * 1024);
     let analysis = m.attach_analysis();
@@ -429,6 +451,72 @@ fn forced_retries_and_lock_path_are_counted() {
     assert_eq!(offload.completed_total(), offload.posted_total());
     assert!(offload.lock_path_total() > 0, "fill-1.0 splits must reach the host lock path");
     assert!(offload.retries_total() > 0, "removes racing parked inserts must retry");
+}
+
+#[test]
+fn forced_retries_and_lock_path_are_counted() {
+    forced_retries_and_lock_path(Policy::Fixed);
+}
+
+/// The same forced rare paths with the adaptive policy live: retries and
+/// lock-path completions must survive sorted combining passes (retry
+/// responses are never coalesced or replicated) and still be counted.
+#[test]
+fn forced_retries_and_lock_path_are_counted_adaptive() {
+    forced_retries_and_lock_path(Policy::Adaptive);
+}
+
+/// Forced-coalescing interaction case: four pipelined host threads hammer
+/// one hot key with reads while a sprinkle of same-key inserts/removes
+/// keeps flipping its presence. Under `Policy::Adaptive` the combiner's
+/// sorted passes must (a) actually coalesce identical hot reads, (b) keep
+/// the recorded history linearizable even though most responses are
+/// replicas of a lead descent racing the mutations, and (c) conserve
+/// telemetry (every posted request answered exactly once — coalesced
+/// followers included).
+#[test]
+fn adaptive_coalesces_hot_reads_and_stays_linearizable() {
+    let ks = keyspace();
+    let m = Machine::new(Config::tiny().with_policy(Policy::Adaptive));
+    let hm = HybridHashMap::new(Arc::clone(&m), 64, 99, 4);
+    let initial = half_initial(&ks);
+    hm.populate(initial.clone());
+    let analysis = m.attach_analysis();
+    analysis.enable_conformance();
+    let recorder = Arc::new(HistoryRecorder::new());
+    let hot = ks.initial_key(0);
+    let mut sim = m.simulation();
+    hm.spawn_services(&mut sim);
+    for core in 0..THREADS {
+        let hm = Arc::clone(&hm);
+        let recorder = Arc::clone(&recorder);
+        let mut rng = Rng::new(8800 + core as u64);
+        // 7/8 hot-key reads, 1/8 hot-key insert/remove churn: combining
+        // passes are dominated by identical requests.
+        let ops: Vec<Op> = (0..OPS_PER_THREAD)
+            .map(|_| match rng.below(16) {
+                0 => Op::Insert(hot, rng.next_u32() | 1),
+                1 => Op::Remove(hot),
+                _ => Op::Read(hot),
+            })
+            .collect();
+        sim.spawn(format!("h{core}"), ThreadKind::Host { core }, move |ctx| {
+            drive(ctx, &hm, &ops, 4, |op, r, inv, resp| {
+                record(&recorder, core, op, r, inv, resp);
+            });
+        });
+    }
+    sim.run();
+    analysis.report().assert_clean();
+    hm.check_invariants();
+    let initial_map: HashMap<Key, Value> = initial.iter().copied().collect();
+    recorder.check_linearizable(|k| initial_map.get(&k).copied()).unwrap_or_else(|e| panic!("{e}"));
+    let offload = m.mem().snapshot().offload;
+    assert_eq!(offload.completed_total(), offload.posted_total());
+    assert!(
+        offload.coalesced_total() > 0,
+        "identical hot reads from 4x4 lanes must coalesce: {offload:?}"
+    );
 }
 
 /// Under a pipelined YCSB-C run the combiner must actually batch: some

@@ -257,6 +257,122 @@ fn hybrid_hashmap_matches_std_hashmap() {
     }
 }
 
+/// Coalescing strategy: operation sequences engineered to fill combining
+/// passes with duplicate and adjacent keys — every key is drawn from a
+/// 4-key hot set plus an adjacency offset, three quarters of the ops are
+/// reads. Under `Policy::Adaptive` a pipelined client turns the duplicate
+/// reads into coalesced runs.
+fn coalescing_ops(rng: &mut u64, ks: &KeySpace) -> Vec<Op> {
+    let len = 16 + (xorshift(rng) % 64) as usize;
+    (0..len)
+        .map(|_| {
+            let hot = ks.initial_key((xorshift(rng) % 4) as u32);
+            let k = hot + (xorshift(rng) % 2) as u32;
+            match xorshift(rng) % 8 {
+                0 => Op::Insert(k, (xorshift(rng) as u32) | 1),
+                1 => Op::Remove(k),
+                2 => Op::Update(k, (xorshift(rng) as u32) | 1),
+                _ => Op::Read(k),
+            }
+        })
+        .collect()
+}
+
+/// Drive `ops` on one host thread, pipelining *runs of consecutive reads*
+/// up to 4 lanes deep (reads commute, so the sequential oracle stays
+/// exact) and draining fully before every mutation. Results come back in
+/// issue order regardless of lane completion order, so a response landing
+/// on the wrong request — the failure mode of broken coalescing — shows up
+/// as an oracle mismatch on that position.
+fn drive_read_pipelined<S: SimIndex>(
+    machine: &Arc<Machine>,
+    index: &Arc<S>,
+    ops: Vec<Op>,
+) -> Vec<(bool, Value)> {
+    const LANES: usize = 4;
+    let results = Arc::new(Mutex::new(vec![(false, 0u32); ops.len()]));
+    let mut sim = machine.simulation();
+    index.spawn_services(&mut sim);
+    let index = Arc::clone(index);
+    let results2 = Arc::clone(&results);
+    sim.spawn("h0", ThreadKind::Host { core: 0 }, move |ctx| {
+        let mut i = 0;
+        while i < ops.len() {
+            if !matches!(ops[i], Op::Read(_)) {
+                let r = index.execute(ctx, ops[i]);
+                results2.lock()[i] = (r.ok, 0);
+                i += 1;
+                continue;
+            }
+            // Issue the whole read run, LANES at a time, drain each wave.
+            let mut run = 0;
+            while i + run < ops.len() && matches!(ops[i + run], Op::Read(_)) {
+                run += 1;
+            }
+            for wave in (0..run).step_by(LANES) {
+                let wave_len = LANES.min(run - wave);
+                let mut pending: Vec<(usize, Option<S::Pending>)> = Vec::new();
+                for lane in 0..wave_len {
+                    let idx = i + wave + lane;
+                    match index.issue(ctx, lane, ops[idx]) {
+                        Issued::Done(r) => results2.lock()[idx] = (r.ok, r.value),
+                        Issued::Pending(p) => pending.push((idx, Some(p))),
+                    }
+                }
+                while pending.iter().any(|(_, p)| p.is_some()) {
+                    for (idx, slot) in pending.iter_mut() {
+                        if let Some(mut p) = slot.take() {
+                            match index.poll(ctx, &mut p) {
+                                PollOutcome::Done(r) => results2.lock()[*idx] = (r.ok, r.value),
+                                PollOutcome::Pending => *slot = Some(p),
+                            }
+                        }
+                    }
+                    ctx.idle(16);
+                }
+            }
+            i += run;
+        }
+    });
+    sim.run();
+    let out = results.lock().clone();
+    out
+}
+
+/// The hybrid hash map under `Policy::Adaptive` with the coalescing
+/// strategy: duplicate hot-key reads four lanes deep must coalesce at
+/// least once across the cases, and every per-request response — coalesced
+/// replicas included — must match the sequential oracle in issue order,
+/// with the final contents intact.
+#[test]
+fn hybrid_hashmap_adaptive_coalescing_matches_oracle() {
+    let mut coalesced_anywhere = 0u64;
+    for case in 0..CASES {
+        let mut rng = 0x452821E638D01377 ^ (case + 1).wrapping_mul(0x9E3779B97F4A7C15);
+        let ks = keyspace();
+        let init = initial(&ks);
+        let ops = coalescing_ops(&mut rng, &ks);
+        let (expect, model) = oracle(&ops, &init);
+        let m = Machine::new(Config::tiny().with_policy(nmp_sim::Policy::Adaptive));
+        let hm = HybridHashMap::new(Arc::clone(&m), 32, case ^ 0x5EED, 4);
+        hm.populate(init.clone());
+        let got = drive_read_pipelined(&m, &hm, ops);
+        assert_eq!(got, expect, "case {case}: results diverge from oracle");
+        hm.check_invariants();
+        let want: BTreeMap<Key, Value> = model.clone();
+        assert_eq!(
+            hm.collect().into_iter().collect::<BTreeMap<_, _>>(),
+            want,
+            "case {case}: final contents diverge from oracle"
+        );
+        coalesced_anywhere += m.mem().snapshot().offload.coalesced_total();
+    }
+    assert!(
+        coalesced_anywhere > 0,
+        "duplicate hot-key reads at 4 lanes never coalesced across {CASES} cases"
+    );
+}
+
 /// The hybrid priority queue against `std::collections::BinaryHeap` (as a
 /// min-heap via `Reverse`, with a side map enforcing key uniqueness). On a
 /// single thread the minima cache is always exact, so every extract-min

@@ -17,6 +17,7 @@ use std::sync::Arc;
 use hybrids::driver::{run_index, RunResult, RunSpec};
 use hybrids_repro::prelude::*;
 use nmp_sim::trace::TraceSink;
+use nmp_sim::Policy;
 
 /// Workload shared by the index structures (skip list, B+ tree).
 fn spec(seed: u64, inflight: usize) -> RunSpec {
@@ -52,9 +53,9 @@ fn fold(m: &Arc<Machine>, tracer: &Arc<nmp_sim::trace::Tracer>, r: Option<RunRes
     fp
 }
 
-fn skiplist_fp(shards: usize, inflight: usize) -> String {
+fn skiplist_fp(shards: usize, inflight: usize, policy: Policy) -> String {
     let ks = KeySpace::new(512, 2, 256);
-    let m = Machine::new(Config::tiny().with_shards(shards));
+    let m = Machine::new(Config::tiny().with_shards(shards).with_policy(policy));
     let tracer = m.attach_tracer();
     let analysis = m.attach_analysis();
     let sl = HybridSkipList::new(Arc::clone(&m), ks, 10, 4, 42, inflight.max(1));
@@ -65,9 +66,9 @@ fn skiplist_fp(shards: usize, inflight: usize) -> String {
     fp
 }
 
-fn btree_fp(shards: usize, inflight: usize) -> String {
+fn btree_fp(shards: usize, inflight: usize, policy: Policy) -> String {
     let ks = KeySpace::new(512, 2, 384);
-    let m = Machine::new(Config::tiny().with_shards(shards));
+    let m = Machine::new(Config::tiny().with_shards(shards).with_policy(policy));
     let tracer = m.attach_tracer();
     let analysis = m.attach_analysis();
     let pairs: Vec<(Key, Value)> =
@@ -80,9 +81,9 @@ fn btree_fp(shards: usize, inflight: usize) -> String {
     fp
 }
 
-fn pqueue_fp(shards: usize, inflight: usize) -> String {
+fn pqueue_fp(shards: usize, inflight: usize, policy: Policy) -> String {
     let ks = KeySpace::new(256, 2, 128);
-    let m = Machine::new(Config::tiny().with_shards(shards));
+    let m = Machine::new(Config::tiny().with_shards(shards).with_policy(policy));
     let tracer = m.attach_tracer();
     let analysis = m.attach_analysis();
     let pq = HybridPqueue::new(Arc::clone(&m), ks, 8, 5, inflight.max(1));
@@ -150,30 +151,59 @@ fn pqueue_fp(shards: usize, inflight: usize) -> String {
 
 #[test]
 fn skiplist_blocking_is_shard_invariant() {
-    assert_eq!(skiplist_fp(1, 1), skiplist_fp(2, 1));
+    assert_eq!(skiplist_fp(1, 1, Policy::Fixed), skiplist_fp(2, 1, Policy::Fixed));
 }
 
 #[test]
 fn skiplist_pipelined_is_shard_invariant() {
-    assert_eq!(skiplist_fp(1, 4), skiplist_fp(2, 4));
+    assert_eq!(skiplist_fp(1, 4, Policy::Fixed), skiplist_fp(2, 4, Policy::Fixed));
 }
 
 #[test]
 fn btree_blocking_is_shard_invariant() {
-    assert_eq!(btree_fp(1, 1), btree_fp(2, 1));
+    assert_eq!(btree_fp(1, 1, Policy::Fixed), btree_fp(2, 1, Policy::Fixed));
 }
 
 #[test]
 fn btree_pipelined_is_shard_invariant() {
-    assert_eq!(btree_fp(1, 4), btree_fp(2, 4));
+    assert_eq!(btree_fp(1, 4, Policy::Fixed), btree_fp(2, 4, Policy::Fixed));
 }
 
 #[test]
 fn pqueue_blocking_is_shard_invariant() {
-    assert_eq!(pqueue_fp(1, 1), pqueue_fp(2, 1));
+    assert_eq!(pqueue_fp(1, 1, Policy::Fixed), pqueue_fp(2, 1, Policy::Fixed));
 }
 
 #[test]
 fn pqueue_pipelined_is_shard_invariant() {
-    assert_eq!(pqueue_fp(1, 4), pqueue_fp(2, 4));
+    assert_eq!(pqueue_fp(1, 4, Policy::Fixed), pqueue_fp(2, 4, Policy::Fixed));
+}
+
+// ---- adaptive-policy battery ----
+//
+// Every self-tuning decision (coalesced runs, combiner back-off, lane-depth
+// probes, stall back-off) is required to be a pure function of simulated
+// state, so the whole-stack fingerprint — RunResult, stats snapshot, trace
+// export, analysis report — must stay byte-identical across engine shard
+// counts with `Policy::Adaptive` live. Shard counts above the partition
+// count clamp, so the `4` here also covers the oversubscribed path.
+
+#[test]
+fn skiplist_pipelined_adaptive_is_shard_invariant() {
+    assert_eq!(skiplist_fp(1, 4, Policy::Adaptive), skiplist_fp(4, 4, Policy::Adaptive));
+}
+
+#[test]
+fn btree_pipelined_adaptive_is_shard_invariant() {
+    assert_eq!(btree_fp(1, 4, Policy::Adaptive), btree_fp(4, 4, Policy::Adaptive));
+}
+
+#[test]
+fn pqueue_pipelined_adaptive_is_shard_invariant() {
+    assert_eq!(pqueue_fp(1, 4, Policy::Adaptive), pqueue_fp(4, 4, Policy::Adaptive));
+}
+
+#[test]
+fn skiplist_blocking_adaptive_is_shard_invariant() {
+    assert_eq!(skiplist_fp(1, 1, Policy::Adaptive), skiplist_fp(4, 1, Policy::Adaptive));
 }
