@@ -107,16 +107,24 @@ mod report {
                         nmp_sim::Policy::parse(&p).expect("--policy must be 'fixed' or 'adaptive'"),
                     );
                 }
+                "--backend" => {
+                    let b = args.next().expect("--backend needs a value");
+                    scale = scale.with_backend(
+                        nmp_sim::BackendKind::parse(&b)
+                            .expect("--backend must be 'sim' or 'native'"),
+                    );
+                }
                 other => panic!(
                     "unknown trace-report flag `{other}` \
-                     (supported: --shards N, --policy fixed|adaptive)"
+                     (supported: --shards N, --policy fixed|adaptive, --backend sim|native)"
                 ),
             }
         }
         eprintln!(
-            "[trace-report] engine vault shards: {}, policy: {}",
+            "[trace-report] engine vault shards: {}, policy: {}, backend: {}",
             scale.cfg.resolved_vault_shards(),
-            scale.cfg.policy.label()
+            scale.cfg.policy.label(),
+            scale.backend.label()
         );
         let threads = scale.cfg.host_cores as u32;
         let map_mix =

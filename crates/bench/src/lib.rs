@@ -28,7 +28,7 @@ use hybrids::pqueue::HybridPqueue;
 use hybrids::skiplist::{
     hybrid::split_for, lockfree::NodeLayout, HybridSkipList, LockFreeSkipList, NmpSkipList,
 };
-use nmp_sim::{Config, Machine, Policy};
+use nmp_sim::{BackendKind, Config, Machine, Policy};
 use serde::Serialize;
 use workloads::{InsertDist, Key, KeyDist, KeySpace, Mix, Op, Value, WorkloadSpec};
 
@@ -50,6 +50,11 @@ pub struct Scale {
     /// full-system B+ tree measurements include such traffic; the skiplist
     /// experiments run as pure microbenchmarks (0).
     pub btree_footprint_lines: u32,
+    /// Memory backend the experiments run on. The cycle-accurate harness
+    /// is simulator-only (`BackendKind::Sim`); the column is recorded so
+    /// artifact rows merge cleanly with native-backend reports
+    /// (`BENCH_9.json` from `hybrids-loadgen`).
+    pub backend: BackendKind,
 }
 
 impl Scale {
@@ -72,6 +77,7 @@ impl Scale {
             ops_per_thread: 600,
             warmup_per_thread: 250,
             btree_footprint_lines: 4,
+            backend: BackendKind::Sim,
         }
     }
 
@@ -89,6 +95,7 @@ impl Scale {
             ops_per_thread: 1500,
             warmup_per_thread: 500,
             btree_footprint_lines: 4,
+            backend: BackendKind::Sim,
         }
     }
 
@@ -104,6 +111,7 @@ impl Scale {
             ops_per_thread: 2000,
             warmup_per_thread: 600,
             btree_footprint_lines: 4,
+            backend: BackendKind::Sim,
         }
     }
 
@@ -119,6 +127,7 @@ impl Scale {
             ops_per_thread: 20,
             warmup_per_thread: 5,
             btree_footprint_lines: 0,
+            backend: BackendKind::Sim,
         }
     }
 
@@ -139,6 +148,16 @@ impl Scale {
         if let Ok(p) = std::env::var("HYBRIDS_POLICY") {
             s.cfg.policy = Policy::parse(&p).expect("HYBRIDS_POLICY must be 'fixed' or 'adaptive'");
         }
+        if let Ok(b) = std::env::var("HYBRIDS_BACKEND") {
+            s.backend = BackendKind::parse(&b).expect("HYBRIDS_BACKEND must be 'sim' or 'native'");
+            assert_eq!(
+                s.backend,
+                BackendKind::Sim,
+                "the cycle-accurate bench harness runs on the simulated backend only; \
+                 native-backend serve throughput is measured by hybrids-loadgen \
+                 against hybrids-server (BENCH_9.json)"
+            );
+        }
         s
     }
 
@@ -154,6 +173,22 @@ impl Scale {
     /// see `Config::with_shards`.
     pub fn with_shards(mut self, shards: usize) -> Self {
         self.cfg = self.cfg.with_shards(shards);
+        self
+    }
+
+    /// Memory backend selector (records into the `backend` artifact
+    /// column). The cycle-accurate harness only runs on the simulator;
+    /// requesting `native` here is rejected with a pointer to the tool
+    /// that does serve native traffic.
+    pub fn with_backend(mut self, backend: BackendKind) -> Self {
+        assert_eq!(
+            backend,
+            BackendKind::Sim,
+            "the cycle-accurate bench harness runs on the simulated backend only; \
+             native-backend serve throughput is measured by hybrids-loadgen \
+             against hybrids-server (BENCH_9.json)"
+        );
+        self.backend = backend;
         self
     }
 
@@ -350,6 +385,10 @@ pub struct Record {
     /// Requests served by coalesced-response replication in the measured
     /// window (always 0 under the fixed policy).
     pub offload_coalesced: u64,
+    /// Memory backend that produced the row (`sim` for everything the
+    /// cycle-accurate harness emits; `native` rows come from the
+    /// hybrids-loadgen report).
+    pub backend: String,
 }
 
 impl Record {
@@ -388,6 +427,7 @@ impl Record {
             pq_stale_probes: r.stats.offload.pq_stale_total(),
             policy: scale.cfg.policy.label().into(),
             offload_coalesced: r.offload_coalesced,
+            backend: scale.backend.label().into(),
         }
     }
 }
@@ -635,13 +675,13 @@ pub fn save_records(experiment: &str, records: &[Record]) {
     let mut csv = String::new();
     if fresh {
         csv.push_str(
-            "experiment,scale,variant,workload,threads,mops,dram_reads_per_op,host_dram_reads_per_op,nmp_dram_reads_per_op,mmio_per_op,energy_nj_per_op,cycles,measured_ops,succeeded_ops,wall_ms,sim_cycles_per_sec,offload_posted,offload_retries,offload_lock_path,offload_mean_batch,lat_p50_cycles,lat_p95_cycles,lat_p99_cycles,shards,pq_stale_probes,policy,offload_coalesced\n",
+            "experiment,scale,variant,workload,threads,mops,dram_reads_per_op,host_dram_reads_per_op,nmp_dram_reads_per_op,mmio_per_op,energy_nj_per_op,cycles,measured_ops,succeeded_ops,wall_ms,sim_cycles_per_sec,offload_posted,offload_retries,offload_lock_path,offload_mean_batch,lat_p50_cycles,lat_p95_cycles,lat_p99_cycles,shards,pq_stale_probes,policy,offload_coalesced,backend\n",
         );
     }
     for r in records {
         let _ = writeln!(
             csv,
-            "{},{},{},{},{},{:.6},{:.4},{:.4},{:.4},{:.4},{:.4},{},{},{},{:.3},{:.0},{},{},{},{:.3},{:.1},{:.1},{:.1},{},{},{},{}",
+            "{},{},{},{},{},{:.6},{:.4},{:.4},{:.4},{:.4},{:.4},{},{},{},{:.3},{:.0},{},{},{},{:.3},{:.1},{:.1},{:.1},{},{},{},{},{}",
             r.experiment,
             r.scale,
             r.variant,
@@ -668,7 +708,8 @@ pub fn save_records(experiment: &str, records: &[Record]) {
             r.shards,
             r.pq_stale_probes,
             r.policy,
-            r.offload_coalesced
+            r.offload_coalesced,
+            r.backend
         );
     }
     use std::io::Write;

@@ -232,6 +232,15 @@ impl HybridHashMap {
         out
     }
 
+    /// Register the effect spec and spawn the flat-combining daemons on any
+    /// run type — a cycle-accurate [`Simulation`] or a real-thread
+    /// [`nmp_sim::NativeRun`]. [`SimIndex::spawn_services`] delegates here;
+    /// the native serving path (`hybrids-server`) calls it directly.
+    pub fn spawn_services_on<S: nmp_sim::Spawner>(self: &Arc<Self>, sp: &mut S) {
+        self.runtime.register_spec(&SimIndex::effect_spec(&**self));
+        self.runtime.spawn_combiners(sp, Arc::clone(&self.exec));
+    }
+
     /// Structural invariants (call at quiescence): every chain node hashes
     /// to its bucket, lives in the bucket's partition, appears once, and no
     /// key is stored twice.
@@ -316,8 +325,7 @@ impl SimIndex for HybridHashMap {
     }
 
     fn spawn_services(self: &Arc<Self>, sim: &mut Simulation) {
-        self.runtime.register_spec(&SimIndex::effect_spec(&**self));
-        self.runtime.spawn_combiners(sim, Arc::clone(&self.exec));
+        self.spawn_services_on(sim);
     }
 
     fn max_inflight(&self) -> usize {
@@ -463,5 +471,35 @@ mod tests {
             (out.makespan(), hm.collect())
         };
         assert_eq!(world(), world());
+    }
+
+    #[test]
+    fn native_backend_serves_same_semantics() {
+        // The exact blocking-op contract, but executed by real OS threads
+        // over the native memory backend (DESIGN.md §4.11): combiners run
+        // as native daemons, host threads hit the same offload client.
+        let m = Machine::new_native(Config::tiny());
+        let hm = HybridHashMap::new(Arc::clone(&m), 64, 42, 2);
+        let mut run = m.native_run();
+        hm.spawn_services_on(&mut run);
+        for core in 0..4usize {
+            let hm = Arc::clone(&hm);
+            run.spawn(format!("h{core}"), ThreadKind::Host { core }, move |ctx| {
+                let base = 1_000 * (core as Key + 1);
+                for i in 0..50u32 {
+                    assert!(hm.execute(ctx, Op::Insert(base + i, i + 1)).ok);
+                    assert!(!hm.execute(ctx, Op::Insert(base + i, 9)).ok, "duplicate");
+                }
+                for i in 0..50u32 {
+                    assert_eq!(hm.execute(ctx, Op::Read(base + i)), OpResult::ok(i + 1));
+                }
+                for i in 0..25u32 {
+                    assert!(hm.execute(ctx, Op::Remove(base + 2 * i)).ok);
+                }
+            });
+        }
+        run.finish();
+        hm.check_invariants();
+        assert_eq!(hm.collect().len(), 4 * 25);
     }
 }

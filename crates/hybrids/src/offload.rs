@@ -31,7 +31,7 @@ pub mod policy;
 use parking_lot::Mutex;
 use std::sync::Arc;
 
-use nmp_sim::{EffectSpec, Machine, Simulation, ThreadCtx};
+use nmp_sim::{EffectSpec, Machine, ThreadCtx};
 use workloads::Op;
 
 use crate::api::{host_core, Issued, OpResult, PollOutcome};
@@ -205,8 +205,10 @@ impl OffloadRuntime {
     }
 
     /// Spawn the flat-combining daemons (one per partition) executing
-    /// requests through `exec`.
-    pub fn spawn_combiners<E: NmpExec>(&self, sim: &mut Simulation, exec: Arc<E>) {
+    /// requests through `exec`. Generic over the run type
+    /// ([`nmp_sim::Spawner`]): the same daemons serve a cycle-accurate
+    /// [`nmp_sim::Simulation`] or a real-thread [`nmp_sim::NativeRun`].
+    pub fn spawn_combiners<S: nmp_sim::Spawner, E: NmpExec>(&self, sim: &mut S, exec: Arc<E>) {
         publist::spawn_combiners(sim, Arc::clone(&self.lists), exec);
     }
 

@@ -26,7 +26,7 @@
 
 use std::sync::Arc;
 
-use nmp_sim::{Addr, EffectSpec, Machine, Policy, Simulation, ThreadCtx, ThreadKind, NULL};
+use nmp_sim::{Addr, EffectSpec, Machine, Policy, Spawner, ThreadCtx, ThreadKind, NULL};
 use workloads::{Key, Value};
 
 use crate::offload::policy::{coalesce_run_len, sort_batch, CombinerControl};
@@ -354,7 +354,11 @@ pub trait NmpExec: Send + Sync + 'static {
 /// back-to-back, amortizing the scan cost over the whole batch instead of
 /// re-scanning after every request. The batch size of every pass feeds the
 /// combined-per-pass histogram in [`nmp_sim::OffloadStats`].
-pub fn spawn_combiners<E: NmpExec>(sim: &mut Simulation, lists: Arc<PubLists>, exec: Arc<E>) {
+///
+/// Generic over the run type ([`Spawner`]): the same daemons serve a
+/// cycle-accurate [`nmp_sim::Simulation`] or a real-thread
+/// [`nmp_sim::NativeRun`].
+pub fn spawn_combiners<S: Spawner, E: NmpExec>(sim: &mut S, lists: Arc<PubLists>, exec: Arc<E>) {
     let parts = lists.machine.partitions();
     let base_idle = lists.machine.config().nmp_idle_poll_cycles;
     let policy = lists.machine.config().policy;
@@ -371,97 +375,101 @@ pub fn spawn_combiners<E: NmpExec>(sim: &mut Simulation, lists: Arc<PubLists>, e
     for part in 0..parts {
         let lists = Arc::clone(&lists);
         let exec = Arc::clone(&exec);
-        sim.spawn_daemon(format!("nmp-{part}"), ThreadKind::Nmp { part }, move |ctx| {
-            let mut states: Vec<E::SlotState> = Vec::new();
-            states.resize_with(lists.slots_per_part(), Default::default);
-            let mut batch: Vec<(usize, Request)> = Vec::with_capacity(lists.slots_per_part());
-            let mut ctl = CombinerControl::new(policy, base_idle);
-            #[cfg(feature = "analysis")]
-            let analysis = lists.machine.mem().analysis().cloned();
-            loop {
-                batch.clear();
-                #[cfg(feature = "trace")]
-                let pass_start = ctx.now();
-                for slot in 0..lists.slots_per_part() {
-                    if let Some(req) = lists.scan(ctx, part, slot) {
-                        batch.push((slot, req));
-                    }
-                    ctx.step();
-                }
-                lists.machine.mem().note_offload_pass(part, batch.len());
-                if batch.is_empty() {
-                    if ctx.stop_requested() {
-                        return;
-                    }
-                    ctx.idle(ctl.idle_after_empty());
-                    continue;
-                }
-                ctl.note_busy();
-                if policy == Policy::Adaptive {
-                    // Key-range coalescing: order the pass by (key, slot)
-                    // so identical requests form contiguous runs; the run
-                    // order is the serve order, preserving a deterministic
-                    // per-request response mapping.
-                    sort_batch(&mut batch);
-                }
-                let occupancy = batch.len() as u32;
-                let mut i = 0;
-                while i < batch.len() {
-                    let (slot, req) = batch[i];
-                    let run = coalesce_run_len(&batch, i, coalescible);
+        sim.spawn_daemon_boxed(
+            format!("nmp-{part}"),
+            ThreadKind::Nmp { part },
+            Box::new(move |ctx| {
+                let mut states: Vec<E::SlotState> = Vec::new();
+                states.resize_with(lists.slots_per_part(), Default::default);
+                let mut batch: Vec<(usize, Request)> = Vec::with_capacity(lists.slots_per_part());
+                let mut ctl = CombinerControl::new(policy, base_idle);
+                #[cfg(feature = "analysis")]
+                let analysis = lists.machine.mem().analysis().cloned();
+                loop {
+                    batch.clear();
                     #[cfg(feature = "trace")]
-                    let exec_start = ctx.now();
-                    // Scope conformance checking to the op being served so
-                    // blame reports name it; the scan pass above runs
-                    // unscoped (checked against the protocol union).
-                    #[cfg(feature = "analysis")]
-                    if let Some(a) = &analysis {
-                        a.set_current_op(ctx.id(), Some(req.op as u8));
+                    let pass_start = ctx.now();
+                    for slot in 0..lists.slots_per_part() {
+                        if let Some(req) = lists.scan(ctx, part, slot) {
+                            batch.push((slot, req));
+                        }
+                        ctx.step();
                     }
-                    let mut resp = exec.exec(ctx, part, &req, &mut states[slot]);
+                    lists.machine.mem().note_offload_pass(part, batch.len());
+                    if batch.is_empty() {
+                        if ctx.stop_requested() {
+                            return;
+                        }
+                        ctx.idle(ctl.idle_after_empty());
+                        continue;
+                    }
+                    ctl.note_busy();
                     if policy == Policy::Adaptive {
-                        resp.combined = occupancy;
+                        // Key-range coalescing: order the pass by (key, slot)
+                        // so identical requests form contiguous runs; the run
+                        // order is the serve order, preserving a deterministic
+                        // per-request response mapping.
+                        sort_batch(&mut batch);
                     }
-                    lists.complete(ctx, part, slot, &resp);
-                    #[cfg(feature = "analysis")]
-                    if let Some(a) = &analysis {
-                        a.set_current_op(ctx.id(), None);
-                    }
-                    #[cfg(feature = "trace")]
-                    if let Some(t) = lists.machine.mem().tracer() {
-                        t.note_exec(part, slot, exec_start, ctx.now());
-                    }
-                    ctx.step();
-                    // Followers of a coalesced run: identical request,
-                    // unchanged partition state -> replicate the lead's
-                    // response without a second descent.
-                    for &(fslot, _) in &batch[i + 1..i + run] {
+                    let occupancy = batch.len() as u32;
+                    let mut i = 0;
+                    while i < batch.len() {
+                        let (slot, req) = batch[i];
+                        let run = coalesce_run_len(&batch, i, coalescible);
                         #[cfg(feature = "trace")]
-                        let repl_start = ctx.now();
+                        let exec_start = ctx.now();
+                        // Scope conformance checking to the op being served so
+                        // blame reports name it; the scan pass above runs
+                        // unscoped (checked against the protocol union).
                         #[cfg(feature = "analysis")]
                         if let Some(a) = &analysis {
                             a.set_current_op(ctx.id(), Some(req.op as u8));
                         }
-                        lists.complete(ctx, part, fslot, &resp);
-                        lists.machine.mem().note_offload_coalesced(part);
+                        let mut resp = exec.exec(ctx, part, &req, &mut states[slot]);
+                        if policy == Policy::Adaptive {
+                            resp.combined = occupancy;
+                        }
+                        lists.complete(ctx, part, slot, &resp);
                         #[cfg(feature = "analysis")]
                         if let Some(a) = &analysis {
                             a.set_current_op(ctx.id(), None);
                         }
                         #[cfg(feature = "trace")]
                         if let Some(t) = lists.machine.mem().tracer() {
-                            t.note_exec(part, fslot, repl_start, ctx.now());
+                            t.note_exec(part, slot, exec_start, ctx.now());
                         }
                         ctx.step();
+                        // Followers of a coalesced run: identical request,
+                        // unchanged partition state -> replicate the lead's
+                        // response without a second descent.
+                        for &(fslot, _) in &batch[i + 1..i + run] {
+                            #[cfg(feature = "trace")]
+                            let repl_start = ctx.now();
+                            #[cfg(feature = "analysis")]
+                            if let Some(a) = &analysis {
+                                a.set_current_op(ctx.id(), Some(req.op as u8));
+                            }
+                            lists.complete(ctx, part, fslot, &resp);
+                            lists.machine.mem().note_offload_coalesced(part);
+                            #[cfg(feature = "analysis")]
+                            if let Some(a) = &analysis {
+                                a.set_current_op(ctx.id(), None);
+                            }
+                            #[cfg(feature = "trace")]
+                            if let Some(t) = lists.machine.mem().tracer() {
+                                t.note_exec(part, fslot, repl_start, ctx.now());
+                            }
+                            ctx.step();
+                        }
+                        i += run;
                     }
-                    i += run;
+                    #[cfg(feature = "trace")]
+                    if let Some(t) = lists.machine.mem().tracer() {
+                        t.note_batch(part, pass_start, ctx.now(), batch.len() as u64);
+                    }
                 }
-                #[cfg(feature = "trace")]
-                if let Some(t) = lists.machine.mem().tracer() {
-                    t.note_batch(part, pass_start, ctx.now(), batch.len() as u64);
-                }
-            }
-        });
+            }),
+        );
     }
 }
 

@@ -20,7 +20,7 @@
 // xtask: accessor-module — all raw (untimed) skiplist memory access lives
 // here; everything else must go through these typed helpers.
 
-use nmp_sim::{Addr, SimRam, ThreadCtx};
+use nmp_sim::{Addr, MemBackend, ThreadCtx};
 use workloads::{mix64, Key, Value};
 
 /// Byte offset of the first next-pointer word.
@@ -109,7 +109,7 @@ pub fn height_for_key(key: Key, seed: u64, max: u32) -> u32 {
 
 /// Untimed node initialization: header, value, cross word, null nexts.
 pub fn raw_init(
-    ram: &SimRam,
+    ram: &dyn MemBackend,
     node: Addr,
     key: Key,
     value: Value,
@@ -126,39 +126,39 @@ pub fn raw_init(
 }
 
 /// Untimed read of the header word.
-pub fn raw_header(ram: &SimRam, node: Addr) -> Header {
+pub fn raw_header(ram: &dyn MemBackend, node: Addr) -> Header {
     unpack_w0(ram.read_u64(node))
 }
 
 /// Untimed read of the value word.
-pub fn raw_value(ram: &SimRam, node: Addr) -> Value {
+pub fn raw_value(ram: &dyn MemBackend, node: Addr) -> Value {
     ram.read_u64(node + 8) as u32
 }
 
 /// Untimed read of the stored-levels count (this portion's level count,
 /// not the full height).
-pub fn raw_levels(ram: &SimRam, node: Addr) -> u32 {
+pub fn raw_levels(ram: &dyn MemBackend, node: Addr) -> u32 {
     ((ram.read_u64(node + 16) >> 32) & 0xFF) as u32
 }
 
 /// Untimed read of the cross pointer (host `nmp_ptr` / NMP `host_ptr`).
-pub fn raw_cross(ram: &SimRam, node: Addr) -> Addr {
+pub fn raw_cross(ram: &dyn MemBackend, node: Addr) -> Addr {
     ram.read_u64(node + 16) as u32
 }
 
 /// Untimed write of the cross pointer (preserves the levels field).
-pub fn raw_set_cross(ram: &SimRam, node: Addr, cross: Addr) {
+pub fn raw_set_cross(ram: &dyn MemBackend, node: Addr, cross: Addr) {
     let levels = raw_levels(ram, node);
     ram.write_u64(node + 16, pack_w2(cross, levels));
 }
 
 /// Untimed read of the level-`l` next pointer.
-pub fn raw_next(ram: &SimRam, node: Addr, l: u32) -> (Addr, bool) {
+pub fn raw_next(ram: &dyn MemBackend, node: Addr, l: u32) -> (Addr, bool) {
     unpack_next(ram.read_u64(node + next_off(l)))
 }
 
 /// Untimed write of the level-`l` next pointer.
-pub fn raw_set_next(ram: &SimRam, node: Addr, l: u32, ptr: Addr, mark: bool) {
+pub fn raw_set_next(ram: &dyn MemBackend, node: Addr, l: u32, ptr: Addr, mark: bool) {
     ram.write_u64(node + next_off(l), pack_next(ptr, mark));
 }
 

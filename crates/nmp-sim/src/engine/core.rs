@@ -146,6 +146,11 @@ pub struct ThreadCtx {
     /// Gate of the effect the next `sleep` leaves pending; consumed by the
     /// yield and handed to the shard scheduler through `ThreadShared::gate`.
     pub(super) next_gate: u32,
+    /// Native mode (see [`crate::engine::NativeRun`]): the thread is a free
+    /// running OS thread, every accessor goes straight to the data-plane
+    /// backend (real atomics, no timing, no engine yield), and `idle` is an
+    /// OS-level yield. `false` under both simulation engines.
+    pub(super) native: bool,
 }
 
 impl ThreadCtx {
@@ -211,8 +216,16 @@ impl ThreadCtx {
     }
 
     /// Yield a full poll interval (used by spin/poll loops so they always
-    /// make simulated-time progress).
+    /// make simulated-time progress). In native mode there is no simulated
+    /// time to burn; the poll loop yields the OS thread instead (and the
+    /// local clock still advances so `now`-based heuristics stay monotone).
     pub fn idle(&mut self, cycles: u64) {
+        if self.native {
+            self.clock += self.pending + cycles.max(1);
+            self.pending = 0;
+            thread::yield_now();
+            return;
+        }
         self.sleep(cycles.max(1));
     }
 
@@ -304,6 +317,9 @@ impl ThreadCtx {
     /// Timed 64-bit load.
     #[track_caller]
     pub fn read_u64(&mut self, addr: Addr) -> u64 {
+        if self.native {
+            return self.mem.ram().read_u64(addr);
+        }
         let site = Location::caller();
         let lat = self.route(addr, false, site);
         self.sleep(lat);
@@ -315,6 +331,9 @@ impl ThreadCtx {
     /// Timed 64-bit store.
     #[track_caller]
     pub fn write_u64(&mut self, addr: Addr, value: u64) {
+        if self.native {
+            return self.mem.ram().write_u64(addr, value);
+        }
         let site = Location::caller();
         let lat = self.route(addr, true, site);
         self.sleep(lat);
@@ -326,6 +345,9 @@ impl ThreadCtx {
     /// Timed 32-bit load.
     #[track_caller]
     pub fn read_u32(&mut self, addr: Addr) -> u32 {
+        if self.native {
+            return self.mem.ram().read_u32(addr);
+        }
         let site = Location::caller();
         let lat = self.route(addr, false, site);
         self.sleep(lat);
@@ -337,6 +359,9 @@ impl ThreadCtx {
     /// Timed 32-bit store.
     #[track_caller]
     pub fn write_u32(&mut self, addr: Addr, value: u32) {
+        if self.native {
+            return self.mem.ram().write_u32(addr, value);
+        }
         let site = Location::caller();
         let lat = self.route(addr, true, site);
         self.sleep(lat);
@@ -351,6 +376,9 @@ impl ThreadCtx {
     /// annotation only informs the race detector.
     #[track_caller]
     pub fn read_u64_acquire(&mut self, addr: Addr) -> u64 {
+        if self.native {
+            return self.mem.ram().read_u64_acquire(addr);
+        }
         let site = Location::caller();
         let lat = self.route(addr, false, site);
         self.sleep(lat);
@@ -363,6 +391,9 @@ impl ThreadCtx {
     /// [`ThreadCtx::read_u64_acquire`]).
     #[track_caller]
     pub fn write_u64_release(&mut self, addr: Addr, value: u64) {
+        if self.native {
+            return self.mem.ram().write_u64_release(addr, value);
+        }
         let site = Location::caller();
         let lat = self.route(addr, true, site);
         self.sleep(lat);
@@ -374,6 +405,9 @@ impl ThreadCtx {
     /// Timed 32-bit acquire load (see [`ThreadCtx::read_u64_acquire`]).
     #[track_caller]
     pub fn read_u32_acquire(&mut self, addr: Addr) -> u32 {
+        if self.native {
+            return self.mem.ram().read_u32_acquire(addr);
+        }
         let site = Location::caller();
         let lat = self.route(addr, false, site);
         self.sleep(lat);
@@ -385,6 +419,9 @@ impl ThreadCtx {
     /// Timed 32-bit release store (see [`ThreadCtx::read_u64_acquire`]).
     #[track_caller]
     pub fn write_u32_release(&mut self, addr: Addr, value: u32) {
+        if self.native {
+            return self.mem.ram().write_u32_release(addr, value);
+        }
         let site = Location::caller();
         let lat = self.route(addr, true, site);
         self.sleep(lat);
@@ -398,6 +435,9 @@ impl ThreadCtx {
     /// the sequence word. The race detector neither checks nor orders it.
     #[track_caller]
     pub fn read_u64_speculative(&mut self, addr: Addr) -> u64 {
+        if self.native {
+            return self.mem.ram().read_u64(addr);
+        }
         let site = Location::caller();
         let lat = self.route(addr, false, site);
         self.sleep(lat);
@@ -410,6 +450,9 @@ impl ThreadCtx {
     /// [`ThreadCtx::read_u64_speculative`]).
     #[track_caller]
     pub fn read_u32_speculative(&mut self, addr: Addr) -> u32 {
+        if self.native {
+            return self.mem.ram().read_u32(addr);
+        }
         let site = Location::caller();
         let lat = self.route(addr, false, site);
         self.sleep(lat);
@@ -424,42 +467,39 @@ impl ThreadCtx {
     /// operation for the race detector: acquire, plus release on success.
     #[track_caller]
     pub fn cas_u64(&mut self, addr: Addr, expect: u64, new: u64) -> Result<(), u64> {
+        if self.native {
+            return self.mem.ram().cas_u64(addr, expect, new);
+        }
         let site = Location::caller();
         let lat = self.route(addr, true, site);
         self.sleep(lat);
-        let cur = self.mem.ram().read_u64(addr);
-        let success = cur == expect;
+        let result = self.mem.ram().cas_u64(addr, expect, new);
         #[cfg(feature = "analysis")]
-        self.trace(addr, 8, MemOp::Cas { success }, false, site);
-        if success {
-            self.mem.ram().write_u64(addr, new);
-            Ok(())
-        } else {
-            Err(cur)
-        }
+        self.trace(addr, 8, MemOp::Cas { success: result.is_ok() }, false, site);
+        result
     }
 
     /// Timed atomic compare-and-swap on a 32-bit word.
     #[track_caller]
     pub fn cas_u32(&mut self, addr: Addr, expect: u32, new: u32) -> Result<(), u32> {
+        if self.native {
+            return self.mem.ram().cas_u32(addr, expect, new);
+        }
         let site = Location::caller();
         let lat = self.route(addr, true, site);
         self.sleep(lat);
-        let cur = self.mem.ram().read_u32(addr);
-        let success = cur == expect;
+        let result = self.mem.ram().cas_u32(addr, expect, new);
         #[cfg(feature = "analysis")]
-        self.trace(addr, 4, MemOp::Cas { success }, false, site);
-        if success {
-            self.mem.ram().write_u32(addr, new);
-            Ok(())
-        } else {
-            Err(cur)
-        }
+        self.trace(addr, 4, MemOp::Cas { success: result.is_ok() }, false, site);
+        result
     }
 
     /// Timed host MMIO load from a scratchpad word (host threads only).
     #[track_caller]
     pub fn mmio_read_u64(&mut self, addr: Addr) -> u64 {
+        if self.native {
+            return self.mem.ram().read_u64(addr);
+        }
         let site = Location::caller();
         let lat = self.mmio_route(addr, false, site);
         self.sleep(lat);
@@ -471,6 +511,9 @@ impl ThreadCtx {
     /// Timed host MMIO store to a scratchpad word (host threads only).
     #[track_caller]
     pub fn mmio_write_u64(&mut self, addr: Addr, value: u64) {
+        if self.native {
+            return self.mem.ram().write_u64(addr, value);
+        }
         let site = Location::caller();
         let lat = self.mmio_route(addr, true, site);
         self.sleep(lat);
@@ -483,6 +526,9 @@ impl ThreadCtx {
     /// control-word handoff; see [`ThreadCtx::read_u64_acquire`]).
     #[track_caller]
     pub fn mmio_read_u64_acquire(&mut self, addr: Addr) -> u64 {
+        if self.native {
+            return self.mem.ram().read_u64_acquire(addr);
+        }
         let site = Location::caller();
         let lat = self.mmio_route(addr, false, site);
         self.sleep(lat);
@@ -495,6 +541,9 @@ impl ThreadCtx {
     /// [`ThreadCtx::read_u64_acquire`]).
     #[track_caller]
     pub fn mmio_write_u64_release(&mut self, addr: Addr, value: u64) {
+        if self.native {
+            return self.mem.ram().write_u64_release(addr, value);
+        }
         let site = Location::caller();
         let lat = self.mmio_route(addr, true, site);
         self.sleep(lat);
@@ -504,7 +553,9 @@ impl ThreadCtx {
     }
 }
 
-pub(super) type ThreadFn = Box<dyn FnOnce(&mut ThreadCtx) + Send + 'static>;
+/// A boxed logical-thread body, as accepted by the object-safe spawning
+/// surface ([`crate::engine::Spawner`]) shared by simulated and native runs.
+pub type ThreadFn = Box<dyn FnOnce(&mut ThreadCtx) + Send + 'static>;
 
 /// Outcome of a completed simulation.
 #[derive(Debug, Clone)]
@@ -706,6 +757,7 @@ pub(super) fn spawn_workers(
                         sharded: rt2.clone(),
                         my_shard,
                         next_gate: barrier::GATE_NONE,
+                        native: false,
                     };
                     if rt2.is_some() {
                         inbox::set_clock(ctx.clock);

@@ -22,6 +22,7 @@
 mod barrier;
 mod core;
 mod inbox;
+mod native;
 mod shard;
 
 #[cfg(feature = "analysis")]
@@ -30,4 +31,5 @@ pub(crate) use self::inbox::defer_analysis;
 pub(crate) use self::inbox::defer_trace;
 pub(crate) use self::inbox::quiesce_for_global_mutation;
 
-pub use self::core::{SimOutcome, Simulation, ThreadCtx, ThreadKind};
+pub use self::core::{SimOutcome, Simulation, ThreadCtx, ThreadFn, ThreadKind};
+pub use self::native::{NativeRun, Spawner};

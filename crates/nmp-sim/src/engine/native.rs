@@ -1,0 +1,299 @@
+//! Native (real-thread) execution over a [`crate::backend::NativeRam`]
+//! machine.
+//!
+//! A [`NativeRun`] mirrors the [`Simulation`] spawning surface — host
+//! threads, NMP combiner daemons, the same [`ThreadCtx`] handed to each
+//! body — but every logical thread is a free-running OS thread. There is no
+//! scheduler, no cycle accounting, and no region-policy interception: the
+//! [`ThreadCtx`] accessors route straight to the data-plane backend, where
+//! the acquire/release annotations of the publication-list ctrl-word
+//! protocol become real hardware orderings (see [`crate::backend`]). The
+//! simulator remains the correctness oracle; a native run serves the same
+//! structure code at hardware speed.
+//!
+//! [`Spawner`] is the object-safe common denominator of both run types, so
+//! service-spawning code (e.g. flat-combining daemons) can be written once
+//! and attached to either.
+
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+
+use parking_lot::Mutex;
+
+use crate::backend::BackendKind;
+use crate::mem::MemorySystem;
+
+use super::barrier;
+use super::core::{
+    panic_message, EngineShared, Simulation, ThreadCtx, ThreadFn, ThreadKind, ThreadShared, ST_INIT,
+};
+
+/// Object-safe spawning surface shared by [`Simulation`] and [`NativeRun`]:
+/// code that installs service threads (combiner daemons, worker pools) can
+/// take `&mut impl Spawner` and run unchanged on either engine.
+pub trait Spawner {
+    /// Add a logical worker thread; the run ends when all workers return.
+    fn spawn_boxed(&mut self, name: String, kind: ThreadKind, f: ThreadFn);
+
+    /// Add a daemon thread: it must poll [`ThreadCtx::stop_requested`] and
+    /// return promptly once all workers have finished.
+    fn spawn_daemon_boxed(&mut self, name: String, kind: ThreadKind, f: ThreadFn);
+}
+
+impl Spawner for Simulation {
+    fn spawn_boxed(&mut self, name: String, kind: ThreadKind, f: ThreadFn) {
+        self.spawn(name, kind, f);
+    }
+
+    fn spawn_daemon_boxed(&mut self, name: String, kind: ThreadKind, f: ThreadFn) {
+        self.spawn_daemon(name, kind, f);
+    }
+}
+
+/// A native run: real OS threads over a native-backend machine.
+///
+/// Threads start executing the moment they are spawned (there is no
+/// deferred `run()`); [`NativeRun::finish`] joins the workers, signals stop
+/// to the daemons, joins them, and propagates the first panic.
+pub struct NativeRun {
+    mem: Arc<MemorySystem>,
+    eng: Arc<EngineShared>,
+    cpu_step: u64,
+    next_id: usize,
+    workers: Vec<JoinHandle<()>>,
+    daemons: Vec<JoinHandle<()>>,
+    panics: Arc<Mutex<Vec<String>>>,
+}
+
+impl NativeRun {
+    /// Start a run over `mem`. Panics unless the memory system is built on
+    /// the native backend — real concurrent threads need the real atomic
+    /// orderings only [`crate::backend::NativeRam`] provides.
+    pub fn new(mem: Arc<MemorySystem>) -> Self {
+        assert_eq!(
+            mem.backend_kind(),
+            BackendKind::Native,
+            "NativeRun needs a native-backend machine (Machine::new_native)"
+        );
+        let cpu_step = mem.config().cpu_step_cycles;
+        NativeRun {
+            mem,
+            eng: Arc::new(EngineShared {
+                engine_thread: Mutex::new(None),
+                stop: AtomicBool::new(false),
+            }),
+            cpu_step,
+            next_id: 0,
+            workers: Vec::new(),
+            daemons: Vec::new(),
+            panics: Arc::new(Mutex::new(Vec::new())),
+        }
+    }
+
+    /// The memory system this run's threads access.
+    pub fn mem(&self) -> Arc<MemorySystem> {
+        Arc::clone(&self.mem)
+    }
+
+    /// Add (and immediately start) a worker thread.
+    pub fn spawn(
+        &mut self,
+        name: impl Into<String>,
+        kind: ThreadKind,
+        f: impl FnOnce(&mut ThreadCtx) + Send + 'static,
+    ) {
+        self.spawn_inner(name.into(), kind, false, Box::new(f));
+    }
+
+    /// Add (and immediately start) a daemon thread; it must poll
+    /// [`ThreadCtx::stop_requested`] and return promptly once it is set.
+    pub fn spawn_daemon(
+        &mut self,
+        name: impl Into<String>,
+        kind: ThreadKind,
+        f: impl FnOnce(&mut ThreadCtx) + Send + 'static,
+    ) {
+        self.spawn_inner(name.into(), kind, true, Box::new(f));
+    }
+
+    fn spawn_inner(&mut self, name: String, kind: ThreadKind, daemon: bool, f: ThreadFn) {
+        if let ThreadKind::Host { core } = kind {
+            assert!(core < self.mem.config().host_cores, "core {core} out of range");
+        }
+        if let ThreadKind::Nmp { part } = kind {
+            assert!(part < self.mem.config().nmp_partitions(), "partition {part} out of range");
+        }
+        let id = self.next_id;
+        self.next_id += 1;
+        let ts = Arc::new(ThreadShared {
+            name: name.clone(),
+            kind,
+            daemon,
+            state: AtomicU32::new(ST_INIT),
+            clock: AtomicU64::new(0),
+            handle: Mutex::new(None),
+            panicked: AtomicBool::new(false),
+            panic_note: Mutex::new(None),
+            gate: AtomicU32::new(barrier::GATE_NONE),
+            deferred: Mutex::new(None),
+        });
+        let eng = Arc::clone(&self.eng);
+        let mem = Arc::clone(&self.mem);
+        let cpu_step = self.cpu_step;
+        let panics = Arc::clone(&self.panics);
+        let join = thread::Builder::new()
+            .name(format!("native-{name}"))
+            .spawn(move || {
+                let mut ctx = ThreadCtx {
+                    kind,
+                    id,
+                    ts,
+                    eng: Arc::clone(&eng),
+                    mem,
+                    clock: 0,
+                    pending: 0,
+                    cpu_step,
+                    sharded: None,
+                    my_shard: 0,
+                    next_gate: barrier::GATE_NONE,
+                    native: true,
+                };
+                let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(&mut ctx)));
+                if let Err(p) = result {
+                    let msg = panic_message(p.as_ref());
+                    panics.lock().push(format!("'{name}' panicked: {msg}"));
+                    // Release daemons (and any worker polling stop) so the
+                    // run can be joined instead of hanging.
+                    eng.stop.store(true, Ordering::Release);
+                }
+            })
+            .expect("spawn native thread");
+        if daemon {
+            self.daemons.push(join);
+        } else {
+            self.workers.push(join);
+        }
+    }
+
+    /// Join all workers, signal stop, join the daemons, and propagate the
+    /// first panic raised in any thread.
+    pub fn finish(self) {
+        let NativeRun { eng, workers, daemons, panics, .. } = self;
+        for j in workers {
+            let _ = j.join();
+        }
+        eng.stop.store(true, Ordering::Release);
+        for j in daemons {
+            let _ = j.join();
+        }
+        let notes = std::mem::take(&mut *panics.lock());
+        if !notes.is_empty() {
+            panic!("native thread(s) panicked: {}", notes.join("; "));
+        }
+    }
+}
+
+impl Spawner for NativeRun {
+    fn spawn_boxed(&mut self, name: String, kind: ThreadKind, f: ThreadFn) {
+        self.spawn_inner(name, kind, false, f);
+    }
+
+    fn spawn_daemon_boxed(&mut self, name: String, kind: ThreadKind, f: ThreadFn) {
+        self.spawn_inner(name, kind, true, f);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Config;
+    use crate::machine::Machine;
+
+    #[test]
+    fn native_threads_share_memory() {
+        let m = Machine::new_native(Config::tiny());
+        let addr = m.host_arena().alloc(8);
+        m.ram().write_u64(addr, 41);
+        let mut run = m.native_run();
+        run.spawn("t", ThreadKind::Host { core: 0 }, move |ctx| {
+            let v = ctx.read_u64(addr);
+            ctx.write_u64(addr, v + 1);
+        });
+        run.finish();
+        assert_eq!(m.ram().read_u64(addr), 42);
+    }
+
+    #[test]
+    fn native_daemon_exits_on_stop() {
+        let m = Machine::new_native(Config::tiny());
+        let spad = m.map().spad_base(0);
+        let mut run = m.native_run();
+        run.spawn_daemon("nmp0", ThreadKind::Nmp { part: 0 }, move |ctx| {
+            while !ctx.stop_requested() {
+                let v = ctx.read_u64_acquire(spad);
+                if v != 0 {
+                    ctx.write_u64_release(spad + 8, v + 1);
+                }
+                ctx.idle(16);
+            }
+        });
+        run.spawn("host", ThreadKind::Host { core: 0 }, move |ctx| {
+            ctx.mmio_write_u64_release(spad, 7);
+            while ctx.mmio_read_u64_acquire(spad + 8) != 8 {
+                ctx.idle(16);
+            }
+        });
+        run.finish();
+        assert_eq!(m.ram().read_u64(spad + 8), 8);
+    }
+
+    #[test]
+    fn native_cas_is_atomic_across_threads() {
+        let m = Machine::new_native(Config::tiny());
+        let addr = m.host_arena().alloc(8);
+        let mut run = m.native_run();
+        for core in 0..4 {
+            run.spawn(format!("t{core}"), ThreadKind::Host { core }, move |ctx| {
+                for _ in 0..10_000 {
+                    loop {
+                        let cur = ctx.read_u64(addr);
+                        if ctx.cas_u64(addr, cur, cur + 1).is_ok() {
+                            break;
+                        }
+                    }
+                }
+            });
+        }
+        run.finish();
+        assert_eq!(m.ram().read_u64(addr), 40_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "native thread(s) panicked")]
+    fn native_panic_propagates() {
+        let m = Machine::new_native(Config::tiny());
+        let mut run = m.native_run();
+        run.spawn_daemon("d", ThreadKind::Nmp { part: 0 }, |ctx| {
+            while !ctx.stop_requested() {
+                ctx.idle(16);
+            }
+        });
+        run.spawn("bad", ThreadKind::Host { core: 0 }, |_ctx| panic!("boom"));
+        run.finish();
+    }
+
+    #[test]
+    #[should_panic(expected = "needs a native-backend machine")]
+    fn native_run_rejects_sim_machine() {
+        let m = Machine::new(Config::tiny());
+        let _ = m.native_run();
+    }
+
+    #[test]
+    #[should_panic(expected = "need a simulated-backend machine")]
+    fn simulation_rejects_native_machine() {
+        let m = Machine::new_native(Config::tiny());
+        let _ = m.simulation();
+    }
+}

@@ -74,6 +74,7 @@
 
 pub mod alloc;
 pub mod analysis;
+pub mod backend;
 pub mod cache;
 pub mod config;
 pub mod dram;
@@ -88,8 +89,9 @@ pub use alloc::Arena;
 pub use analysis::{AccessDecl, EffectSpec, OpSpec, SpecError, Topology};
 #[cfg(feature = "analysis")]
 pub use analysis::{Analysis, HistEvent, HistOp, HistoryRecorder, Report};
+pub use backend::{BackendKind, MemBackend, NativeRam};
 pub use config::{CacheConfig, Config, Policy};
-pub use engine::{SimOutcome, Simulation, ThreadCtx, ThreadKind};
+pub use engine::{NativeRun, SimOutcome, Simulation, Spawner, ThreadCtx, ThreadFn, ThreadKind};
 pub use machine::Machine;
 pub use mem::{
     Addr, MemMap, MemorySystem, Region, SimRam, NULL, OFFLOAD_HIST_BUCKETS, OFFLOAD_LANE_CAP,

@@ -4,9 +4,10 @@
 use std::sync::Arc;
 
 use crate::alloc::Arena;
+use crate::backend::{BackendKind, MemBackend};
 use crate::config::Config;
-use crate::engine::Simulation;
-use crate::mem::{MemMap, MemorySystem, SimRam};
+use crate::engine::{NativeRun, Simulation};
+use crate::mem::{MemMap, MemorySystem};
 
 /// The simulated machine: memory system + allocators for every region.
 pub struct Machine {
@@ -16,9 +17,19 @@ pub struct Machine {
 }
 
 impl Machine {
-    /// Build a machine (memory system + arenas) for `cfg`.
+    /// Build a machine (memory system + arenas) for `cfg` on the
+    /// cycle-accurate simulated backend.
     pub fn new(cfg: Config) -> Arc<Self> {
         let mem = Arc::new(MemorySystem::new(cfg));
+        Arc::new(Self::from_memory(mem))
+    }
+
+    /// Build a machine for `cfg` on the native backend: same address map
+    /// and arenas, but the data plane is real memory with real atomics and
+    /// threads run through [`Machine::native_run`] at hardware speed with
+    /// no cycle accounting.
+    pub fn new_native(cfg: Config) -> Arc<Self> {
+        let mem = Arc::new(MemorySystem::new_with_backend(cfg, BackendKind::Native));
         Arc::new(Self::from_memory(mem))
     }
 
@@ -37,8 +48,13 @@ impl Machine {
     }
 
     /// Raw backing storage (untimed data plane, e.g. for population).
-    pub fn ram(&self) -> &SimRam {
+    pub fn ram(&self) -> &dyn MemBackend {
         self.mem.ram()
+    }
+
+    /// Which data-plane substrate this machine is built on.
+    pub fn backend_kind(&self) -> BackendKind {
+        self.mem.backend_kind()
     }
 
     /// The static address map of this machine.
@@ -66,9 +82,24 @@ impl Machine {
         self.part_arenas.len()
     }
 
-    /// Start building a simulation over this machine's memory.
+    /// Start building a simulation over this machine's memory. Requires
+    /// the simulated backend: cycle accounting over native memory would be
+    /// meaningless (and the determinism argument would not hold).
     pub fn simulation(self: &Arc<Self>) -> Simulation {
+        assert_eq!(
+            self.backend_kind(),
+            BackendKind::Sim,
+            "simulations need a simulated-backend machine (Machine::new); \
+             use Machine::native_run on a native machine"
+        );
         Simulation::with_memory(Arc::clone(&self.mem))
+    }
+
+    /// Start a native (real-thread) run over this machine's memory.
+    /// Requires the native backend: real concurrent threads need the real
+    /// atomic orderings `NativeRam` provides.
+    pub fn native_run(self: &Arc<Self>) -> NativeRun {
+        NativeRun::new(Arc::clone(&self.mem))
     }
 
     /// Attach the correctness checkers (race detector, region-policy lint)

@@ -22,6 +22,7 @@ use parking_lot::Mutex;
 
 #[cfg(feature = "analysis")]
 use crate::analysis::Analysis;
+use crate::backend::{BackendKind, MemBackend, NativeRam};
 use crate::cache::{Access, Cache};
 use crate::config::Config;
 use crate::dram::{DramTiming, Vault};
@@ -181,6 +182,84 @@ impl SimRam {
     pub fn len_bytes(&self) -> usize {
         self.words.len() * 8
     }
+
+    /// Untimed 8-byte compare-and-swap; `addr` must be 8-aligned. Under the
+    /// engine's one-thread-at-a-time execution this is equivalent to a
+    /// read-then-write, but it is implemented atomically so the semantics
+    /// match the native backend word for word.
+    pub fn cas_u64(&self, addr: Addr, expect: u64, new: u64) -> Result<(), u64> {
+        debug_assert_eq!(addr % 8, 0, "unaligned u64 CAS at {addr:#x}");
+        self.word(addr)
+            .compare_exchange(expect, new, Ordering::Relaxed, Ordering::Relaxed)
+            .map(|_| ())
+    }
+
+    /// Untimed 4-byte compare-and-swap on one half of the containing word;
+    /// `addr` must be 4-aligned (see [`SimRam::cas_u64`]).
+    pub fn cas_u32(&self, addr: Addr, expect: u32, new: u32) -> Result<(), u32> {
+        let cur = self.read_u32(addr);
+        if cur != expect {
+            return Err(cur);
+        }
+        self.write_u32(addr, new);
+        Ok(())
+    }
+}
+
+/// The simulated data plane is the relaxed end of the backend contract:
+/// the deterministic engine runs one logical thread at a time, so engine
+/// handoffs establish every happens-before edge and the synchronization
+/// variants need no hardware ordering of their own (the acquire/release
+/// *annotations* at the [`crate::engine::ThreadCtx`] layer still feed the
+/// race detector).
+impl MemBackend for SimRam {
+    fn kind(&self) -> BackendKind {
+        BackendKind::Sim
+    }
+
+    fn len_bytes(&self) -> usize {
+        SimRam::len_bytes(self)
+    }
+
+    fn read_u64(&self, addr: Addr) -> u64 {
+        SimRam::read_u64(self, addr)
+    }
+
+    fn write_u64(&self, addr: Addr, value: u64) {
+        SimRam::write_u64(self, addr, value)
+    }
+
+    fn read_u32(&self, addr: Addr) -> u32 {
+        SimRam::read_u32(self, addr)
+    }
+
+    fn write_u32(&self, addr: Addr, value: u32) {
+        SimRam::write_u32(self, addr, value)
+    }
+
+    fn read_u64_acquire(&self, addr: Addr) -> u64 {
+        SimRam::read_u64(self, addr)
+    }
+
+    fn write_u64_release(&self, addr: Addr, value: u64) {
+        SimRam::write_u64(self, addr, value)
+    }
+
+    fn read_u32_acquire(&self, addr: Addr) -> u32 {
+        SimRam::read_u32(self, addr)
+    }
+
+    fn write_u32_release(&self, addr: Addr, value: u32) {
+        SimRam::write_u32(self, addr, value)
+    }
+
+    fn cas_u64(&self, addr: Addr, expect: u64, new: u64) -> Result<(), u64> {
+        SimRam::cas_u64(self, addr, expect, new)
+    }
+
+    fn cas_u32(&self, addr: Addr, expect: u32, new: u32) -> Result<(), u32> {
+        SimRam::cas_u32(self, addr, expect, new)
+    }
 }
 
 /// Combined-per-pass histogram buckets tracked per partition: bucket `i`
@@ -303,7 +382,7 @@ struct PartTiming {
 /// ever takes the locks it owns, so cross-shard timing state is never
 /// touched directly (cross-shard *data* travels through the engine inbox).
 pub struct MemorySystem {
-    ram: SimRam,
+    backing: Box<dyn MemBackend>,
     map: MemMap,
     cfg: Config,
     mmio_read_cycles: u64,
@@ -325,10 +404,24 @@ pub struct MemorySystem {
 }
 
 impl MemorySystem {
-    /// Build the timed memory hierarchy (caches, vaults, MMIO) for `cfg`.
+    /// Build the timed memory hierarchy (caches, vaults, MMIO) for `cfg`,
+    /// backed by the cycle-accurate simulated data plane ([`SimRam`]).
     pub fn new(cfg: Config) -> Self {
+        Self::new_with_backend(cfg, BackendKind::Sim)
+    }
+
+    /// Build the memory system for `cfg` on the chosen data-plane backend.
+    /// The timing plane is constructed either way (the address map and
+    /// configuration live there), but a [`BackendKind::Native`] machine is
+    /// expected to run through [`crate::engine::NativeRun`], which bypasses
+    /// the timed access paths entirely.
+    pub fn new_with_backend(cfg: Config, backend: BackendKind) -> Self {
         cfg.validate();
         let map = MemMap::new(&cfg);
+        let backing: Box<dyn MemBackend> = match backend {
+            BackendKind::Sim => Box::new(SimRam::new(map.total_bytes)),
+            BackendKind::Native => Box::new(NativeRam::new(map.total_bytes)),
+        };
         let dram = DramTiming::from_config(&cfg);
         let host_t = HostTiming {
             l1: (0..cfg.host_cores).map(|_| Cache::new(&cfg.l1)).collect(),
@@ -347,7 +440,7 @@ impl MemorySystem {
             })
             .collect();
         MemorySystem {
-            ram: SimRam::new(map.total_bytes),
+            backing,
             map,
             mmio_read_cycles: cfg.cycles(cfg.mmio_read_ns),
             mmio_write_cycles: cfg.cycles(cfg.mmio_write_ns),
@@ -392,9 +485,16 @@ impl MemorySystem {
         self.tracer.get()
     }
 
-    /// Raw backing storage (untimed data plane).
-    pub fn ram(&self) -> &SimRam {
-        &self.ram
+    /// Raw backing storage (untimed data plane). Dispatches through the
+    /// [`MemBackend`] trait so population/collection helpers work on both
+    /// the simulated and native substrates.
+    pub fn ram(&self) -> &dyn MemBackend {
+        &*self.backing
+    }
+
+    /// Which data-plane substrate this memory system is built on.
+    pub fn backend_kind(&self) -> BackendKind {
+        self.backing.kind()
     }
 
     /// The static address map.

@@ -1,0 +1,88 @@
+//! `hybrids-loadgen` — drive a running `hybrids-server` with a
+//! deterministic get/set/delete mix and write the throughput/latency
+//! report to `BENCH_9.json`.
+//!
+//! ```text
+//! hybrids-loadgen [--addr 127.0.0.1:11211] [--conns 4] [--ops 5000]
+//!                 [--mix 90/9/1] [--dist zipfian|uniform] [--keys 4096]
+//!                 [--seed 42] [--no-preload] [--shutdown]
+//!                 [--out BENCH_9.json]
+//! ```
+//!
+//! `--ops` is per connection. `--shutdown` sends the server the
+//! `shutdown` verb after the run (CI teardown). `--out -` prints the JSON
+//! to stdout only.
+
+use std::process::exit;
+
+use hybrids_server::loadgen::{self, LoadgenOpts};
+use workloads::{CacheMix, KeyDist};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: hybrids-loadgen [--addr HOST:PORT] [--conns N] [--ops N] [--mix G/S/D] \
+         [--dist zipfian|uniform] [--keys N] [--seed N] [--no-preload] [--shutdown] [--out PATH]"
+    );
+    exit(2)
+}
+
+fn main() {
+    let mut opts = LoadgenOpts::default();
+    let mut out_path = String::from("BENCH_9.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut val = |name: &str| args.next().unwrap_or_else(|| panic!("{name} needs a value"));
+        match flag.as_str() {
+            "--addr" => opts.addr = val("--addr"),
+            "--conns" => opts.conns = val("--conns").parse().expect("--conns: u32"),
+            "--ops" => opts.per_conn = val("--ops").parse().expect("--ops: u32"),
+            "--seed" => opts.seed = val("--seed").parse().expect("--seed: u64"),
+            "--keys" => opts.keys = val("--keys").parse().expect("--keys: u32"),
+            "--mix" => {
+                let s = val("--mix");
+                opts.mix = CacheMix::parse(&s).unwrap_or_else(|| {
+                    eprintln!("--mix wants get/set/delete percentages summing to 100, e.g. 90/9/1");
+                    exit(2)
+                });
+            }
+            "--dist" => {
+                opts.dist = match val("--dist").as_str() {
+                    "zipfian" => KeyDist::Zipfian,
+                    "uniform" => KeyDist::Uniform,
+                    other => {
+                        eprintln!("--dist wants zipfian or uniform, got {other}");
+                        exit(2)
+                    }
+                }
+            }
+            "--no-preload" => opts.preload = false,
+            "--shutdown" => opts.shutdown = true,
+            "--out" => out_path = val("--out"),
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag: {other}");
+                usage()
+            }
+        }
+    }
+
+    let report = match loadgen::run(&opts) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("hybrids-loadgen: run against {} failed: {e}", opts.addr);
+            exit(1)
+        }
+    };
+    let json = serde_json::to_string(&report).expect("serialize report");
+    println!("{json}");
+    if out_path != "-" {
+        if let Err(e) = std::fs::write(&out_path, format!("{json}\n")) {
+            eprintln!("hybrids-loadgen: writing {out_path} failed: {e}");
+            exit(1)
+        }
+        eprintln!(
+            "hybrids-loadgen: {:.0} ops/s, p50 {:.1}us p95 {:.1}us p99 {:.1}us -> {out_path}",
+            report.ops_per_sec, report.p50_us, report.p95_us, report.p99_us
+        );
+    }
+}

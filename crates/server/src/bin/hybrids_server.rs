@@ -1,0 +1,73 @@
+//! `hybrids-server` — serve a `HybridHashMap` over the memcached text
+//! protocol, on the native memory backend.
+//!
+//! ```text
+//! hybrids-server [--addr 127.0.0.1:11211] [--workers 4]
+//!                [--buckets 1024] [--max-inflight 4] [--seed 42]
+//! ```
+//!
+//! The process runs until a client sends the `shutdown` verb (or the
+//! process is killed). On clean shutdown it prints a one-line summary of
+//! served traffic to stdout.
+
+use std::process::exit;
+use std::sync::atomic::Ordering;
+
+use hybrids_server::{Server, ServerOpts};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: hybrids-server [--addr HOST:PORT] [--workers N] [--buckets N] \
+         [--max-inflight N] [--seed N]"
+    );
+    exit(2)
+}
+
+fn main() {
+    let mut opts = ServerOpts::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut val = |name: &str| args.next().unwrap_or_else(|| panic!("{name} needs a value"));
+        match flag.as_str() {
+            "--addr" => opts.addr = val("--addr"),
+            "--workers" => opts.workers = val("--workers").parse().expect("--workers: usize"),
+            "--buckets" => opts.buckets = val("--buckets").parse().expect("--buckets: u32"),
+            "--max-inflight" => {
+                opts.max_inflight = val("--max-inflight").parse().expect("--max-inflight: usize")
+            }
+            "--seed" => opts.seed = val("--seed").parse().expect("--seed: u64"),
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag: {other}");
+                usage()
+            }
+        }
+    }
+
+    let server = match Server::start(&opts) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("hybrids-server: bind {} failed: {e}", opts.addr);
+            exit(1)
+        }
+    };
+    println!(
+        "hybrids-server listening on {} ({} workers, {} buckets, backend native)",
+        server.addr(),
+        opts.workers,
+        opts.buckets
+    );
+    let (map, counters) = server.wait();
+    map.check_invariants();
+    println!(
+        "hybrids-server done: {} conns, {} get hits, {} get misses, {} sets, \
+         {} deletes, {} protocol errors, {} resident keys",
+        counters.conns.load(Ordering::Relaxed),
+        counters.get_hits.load(Ordering::Relaxed),
+        counters.get_misses.load(Ordering::Relaxed),
+        counters.sets.load(Ordering::Relaxed),
+        counters.deletes.load(Ordering::Relaxed),
+        counters.proto_errors.load(Ordering::Relaxed),
+        map.collect().len(),
+    );
+}

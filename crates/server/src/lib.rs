@@ -1,0 +1,30 @@
+//! # hybrids-server — a cache front end over the native memory backend
+//!
+//! This crate turns the reproduction's [`HybridHashMap`] into a running
+//! network service: a memcached-text-protocol server whose connection
+//! workers are host threads of a [`nmp_sim::NativeRun`], executing the
+//! *same* offload-client code the cycle-accurate simulator verifies — but
+//! over real atomics at hardware speed (see `DESIGN.md` §4.11 for the
+//! backend boundary).
+//!
+//! Three pieces:
+//!
+//! * [`proto`] — incremental memcached text parser (pipelining,
+//!   partial-frame buffering, malformed-input tolerance) and the
+//!   reference response encoders,
+//! * [`server`] — the `hybrids-server` runtime: acceptor + N worker host
+//!   threads + per-partition combiner daemons over one native machine,
+//! * [`loadgen`] — the `hybrids-loadgen` client: deterministic
+//!   workload-driven request streams, closed-loop latency measurement,
+//!   and the `BENCH_9.json` throughput/percentile report.
+//!
+//! [`HybridHashMap`]: hybrids::hashmap::HybridHashMap
+#![warn(missing_docs)]
+
+pub mod loadgen;
+pub mod proto;
+pub mod server;
+
+pub use loadgen::{LoadReport, LoadgenOpts};
+pub use proto::{Command, Parsed, Parser};
+pub use server::{ServeCounters, Server, ServerOpts};

@@ -1,0 +1,318 @@
+//! The `hybrids-loadgen` client: drives a running `hybrids-server` with
+//! deterministic request streams and reports throughput and latency
+//! percentiles.
+//!
+//! Request streams come from [`workloads::RequestSpec`] — a pure function
+//! of the seed — so two runs against the same server state issue identical
+//! byte sequences. Each connection runs closed-loop (send one request,
+//! read its full response, repeat) on its own OS thread; per-request
+//! round-trip latencies are merged across connections for the percentile
+//! summary, and throughput is total requests over wall-clock time.
+
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::time::Instant;
+
+use serde::{Deserialize, Serialize};
+
+use workloads::{CacheMix, CacheRequest, Key, KeyDist, KeySpace, RequestSpec};
+
+use crate::proto::{encode_request, Command};
+
+/// Load-generation options.
+#[derive(Debug, Clone)]
+pub struct LoadgenOpts {
+    /// Server address, e.g. `127.0.0.1:11211`.
+    pub addr: String,
+    /// Concurrent connections (one OS thread each).
+    pub conns: u32,
+    /// Timed requests per connection.
+    pub per_conn: u32,
+    /// Root seed for the request streams.
+    pub seed: u64,
+    /// get/set/delete percentages.
+    pub mix: CacheMix,
+    /// Key popularity for get/set/delete targets.
+    pub dist: KeyDist,
+    /// Size of the key universe (initial keys; multiple of 4).
+    pub keys: u32,
+    /// Pre-populate the universe with `set`s before the timed phase.
+    pub preload: bool,
+    /// Send `shutdown` after the run (CI teardown).
+    pub shutdown: bool,
+}
+
+impl Default for LoadgenOpts {
+    fn default() -> Self {
+        LoadgenOpts {
+            addr: "127.0.0.1:11211".into(),
+            conns: 4,
+            per_conn: 5_000,
+            seed: 42,
+            mix: CacheMix::read_heavy(),
+            dist: KeyDist::Zipfian,
+            keys: 4096,
+            preload: true,
+            shutdown: false,
+        }
+    }
+}
+
+/// The run summary written to `BENCH_9.json`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LoadReport {
+    /// Artifact tag (`serve_throughput`).
+    pub experiment: String,
+    /// Memory backend serving the requests (`native`).
+    pub backend: String,
+    /// Connections driven.
+    pub conns: u32,
+    /// Timed requests per connection.
+    pub per_conn: u32,
+    /// Total timed requests completed.
+    pub total_ops: u64,
+    /// Wall-clock seconds of the timed phase.
+    pub elapsed_s: f64,
+    /// Served requests per second.
+    pub ops_per_sec: f64,
+    /// Median round-trip latency, microseconds.
+    pub p50_us: f64,
+    /// 95th-percentile round-trip latency, microseconds.
+    pub p95_us: f64,
+    /// 99th-percentile round-trip latency, microseconds.
+    pub p99_us: f64,
+    /// `get` requests that returned a value.
+    pub get_hits: u64,
+    /// `get` requests that missed.
+    pub get_misses: u64,
+    /// get/set/delete mix label.
+    pub mix: String,
+    /// Root seed.
+    pub seed: u64,
+}
+
+/// Per-connection tallies folded into the report.
+#[derive(Debug, Default)]
+struct ConnStats {
+    latencies_ns: Vec<u64>,
+    get_hits: u64,
+    get_misses: u64,
+}
+
+/// A line-framed client connection.
+struct Conn {
+    reader: BufReader<TcpStream>,
+    line: String,
+}
+
+impl Conn {
+    fn connect(addr: &str) -> io::Result<Conn> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Conn { reader: BufReader::new(stream), line: String::new() })
+    }
+
+    fn send(&mut self, cmd: &Command) -> io::Result<()> {
+        self.reader.get_mut().write_all(&encode_request(cmd))
+    }
+
+    fn read_line(&mut self) -> io::Result<&str> {
+        self.line.clear();
+        if self.reader.read_line(&mut self.line)? == 0 {
+            return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "server closed"));
+        }
+        Ok(self.line.trim_end_matches(['\r', '\n']))
+    }
+
+    /// Read a full `get` response; returns the number of VALUE stanzas.
+    fn read_get_response(&mut self) -> io::Result<u32> {
+        let mut hits = 0;
+        loop {
+            let line = self.read_line()?;
+            if line == "END" {
+                return Ok(hits);
+            }
+            if line.starts_with("VALUE ") {
+                hits += 1;
+                // The data block is one line (decimal u32).
+                self.read_line()?;
+            } else if line.starts_with("ERROR") || line.contains("_ERROR") {
+                return Err(io::Error::other(format!("server error: {line}")));
+            } else {
+                return Err(io::Error::other(format!("unexpected get reply: {line}")));
+            }
+        }
+    }
+
+    /// Issue one request, wait for its complete response; records hit/miss
+    /// for gets.
+    fn round_trip(&mut self, req: &CacheRequest, stats: &mut ConnStats) -> io::Result<()> {
+        match *req {
+            CacheRequest::Get(key) => {
+                self.send(&Command::Get(vec![key]))?;
+                if self.read_get_response()? > 0 {
+                    stats.get_hits += 1;
+                } else {
+                    stats.get_misses += 1;
+                }
+            }
+            CacheRequest::Set(key, value) => {
+                self.send(&Command::Set { key, value, noreply: false })?;
+                let line = self.read_line()?;
+                if line != "STORED" {
+                    return Err(io::Error::other(format!("set failed: {line}")));
+                }
+            }
+            CacheRequest::Delete(key) => {
+                self.send(&Command::Delete { key, noreply: false })?;
+                let line = self.read_line()?;
+                if line != "DELETED" && line != "NOT_FOUND" {
+                    return Err(io::Error::other(format!("delete failed: {line}")));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The key universe the generator draws from.
+pub fn keyspace(keys: u32) -> KeySpace {
+    KeySpace::new(keys, 4, 64)
+}
+
+/// Pre-populate every initial key over one connection (`set k 0 0 …`).
+fn preload(addr: &str, ks: &KeySpace) -> io::Result<()> {
+    let mut conn = Conn::connect(addr)?;
+    for i in 0..ks.total_initial() {
+        let key: Key = ks.initial_key(i);
+        conn.send(&Command::Set { key, value: key ^ 0x5aa5_5aa5, noreply: false })?;
+        let line = conn.read_line()?;
+        if line != "STORED" {
+            return Err(io::Error::other(format!("preload set failed: {line}")));
+        }
+    }
+    Ok(())
+}
+
+/// Run the workload and assemble the report.
+pub fn run(opts: &LoadgenOpts) -> io::Result<LoadReport> {
+    let ks = keyspace(opts.keys);
+    if opts.preload {
+        preload(&opts.addr, &ks)?;
+    }
+    let spec = RequestSpec {
+        seed: opts.seed,
+        conns: opts.conns,
+        per_conn: opts.per_conn,
+        dist: opts.dist,
+        mix: opts.mix,
+    };
+    let streams = spec.generate(&ks);
+
+    let started = Instant::now();
+    let mut handles = Vec::new();
+    for (c, stream) in streams.into_iter().enumerate() {
+        let addr = opts.addr.clone();
+        handles.push(
+            std::thread::Builder::new()
+                .name(format!("loadgen-{c}"))
+                .spawn(move || -> io::Result<ConnStats> {
+                    let mut conn = Conn::connect(&addr)?;
+                    let mut stats = ConnStats {
+                        latencies_ns: Vec::with_capacity(stream.len()),
+                        ..Default::default()
+                    };
+                    for req in &stream {
+                        let t0 = Instant::now();
+                        conn.round_trip(req, &mut stats)?;
+                        stats.latencies_ns.push(t0.elapsed().as_nanos() as u64);
+                    }
+                    Ok(stats)
+                })
+                .expect("spawn loadgen thread"),
+        );
+    }
+    let mut latencies = Vec::new();
+    let mut get_hits = 0u64;
+    let mut get_misses = 0u64;
+    for h in handles {
+        let stats = h.join().expect("loadgen thread panicked")?;
+        latencies.extend_from_slice(&stats.latencies_ns);
+        get_hits += stats.get_hits;
+        get_misses += stats.get_misses;
+    }
+    let elapsed_s = started.elapsed().as_secs_f64();
+
+    if opts.shutdown {
+        let mut conn = Conn::connect(&opts.addr)?;
+        conn.send(&Command::Shutdown)?;
+        let _ = conn.read_line(); // "OK"
+    }
+
+    latencies.sort_unstable();
+    let total_ops = latencies.len() as u64;
+    Ok(LoadReport {
+        experiment: "serve_throughput".into(),
+        backend: "native".into(),
+        conns: opts.conns,
+        per_conn: opts.per_conn,
+        total_ops,
+        elapsed_s,
+        ops_per_sec: if elapsed_s > 0.0 { total_ops as f64 / elapsed_s } else { 0.0 },
+        p50_us: percentile_us(&latencies, 50.0),
+        p95_us: percentile_us(&latencies, 95.0),
+        p99_us: percentile_us(&latencies, 99.0),
+        get_hits,
+        get_misses,
+        mix: opts.mix.label(),
+        seed: opts.seed,
+    })
+}
+
+/// Nearest-rank percentile over sorted nanosecond samples, in µs.
+fn percentile_us(sorted_ns: &[u64], p: f64) -> f64 {
+    if sorted_ns.is_empty() {
+        return 0.0;
+    }
+    let rank = ((p / 100.0) * sorted_ns.len() as f64).ceil() as usize;
+    sorted_ns[rank.clamp(1, sorted_ns.len()) - 1] as f64 / 1_000.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_nearest_rank() {
+        let ns: Vec<u64> = (1..=100).map(|i| i * 1_000).collect();
+        assert_eq!(percentile_us(&ns, 50.0), 50.0);
+        assert_eq!(percentile_us(&ns, 95.0), 95.0);
+        assert_eq!(percentile_us(&ns, 99.0), 99.0);
+        assert_eq!(percentile_us(&ns, 100.0), 100.0);
+        assert_eq!(percentile_us(&[], 50.0), 0.0);
+        assert_eq!(percentile_us(&[7_500], 50.0), 7.5);
+    }
+
+    #[test]
+    fn report_serializes() {
+        let r = LoadReport {
+            experiment: "serve_throughput".into(),
+            backend: "native".into(),
+            conns: 2,
+            per_conn: 10,
+            total_ops: 20,
+            elapsed_s: 0.5,
+            ops_per_sec: 40.0,
+            p50_us: 1.0,
+            p95_us: 2.0,
+            p99_us: 3.0,
+            get_hits: 5,
+            get_misses: 6,
+            mix: "90-9-1".into(),
+            seed: 42,
+        };
+        let json = serde_json::to_string(&r).unwrap();
+        assert!(json.contains("\"backend\":\"native\""));
+        assert!(json.contains("\"ops_per_sec\""));
+    }
+}

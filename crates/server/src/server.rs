@@ -1,0 +1,314 @@
+//! The `hybrids-server` runtime: a listener plus N worker threads serving
+//! the memcached text protocol over a [`HybridHashMap`] running on the
+//! native memory backend.
+//!
+//! Topology: an acceptor OS thread `accept()`s connections and feeds them
+//! through a channel to `workers` connection workers. Each worker is a
+//! *host thread of the native run* (a distinct host core of the machine
+//! model), so its [`ThreadCtx`] can drive the publication-list offload
+//! client directly — the exact same `HybridHashMap::execute` path the
+//! simulator verifies, now over real atomics at hardware speed. The NMP
+//! combiners run as native daemons, one per partition, just as they do
+//! under simulation.
+//!
+//! Shutdown: the `shutdown` protocol verb (or [`Server::stop`]) raises a
+//! flag; the acceptor stops accepting and drops the channel sender, the
+//! workers drain and exit, and [`Server::wait`] joins the native run
+//! (stopping the combiner daemons) before returning the map for
+//! inspection.
+
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+
+use hybrids::hashmap::HybridHashMap;
+use hybrids::SimIndex;
+use nmp_sim::{Config, Machine, NativeRun, ThreadCtx, ThreadKind};
+use workloads::Op;
+
+use crate::proto::{self, Command, Parsed, Parser};
+
+/// How a `set` that keeps losing insert/update races reports failure
+/// before giving up (never observed in practice; bounded for safety).
+const SET_RETRIES: usize = 16;
+
+/// Server construction options.
+#[derive(Debug, Clone)]
+pub struct ServerOpts {
+    /// Bind address, e.g. `127.0.0.1:11211` (port 0 picks a free port).
+    pub addr: String,
+    /// Connection workers — each is one host core of the machine model.
+    pub workers: usize,
+    /// Hash-map buckets (multiple of the machine's partition count).
+    pub buckets: u32,
+    /// Offload lanes per host core.
+    pub max_inflight: usize,
+    /// Hash seed for the map.
+    pub seed: u64,
+}
+
+impl Default for ServerOpts {
+    fn default() -> Self {
+        ServerOpts {
+            addr: "127.0.0.1:11211".into(),
+            workers: 4,
+            buckets: 1024,
+            max_inflight: 4,
+            seed: 42,
+        }
+    }
+}
+
+/// Aggregate served-request counters (relaxed; read after [`Server::wait`]).
+#[derive(Debug, Default)]
+pub struct ServeCounters {
+    /// `get` keys that hit.
+    pub get_hits: AtomicU64,
+    /// `get` keys that missed.
+    pub get_misses: AtomicU64,
+    /// Successful `set`s.
+    pub sets: AtomicU64,
+    /// `delete`s that removed a key.
+    pub deletes: AtomicU64,
+    /// Connections served to completion.
+    pub conns: AtomicU64,
+    /// Protocol errors reported to clients.
+    pub proto_errors: AtomicU64,
+}
+
+/// A running server (listener + native run).
+pub struct Server {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    acceptor: JoinHandle<()>,
+    run: NativeRun,
+    map: Arc<HybridHashMap>,
+    counters: Arc<ServeCounters>,
+}
+
+impl Server {
+    /// Build the native machine, the map, the combiner daemons, and the
+    /// worker pool; bind the listener and start accepting.
+    pub fn start(opts: &ServerOpts) -> io::Result<Server> {
+        assert!(opts.workers >= 1, "need at least one worker");
+        let mut cfg = Config::default_scaled();
+        cfg.host_cores = opts.workers;
+        let machine = Machine::new_native(cfg);
+        let map =
+            HybridHashMap::new(Arc::clone(&machine), opts.buckets, opts.seed, opts.max_inflight);
+
+        let listener = TcpListener::bind(&opts.addr)?;
+        let addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let counters = Arc::new(ServeCounters::default());
+        let mut run = machine.native_run();
+        map.spawn_services_on(&mut run);
+
+        let (tx, rx) = mpsc::channel::<TcpStream>();
+        let rx = Arc::new(Mutex::new(rx));
+        for core in 0..opts.workers {
+            let rx = Arc::clone(&rx);
+            let map = Arc::clone(&map);
+            let shutdown = Arc::clone(&shutdown);
+            let counters = Arc::clone(&counters);
+            run.spawn(format!("conn-{core}"), ThreadKind::Host { core }, move |ctx| {
+                worker_loop(ctx, &map, &rx, &shutdown, &counters);
+            });
+        }
+
+        let acceptor = {
+            let shutdown = Arc::clone(&shutdown);
+            std::thread::Builder::new()
+                .name("acceptor".into())
+                .spawn(move || accept_loop(listener, tx, &shutdown))
+                .expect("spawn acceptor")
+        };
+
+        Ok(Server { addr, shutdown, acceptor, run, map, counters })
+    }
+
+    /// The bound address (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Request shutdown from outside the protocol.
+    pub fn stop(&self) {
+        self.shutdown.store(true, Ordering::Release);
+    }
+
+    /// Block until shutdown, join every thread, and hand back the map and
+    /// counters for inspection.
+    pub fn wait(self) -> (Arc<HybridHashMap>, Arc<ServeCounters>) {
+        let Server { acceptor, run, map, counters, .. } = self;
+        acceptor.join().expect("acceptor panicked");
+        // Workers exit once the acceptor drops the sender and the queue
+        // drains; finish() then stops the combiner daemons.
+        run.finish();
+        (map, counters)
+    }
+}
+
+fn accept_loop(listener: TcpListener, tx: mpsc::Sender<TcpStream>, shutdown: &AtomicBool) {
+    while !shutdown.load(Ordering::Acquire) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                if tx.send(stream).is_err() {
+                    break; // all workers gone
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(5)),
+        }
+    }
+    // Dropping `tx` here disconnects the workers' queue.
+}
+
+fn worker_loop(
+    ctx: &mut ThreadCtx,
+    map: &Arc<HybridHashMap>,
+    rx: &Mutex<mpsc::Receiver<TcpStream>>,
+    shutdown: &AtomicBool,
+    counters: &ServeCounters,
+) {
+    loop {
+        // Take the lock only long enough to pull one connection.
+        let next = rx.lock().recv_timeout(Duration::from_millis(20));
+        match next {
+            Ok(stream) => {
+                if serve_conn(ctx, map, stream, shutdown, counters).unwrap_or(false) {
+                    shutdown.store(true, Ordering::Release);
+                }
+                counters.conns.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(mpsc::RecvTimeoutError::Timeout) => {
+                if shutdown.load(Ordering::Acquire) {
+                    return;
+                }
+            }
+            Err(mpsc::RecvTimeoutError::Disconnected) => return,
+        }
+    }
+}
+
+/// Serve one connection to completion. Returns `Ok(true)` if the client
+/// asked for server shutdown.
+fn serve_conn(
+    ctx: &mut ThreadCtx,
+    map: &Arc<HybridHashMap>,
+    mut stream: TcpStream,
+    shutdown: &AtomicBool,
+    counters: &ServeCounters,
+) -> io::Result<bool> {
+    stream.set_nodelay(true).ok();
+    stream.set_read_timeout(Some(Duration::from_millis(50)))?;
+    let mut parser = Parser::new();
+    let mut rdbuf = [0u8; 4096];
+    let mut out = Vec::new();
+    loop {
+        let n = match stream.read(&mut rdbuf) {
+            Ok(0) => return Ok(false), // client hung up
+            Ok(n) => n,
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                if shutdown.load(Ordering::Acquire) {
+                    return Ok(false);
+                }
+                continue;
+            }
+            Err(e) => return Err(e),
+        };
+        parser.push(&rdbuf[..n]);
+        out.clear();
+        // Drain every command completed by this read (pipelining), then
+        // flush one combined write.
+        for step in parser.by_ref() {
+            match step {
+                Parsed::Cmd(Command::Get(keys)) => {
+                    let mut hits = Vec::with_capacity(keys.len());
+                    for key in keys {
+                        let r = map.execute(ctx, Op::Read(key));
+                        if r.ok {
+                            counters.get_hits.fetch_add(1, Ordering::Relaxed);
+                            hits.push((key, r.value));
+                        } else {
+                            counters.get_misses.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                    out.extend_from_slice(&proto::encode_get(&hits));
+                }
+                Parsed::Cmd(Command::Set { key, value, noreply }) => {
+                    let stored = do_set(ctx, map, key, value);
+                    if stored {
+                        counters.sets.fetch_add(1, Ordering::Relaxed);
+                    }
+                    if !noreply {
+                        if stored {
+                            out.extend_from_slice(proto::encode_stored());
+                        } else {
+                            out.extend_from_slice(b"SERVER_ERROR store failed\r\n");
+                        }
+                    }
+                }
+                Parsed::Cmd(Command::Delete { key, noreply }) => {
+                    let removed = map.execute(ctx, Op::Remove(key)).ok;
+                    if removed {
+                        counters.deletes.fetch_add(1, Ordering::Relaxed);
+                    }
+                    if !noreply {
+                        out.extend_from_slice(if removed {
+                            proto::encode_deleted()
+                        } else {
+                            proto::encode_not_found()
+                        });
+                    }
+                }
+                Parsed::Cmd(Command::Quit) => {
+                    stream.write_all(&out)?;
+                    return Ok(false);
+                }
+                Parsed::Cmd(Command::Shutdown) => {
+                    out.extend_from_slice(proto::encode_ok());
+                    stream.write_all(&out)?;
+                    return Ok(true);
+                }
+                Parsed::Error { line, fatal } => {
+                    counters.proto_errors.fetch_add(1, Ordering::Relaxed);
+                    out.extend_from_slice(&proto::encode_error_line(&line));
+                    if fatal {
+                        stream.write_all(&out)?;
+                        return Ok(false);
+                    }
+                }
+            }
+        }
+        if !out.is_empty() {
+            stream.write_all(&out)?;
+        }
+    }
+}
+
+/// memcached `set` is insert-or-overwrite; the map's `Insert` fails on
+/// duplicates and `Update` fails on absent keys, so race the two until one
+/// lands (a concurrent delete can void an `Update` between our attempts).
+fn do_set(ctx: &mut ThreadCtx, map: &Arc<HybridHashMap>, key: u32, value: u32) -> bool {
+    for _ in 0..SET_RETRIES {
+        if map.execute(ctx, Op::Insert(key, value)).ok {
+            return true;
+        }
+        if map.execute(ctx, Op::Update(key, value)).ok {
+            return true;
+        }
+    }
+    false
+}

@@ -1,0 +1,230 @@
+//! Cache-front-end request streams for the `hybrids-server` load
+//! generator.
+//!
+//! Where [`crate::ops`] speaks the data-structure vocabulary (insert fails
+//! on duplicates, update fails on absent keys), a cache front end speaks
+//! memcached verbs: `get`, `set` (insert-or-overwrite), `delete`. This
+//! module generates deterministic per-connection streams of those verbs —
+//! a pure function of a `u64` seed, like everything else in this crate —
+//! so the load generator and the sim-vs-native differential tests can
+//! replay byte-identical request sequences.
+
+use serde::{Deserialize, Serialize};
+
+use crate::keys::{Key, KeySpace, Value};
+use crate::ops::KeyDist;
+use crate::rng::Rng;
+use crate::zipf::ScrambledZipfian;
+
+/// One cache-protocol request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheRequest {
+    /// Look up a key.
+    Get(Key),
+    /// Store a value under a key, overwriting any previous value.
+    Set(Key, Value),
+    /// Remove a key if present.
+    Delete(Key),
+}
+
+/// Percentage mix of cache verbs; must sum to 100.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheMix {
+    /// Percent of `get` requests.
+    pub get: u8,
+    /// Percent of `set` requests.
+    pub set: u8,
+    /// Percent of `delete` requests.
+    pub delete: u8,
+}
+
+impl CacheMix {
+    /// Build a mix; panics unless the percentages sum to 100.
+    pub fn new(get: u8, set: u8, delete: u8) -> Self {
+        assert_eq!(
+            get as u32 + set as u32 + delete as u32,
+            100,
+            "cache mix percentages must sum to 100"
+        );
+        CacheMix { get, set, delete }
+    }
+
+    /// The memcached-style default: 90% get / 9% set / 1% delete.
+    pub fn read_heavy() -> Self {
+        CacheMix::new(90, 9, 1)
+    }
+
+    /// A write-heavy stress mix: 50% get / 40% set / 10% delete.
+    pub fn write_heavy() -> Self {
+        CacheMix::new(50, 40, 10)
+    }
+
+    /// `"90-9-1"`-style label for artifact rows.
+    pub fn label(&self) -> String {
+        format!("{}-{}-{}", self.get, self.set, self.delete)
+    }
+
+    /// Parse a `get/set/delete` triple like `"90/9/1"` (also accepts `-`
+    /// or `:` separators). Returns `None` unless all three parse and sum
+    /// to 100.
+    pub fn parse(s: &str) -> Option<Self> {
+        let parts: Vec<&str> = s.split(['/', '-', ':']).collect();
+        if parts.len() != 3 {
+            return None;
+        }
+        let get = parts[0].trim().parse().ok()?;
+        let set = parts[1].trim().parse().ok()?;
+        let delete = parts[2].trim().parse().ok()?;
+        if get as u32 + set as u32 + delete as u32 != 100 {
+            return None;
+        }
+        Some(CacheMix { get, set, delete })
+    }
+}
+
+/// Deterministic generator of per-connection cache request streams.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RequestSpec {
+    /// Root seed; connection `c` uses `Rng::new(seed).fork(c)`.
+    pub seed: u64,
+    /// Number of connections (parallel streams).
+    pub conns: u32,
+    /// Requests per connection.
+    pub per_conn: u32,
+    /// Key popularity distribution for `get`/`delete` targets.
+    pub dist: KeyDist,
+    /// Verb mix.
+    pub mix: CacheMix,
+}
+
+impl RequestSpec {
+    /// Generate one request stream per connection. `set` targets the same
+    /// popularity distribution as `get`, so hot keys stay resident; values
+    /// are nonzero and derived from the per-connection RNG.
+    pub fn generate(&self, ks: &KeySpace) -> Vec<Vec<CacheRequest>> {
+        let zipf = match self.dist {
+            KeyDist::ZipfianTheta { theta_x100 } => {
+                ScrambledZipfian::with_theta(ks.total_initial() as u64, theta_x100 as f64 / 100.0)
+            }
+            _ => ScrambledZipfian::ycsb(ks.total_initial() as u64),
+        };
+        let root = Rng::new(self.seed);
+        (0..self.conns)
+            .map(|c| {
+                let mut rng = root.fork(c as u64);
+                (0..self.per_conn)
+                    .map(|_| {
+                        let key = self.pick_key(ks, &zipf, &mut rng);
+                        let roll = rng.below(100) as u8;
+                        if roll < self.mix.get {
+                            CacheRequest::Get(key)
+                        } else if roll < self.mix.get + self.mix.set {
+                            CacheRequest::Set(key, rng.next_u32() | 1)
+                        } else {
+                            CacheRequest::Delete(key)
+                        }
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    fn pick_key(&self, ks: &KeySpace, zipf: &ScrambledZipfian, rng: &mut Rng) -> Key {
+        match self.dist {
+            KeyDist::Zipfian | KeyDist::ZipfianTheta { .. } => {
+                ks.initial_key(zipf.next_index(rng) as u32)
+            }
+            KeyDist::Uniform => ks.uniform_initial(rng),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ks() -> KeySpace {
+        KeySpace::new(256, 4, 64)
+    }
+
+    #[test]
+    fn mix_parse_and_label() {
+        assert_eq!(CacheMix::parse("90/9/1"), Some(CacheMix::read_heavy()));
+        assert_eq!(CacheMix::parse("50-40-10"), Some(CacheMix::write_heavy()));
+        assert_eq!(CacheMix::parse("90:9:1").unwrap().label(), "90-9-1");
+        assert_eq!(CacheMix::parse("90/9"), None);
+        assert_eq!(CacheMix::parse("90/9/2"), None);
+        assert_eq!(CacheMix::parse("a/b/c"), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "sum to 100")]
+    fn mix_must_sum_to_100() {
+        let _ = CacheMix::new(50, 10, 10);
+    }
+
+    #[test]
+    fn generate_is_deterministic_and_shaped() {
+        let spec = RequestSpec {
+            seed: 7,
+            conns: 3,
+            per_conn: 500,
+            dist: KeyDist::Uniform,
+            mix: CacheMix::read_heavy(),
+        };
+        let a = spec.generate(&ks());
+        let b = spec.generate(&ks());
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 3);
+        for stream in &a {
+            assert_eq!(stream.len(), 500);
+        }
+        // Streams differ across connections.
+        assert_ne!(a[0], a[1]);
+    }
+
+    #[test]
+    fn mix_ratios_roughly_hold() {
+        let spec = RequestSpec {
+            seed: 11,
+            conns: 1,
+            per_conn: 10_000,
+            dist: KeyDist::Zipfian,
+            mix: CacheMix::new(70, 20, 10),
+        };
+        let stream = &spec.generate(&ks())[0];
+        let gets = stream.iter().filter(|r| matches!(r, CacheRequest::Get(_))).count();
+        let sets = stream.iter().filter(|r| matches!(r, CacheRequest::Set(..))).count();
+        let dels = stream.iter().filter(|r| matches!(r, CacheRequest::Delete(_))).count();
+        assert_eq!(gets + sets + dels, 10_000);
+        assert!((6_500..=7_500).contains(&gets), "gets={gets}");
+        assert!((1_500..=2_500).contains(&sets), "sets={sets}");
+        assert!((500..=1_500).contains(&dels), "dels={dels}");
+        // Set values are nonzero (zero is the structures' "absent" marker).
+        for r in stream {
+            if let CacheRequest::Set(_, v) = r {
+                assert_ne!(*v, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn keys_stay_in_universe() {
+        let k = ks();
+        let spec = RequestSpec {
+            seed: 3,
+            conns: 2,
+            per_conn: 2_000,
+            dist: KeyDist::Zipfian,
+            mix: CacheMix::write_heavy(),
+        };
+        for stream in spec.generate(&k) {
+            for r in stream {
+                let key = match r {
+                    CacheRequest::Get(k) | CacheRequest::Delete(k) | CacheRequest::Set(k, _) => k,
+                };
+                assert!(key > 0 && key < k.keyspace());
+            }
+        }
+    }
+}

@@ -1,0 +1,24 @@
+//! Known-bad fixture: socket code outside the server crate. A mention of
+//! TcpListener in this doc comment must NOT count; the live uses below
+//! must each be flagged.
+
+use std::net::TcpListener;
+
+fn sneak_a_server() -> std::io::Result<()> {
+    // "TcpStream in a comment is fine"
+    let msg = "TcpStream in a string is fine too";
+    let _ = msg;
+    let listener = TcpListener::bind("127.0.0.1:0")?;
+    let (_stream, _addr) = listener.accept()?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    // Test modules are stripped: this use must not count.
+    use std::net::TcpStream;
+
+    fn t() {
+        let _ = TcpStream::connect("127.0.0.1:1");
+    }
+}

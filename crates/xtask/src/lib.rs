@@ -39,6 +39,11 @@
 //!   (`NmpExec::coalescible_ops`) and forward occupancy feedback; they
 //!   never embed tuning state, so `Policy::Fixed` runs stay bit-identical
 //!   to the pre-policy protocol by construction.
+//! * **net-confinement** — socket code (`std::net`, `TcpListener`,
+//!   `TcpStream`, …) lives only in the server crate (`crates/server/`).
+//!   The simulator, the structures, the workload generator, and the bench
+//!   harness are deterministic, network-free layers; a socket anywhere
+//!   else is an architecture violation (DESIGN.md §4.11).
 //! * **marker-location** — the `// xtask:` markers above may only appear in
 //!   an explicit allow-list of files, so the lint cannot be silenced by
 //!   sprinkling new markers.
@@ -57,7 +62,8 @@ use std::path::Path;
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Violation {
     /// Which rule fired (`raw-mem`, `atomic-ordering`, `mmio-confinement`,
-    /// `opcode-coverage`, `policy-confinement`, `marker-location`).
+    /// `opcode-coverage`, `policy-confinement`, `net-confinement`,
+    /// `marker-location`).
     pub rule: &'static str,
     /// Repo-relative path of the offending file.
     pub path: String,
@@ -116,6 +122,11 @@ pub const VAULT_STATE_MODULE: &str = "crates/nmp-sim/src/mem.rs";
 /// module whose `ShardCtl` methods are the sanctioned accessor API.
 pub const SHARD_CTL_MODULE: &str = "crates/nmp-sim/src/engine/barrier.rs";
 
+/// The only crate allowed to touch sockets: the cache-server front end
+/// (its runtime, loadgen, bins, and tests). Everything else in the tree is
+/// a deterministic, network-free layer.
+pub const NET_SCOPE: &str = "crates/server/";
+
 /// Directories scanned by [`lint_tree`], relative to the repo root. The
 /// simulator crate (`nmp-sim` implements `SimRam` and the memory model) is
 /// exempt from the effect-discipline rules but IS scanned for the
@@ -130,6 +141,8 @@ pub const SCAN_ROOTS: &[&str] = &[
     "crates/bench/src",
     "crates/bench/benches",
     "crates/nmp-sim/src",
+    "crates/server/src",
+    "crates/server/tests",
 ];
 
 // ---------------------------------------------------------------------------
@@ -415,6 +428,12 @@ const VAULT_STATE_TOKENS: &[&str] = &["parts_t", "host_t", "PartTiming", "HostTi
 const SHARD_CTL_TOKENS: &[&str] =
     &["frontiers", "nd_frontier", "nd_live", "nd_last_key", "after_stop"];
 
+/// Socket vocabulary confined to [`NET_SCOPE`]. Identifier-boundary
+/// matched, so e.g. `TcpStreamLike` in a doc example would still trip —
+/// deliberately strict.
+const NET_TOKENS: &[&str] =
+    &["std::net", "TcpListener", "TcpStream", "UdpSocket", "UnixListener", "UnixStream"];
+
 /// Adaptive-policy state machines and helpers owned by [`POLICY_MODULES`].
 const POLICY_TOKENS: &[&str] =
     &["CombinerControl", "LaneGovernor", "sort_batch", "coalesce_run_len"];
@@ -481,6 +500,29 @@ pub fn check_source(rel: &str, src: &str) -> Vec<Violation> {
     let ordering_ok = markers.has_module("allow(atomic-ordering)")
         && marker_allowed(&rel, "allow(atomic-ordering)");
     let raw_lines_ok = RAW_MEM_EXCEPTIONS.contains(&rel.as_str());
+
+    // net-confinement: sockets only in the server crate. Checked before
+    // the sim-internal early return — the simulator itself must stay
+    // network-free too.
+    if !rel.starts_with(NET_SCOPE) {
+        let b = masked.as_bytes();
+        for tok in NET_TOKENS {
+            let mut from = 0usize;
+            while let Some(pos) = find_ident_from(b, tok.as_bytes(), from) {
+                from = pos + 1;
+                out.push(Violation {
+                    rule: "net-confinement",
+                    path: rel.clone(),
+                    line: line_of(&masked, pos),
+                    msg: format!(
+                        "`{tok}` outside the server crate ({NET_SCOPE}); every layer below \
+                         the cache front end is deterministic and network-free — serve \
+                         traffic through hybrids-server instead"
+                    ),
+                });
+            }
+        }
+    }
 
     // The simulator crate implements SimRam, the MMIO channel and the
     // memory model, so the effect-discipline rules don't apply to it; it is

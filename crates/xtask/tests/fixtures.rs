@@ -134,6 +134,29 @@ fn policy_state_fixture_fails_outside_the_policy_layer() {
 }
 
 #[test]
+fn net_fixture_fails_everywhere_but_the_server_crate() {
+    let src = include_str!("../fixtures/net_bad.rs");
+    // Live code holds three socket mentions (`std::net` + `TcpListener` in
+    // the use, `TcpListener::bind`); the doc comment, the inline comment,
+    // the string literal, and the test module must not count.
+    for bad in [
+        "crates/hybrids/src/widget.rs",
+        "crates/bench/src/lib.rs",
+        "crates/nmp-sim/src/machine.rs",
+        "src/lib.rs",
+    ] {
+        let v = lint_as(bad, src);
+        assert!(v.iter().all(|v| v.rule == "net-confinement"), "{bad}: {v:?}");
+        assert_eq!(v.iter().filter(|v| v.rule == "net-confinement").count(), 3, "{bad}: {v:?}");
+    }
+    // Inside the server crate sockets are the whole point.
+    for ok in ["crates/server/src/server.rs", "crates/server/tests/server_e2e.rs"] {
+        let v = lint_as(ok, src);
+        assert!(v.is_empty(), "{ok}: {v:?}");
+    }
+}
+
+#[test]
 fn clean_fixture_passes_in_strictest_scope() {
     let v = lint_as("crates/hybrids/src/widget.rs", include_str!("../fixtures/clean.rs"));
     assert!(v.is_empty(), "{v:?}");
