@@ -7,24 +7,43 @@
 //! over real atomics at hardware speed (see `DESIGN.md` §4.11 for the
 //! backend boundary).
 //!
-//! Three pieces:
+//! The pieces:
 //!
 //! * [`proto`] — incremental memcached text parser (pipelining,
 //!   partial-frame buffering, malformed-input tolerance) and the
 //!   reference response encoders,
-//! * [`server`] — the `hybrids-server` runtime: acceptor + N worker host
+//! * [`service`] — the shared request-execution layer both runtimes
+//!   funnel through (byte-identical responses by construction),
+//! * [`ttl`] — memcached `exptime` semantics: absolute-expiry table,
+//!   lazy expiry on `get`, injectable clock,
+//! * [`runtime`] — the connection runtimes: the original blocking
+//!   thread-per-connection topology and the evented epoll/poll reactor
+//!   (connection state machines, idle timer wheel, write backpressure,
+//!   graceful drain),
+//! * [`server`] — the `hybrids-server` facade: acceptor + worker host
 //!   threads + per-partition combiner daemons over one native machine,
+//!   with `--runtime {blocking,evented}` selection,
 //! * [`loadgen`] — the `hybrids-loadgen` client: deterministic
-//!   workload-driven request streams, closed-loop latency measurement,
-//!   and the `BENCH_9.json` throughput/percentile report.
+//!   workload-driven request streams, closed- and open-loop latency
+//!   measurement, and the `BENCH_9.json` report,
+//! * [`sweep`] — the blocking-vs-evented connection-scaling experiment
+//!   behind `BENCH_10.json`.
 //!
 //! [`HybridHashMap`]: hybrids::hashmap::HybridHashMap
 #![warn(missing_docs)]
 
 pub mod loadgen;
 pub mod proto;
+pub mod runtime;
 pub mod server;
+pub mod service;
+pub mod sweep;
+pub mod ttl;
 
 pub use loadgen::{LoadReport, LoadgenOpts};
 pub use proto::{Command, Parsed, Parser};
-pub use server::{ServeCounters, Server, ServerOpts};
+pub use runtime::{EventedOpts, PollerKind, RuntimeKind};
+pub use server::{max_viable_workers, Server, ServerOpts};
+pub use service::{ServeCounters, Service};
+pub use sweep::{SweepOpts, SweepPoint, SweepReport, SweepSummary};
+pub use ttl::{Clock, TtlTable};

@@ -4,18 +4,35 @@
 //!
 //! Request streams come from [`workloads::RequestSpec`] — a pure function
 //! of the seed — so two runs against the same server state issue identical
-//! byte sequences. Each connection runs closed-loop (send one request,
-//! read its full response, repeat) on its own OS thread; per-request
-//! round-trip latencies are merged across connections for the percentile
+//! byte sequences. Each connection runs on its own OS thread in one of
+//! two modes:
+//!
+//! * **closed-loop** (default) — send one request, read its full
+//!   response, repeat; latency is the request round trip, and the
+//!   offered load self-limits to the service rate.
+//! * **open-loop** (`rate: Some(_)`) — a paced writer sends each request
+//!   at its [`workloads::OpenLoop`] due time regardless of outstanding
+//!   responses, while a reader consumes responses in order; latency is
+//!   measured from the *due* time, so queueing delay shows up in the
+//!   percentiles instead of silently throttling the arrival process.
+//!
+//! Closed-loop runs can additionally multiplex connections over a small
+//! client-thread pool (`client_threads`): each thread drives its shard
+//! of connections in lockstep with one outstanding request per
+//! connection, keeping the generator cheap at connection counts where a
+//! thread-per-connection client would itself be the bottleneck.
+//!
+//! Per-request latencies are merged across connections for the percentile
 //! summary, and throughput is total requests over wall-clock time.
 
 use std::io::{self, BufRead, BufReader, Write};
 use std::net::TcpStream;
-use std::time::Instant;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use serde::{Deserialize, Serialize};
 
-use workloads::{CacheMix, CacheRequest, Key, KeyDist, KeySpace, RequestSpec};
+use workloads::{CacheMix, CacheRequest, Key, KeyDist, KeySpace, OpenLoop, RequestSpec};
 
 use crate::proto::{encode_request, Command};
 
@@ -40,6 +57,28 @@ pub struct LoadgenOpts {
     pub preload: bool,
     /// Send `shutdown` after the run (CI teardown).
     pub shutdown: bool,
+    /// Open-loop total offered rate in requests/second across all
+    /// connections; `None` runs closed-loop.
+    pub rate: Option<u32>,
+    /// Closed-loop only: drive all connections from this many client
+    /// threads instead of one thread per connection (`0` = thread per
+    /// connection). Each thread owns a shard of connections and runs
+    /// them in lockstep — a bounded window of outstanding requests per
+    /// connection — so the *client* stays cheap at connection counts
+    /// where a thread-per-connection generator becomes the benchmark
+    /// bottleneck.
+    pub client_threads: u32,
+    /// Outstanding requests per connection in the multiplexed client
+    /// (memcached pipelining; clamped to at least 1). Matching the
+    /// server's `max_inflight` keeps every connection's lane busy.
+    pub pipeline: u32,
+    /// Multiplexed client only: a connection whose *first* response has
+    /// not arrived within this deadline is declared starved — the server
+    /// never adopted it — and is closed with its remaining requests
+    /// counted unserved (`starved_conns` in the report). Thread-capped
+    /// blocking servers genuinely never serve surplus connections, so
+    /// without this probe the run would hang forever.
+    pub starve_timeout_ms: u64,
 }
 
 impl Default for LoadgenOpts {
@@ -54,6 +93,10 @@ impl Default for LoadgenOpts {
             keys: 4096,
             preload: true,
             shutdown: false,
+            rate: None,
+            client_threads: 0,
+            pipeline: 1,
+            starve_timeout_ms: 250,
         }
     }
 }
@@ -89,6 +132,17 @@ pub struct LoadReport {
     pub mix: String,
     /// Root seed.
     pub seed: u64,
+    /// `closed` or `open` (paced arrivals).
+    pub mode: String,
+    /// Open-loop total offered rate (requests/second); `None` when
+    /// closed-loop.
+    pub offered_rate: Option<u32>,
+    /// Connections the server answered at least once.
+    pub served_conns: u32,
+    /// Connections whose first response missed the starve deadline
+    /// (thread-capped servers never adopt surplus connections); their
+    /// remaining requests are excluded from `total_ops`.
+    pub starved_conns: u32,
 }
 
 /// Per-connection tallies folded into the report.
@@ -97,31 +151,56 @@ struct ConnStats {
     latencies_ns: Vec<u64>,
     get_hits: u64,
     get_misses: u64,
+    starved_conns: u32,
+}
+
+/// Consecutive read-timeout retries granted to a connection the server
+/// has already answered at least once (a served connection that stays
+/// silent this long is a wedged server, not a scheduling hiccup).
+const SERVED_TIMEOUT_RETRIES: u32 = 40;
+
+fn is_timeout(e: &io::Error) -> bool {
+    matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut)
 }
 
 /// A line-framed client connection.
 struct Conn {
     reader: BufReader<TcpStream>,
     line: String,
+    /// Tolerate transient read timeouts (sockets with a read deadline
+    /// set). `false` makes the first timeout surface immediately — the
+    /// muxed client's starvation probe.
+    lenient: bool,
 }
 
 impl Conn {
     fn connect(addr: &str) -> io::Result<Conn> {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
-        Ok(Conn { reader: BufReader::new(stream), line: String::new() })
+        Ok(Conn { reader: BufReader::new(stream), line: String::new(), lenient: true })
+    }
+
+    /// Read one line, retrying transient timeouts (when `lenient`)
+    /// without losing bytes already pulled into `line`.
+    fn read_line(&mut self) -> io::Result<&str> {
+        self.line.clear();
+        let mut retries = 0u32;
+        loop {
+            match self.reader.read_line(&mut self.line) {
+                Ok(0) => return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "server closed")),
+                Ok(_) => return Ok(self.line.trim_end_matches(['\r', '\n'])),
+                // On timeout, bytes already read stay appended to
+                // `line`; looping continues the same logical read.
+                Err(e) if is_timeout(&e) && self.lenient && retries < SERVED_TIMEOUT_RETRIES => {
+                    retries += 1;
+                }
+                Err(e) => return Err(e),
+            }
+        }
     }
 
     fn send(&mut self, cmd: &Command) -> io::Result<()> {
         self.reader.get_mut().write_all(&encode_request(cmd))
-    }
-
-    fn read_line(&mut self) -> io::Result<&str> {
-        self.line.clear();
-        if self.reader.read_line(&mut self.line)? == 0 {
-            return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "server closed"));
-        }
-        Ok(self.line.trim_end_matches(['\r', '\n']))
     }
 
     /// Read a full `get` response; returns the number of VALUE stanzas.
@@ -144,27 +223,24 @@ impl Conn {
         }
     }
 
-    /// Issue one request, wait for its complete response; records hit/miss
+    /// Read and validate the complete response to `req`; records hit/miss
     /// for gets.
-    fn round_trip(&mut self, req: &CacheRequest, stats: &mut ConnStats) -> io::Result<()> {
+    fn read_response(&mut self, req: &CacheRequest, stats: &mut ConnStats) -> io::Result<()> {
         match *req {
-            CacheRequest::Get(key) => {
-                self.send(&Command::Get(vec![key]))?;
+            CacheRequest::Get(_) => {
                 if self.read_get_response()? > 0 {
                     stats.get_hits += 1;
                 } else {
                     stats.get_misses += 1;
                 }
             }
-            CacheRequest::Set(key, value) => {
-                self.send(&Command::Set { key, value, noreply: false })?;
+            CacheRequest::Set(..) => {
                 let line = self.read_line()?;
                 if line != "STORED" {
                     return Err(io::Error::other(format!("set failed: {line}")));
                 }
             }
-            CacheRequest::Delete(key) => {
-                self.send(&Command::Delete { key, noreply: false })?;
+            CacheRequest::Delete(_) => {
                 let line = self.read_line()?;
                 if line != "DELETED" && line != "NOT_FOUND" {
                     return Err(io::Error::other(format!("delete failed: {line}")));
@@ -172,6 +248,22 @@ impl Conn {
             }
         }
         Ok(())
+    }
+
+    /// Issue one request, wait for its complete response; records hit/miss
+    /// for gets.
+    fn round_trip(&mut self, req: &CacheRequest, stats: &mut ConnStats) -> io::Result<()> {
+        self.send(&request_command(req))?;
+        self.read_response(req, stats)
+    }
+}
+
+/// The wire command for one generated request.
+fn request_command(req: &CacheRequest) -> Command {
+    match *req {
+        CacheRequest::Get(key) => Command::Get(vec![key]),
+        CacheRequest::Set(key, value) => Command::Set { key, value, exptime: 0, noreply: false },
+        CacheRequest::Delete(key) => Command::Delete { key, noreply: false },
     }
 }
 
@@ -185,13 +277,146 @@ fn preload(addr: &str, ks: &KeySpace) -> io::Result<()> {
     let mut conn = Conn::connect(addr)?;
     for i in 0..ks.total_initial() {
         let key: Key = ks.initial_key(i);
-        conn.send(&Command::Set { key, value: key ^ 0x5aa5_5aa5, noreply: false })?;
+        conn.send(&Command::Set { key, value: key ^ 0x5aa5_5aa5, exptime: 0, noreply: false })?;
         let line = conn.read_line()?;
         if line != "STORED" {
             return Err(io::Error::other(format!("preload set failed: {line}")));
         }
     }
     Ok(())
+}
+
+/// One connection's closed loop: send, await the response, repeat.
+/// Latency is the full round trip.
+fn run_conn_closed(addr: &str, stream: &[CacheRequest]) -> io::Result<ConnStats> {
+    let mut conn = Conn::connect(addr)?;
+    let mut stats =
+        ConnStats { latencies_ns: Vec::with_capacity(stream.len()), ..Default::default() };
+    for req in stream {
+        let t0 = Instant::now();
+        conn.round_trip(req, &mut stats)?;
+        stats.latencies_ns.push(t0.elapsed().as_nanos() as u64);
+    }
+    Ok(stats)
+}
+
+/// One client thread's sliding-window loop over a shard of connections:
+/// every connection keeps up to `window` requests outstanding
+/// (memcached pipelining), and each round the thread reads one response
+/// and tops the window back up on every connection in turn. Still
+/// closed-loop per connection (bounded outstanding), but many
+/// connections share one client thread, so the generator stays off the
+/// scheduler's back at connection counts where thread-per-connection
+/// clients would themselves be the bottleneck.
+///
+/// Because every connection is held open for the whole run, a server
+/// whose worker pool is smaller than the connection count never serves
+/// the surplus: a connection whose *first* response misses the starve
+/// deadline is closed and counted in `starved_conns`, and its remaining
+/// requests go unserved. Served connections keep a generous retry
+/// allowance so a scheduling hiccup is not misread as starvation.
+fn run_conns_muxed(
+    addr: &str,
+    streams: &[Vec<CacheRequest>],
+    window: u32,
+    starve_timeout: Duration,
+) -> io::Result<ConnStats> {
+    let window = window.max(1) as usize;
+    let mut conns = Vec::with_capacity(streams.len());
+    for _ in streams {
+        let mut conn = Conn::connect(addr)?;
+        conn.reader.get_ref().set_read_timeout(Some(starve_timeout))?;
+        conn.lenient = false; // first response decides adoption
+        conns.push(conn);
+    }
+    let total: usize = streams.iter().map(Vec::len).sum();
+    let mut stats = ConnStats { latencies_ns: Vec::with_capacity(total), ..Default::default() };
+    // Per-connection cursors, in-flight send timestamps, and liveness.
+    let mut next_send = vec![0usize; streams.len()];
+    let mut next_read = vec![0usize; streams.len()];
+    let mut sent_at: Vec<std::collections::VecDeque<Instant>> =
+        streams.iter().map(|_| std::collections::VecDeque::with_capacity(window)).collect();
+    let mut starved = vec![false; streams.len()];
+    // Fill every connection's window.
+    for (i, stream) in streams.iter().enumerate() {
+        while next_send[i] < stream.len().min(window) {
+            sent_at[i].push_back(Instant::now());
+            conns[i].send(&request_command(&stream[next_send[i]]))?;
+            next_send[i] += 1;
+        }
+    }
+    let mut done = 0;
+    let mut remaining = total;
+    while done < remaining {
+        for (i, stream) in streams.iter().enumerate() {
+            if starved[i] || next_read[i] == next_send[i] {
+                continue; // dead, or nothing in flight
+            }
+            match conns[i].read_response(&stream[next_read[i]], &mut stats) {
+                Ok(()) => {}
+                Err(e) if is_timeout(&e) && !conns[i].lenient => {
+                    // Never answered: the server's worker pool is full
+                    // and this connection will not be adopted. Close it;
+                    // its unserved requests leave the denominator.
+                    starved[i] = true;
+                    stats.starved_conns += 1;
+                    remaining -= stream.len() - next_read[i];
+                    let _ = conns[i].reader.get_ref().shutdown(std::net::Shutdown::Both);
+                    continue;
+                }
+                Err(e) => return Err(e),
+            }
+            conns[i].lenient = true; // adopted: timeouts are hiccups now
+            let t0 = sent_at[i].pop_front().expect("in-flight timestamp");
+            stats.latencies_ns.push(t0.elapsed().as_nanos() as u64);
+            next_read[i] += 1;
+            done += 1;
+            if next_send[i] < stream.len() {
+                sent_at[i].push_back(Instant::now());
+                conns[i].send(&request_command(&stream[next_send[i]]))?;
+                next_send[i] += 1;
+            }
+        }
+    }
+    Ok(stats)
+}
+
+/// One connection's open loop: a writer thread sends each request at its
+/// scheduled due time whether or not earlier responses have arrived; this
+/// thread reads responses in order. Latency runs from the request's *due*
+/// time to its response, so falling behind schedule is charged to the
+/// server, not hidden by a stalled arrival process.
+fn run_conn_open(addr: &str, stream: Vec<CacheRequest>, pace: OpenLoop) -> io::Result<ConnStats> {
+    let sock = TcpStream::connect(addr)?;
+    sock.set_nodelay(true)?;
+    let mut wr = sock.try_clone()?;
+    let reqs = Arc::new(stream);
+    let start = Instant::now();
+    let writer = {
+        let reqs = Arc::clone(&reqs);
+        std::thread::spawn(move || -> io::Result<()> {
+            for (i, req) in reqs.iter().enumerate() {
+                let due = Duration::from_nanos(pace.offset_ns(i as u32));
+                let elapsed = start.elapsed();
+                if elapsed < due {
+                    std::thread::sleep(due - elapsed);
+                }
+                wr.write_all(&encode_request(&request_command(req)))?;
+            }
+            Ok(())
+        })
+    };
+    let mut conn = Conn { reader: BufReader::new(sock), line: String::new(), lenient: true };
+    let mut stats =
+        ConnStats { latencies_ns: Vec::with_capacity(reqs.len()), ..Default::default() };
+    for (i, req) in reqs.iter().enumerate() {
+        conn.read_response(req, &mut stats)?;
+        let due_ns = pace.offset_ns(i as u32);
+        let lat = (start.elapsed().as_nanos() as u64).saturating_sub(due_ns);
+        stats.latencies_ns.push(lat);
+    }
+    writer.join().expect("open-loop writer panicked")?;
+    Ok(stats)
 }
 
 /// Run the workload and assemble the report.
@@ -207,39 +432,52 @@ pub fn run(opts: &LoadgenOpts) -> io::Result<LoadReport> {
         dist: opts.dist,
         mix: opts.mix,
     };
-    let streams = spec.generate(&ks);
+    let mut streams = spec.generate(&ks);
+    let pace = opts.rate.and_then(|total| OpenLoop::split_total(total, opts.conns));
+    let mux = pace.is_none() && opts.client_threads > 0 && opts.client_threads < opts.conns;
 
     let started = Instant::now();
     let mut handles = Vec::new();
-    for (c, stream) in streams.into_iter().enumerate() {
-        let addr = opts.addr.clone();
-        handles.push(
-            std::thread::Builder::new()
-                .name(format!("loadgen-{c}"))
-                .spawn(move || -> io::Result<ConnStats> {
-                    let mut conn = Conn::connect(&addr)?;
-                    let mut stats = ConnStats {
-                        latencies_ns: Vec::with_capacity(stream.len()),
-                        ..Default::default()
-                    };
-                    for req in &stream {
-                        let t0 = Instant::now();
-                        conn.round_trip(req, &mut stats)?;
-                        stats.latencies_ns.push(t0.elapsed().as_nanos() as u64);
-                    }
-                    Ok(stats)
-                })
-                .expect("spawn loadgen thread"),
-        );
+    if mux {
+        let shard = streams.len().div_ceil(opts.client_threads as usize);
+        for (t, chunk) in streams.chunks(shard).enumerate() {
+            let addr = opts.addr.clone();
+            let chunk = chunk.to_vec();
+            let window = opts.pipeline;
+            let starve = Duration::from_millis(opts.starve_timeout_ms.max(1));
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("loadgen-mux-{t}"))
+                    .spawn(move || run_conns_muxed(&addr, &chunk, window, starve))
+                    .expect("spawn loadgen thread"),
+            );
+        }
+    } else {
+        for (c, stream) in streams.drain(..).enumerate() {
+            let addr = opts.addr.clone();
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("loadgen-{c}"))
+                    .spawn(move || -> io::Result<ConnStats> {
+                        match pace {
+                            Some(p) => run_conn_open(&addr, stream, p),
+                            None => run_conn_closed(&addr, &stream),
+                        }
+                    })
+                    .expect("spawn loadgen thread"),
+            );
+        }
     }
     let mut latencies = Vec::new();
     let mut get_hits = 0u64;
     let mut get_misses = 0u64;
+    let mut starved_conns = 0u32;
     for h in handles {
         let stats = h.join().expect("loadgen thread panicked")?;
         latencies.extend_from_slice(&stats.latencies_ns);
         get_hits += stats.get_hits;
         get_misses += stats.get_misses;
+        starved_conns += stats.starved_conns;
     }
     let elapsed_s = started.elapsed().as_secs_f64();
 
@@ -266,6 +504,10 @@ pub fn run(opts: &LoadgenOpts) -> io::Result<LoadReport> {
         get_misses,
         mix: opts.mix.label(),
         seed: opts.seed,
+        mode: if pace.is_some() { "open".into() } else { "closed".into() },
+        offered_rate: opts.rate,
+        served_conns: opts.conns - starved_conns,
+        starved_conns,
     })
 }
 
@@ -310,6 +552,10 @@ mod tests {
             get_misses: 6,
             mix: "90-9-1".into(),
             seed: 42,
+            mode: "closed".into(),
+            offered_rate: None,
+            served_conns: 2,
+            starved_conns: 0,
         };
         let json = serde_json::to_string(&r).unwrap();
         assert!(json.contains("\"backend\":\"native\""));

@@ -36,12 +36,16 @@ pub enum Command {
     /// `get <key>+` — look up one or more keys.
     Get(Vec<Key>),
     /// `set <key> <flags> <exptime> <bytes>\r\n<data>` — store (insert or
-    /// overwrite). Flags and exptime are accepted and ignored.
+    /// overwrite). Flags are accepted and ignored; `exptime` follows
+    /// memcached semantics (0 = never, ≤ 30 days = relative seconds,
+    /// larger = absolute unix time) and is honored by the TTL table.
     Set {
         /// Key to store under.
         key: Key,
         /// Value parsed from the data block.
         value: Value,
+        /// Raw expiry field from the command line (memcached encoding).
+        exptime: u32,
         /// Suppress the `STORED` reply.
         noreply: bool,
     },
@@ -168,7 +172,8 @@ impl Parser {
                     return Some(client_error("bad set flags"));
                 }
                 let key = parse_key(words[1]);
-                let meta_ok = words[2].parse::<u32>().is_ok() && words[3].parse::<u32>().is_ok();
+                let exptime = words[3].parse::<u32>().ok();
+                let meta_ok = words[2].parse::<u32>().is_ok() && exptime.is_some();
                 let Some(len) = words[4].parse::<usize>().ok().filter(|l| *l <= MAX_DATA) else {
                     self.start = after_line;
                     return Some(client_error("bad data length"));
@@ -197,7 +202,12 @@ impl Parser {
                         "bad data chunk"
                     }));
                 };
-                Some(Parsed::Cmd(Command::Set { key, value, noreply }))
+                Some(Parsed::Cmd(Command::Set {
+                    key,
+                    value,
+                    exptime: exptime.unwrap_or(0),
+                    noreply,
+                }))
             }
             Some("delete") => {
                 self.start = after_line;
@@ -306,10 +316,10 @@ pub fn encode_request(cmd: &Command) -> Vec<u8> {
             out.extend_from_slice(b"\r\n");
             out
         }
-        Command::Set { key, value, noreply } => {
+        Command::Set { key, value, exptime, noreply } => {
             let data = value.to_string();
             let tail = if *noreply { " noreply" } else { "" };
-            format!("set {key} 0 0 {}{tail}\r\n{data}\r\n", data.len()).into_bytes()
+            format!("set {key} 0 {exptime} {}{tail}\r\n{data}\r\n", data.len()).into_bytes()
         }
         Command::Delete { key, noreply } => {
             let tail = if *noreply { " noreply" } else { "" };
@@ -336,7 +346,7 @@ mod tests {
             drain(&mut p),
             vec![
                 Parsed::Cmd(Command::Get(vec![17])),
-                Parsed::Cmd(Command::Set { key: 5, value: 42, noreply: false }),
+                Parsed::Cmd(Command::Set { key: 5, value: 42, exptime: 0, noreply: false }),
                 Parsed::Cmd(Command::Delete { key: 5, noreply: false }),
                 Parsed::Cmd(Command::Quit),
                 Parsed::Cmd(Command::Shutdown),
@@ -353,7 +363,7 @@ mod tests {
             drain(&mut p),
             vec![
                 Parsed::Cmd(Command::Get(vec![1, 2, 3])),
-                Parsed::Cmd(Command::Set { key: 9, value: 7, noreply: true }),
+                Parsed::Cmd(Command::Set { key: 9, value: 7, exptime: 2, noreply: true }),
                 Parsed::Cmd(Command::Delete { key: 9, noreply: true }),
             ]
         );
@@ -371,7 +381,7 @@ mod tests {
         p.push(b"\n");
         assert_eq!(
             p.next(),
-            Some(Parsed::Cmd(Command::Set { key: 5, value: 123, noreply: false }))
+            Some(Parsed::Cmd(Command::Set { key: 5, value: 123, exptime: 0, noreply: false }))
         );
     }
 
@@ -427,8 +437,8 @@ mod tests {
     fn encoders_roundtrip_requests() {
         let cmds = vec![
             Command::Get(vec![1, 77, 4_000_000_000]),
-            Command::Set { key: 8, value: 0, noreply: false },
-            Command::Set { key: u32::MAX, value: u32::MAX, noreply: true },
+            Command::Set { key: 8, value: 0, exptime: 0, noreply: false },
+            Command::Set { key: u32::MAX, value: u32::MAX, exptime: u32::MAX, noreply: true },
             Command::Delete { key: 3, noreply: true },
             Command::Quit,
             Command::Shutdown,

@@ -1,0 +1,239 @@
+//! Connection runtimes for `hybrids-server`.
+//!
+//! The server can drive its sockets two ways:
+//!
+//! * **blocking** — the original thread-per-connection topology: an
+//!   acceptor feeds an mpsc channel; each worker (a host thread of the
+//!   native machine) owns one connection at a time, blocking on its
+//!   socket. Simple, and kept as the differential baseline.
+//! * **evented** — M reactor threads multiplex thousands of connections
+//!   over `epoll` (or `poll`), parse requests into a shared work queue,
+//!   and N native-machine workers execute them against the map and post
+//!   responses back to the owning reactor. Connections outnumber threads
+//!   by orders of magnitude; a worker never blocks on a slow peer.
+//!
+//! Both runtimes execute requests through the same
+//! [`Service`] layer, so for an identical request
+//! stream they produce byte-identical responses — the differential tests
+//! hold the runtimes to that.
+
+pub mod conn;
+pub mod poller;
+pub mod reactor;
+pub mod sys;
+pub mod timer;
+
+pub use conn::ConnCfg;
+pub use poller::PollerKind;
+pub use reactor::{Completion, ConnToken, ReactorCfg, ReactorHandle, WorkItem, WorkQueue};
+
+use std::io;
+use std::net::TcpListener;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use nmp_sim::{NativeRun, ThreadCtx, ThreadKind};
+
+use crate::service::Service;
+
+use reactor::Reactor;
+
+/// Which connection runtime drives the server.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RuntimeKind {
+    /// Thread-per-connection (the original topology).
+    #[default]
+    Blocking,
+    /// Reactor-multiplexed connections over epoll/poll.
+    Evented,
+}
+
+impl RuntimeKind {
+    /// Parse a `--runtime` flag value.
+    pub fn parse(s: &str) -> Option<RuntimeKind> {
+        match s {
+            "blocking" => Some(RuntimeKind::Blocking),
+            "evented" => Some(RuntimeKind::Evented),
+            _ => None,
+        }
+    }
+}
+
+/// Evented-runtime tuning (all fields have serviceable defaults).
+#[derive(Debug, Clone, Copy)]
+pub struct EventedOpts {
+    /// Reactor (event-loop) threads.
+    pub reactors: usize,
+    /// Close connections idle longer than this.
+    pub idle_timeout_ms: u64,
+    /// Graceful-shutdown drain budget before force-closing.
+    pub drain_ms: u64,
+    /// Per-connection unsent-backlog high-water mark (parks reads).
+    pub wq_high: usize,
+    /// Per-connection backlog low-water mark (resumes reads).
+    pub wq_low: usize,
+    /// Maximum dispatched-but-unanswered requests per connection.
+    pub max_inflight_per_conn: usize,
+    /// Readiness backend.
+    pub poller: PollerKind,
+    /// Reactor tick (poll timeout / timer resolution), in milliseconds.
+    pub tick_ms: u64,
+    /// Cap each accepted socket's kernel send buffer (`SO_SNDBUF`);
+    /// `None` keeps the kernel default.
+    pub sock_sndbuf: Option<usize>,
+}
+
+impl Default for EventedOpts {
+    fn default() -> Self {
+        EventedOpts {
+            reactors: 2,
+            idle_timeout_ms: 60_000,
+            drain_ms: 5_000,
+            wq_high: 256 * 1024,
+            wq_low: 64 * 1024,
+            max_inflight_per_conn: 1024,
+            poller: PollerKind::Epoll,
+            tick_ms: 20,
+            sock_sndbuf: None,
+        }
+    }
+}
+
+impl EventedOpts {
+    fn reactor_cfg(&self) -> ReactorCfg {
+        ReactorCfg {
+            conn: ConnCfg {
+                wq_high: self.wq_high,
+                wq_low: self.wq_low,
+                max_inflight: self.max_inflight_per_conn,
+            },
+            idle_timeout_ms: self.idle_timeout_ms,
+            drain_ms: self.drain_ms,
+            tick_ms: self.tick_ms,
+            sock_sndbuf: self.sock_sndbuf,
+        }
+    }
+}
+
+/// Thread handles of a started evented runtime (joined by
+/// [`crate::server::Server::wait`]).
+pub(crate) struct Evented {
+    pub(crate) acceptor: JoinHandle<()>,
+    pub(crate) reactors: Vec<JoinHandle<()>>,
+    pub(crate) queues: Arc<Vec<WorkQueue>>,
+}
+
+impl Evented {
+    /// Join everything in dependency order: acceptor (exits on the
+    /// shutdown flag), then reactors (exit once drained — workers are
+    /// still alive here, so in-flight responses complete), then close the
+    /// queues so workers drain and exit. The caller finishes the native
+    /// run afterwards.
+    pub(crate) fn join(self) {
+        self.acceptor.join().expect("acceptor panicked");
+        for r in self.reactors {
+            r.join().expect("reactor panicked");
+        }
+        for q in self.queues.iter() {
+            q.close();
+        }
+    }
+}
+
+/// Wire up reactors, workers, and the acceptor for the evented runtime.
+pub(crate) fn start_evented(
+    listener: TcpListener,
+    service: Arc<Service>,
+    run: &mut NativeRun,
+    workers: usize,
+    shutdown: Arc<AtomicBool>,
+    opts: &EventedOpts,
+) -> io::Result<Evented> {
+    assert!(opts.reactors >= 1, "need at least one reactor");
+    // One FIFO queue per worker: connections are pinned to a queue so
+    // their requests execute in order (see `reactor::sticky_queue`).
+    let queues: Arc<Vec<WorkQueue>> = Arc::new((0..workers).map(|_| WorkQueue::new()).collect());
+    let cfg = opts.reactor_cfg();
+
+    let mut handles = Vec::with_capacity(opts.reactors);
+    let mut reactors = Vec::with_capacity(opts.reactors);
+    for id in 0..opts.reactors {
+        let (reactor, handle) = Reactor::new(
+            id as u16,
+            opts.poller,
+            cfg,
+            Arc::clone(&queues),
+            Arc::clone(&service.counters),
+            Arc::clone(&shutdown),
+        )?;
+        handles.push(handle);
+        reactors.push(
+            std::thread::Builder::new()
+                .name(format!("reactor-{id}"))
+                .spawn(move || reactor.run())
+                .expect("spawn reactor"),
+        );
+    }
+
+    let handles = Arc::new(handles);
+    for core in 0..workers {
+        let service = Arc::clone(&service);
+        let queues = Arc::clone(&queues);
+        let handles = Arc::clone(&handles);
+        run.spawn(format!("conn-{core}"), ThreadKind::Host { core }, move |ctx| {
+            worker_loop(ctx, &service, &queues[core], &handles);
+        });
+    }
+
+    let acceptor = {
+        let handles = Arc::clone(&handles);
+        let shutdown = Arc::clone(&shutdown);
+        std::thread::Builder::new()
+            .name("acceptor".into())
+            .spawn(move || accept_loop(listener, &handles, &shutdown))
+            .expect("spawn acceptor")
+    };
+
+    Ok(Evented { acceptor, reactors, queues })
+}
+
+/// Accept until shutdown, spreading connections round-robin over the
+/// reactors. Bursts are accepted back-to-back so a connection ramp (the
+/// 512-conn benchmark) isn't throttled by the idle sleep.
+fn accept_loop(listener: TcpListener, handles: &[ReactorHandle], shutdown: &AtomicBool) {
+    let mut next = 0usize;
+    while !shutdown.load(Ordering::Acquire) {
+        loop {
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    handles[next % handles.len()].inject(stream);
+                    next += 1;
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(_) => break,
+            }
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    }
+}
+
+/// A native-machine worker: pop from this worker's own queue, execute
+/// against the map, post the response back to the connection's reactor.
+fn worker_loop(
+    ctx: &mut ThreadCtx,
+    service: &Service,
+    queue: &WorkQueue,
+    handles: &[ReactorHandle],
+) {
+    while let Some(item) = queue.pop() {
+        let mut out = Vec::new();
+        service.execute(ctx, &item.cmd, &mut out);
+        handles[item.token.reactor as usize].complete(Completion {
+            token: item.token,
+            seq: item.seq,
+            bytes: out,
+        });
+    }
+}

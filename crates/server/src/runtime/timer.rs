@@ -1,0 +1,125 @@
+//! Hashed timer wheel for idle-connection timeouts.
+//!
+//! Deadlines land in one of `WHEEL_SLOTS` buckets keyed by
+//! `deadline_tick % WHEEL_SLOTS`; advancing the wheel by one tick drains
+//! one bucket and keeps entries whose deadline hashes to the same slot a
+//! full revolution later. Precision is one tick (the reactor's poll
+//! timeout), which is plenty for multi-second idle timeouts.
+//!
+//! The wheel never cancels: a connection that sees traffic simply updates
+//! its own `last_active` stamp, and when its stale entry pops out the
+//! reactor re-checks the stamp and (if the conn is in fact live) re-arms a
+//! fresh entry — "lazy reinsertion". That keeps insert O(1) with no
+//! per-entry handles.
+
+/// Bucket count. Power of two so the modulo is a mask.
+const WHEEL_SLOTS: usize = 64;
+
+/// A deadline bucket wheel with lazy cancellation.
+pub struct TimerWheel {
+    slots: Vec<Vec<(usize, u64)>>,
+    /// Next tick to drain (all earlier ticks already drained).
+    cursor: u64,
+}
+
+impl TimerWheel {
+    /// Empty wheel starting at tick 0.
+    pub fn new() -> Self {
+        TimerWheel { slots: (0..WHEEL_SLOTS).map(|_| Vec::new()).collect(), cursor: 0 }
+    }
+
+    /// Arm `token` to pop once the wheel advances to `deadline_tick`.
+    /// Deadlines at or before the cursor pop on the very next advance.
+    pub fn insert(&mut self, token: usize, deadline_tick: u64) {
+        let tick = deadline_tick.max(self.cursor);
+        self.slots[(tick as usize) & (WHEEL_SLOTS - 1)].push((token, tick));
+    }
+
+    /// Advance to `now_tick`, appending every entry whose deadline has
+    /// passed to `expired`. Entries sharing a slot but due a revolution
+    /// later are retained.
+    pub fn advance(&mut self, now_tick: u64, expired: &mut Vec<usize>) {
+        while self.cursor <= now_tick {
+            let slot = &mut self.slots[(self.cursor as usize) & (WHEEL_SLOTS - 1)];
+            let mut i = 0;
+            while i < slot.len() {
+                if slot[i].1 <= now_tick {
+                    expired.push(slot.swap_remove(i).0);
+                } else {
+                    i += 1;
+                }
+            }
+            self.cursor += 1;
+        }
+    }
+
+    /// Entries currently armed (tests/observability).
+    pub fn len(&self) -> usize {
+        self.slots.iter().map(Vec::len).sum()
+    }
+
+    /// Whether no entries are armed.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl Default for TimerWheel {
+    fn default() -> Self {
+        TimerWheel::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drain(w: &mut TimerWheel, now: u64) -> Vec<usize> {
+        let mut out = Vec::new();
+        w.advance(now, &mut out);
+        out.sort_unstable();
+        out
+    }
+
+    #[test]
+    fn pops_at_deadline_not_before() {
+        let mut w = TimerWheel::new();
+        w.insert(1, 10);
+        w.insert(2, 20);
+        assert!(drain(&mut w, 9).is_empty());
+        assert_eq!(drain(&mut w, 10), vec![1]);
+        assert_eq!(w.len(), 1);
+        assert_eq!(drain(&mut w, 25), vec![2]);
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn same_slot_different_revolution_is_kept() {
+        let mut w = TimerWheel::new();
+        // Both hash to slot 5, one a full revolution later.
+        w.insert(1, 5);
+        w.insert(2, 5 + WHEEL_SLOTS as u64);
+        assert_eq!(drain(&mut w, 5), vec![1]);
+        assert_eq!(w.len(), 1, "next-revolution entry must survive");
+        assert_eq!(drain(&mut w, 5 + WHEEL_SLOTS as u64), vec![2]);
+    }
+
+    #[test]
+    fn past_deadlines_pop_immediately() {
+        let mut w = TimerWheel::new();
+        w.advance(100, &mut Vec::new());
+        w.insert(9, 3); // already past — clamped to the cursor
+        assert_eq!(drain(&mut w, 101), vec![9]);
+    }
+
+    #[test]
+    fn large_jump_drains_everything_once() {
+        let mut w = TimerWheel::new();
+        for t in 0..200u64 {
+            w.insert(t as usize, t);
+        }
+        let popped = drain(&mut w, 1_000);
+        assert_eq!(popped.len(), 200);
+        assert!(w.is_empty());
+    }
+}

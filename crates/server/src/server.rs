@@ -1,25 +1,34 @@
-//! The `hybrids-server` runtime: a listener plus N worker threads serving
+//! The `hybrids-server` runtime: a listener plus worker threads serving
 //! the memcached text protocol over a [`HybridHashMap`] running on the
 //! native memory backend.
 //!
-//! Topology: an acceptor OS thread `accept()`s connections and feeds them
-//! through a channel to `workers` connection workers. Each worker is a
-//! *host thread of the native run* (a distinct host core of the machine
-//! model), so its [`ThreadCtx`] can drive the publication-list offload
-//! client directly — the exact same `HybridHashMap::execute` path the
-//! simulator verifies, now over real atomics at hardware speed. The NMP
-//! combiners run as native daemons, one per partition, just as they do
-//! under simulation.
+//! Two selectable connection runtimes share this facade (see
+//! [`RuntimeKind`] and `DESIGN.md` §4.12):
+//!
+//! * **blocking** — an acceptor OS thread `accept()`s connections and
+//!   feeds them through a channel to `workers` connection workers; each
+//!   worker owns one connection at a time, blocking on its socket.
+//! * **evented** — reactor threads multiplex all connections over
+//!   epoll/poll and feed parsed requests to the same workers through a
+//!   work queue (see [`crate::runtime`]).
+//!
+//! In both, each worker is a *host thread of the native run* (a distinct
+//! host core of the machine model), so its [`ThreadCtx`] can drive the
+//! publication-list offload client directly — the exact same
+//! `HybridHashMap::execute` path the simulator verifies, now over real
+//! atomics at hardware speed. The NMP combiners run as native daemons,
+//! one per partition, just as they do under simulation. Requests execute
+//! through the shared [`Service`] layer, so the two runtimes produce
+//! byte-identical responses for identical request streams.
 //!
 //! Shutdown: the `shutdown` protocol verb (or [`Server::stop`]) raises a
-//! flag; the acceptor stops accepting and drops the channel sender, the
-//! workers drain and exit, and [`Server::wait`] joins the native run
-//! (stopping the combiner daemons) before returning the map for
-//! inspection.
+//! flag; accepting stops, in-flight requests drain, and [`Server::wait`]
+//! joins every thread (stopping the combiner daemons) before returning
+//! the map for inspection.
 
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
 use std::time::Duration;
@@ -27,22 +36,20 @@ use std::time::Duration;
 use parking_lot::Mutex;
 
 use hybrids::hashmap::HybridHashMap;
-use hybrids::SimIndex;
+use hybrids::publist;
 use nmp_sim::{Config, Machine, NativeRun, ThreadCtx, ThreadKind};
-use workloads::Op;
 
 use crate::proto::{self, Command, Parsed, Parser};
-
-/// How a `set` that keeps losing insert/update races reports failure
-/// before giving up (never observed in practice; bounded for safety).
-const SET_RETRIES: usize = 16;
+use crate::runtime::{self, EventedOpts, RuntimeKind};
+use crate::service::{ServeCounters, Service};
+use crate::ttl::{Clock, TtlTable};
 
 /// Server construction options.
 #[derive(Debug, Clone)]
 pub struct ServerOpts {
     /// Bind address, e.g. `127.0.0.1:11211` (port 0 picks a free port).
     pub addr: String,
-    /// Connection workers — each is one host core of the machine model.
+    /// Request workers — each is one host core of the machine model.
     pub workers: usize,
     /// Hash-map buckets (multiple of the machine's partition count).
     pub buckets: u32,
@@ -50,6 +57,12 @@ pub struct ServerOpts {
     pub max_inflight: usize,
     /// Hash seed for the map.
     pub seed: u64,
+    /// Which connection runtime drives the sockets.
+    pub runtime: RuntimeKind,
+    /// Evented-runtime tuning (ignored under [`RuntimeKind::Blocking`]).
+    pub evented: EventedOpts,
+    /// Time source for `exptime` expiry (manual in tests).
+    pub clock: Clock,
 }
 
 impl Default for ServerOpts {
@@ -60,32 +73,34 @@ impl Default for ServerOpts {
             buckets: 1024,
             max_inflight: 4,
             seed: 42,
+            runtime: RuntimeKind::Blocking,
+            evented: EventedOpts::default(),
+            clock: Clock::System,
         }
     }
 }
 
-/// Aggregate served-request counters (relaxed; read after [`Server::wait`]).
-#[derive(Debug, Default)]
-pub struct ServeCounters {
-    /// `get` keys that hit.
-    pub get_hits: AtomicU64,
-    /// `get` keys that missed.
-    pub get_misses: AtomicU64,
-    /// Successful `set`s.
-    pub sets: AtomicU64,
-    /// `delete`s that removed a key.
-    pub deletes: AtomicU64,
-    /// Connections served to completion.
-    pub conns: AtomicU64,
-    /// Protocol errors reported to clients.
-    pub proto_errors: AtomicU64,
+/// The largest worker pool the machine's publication lists can carry at
+/// `max_inflight` lanes per worker: every worker owns `max_inflight`
+/// 64-byte slots in each partition's scratchpad, and the scratchpad is a
+/// fixed architectural parameter. This is the blocking runtime's *max
+/// viable thread count* — past it, a thread-per-connection server cannot
+/// add host threads no matter how many connections arrive.
+pub fn max_viable_workers(cfg: &Config, max_inflight: usize) -> usize {
+    (cfg.scratchpad_bytes / (publist::SLOT_BYTES * max_inflight.max(1) as u32)) as usize
 }
 
-/// A running server (listener + native run).
+/// Runtime-specific thread handles behind the [`Server`] facade.
+enum Inner {
+    Blocking { acceptor: JoinHandle<()> },
+    Evented(runtime::Evented),
+}
+
+/// A running server (listener + native run), either runtime.
 pub struct Server {
     addr: SocketAddr,
     shutdown: Arc<AtomicBool>,
-    acceptor: JoinHandle<()>,
+    inner: Inner,
     run: NativeRun,
     map: Arc<HybridHashMap>,
     counters: Arc<ServeCounters>,
@@ -93,11 +108,28 @@ pub struct Server {
 
 impl Server {
     /// Build the native machine, the map, the combiner daemons, and the
-    /// worker pool; bind the listener and start accepting.
+    /// chosen connection runtime; bind the listener and start accepting.
     pub fn start(opts: &ServerOpts) -> io::Result<Server> {
         assert!(opts.workers >= 1, "need at least one worker");
         let mut cfg = Config::default_scaled();
         cfg.host_cores = opts.workers;
+        // Workers are publication-list clients: each needs `max_inflight`
+        // scratchpad slots per partition, and the scratchpad is a fixed
+        // architectural parameter of the machine — it does not grow to
+        // absorb bigger thread pools. Surface the ceiling as a server
+        // error instead of the publication list's deeper panic.
+        let cap = max_viable_workers(&cfg, opts.max_inflight);
+        if opts.workers > cap {
+            return Err(io::Error::other(format!(
+                "{} workers need {} B of publication-list scratchpad, machine has {} B \
+                 (max viable {} workers at inflight {})",
+                opts.workers,
+                (opts.workers * opts.max_inflight) as u32 * publist::SLOT_BYTES,
+                cfg.scratchpad_bytes,
+                cap,
+                opts.max_inflight,
+            )));
+        }
         let machine = Machine::new_native(cfg);
         let map =
             HybridHashMap::new(Arc::clone(&machine), opts.buckets, opts.seed, opts.max_inflight);
@@ -108,35 +140,56 @@ impl Server {
 
         let shutdown = Arc::new(AtomicBool::new(false));
         let counters = Arc::new(ServeCounters::default());
+        let service = Arc::new(Service {
+            map: Arc::clone(&map),
+            ttl: TtlTable::new(opts.clock.clone()),
+            counters: Arc::clone(&counters),
+        });
         let mut run = machine.native_run();
         map.spawn_services_on(&mut run);
 
-        let (tx, rx) = mpsc::channel::<TcpStream>();
-        let rx = Arc::new(Mutex::new(rx));
-        for core in 0..opts.workers {
-            let rx = Arc::clone(&rx);
-            let map = Arc::clone(&map);
-            let shutdown = Arc::clone(&shutdown);
-            let counters = Arc::clone(&counters);
-            run.spawn(format!("conn-{core}"), ThreadKind::Host { core }, move |ctx| {
-                worker_loop(ctx, &map, &rx, &shutdown, &counters);
-            });
-        }
-
-        let acceptor = {
-            let shutdown = Arc::clone(&shutdown);
-            std::thread::Builder::new()
-                .name("acceptor".into())
-                .spawn(move || accept_loop(listener, tx, &shutdown))
-                .expect("spawn acceptor")
+        let inner = match opts.runtime {
+            RuntimeKind::Blocking => {
+                let (tx, rx) = mpsc::channel::<TcpStream>();
+                let rx = Arc::new(Mutex::new(rx));
+                for core in 0..opts.workers {
+                    let rx = Arc::clone(&rx);
+                    let service = Arc::clone(&service);
+                    let shutdown = Arc::clone(&shutdown);
+                    run.spawn(format!("conn-{core}"), ThreadKind::Host { core }, move |ctx| {
+                        blocking_worker_loop(ctx, &service, &rx, &shutdown);
+                    });
+                }
+                let acceptor = {
+                    let shutdown = Arc::clone(&shutdown);
+                    std::thread::Builder::new()
+                        .name("acceptor".into())
+                        .spawn(move || blocking_accept_loop(listener, tx, &shutdown))
+                        .expect("spawn acceptor")
+                };
+                Inner::Blocking { acceptor }
+            }
+            RuntimeKind::Evented => Inner::Evented(runtime::start_evented(
+                listener,
+                Arc::clone(&service),
+                &mut run,
+                opts.workers,
+                Arc::clone(&shutdown),
+                &opts.evented,
+            )?),
         };
 
-        Ok(Server { addr, shutdown, acceptor, run, map, counters })
+        Ok(Server { addr, shutdown, inner, run, map, counters })
     }
 
     /// The bound address (resolves port 0).
     pub fn addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// Live served-traffic counters (also returned by [`Server::wait`]).
+    pub fn counters(&self) -> Arc<ServeCounters> {
+        Arc::clone(&self.counters)
     }
 
     /// Request shutdown from outside the protocol.
@@ -147,16 +200,22 @@ impl Server {
     /// Block until shutdown, join every thread, and hand back the map and
     /// counters for inspection.
     pub fn wait(self) -> (Arc<HybridHashMap>, Arc<ServeCounters>) {
-        let Server { acceptor, run, map, counters, .. } = self;
-        acceptor.join().expect("acceptor panicked");
-        // Workers exit once the acceptor drops the sender and the queue
-        // drains; finish() then stops the combiner daemons.
+        let Server { inner, run, map, counters, .. } = self;
+        match inner {
+            Inner::Blocking { acceptor } => {
+                acceptor.join().expect("acceptor panicked");
+                // Workers exit once the acceptor drops the sender and the
+                // queue drains.
+            }
+            Inner::Evented(evented) => evented.join(),
+        }
+        // finish() then stops the combiner daemons.
         run.finish();
         (map, counters)
     }
 }
 
-fn accept_loop(listener: TcpListener, tx: mpsc::Sender<TcpStream>, shutdown: &AtomicBool) {
+fn blocking_accept_loop(listener: TcpListener, tx: mpsc::Sender<TcpStream>, shutdown: &AtomicBool) {
     while !shutdown.load(Ordering::Acquire) {
         match listener.accept() {
             Ok((stream, _)) => {
@@ -173,22 +232,21 @@ fn accept_loop(listener: TcpListener, tx: mpsc::Sender<TcpStream>, shutdown: &At
     // Dropping `tx` here disconnects the workers' queue.
 }
 
-fn worker_loop(
+fn blocking_worker_loop(
     ctx: &mut ThreadCtx,
-    map: &Arc<HybridHashMap>,
+    service: &Service,
     rx: &Mutex<mpsc::Receiver<TcpStream>>,
     shutdown: &AtomicBool,
-    counters: &ServeCounters,
 ) {
     loop {
         // Take the lock only long enough to pull one connection.
         let next = rx.lock().recv_timeout(Duration::from_millis(20));
         match next {
             Ok(stream) => {
-                if serve_conn(ctx, map, stream, shutdown, counters).unwrap_or(false) {
+                if serve_conn(ctx, service, stream, shutdown).unwrap_or(false) {
                     shutdown.store(true, Ordering::Release);
                 }
-                counters.conns.fetch_add(1, Ordering::Relaxed);
+                service.counters.conns.fetch_add(1, Ordering::Relaxed);
             }
             Err(mpsc::RecvTimeoutError::Timeout) => {
                 if shutdown.load(Ordering::Acquire) {
@@ -200,14 +258,13 @@ fn worker_loop(
     }
 }
 
-/// Serve one connection to completion. Returns `Ok(true)` if the client
-/// asked for server shutdown.
+/// Serve one connection to completion (blocking runtime). Returns
+/// `Ok(true)` if the client asked for server shutdown.
 fn serve_conn(
     ctx: &mut ThreadCtx,
-    map: &Arc<HybridHashMap>,
+    service: &Service,
     mut stream: TcpStream,
     shutdown: &AtomicBool,
-    counters: &ServeCounters,
 ) -> io::Result<bool> {
     stream.set_nodelay(true).ok();
     stream.set_read_timeout(Some(Duration::from_millis(50)))?;
@@ -234,45 +291,6 @@ fn serve_conn(
         // flush one combined write.
         for step in parser.by_ref() {
             match step {
-                Parsed::Cmd(Command::Get(keys)) => {
-                    let mut hits = Vec::with_capacity(keys.len());
-                    for key in keys {
-                        let r = map.execute(ctx, Op::Read(key));
-                        if r.ok {
-                            counters.get_hits.fetch_add(1, Ordering::Relaxed);
-                            hits.push((key, r.value));
-                        } else {
-                            counters.get_misses.fetch_add(1, Ordering::Relaxed);
-                        }
-                    }
-                    out.extend_from_slice(&proto::encode_get(&hits));
-                }
-                Parsed::Cmd(Command::Set { key, value, noreply }) => {
-                    let stored = do_set(ctx, map, key, value);
-                    if stored {
-                        counters.sets.fetch_add(1, Ordering::Relaxed);
-                    }
-                    if !noreply {
-                        if stored {
-                            out.extend_from_slice(proto::encode_stored());
-                        } else {
-                            out.extend_from_slice(b"SERVER_ERROR store failed\r\n");
-                        }
-                    }
-                }
-                Parsed::Cmd(Command::Delete { key, noreply }) => {
-                    let removed = map.execute(ctx, Op::Remove(key)).ok;
-                    if removed {
-                        counters.deletes.fetch_add(1, Ordering::Relaxed);
-                    }
-                    if !noreply {
-                        out.extend_from_slice(if removed {
-                            proto::encode_deleted()
-                        } else {
-                            proto::encode_not_found()
-                        });
-                    }
-                }
                 Parsed::Cmd(Command::Quit) => {
                     stream.write_all(&out)?;
                     return Ok(false);
@@ -282,8 +300,9 @@ fn serve_conn(
                     stream.write_all(&out)?;
                     return Ok(true);
                 }
+                Parsed::Cmd(cmd) => service.execute(ctx, &cmd, &mut out),
                 Parsed::Error { line, fatal } => {
-                    counters.proto_errors.fetch_add(1, Ordering::Relaxed);
+                    service.counters.proto_errors.fetch_add(1, Ordering::Relaxed);
                     out.extend_from_slice(&proto::encode_error_line(&line));
                     if fatal {
                         stream.write_all(&out)?;
@@ -296,19 +315,4 @@ fn serve_conn(
             stream.write_all(&out)?;
         }
     }
-}
-
-/// memcached `set` is insert-or-overwrite; the map's `Insert` fails on
-/// duplicates and `Update` fails on absent keys, so race the two until one
-/// lands (a concurrent delete can void an `Update` between our attempts).
-fn do_set(ctx: &mut ThreadCtx, map: &Arc<HybridHashMap>, key: u32, value: u32) -> bool {
-    for _ in 0..SET_RETRIES {
-        if map.execute(ctx, Op::Insert(key, value)).ok {
-            return true;
-        }
-        if map.execute(ctx, Op::Update(key, value)).ok {
-            return true;
-        }
-    }
-    false
 }

@@ -1,0 +1,197 @@
+//! Key expiry (`exptime`) for the memcached front end.
+//!
+//! The hash map under the cache stores bare `u32` values, so expiry
+//! metadata lives beside it in a sharded host-side table mapping each key
+//! to its **absolute** expiry time (unix seconds). memcached's `exptime`
+//! encoding is honored exactly: `0` means never expire, values up to
+//! 30 days are relative seconds from now, anything larger is an absolute
+//! unix timestamp.
+//!
+//! Expiry is *lazy*, as in memcached: nothing scans for dead keys. A
+//! `get`/`gets` that touches an expired key treats it as a miss, removes
+//! the key from the map and the table, and bumps the `serve_expired`
+//! counter. Both the blocking and the evented runtime route every request
+//! through [`crate::service::Service`], so TTL behavior is identical
+//! across runtimes by construction.
+//!
+//! The clock is injectable ([`Clock::Manual`]) so tests can advance time
+//! deterministically instead of sleeping.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{SystemTime, UNIX_EPOCH};
+
+use parking_lot::Mutex;
+
+use workloads::Key;
+
+/// memcached's relative/absolute `exptime` pivot: 30 days in seconds.
+pub const EXPTIME_PIVOT: u32 = 60 * 60 * 24 * 30;
+
+/// Shard count for the expiry table (keys hash across shards so the hot
+/// `get` path never funnels through one lock).
+const SHARDS: usize = 16;
+
+/// Time source for expiry decisions.
+#[derive(Debug, Clone)]
+pub enum Clock {
+    /// Real wall-clock unix time.
+    System,
+    /// A test clock read from a shared counter of unix seconds.
+    Manual(Arc<AtomicU64>),
+}
+
+impl Clock {
+    /// A manual clock starting at `now` unix seconds, plus the handle that
+    /// advances it.
+    pub fn manual(now: u64) -> (Clock, Arc<AtomicU64>) {
+        let cell = Arc::new(AtomicU64::new(now));
+        (Clock::Manual(Arc::clone(&cell)), cell)
+    }
+
+    /// Current unix time in whole seconds.
+    pub fn now(&self) -> u64 {
+        match self {
+            Clock::System => {
+                SystemTime::now().duration_since(UNIX_EPOCH).map(|d| d.as_secs()).unwrap_or(0)
+            }
+            Clock::Manual(cell) => cell.load(Ordering::Acquire),
+        }
+    }
+}
+
+/// Sharded key → absolute-expiry table.
+pub struct TtlTable {
+    shards: Vec<Mutex<HashMap<Key, u64>>>,
+    clock: Clock,
+}
+
+impl TtlTable {
+    /// Empty table over the given clock.
+    pub fn new(clock: Clock) -> Self {
+        TtlTable { shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(), clock }
+    }
+
+    fn shard(&self, key: Key) -> &Mutex<HashMap<Key, u64>> {
+        // Fibonacci hash of the key picks the shard; the table is small,
+        // the point is only to spread lock traffic.
+        let h = (key as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        &self.shards[(h >> 32) as usize % SHARDS]
+    }
+
+    /// Decode a raw memcached `exptime` into an absolute unix-seconds
+    /// expiry (`None` = never expires).
+    pub fn absolute_expiry(&self, exptime: u32) -> Option<u64> {
+        match exptime {
+            0 => None,
+            e if e <= EXPTIME_PIVOT => Some(self.clock.now() + e as u64),
+            e => Some(e as u64),
+        }
+    }
+
+    /// Record the expiry of a freshly stored key (a `set` with
+    /// `exptime = 0` clears any previous expiry, as in memcached).
+    pub fn on_set(&self, key: Key, exptime: u32) {
+        let mut shard = self.shard(key).lock();
+        match self.absolute_expiry(exptime) {
+            Some(at) => {
+                shard.insert(key, at);
+            }
+            None => {
+                shard.remove(&key);
+            }
+        }
+    }
+
+    /// Forget a key's expiry (on `delete`, or after lazy expiry).
+    pub fn on_remove(&self, key: Key) {
+        self.shard(key).lock().remove(&key);
+    }
+
+    /// Whether `key` has an expiry that has already passed. memcached
+    /// expires at the boundary second: a key set with `exptime = 1`
+    /// is dead once `now >= stored_at + 1`.
+    pub fn is_expired(&self, key: Key) -> bool {
+        let shard = self.shard(key).lock();
+        match shard.get(&key) {
+            Some(&at) => self.clock.now() >= at,
+            None => false,
+        }
+    }
+
+    /// Number of keys currently carrying an expiry (observability only).
+    pub fn tracked(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exptime_decoding_follows_memcached() {
+        let (clock, cell) = Clock::manual(1_000_000);
+        let t = TtlTable::new(clock);
+        assert_eq!(t.absolute_expiry(0), None);
+        assert_eq!(t.absolute_expiry(5), Some(1_000_005));
+        assert_eq!(t.absolute_expiry(EXPTIME_PIVOT), Some(1_000_000 + EXPTIME_PIVOT as u64));
+        // Past the pivot the field is an absolute unix timestamp.
+        assert_eq!(t.absolute_expiry(EXPTIME_PIVOT + 1), Some(EXPTIME_PIVOT as u64 + 1));
+        cell.store(2_000_000, Ordering::Release);
+        assert_eq!(t.absolute_expiry(5), Some(2_000_005));
+    }
+
+    #[test]
+    fn lazy_expiry_at_the_boundary_second() {
+        let (clock, cell) = Clock::manual(100);
+        let t = TtlTable::new(clock);
+        t.on_set(7, 10);
+        assert!(!t.is_expired(7));
+        cell.store(109, Ordering::Release);
+        assert!(!t.is_expired(7), "one second early");
+        cell.store(110, Ordering::Release);
+        assert!(t.is_expired(7), "expires at the boundary");
+        // Untracked keys never expire.
+        assert!(!t.is_expired(8));
+    }
+
+    #[test]
+    fn set_zero_clears_and_remove_forgets() {
+        let (clock, cell) = Clock::manual(100);
+        let t = TtlTable::new(clock);
+        t.on_set(7, 10);
+        assert_eq!(t.tracked(), 1);
+        // Overwriting with exptime 0 must clear the old expiry.
+        t.on_set(7, 0);
+        assert_eq!(t.tracked(), 0);
+        cell.store(1_000, Ordering::Release);
+        assert!(!t.is_expired(7));
+
+        t.on_set(9, 5);
+        t.on_remove(9);
+        assert_eq!(t.tracked(), 0);
+    }
+
+    #[test]
+    fn absolute_past_expiry_is_immediately_dead() {
+        // An absolute timestamp in the past (the CI smoke's trick for a
+        // deterministic expiring key) is expired from the first get.
+        let t = TtlTable::new(Clock::System);
+        t.on_set(3, EXPTIME_PIVOT + 1); // unix second 2_592_001 ≈ 1970
+        assert!(t.is_expired(3));
+    }
+
+    #[test]
+    fn shards_spread_keys() {
+        let (clock, _) = Clock::manual(0);
+        let t = TtlTable::new(clock);
+        for k in 1..=1_000u32 {
+            t.on_set(k, 60);
+        }
+        assert_eq!(t.tracked(), 1_000);
+        let nonempty = t.shards.iter().filter(|s| !s.lock().is_empty()).count();
+        assert!(nonempty > SHARDS / 2, "keys concentrated in {nonempty} shards");
+    }
+}

@@ -25,6 +25,7 @@ fn random_command(rng: &mut Rng) -> Command {
         1 => Command::Set {
             key: rng.next_u32().max(1),
             value: rng.next_u32(),
+            exptime: if rng.below(4) == 0 { rng.next_u32() } else { 0 },
             noreply: rng.below(4) == 0,
         },
         2 => Command::Delete { key: rng.next_u32().max(1), noreply: rng.below(4) == 0 },
@@ -120,7 +121,8 @@ fn noise_between_valid_commands_is_survivable() {
     let root = Rng::new(42);
     for round in 0..100u64 {
         let mut rng = root.fork(round);
-        let good = Command::Set { key: 5, value: 1 + rng.next_u32() % 100, noreply: false };
+        let good =
+            Command::Set { key: 5, value: 1 + rng.next_u32() % 100, exptime: 0, noreply: false };
         let mut wire = Vec::new();
         let noise_len = rng.below(40) as usize;
         let mut noise: Vec<u8> =

@@ -22,6 +22,7 @@ fn test_server() -> Server {
         buckets: 256,
         max_inflight: 2,
         seed: 42,
+        ..ServerOpts::default()
     })
     .expect("bind loopback")
 }
@@ -53,11 +54,13 @@ fn pipelined_round_trip_is_byte_exact() {
     wire.extend_from_slice(&proto::encode_request(&Command::Set {
         key: 10,
         value: 7,
+        exptime: 0,
         noreply: false,
     }));
     wire.extend_from_slice(&proto::encode_request(&Command::Set {
         key: 11,
         value: 900,
+        exptime: 0,
         noreply: true,
     }));
     wire.extend_from_slice(&proto::encode_request(&Command::Get(vec![10, 11, 12])));
@@ -123,11 +126,16 @@ fn loadgen_mixed_run_produces_report() {
         keys: 512,
         preload: true,
         shutdown: true,
+        rate: None,
+        client_threads: 0,
+        pipeline: 1,
+        starve_timeout_ms: 250,
     };
     let report = loadgen::run(&opts).expect("loadgen run");
     assert_eq!(report.total_ops, 600);
     assert_eq!(report.backend, "native");
     assert_eq!(report.mix, "60-30-10");
+    assert_eq!(report.mode, "closed");
     assert!(report.ops_per_sec > 0.0);
     assert!(report.p50_us > 0.0 && report.p50_us <= report.p95_us);
     assert!(report.p95_us <= report.p99_us);
@@ -144,4 +152,114 @@ fn loadgen_mixed_run_produces_report() {
     keys.sort_unstable();
     keys.dedup();
     assert_eq!(keys.len(), contents.len(), "duplicate keys in chains");
+}
+
+#[test]
+fn loadgen_open_loop_paces_arrivals_and_reports() {
+    let server = test_server();
+    let addr = server.addr();
+
+    let opts = LoadgenOpts {
+        addr: addr.to_string(),
+        conns: 2,
+        per_conn: 200,
+        seed: 11,
+        mix: CacheMix::new(80, 15, 5),
+        dist: KeyDist::Uniform,
+        keys: 256,
+        preload: true,
+        shutdown: true,
+        // 4000 req/s total over 2 conns -> 2000/s each; 200 requests
+        // per conn means the schedule spans exactly 100 ms.
+        rate: Some(4_000),
+        client_threads: 0,
+        pipeline: 1,
+        starve_timeout_ms: 250,
+    };
+    let t0 = std::time::Instant::now();
+    let report = loadgen::run(&opts).expect("open-loop run");
+    assert_eq!(report.total_ops, 400);
+    assert_eq!(report.mode, "open");
+    assert_eq!(report.offered_rate, Some(4_000));
+    // Paced arrivals: the run cannot finish before the schedule does.
+    assert!(t0.elapsed() >= std::time::Duration::from_millis(95), "arrivals were not paced");
+    assert!(report.p50_us > 0.0 && report.p50_us <= report.p99_us);
+
+    let (map, _) = server.wait();
+    map.check_invariants();
+}
+
+#[test]
+fn loadgen_muxed_client_matches_thread_per_conn_totals() {
+    // The muxed client holds every connection open for the whole run, so
+    // the server must multiplex them: evented runtime (a blocking server
+    // would need workers >= conns or the surplus connections starve).
+    let server = Server::start(&ServerOpts {
+        addr: "127.0.0.1:0".into(),
+        workers: 2,
+        buckets: 256,
+        max_inflight: 2,
+        seed: 42,
+        runtime: hybrids_server::RuntimeKind::Evented,
+        ..ServerOpts::default()
+    })
+    .expect("bind loopback");
+    let addr = server.addr();
+
+    // 8 connections driven by 2 client threads, lockstep closed loop.
+    let opts = LoadgenOpts {
+        addr: addr.to_string(),
+        conns: 8,
+        per_conn: 100,
+        seed: 7,
+        mix: CacheMix::new(60, 30, 10),
+        dist: KeyDist::Uniform,
+        keys: 512,
+        preload: true,
+        shutdown: true,
+        rate: None,
+        client_threads: 2,
+        pipeline: 2,
+        starve_timeout_ms: 250,
+    };
+    let report = loadgen::run(&opts).expect("muxed loadgen run");
+    assert_eq!(report.total_ops, 800, "every connection's stream fully served");
+    assert_eq!(report.mode, "closed");
+    assert!(report.ops_per_sec > 0.0);
+    assert!(report.get_hits > 0, "{report:?}");
+
+    let (map, _) = server.wait();
+    map.check_invariants();
+}
+
+#[test]
+fn conn_scaling_sweep_produces_schema_complete_report() {
+    use hybrids_server::sweep::{self, SweepOpts};
+
+    // Deliberately tiny: this validates the harness and the BENCH_10
+    // schema, not the headline numbers.
+    let report = sweep::run(&SweepOpts {
+        conn_counts: vec![2, 4],
+        total_ops: 200,
+        keys: 256,
+        seed: 42,
+        evented_workers: 2,
+        rate: None,
+        client_threads: 2,
+        pipeline: 2,
+    })
+    .expect("sweep run");
+    assert_eq!(report.experiment, "conn_scaling");
+    assert_eq!(report.pr, 10);
+    assert_eq!(report.points.len(), 4, "two conn counts x two runtimes");
+    for p in &report.points {
+        assert!(p.ops_per_sec > 0.0, "{p:?}");
+        assert!(p.total_ops > 0, "{p:?}");
+        assert!(p.p50_us <= p.p95_us && p.p95_us <= p.p99_us, "{p:?}");
+    }
+    let s = &report.summary;
+    assert_eq!(s.conns, 4);
+    assert_eq!(s.blocking_workers, 4, "blocking runs thread-per-connection");
+    assert_eq!(s.evented_workers, 2);
+    assert!(s.evented_vs_blocking > 0.0);
 }

@@ -23,6 +23,6 @@ pub mod zipf;
 
 pub use keys::{Key, KeySpace, Value, KEY_STRIDE};
 pub use ops::{InsertDist, KeyDist, Mix, Op, WorkloadSpec};
-pub use requests::{CacheMix, CacheRequest, RequestSpec};
+pub use requests::{CacheMix, CacheRequest, OpenLoop, RequestSpec};
 pub use rng::{fnv64, mix64, splitmix64, Rng};
 pub use zipf::{ScrambledZipfian, Zipfian, YCSB_THETA};

@@ -139,12 +139,89 @@ impl RequestSpec {
     }
 }
 
+/// Deterministic open-loop send schedule: request `i` of a connection is
+/// *due* at a fixed offset from the stream's start, independent of when
+/// earlier responses arrive. Closed-loop clients (send, wait, repeat)
+/// measure service time under self-limiting load; an open-loop client
+/// keeps the arrival process fixed, so queueing delay shows up in the
+/// latency numbers instead of silently throttling the offered rate —
+/// the standard methodology for connection-scaling studies.
+///
+/// The schedule is uniform pacing at `rate_per_conn` requests per second
+/// per connection, a pure function of the rate (no RNG), so two runs
+/// offer byte- and time-identical load.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OpenLoop {
+    /// Target request rate per connection, in requests per second.
+    pub rate_per_conn: u32,
+}
+
+impl OpenLoop {
+    /// Build a schedule; panics on a zero rate.
+    pub fn new(rate_per_conn: u32) -> Self {
+        assert!(rate_per_conn > 0, "open-loop rate must be positive");
+        OpenLoop { rate_per_conn }
+    }
+
+    /// Nanosecond offset (from the stream start) at which request `i` is
+    /// due. Exact integer arithmetic: request `i` is due at
+    /// `i * 1e9 / rate` truncated, so the schedule never drifts.
+    pub fn offset_ns(&self, i: u32) -> u64 {
+        i as u64 * 1_000_000_000 / self.rate_per_conn as u64
+    }
+
+    /// The full schedule for an `n`-request stream.
+    pub fn schedule_ns(&self, n: u32) -> Vec<u64> {
+        (0..n).map(|i| self.offset_ns(i)).collect()
+    }
+
+    /// Split a total target rate evenly across `conns` connections,
+    /// rounding up so the aggregate offered rate never undershoots the
+    /// request. Returns `None` for a zero rate or zero connections.
+    pub fn split_total(total_rate: u32, conns: u32) -> Option<Self> {
+        if total_rate == 0 || conns == 0 {
+            return None;
+        }
+        Some(OpenLoop::new(total_rate.div_ceil(conns)))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     fn ks() -> KeySpace {
         KeySpace::new(256, 4, 64)
+    }
+
+    #[test]
+    fn open_loop_schedule_is_exact_and_monotone() {
+        let ol = OpenLoop::new(1_000); // 1 kHz -> 1 ms spacing
+        assert_eq!(ol.offset_ns(0), 0);
+        assert_eq!(ol.offset_ns(1), 1_000_000);
+        assert_eq!(ol.offset_ns(1_000), 1_000_000_000);
+        let sched = ol.schedule_ns(100);
+        assert_eq!(sched.len(), 100);
+        assert!(sched.windows(2).all(|w| w[0] < w[1]));
+        // Non-divisible rates truncate but never drift: after `rate`
+        // requests exactly one second has elapsed.
+        let odd = OpenLoop::new(3);
+        assert_eq!(odd.offset_ns(3), 1_000_000_000);
+        assert_eq!(odd.offset_ns(300), 100_000_000_000);
+    }
+
+    #[test]
+    fn open_loop_split_rounds_up() {
+        assert_eq!(OpenLoop::split_total(1_000, 4), Some(OpenLoop::new(250)));
+        assert_eq!(OpenLoop::split_total(1_000, 3), Some(OpenLoop::new(334)));
+        assert_eq!(OpenLoop::split_total(0, 4), None);
+        assert_eq!(OpenLoop::split_total(100, 0), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "rate must be positive")]
+    fn open_loop_rejects_zero_rate() {
+        let _ = OpenLoop::new(0);
     }
 
     #[test]

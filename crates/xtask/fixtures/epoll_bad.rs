@@ -1,0 +1,35 @@
+//! Known-bad fixture: raw epoll/poll syscall vocabulary outside the
+//! evented runtime. A mention of epoll_wait in this doc comment must NOT
+//! count; each live token below must be flagged.
+
+#[repr(C)]
+struct epoll_event {
+    events: u32,
+    u64: u64,
+}
+
+const EPOLLIN: u32 = 0x001;
+
+extern "C" {
+    fn epoll_create1(flags: i32) -> i32;
+    fn fcntl(fd: i32, cmd: i32, arg: i32) -> i32;
+}
+
+fn sneak_a_reactor() -> i32 {
+    // "epoll_ctl in a comment is fine"
+    let msg = "pollfd in a string is fine too";
+    let _ = msg;
+    let _ = EPOLLIN;
+    unsafe {
+        let ep = epoll_create1(0);
+        fcntl(ep, 0, 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    // Test modules are stripped: this must not count.
+    extern "C" {
+        fn epoll_wait(ep: i32, evs: *mut u8, n: i32, ms: i32) -> i32;
+    }
+}

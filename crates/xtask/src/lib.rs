@@ -44,6 +44,13 @@
 //!   The simulator, the structures, the workload generator, and the bench
 //!   harness are deterministic, network-free layers; a socket anywhere
 //!   else is an architecture violation (DESIGN.md §4.11).
+//! * **sys-confinement** — raw readiness/socket syscall vocabulary
+//!   (`epoll_create1` / `epoll_ctl` / `epoll_wait`, `epoll_event`,
+//!   `EPOLL*` / `POLL*` flag constants, `pollfd`, `nfds_t`,
+//!   `setsockopt`, `fcntl`) lives only in the evented runtime
+//!   (`crates/server/src/runtime/`), behind its `Poller` trait. The rest
+//!   of the server crate — and everything below it — talks `std::net`
+//!   and the runtime's queue API, never raw FFI (DESIGN.md §4.12).
 //! * **marker-location** — the `// xtask:` markers above may only appear in
 //!   an explicit allow-list of files, so the lint cannot be silenced by
 //!   sprinkling new markers.
@@ -63,7 +70,7 @@ use std::path::Path;
 pub struct Violation {
     /// Which rule fired (`raw-mem`, `atomic-ordering`, `mmio-confinement`,
     /// `opcode-coverage`, `policy-confinement`, `net-confinement`,
-    /// `marker-location`).
+    /// `sys-confinement`, `marker-location`).
     pub rule: &'static str,
     /// Repo-relative path of the offending file.
     pub path: String,
@@ -126,6 +133,11 @@ pub const SHARD_CTL_MODULE: &str = "crates/nmp-sim/src/engine/barrier.rs";
 /// (its runtime, loadgen, bins, and tests). Everything else in the tree is
 /// a deterministic, network-free layer.
 pub const NET_SCOPE: &str = "crates/server/";
+
+/// The only directory allowed to speak raw syscall vocabulary (epoll/poll
+/// FFI, `setsockopt`, `fcntl`): the evented connection runtime, which wraps
+/// it behind the `Poller` trait and socket-option helpers.
+pub const SYS_SCOPE: &str = "crates/server/src/runtime/";
 
 /// Directories scanned by [`lint_tree`], relative to the repo root. The
 /// simulator crate (`nmp-sim` implements `SimRam` and the memory model) is
@@ -434,6 +446,26 @@ const SHARD_CTL_TOKENS: &[&str] =
 const NET_TOKENS: &[&str] =
     &["std::net", "TcpListener", "TcpStream", "UdpSocket", "UnixListener", "UnixStream"];
 
+/// Raw syscall vocabulary confined to [`SYS_SCOPE`]: the epoll interface,
+/// the poll(2) fallback's types, and the socket-option/flag syscalls the
+/// runtime wraps. Identifier-boundary matched.
+const SYS_TOKENS: &[&str] = &[
+    "epoll_create1",
+    "epoll_ctl",
+    "epoll_wait",
+    "epoll_event",
+    "pollfd",
+    "nfds_t",
+    "setsockopt",
+    "fcntl",
+];
+
+/// Flag-constant prefixes confined to [`SYS_SCOPE`] (`EPOLLIN`,
+/// `EPOLL_CTL_ADD`, `POLLHUP`, …). Matched with an identifier boundary
+/// before and any identifier tail after, so the whole constant family is
+/// covered without enumerating it.
+const SYS_PREFIX_TOKENS: &[&str] = &["EPOLL", "POLL"];
+
 /// Adaptive-policy state machines and helpers owned by [`POLICY_MODULES`].
 const POLICY_TOKENS: &[&str] =
     &["CombinerControl", "LaneGovernor", "sort_batch", "coalesce_run_len"];
@@ -452,6 +484,19 @@ fn find_ident_from(haystack: &[u8], needle: &[u8], from: usize) -> Option<usize>
         let after = pos + needle.len();
         let after_ok = after >= haystack.len() || !is_ident_byte(haystack[after]);
         if before_ok && after_ok {
+            return Some(pos);
+        }
+    }
+    None
+}
+
+/// Like [`find_ident_from`] but only requiring an identifier boundary
+/// *before* the needle: matches `EPOLL` at the head of `EPOLL_CTL_ADD`.
+fn find_ident_prefix_from(haystack: &[u8], needle: &[u8], from: usize) -> Option<usize> {
+    let mut at = from;
+    while let Some(pos) = find_from(haystack, needle, at) {
+        at = pos + 1;
+        if pos == 0 || !is_ident_byte(haystack[pos - 1]) {
             return Some(pos);
         }
     }
@@ -520,6 +565,44 @@ pub fn check_source(rel: &str, src: &str) -> Vec<Violation> {
                          traffic through hybrids-server instead"
                     ),
                 });
+            }
+        }
+    }
+
+    // sys-confinement: raw syscall vocabulary only in the evented runtime.
+    // Like net-confinement, this applies to every scanned layer — the rest
+    // of the server crate included — so readiness FFI cannot leak out from
+    // behind the Poller trait.
+    if !rel.starts_with(SYS_SCOPE) {
+        let b = masked.as_bytes();
+        let hit = |tok: &str, pos: usize, out: &mut Vec<Violation>| {
+            out.push(Violation {
+                rule: "sys-confinement",
+                path: rel.clone(),
+                line: line_of(&masked, pos),
+                msg: format!(
+                    "`{tok}` (raw syscall vocabulary) outside the evented runtime \
+                     ({SYS_SCOPE}); use std::net and the runtime's Poller/queue API \
+                     instead of raw FFI"
+                ),
+            });
+        };
+        for tok in SYS_TOKENS {
+            let mut from = 0usize;
+            while let Some(pos) = find_ident_from(b, tok.as_bytes(), from) {
+                from = pos + 1;
+                hit(tok, pos, &mut out);
+            }
+        }
+        for tok in SYS_PREFIX_TOKENS {
+            let mut from = 0usize;
+            while let Some(pos) = find_ident_prefix_from(b, tok.as_bytes(), from) {
+                from = pos + tok.len();
+                // skip the identifier tail so EPOLL_CTL_ADD is one finding
+                while from < b.len() && is_ident_byte(b[from]) {
+                    from += 1;
+                }
+                hit(tok, pos, &mut out);
             }
         }
     }

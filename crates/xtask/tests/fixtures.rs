@@ -157,6 +157,30 @@ fn net_fixture_fails_everywhere_but_the_server_crate() {
 }
 
 #[test]
+fn epoll_fixture_fails_everywhere_but_the_evented_runtime() {
+    let src = include_str!("../fixtures/epoll_bad.rs");
+    // Live code holds seven syscall-vocabulary tokens: the epoll_event
+    // struct, the EPOLLIN const (decl + use), the epoll_create1 and fcntl
+    // extern decls and their calls. The doc comment, the inline comment,
+    // the string literal, and the test module must not count.
+    for bad in [
+        "crates/server/src/server.rs",
+        "crates/server/src/loadgen.rs",
+        "crates/hybrids/src/widget.rs",
+        "crates/nmp-sim/src/machine.rs",
+    ] {
+        let v = lint_as(bad, src);
+        assert!(v.iter().all(|v| v.rule == "sys-confinement"), "{bad}: {v:?}");
+        assert_eq!(v.len(), 7, "{bad}: {v:?}");
+    }
+    // Inside the evented runtime the raw FFI is the module's job.
+    for ok in ["crates/server/src/runtime/sys.rs", "crates/server/src/runtime/poller.rs"] {
+        let v = lint_as(ok, src);
+        assert!(v.is_empty(), "{ok}: {v:?}");
+    }
+}
+
+#[test]
 fn clean_fixture_passes_in_strictest_scope() {
     let v = lint_as("crates/hybrids/src/widget.rs", include_str!("../fixtures/clean.rs"));
     assert!(v.is_empty(), "{v:?}");
